@@ -1,0 +1,387 @@
+package repro
+
+// One benchmark per table/figure of the paper's evaluation (DESIGN.md
+// experiment index). Each benchmark regenerates its table through the
+// experiment harness and reports the headline quantity as a custom
+// metric, so `go test -bench=. -benchmem` doubles as a full (small-size)
+// reproduction run. cmd/experiments produces the same tables at the
+// paper workload size.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/exper"
+	"repro/internal/machine"
+	"repro/internal/overhead"
+)
+
+func suite() *exper.Suite {
+	return exper.NewSuite(bench.Params{N: 16, Steps: 2}, 8)
+}
+
+func cell(tab *exper.Table, row, col int) float64 {
+	s := strings.TrimSuffix(tab.Rows[row][col], "%")
+	v, _ := strconv.ParseFloat(s, 64)
+	return v
+}
+
+// BenchmarkFig5StorageOverhead regenerates E1 (Figure 5).
+func BenchmarkFig5StorageOverhead(b *testing.B) {
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		c := overhead.PaperDefault()
+		fm := overhead.FullMap(c)
+		tp := overhead.TPI(c)
+		ratio = float64(fm.Total()) / float64(tp.Total())
+	}
+	b.ReportMetric(ratio, "fullmap/tpi-bits")
+}
+
+// BenchmarkFig11MissRates regenerates E3 (Figure 11).
+func BenchmarkFig11MissRates(b *testing.B) {
+	var tpi, hw float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E3MissRates()
+		if err != nil {
+			b.Fatal(err)
+		}
+		// ocean row: columns benchmark, BASE, SC, TPI, HW
+		tpi, hw = cell(tab, 1, 3), cell(tab, 1, 4)
+	}
+	b.ReportMetric(tpi, "ocean-tpi-miss%")
+	b.ReportMetric(hw, "ocean-hw-miss%")
+}
+
+// BenchmarkMissClassification regenerates E4 (miss decomposition).
+func BenchmarkMissClassification(b *testing.B) {
+	var conserv float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E4MissClassification()
+		if err != nil {
+			b.Fatal(err)
+		}
+		conserv = cell(tab, 0, 6) // spec77/TPI conservative per 1000 reads
+	}
+	b.ReportMetric(conserv, "spec77-conserv/1k")
+}
+
+// BenchmarkNetworkTraffic regenerates E5 (traffic figure).
+func BenchmarkNetworkTraffic(b *testing.B) {
+	var trfdWrite, trfdWriteNoWbc float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E5NetworkTraffic()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "trfd" && r[1] == "TPI" {
+				trfdWrite, _ = strconv.ParseFloat(r[3], 64)
+			}
+			if r[0] == "trfd" && r[1] == "TPI-nowbc" {
+				trfdWriteNoWbc, _ = strconv.ParseFloat(r[3], 64)
+			}
+		}
+	}
+	b.ReportMetric(trfdWrite, "trfd-write-wpr")
+	b.ReportMetric(trfdWriteNoWbc, "trfd-write-nowbc-wpr")
+}
+
+// BenchmarkMissLatency regenerates E6 (average miss latency table).
+func BenchmarkMissLatency(b *testing.B) {
+	var tpiQcd, hwQcd float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E6MissLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "qcd2" {
+				tpiQcd, _ = strconv.ParseFloat(r[1], 64)
+				hwQcd, _ = strconv.ParseFloat(r[3], 64)
+			}
+		}
+	}
+	b.ReportMetric(tpiQcd, "qcd2-tpi-lat")
+	b.ReportMetric(hwQcd, "qcd2-hw-lat")
+}
+
+// BenchmarkExecutionTime regenerates E7 (normalized execution time).
+func BenchmarkExecutionTime(b *testing.B) {
+	var tpiNorm float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E7ExecutionTime()
+		if err != nil {
+			b.Fatal(err)
+		}
+		tpiNorm = cell(tab, 1, 3) // ocean, TPI/HW
+	}
+	b.ReportMetric(tpiNorm, "ocean-tpi/hw-time")
+}
+
+// BenchmarkTimetagSensitivity regenerates E8.
+func BenchmarkTimetagSensitivity(b *testing.B) {
+	var resets2 float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E8TimetagSensitivity()
+		if err != nil {
+			b.Fatal(err)
+		}
+		resets2 = cell(tab, 0, 3) // spec77, 2-bit resets
+	}
+	b.ReportMetric(resets2, "spec77-2bit-resets")
+}
+
+// BenchmarkCacheSizeSweep regenerates E9.
+func BenchmarkCacheSizeSweep(b *testing.B) {
+	var small, large float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E9CacheSizeSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		small, large = cell(tab, 0, 2), cell(tab, 3, 2)
+	}
+	b.ReportMetric(small, "spec77-4KB-tpi-miss%")
+	b.ReportMetric(large, "spec77-256KB-tpi-miss%")
+}
+
+// BenchmarkLineSizeSweep regenerates E10.
+func BenchmarkLineSizeSweep(b *testing.B) {
+	var hwUnnec16 float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E10LineSizeSweep()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "arc2d" && r[1] == "16w" {
+				hwUnnec16, _ = strconv.ParseFloat(r[5], 64)
+			}
+		}
+	}
+	b.ReportMetric(hwUnnec16, "arc2d-hw-unnec-16w/1k")
+}
+
+// BenchmarkTwoPhaseResetAblation regenerates E11.
+func BenchmarkTwoPhaseResetAblation(b *testing.B) {
+	var twoPhase, flash float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E11ResetAblation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "spec77" && r[1] == "two-phase" {
+				twoPhase, _ = strconv.ParseFloat(r[3], 64)
+			}
+			if r[0] == "spec77" && r[1] == "flash" {
+				flash, _ = strconv.ParseFloat(r[3], 64)
+			}
+		}
+	}
+	b.ReportMetric(twoPhase, "spec77-2phase-invals")
+	b.ReportMetric(flash, "spec77-flash-invals")
+}
+
+// BenchmarkScalability regenerates E12.
+func BenchmarkScalability(b *testing.B) {
+	var lat32 float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E12Scalability()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := tab.Rows[len(tab.Rows)-1]
+		lat32, _ = strconv.ParseFloat(last[2], 64)
+	}
+	b.ReportMetric(lat32, "tpi-lat-at-32p")
+}
+
+// BenchmarkCompilerAblations regenerates E13.
+func BenchmarkCompilerAblations(b *testing.B) {
+	var full, neither float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E13CompilerAblations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "spec77" && r[1] == "full" {
+				full = cell(tab, 0, 2)
+			}
+			if r[0] == "spec77" && r[1] == "neither" {
+				neither, _ = strconv.ParseFloat(strings.TrimSuffix(r[2], "%"), 64)
+			}
+		}
+	}
+	b.ReportMetric(full, "spec77-full-miss%")
+	b.ReportMetric(neither, "spec77-ablated-miss%")
+}
+
+// BenchmarkCompile measures the compiler pipeline itself.
+func BenchmarkCompile(b *testing.B) {
+	k, err := bench.Get("spec77", bench.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Compile(k.Source, core.DefaultCompileOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures simulated references per second
+// under TPI on the ocean kernel.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	k, err := bench.Get("ocean", bench.Params{N: 32, Steps: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Default(machine.SchemeTPI)
+	var refs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := core.Run(c, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		refs = st.Reads + st.Writes
+	}
+	b.ReportMetric(float64(refs), "refs/run")
+}
+
+// BenchmarkLimitedPointerDirectory regenerates E14 (extension).
+func BenchmarkLimitedPointerDirectory(b *testing.B) {
+	var evict1 float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E14LimitedPointers()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "trfd" && r[1] == "DIR_NB(1)" {
+				evict1, _ = strconv.ParseFloat(r[3], 64)
+			}
+		}
+	}
+	b.ReportMetric(evict1, "trfd-nb1-evictions")
+}
+
+// BenchmarkConsistencyModels regenerates E15 (extension).
+func BenchmarkConsistencyModels(b *testing.B) {
+	var tpiSlow, hwSlow float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E15ConsistencyModels()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "ocean" && r[1] == "TPI" {
+				tpiSlow, _ = strconv.ParseFloat(r[4], 64)
+			}
+			if r[0] == "ocean" && r[1] == "HW" {
+				hwSlow, _ = strconv.ParseFloat(r[4], 64)
+			}
+		}
+	}
+	b.ReportMetric(tpiSlow, "ocean-tpi-sc-slowdown")
+	b.ReportMetric(hwSlow, "ocean-hw-sc-slowdown")
+}
+
+// BenchmarkSchedulingPolicies regenerates E16 (extension).
+func BenchmarkSchedulingPolicies(b *testing.B) {
+	var blockMiss, dynMiss float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E16SchedulingPolicies()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range tab.Rows {
+			if r[0] == "ocean" && r[1] == "block" {
+				blockMiss = cell(tab, 0, 2)
+			}
+			if r[0] == "ocean" && r[1] == "dynamic" {
+				dynMiss, _ = strconv.ParseFloat(strings.TrimSuffix(r[2], "%"), 64)
+			}
+		}
+	}
+	b.ReportMetric(blockMiss, "ocean-block-miss%")
+	b.ReportMetric(dynMiss, "ocean-dynamic-miss%")
+}
+
+// BenchmarkToolchain regenerates E21 (sequential -> auto-parallel ->
+// simulate).
+func BenchmarkToolchain(b *testing.B) {
+	var loops float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E21Toolchain()
+		if err != nil {
+			b.Fatal(err)
+		}
+		loops = cell(tab, 0, 1)
+	}
+	b.ReportMetric(loops, "ocean-seq-doalls")
+}
+
+// BenchmarkOffTheShelf regenerates E19 (two-level implementation).
+func BenchmarkOffTheShelf(b *testing.B) {
+	var slowdown float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E19OffTheShelf()
+		if err != nil {
+			b.Fatal(err)
+		}
+		slowdown, _ = strconv.ParseFloat(tab.Rows[1][4], 64)
+	}
+	b.ReportMetric(slowdown, "ocean-2level-slowdown")
+}
+
+// BenchmarkTopologies regenerates E20 (multistage vs torus).
+func BenchmarkTopologies(b *testing.B) {
+	var torusLat float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E20Topologies()
+		if err != nil {
+			b.Fatal(err)
+		}
+		torusLat, _ = strconv.ParseFloat(tab.Rows[0][3], 64)
+	}
+	b.ReportMetric(torusLat, "ocean-tpi-torus-lat")
+}
+
+// BenchmarkHSCDFamily regenerates E17 (SC vs VC vs TPI).
+func BenchmarkHSCDFamily(b *testing.B) {
+	var vc, tpi float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E17HSCDFamily()
+		if err != nil {
+			b.Fatal(err)
+		}
+		vc, tpi = cell(tab, 1, 2), cell(tab, 1, 3)
+	}
+	b.ReportMetric(vc, "ocean-vc-miss%")
+	b.ReportMetric(tpi, "ocean-tpi-miss%")
+}
+
+// BenchmarkWritePolicies regenerates E18.
+func BenchmarkWritePolicies(b *testing.B) {
+	var stall float64
+	for i := 0; i < b.N; i++ {
+		tab, err := suite().E18WritePolicies()
+		if err != nil {
+			b.Fatal(err)
+		}
+		stall, _ = strconv.ParseFloat(tab.Rows[1][3], 64)
+	}
+	b.ReportMetric(stall, "trfd-flush-stalls")
+}

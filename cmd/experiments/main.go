@@ -1,0 +1,113 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+// paper-vs-measured record).
+//
+// Usage:
+//
+//	experiments                 # run all experiments at the paper size
+//	experiments -exp E3 -exp E6 # run selected experiments
+//	experiments -quick          # small workload (seconds, for smoke runs)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/exper"
+)
+
+type expFlag []string
+
+func (e *expFlag) String() string     { return strings.Join(*e, ",") }
+func (e *expFlag) Set(v string) error { *e = append(*e, v); return nil }
+
+func main() {
+	var selected expFlag
+	flag.Var(&selected, "exp", "experiment id to run (repeatable), e.g. E3; default all")
+	quick := flag.Bool("quick", false, "small workload for a fast smoke run")
+	procs := flag.Int("procs", 16, "number of processors")
+	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	outFile := flag.String("out", "", "also write the output to this file")
+	flag.Parse()
+
+	p := bench.PaperParams()
+	if *quick {
+		p = bench.DefaultParams()
+	}
+	s := exper.NewSuite(p, *procs)
+
+	type entry struct {
+		id  string
+		run func() (*exper.Table, error)
+	}
+	entries := []entry{
+		{"E1", s.E1StorageOverhead},
+		{"E2", s.E2Parameters},
+		{"E3", s.E3MissRates},
+		{"E4", s.E4MissClassification},
+		{"E5", s.E5NetworkTraffic},
+		{"E6", s.E6MissLatency},
+		{"E7", s.E7ExecutionTime},
+		{"E8", s.E8TimetagSensitivity},
+		{"E9", s.E9CacheSizeSweep},
+		{"E10", s.E10LineSizeSweep},
+		{"E11", s.E11ResetAblation},
+		{"E12", s.E12Scalability},
+		{"E13", s.E13CompilerAblations},
+		{"E14", s.E14LimitedPointers},
+		{"E15", s.E15ConsistencyModels},
+		{"E16", s.E16SchedulingPolicies},
+		{"E17", s.E17HSCDFamily},
+		{"E18", s.E18WritePolicies},
+		{"E19", s.E19OffTheShelf},
+		{"E20", s.E20Topologies},
+		{"E21", s.E21Toolchain},
+		{"E22", s.E22TagGranularity},
+		{"E23", s.E23Prefetch},
+		{"E24", s.E24ScalarPadding},
+		{"E25", s.E25TimeDecomposition},
+	}
+
+	want := map[string]bool{}
+	for _, id := range selected {
+		want[strings.ToUpper(id)] = true
+	}
+
+	var sink strings.Builder
+	emit := func(text string) {
+		fmt.Print(text)
+		sink.WriteString(text)
+	}
+
+	start := time.Now()
+	for _, e := range entries {
+		if len(want) > 0 && !want[e.id] {
+			continue
+		}
+		t0 := time.Now()
+		tab, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		if *markdown {
+			emit(tab.Markdown() + "\n")
+		} else {
+			emit(tab.String())
+		}
+		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *outFile != "" {
+		if err := os.WriteFile(*outFile, []byte(sink.String()), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", *outFile, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outFile)
+	}
+}

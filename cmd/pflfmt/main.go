@@ -1,0 +1,58 @@
+// Command pflfmt formats PFL source files (gofmt for PFL): parsing and
+// reprinting with the canonical layout. With -check it only reports
+// whether files are formatted; with -w it rewrites them in place;
+// otherwise it prints to stdout.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pfl"
+)
+
+func main() {
+	write := flag.Bool("w", false, "rewrite files in place")
+	check := flag.Bool("check", false, "exit non-zero if any file is not formatted")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: pflfmt [-w|-check] file.pfl...")
+		os.Exit(2)
+	}
+	dirty := false
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		prog, err := pfl.Parse(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		out := pfl.Format(prog)
+		switch {
+		case *check:
+			if out != string(src) {
+				fmt.Printf("%s\n", path)
+				dirty = true
+			}
+		case *write:
+			if out != string(src) {
+				if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+					fatal(err)
+				}
+			}
+		default:
+			fmt.Print(out)
+		}
+	}
+	if dirty {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "pflfmt:", err)
+	os.Exit(1)
+}

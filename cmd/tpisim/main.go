@@ -1,0 +1,143 @@
+// Command tpisim runs one program (a PFL file or a named built-in
+// benchmark kernel) under one coherence scheme and prints the run
+// statistics.
+//
+// Usage:
+//
+//	tpisim -bench ocean -scheme TPI
+//	tpisim -scheme HW -procs 32 myprog.pfl
+//	tpisim -bench trfd -scheme all      # compare the four schemes
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func main() {
+	benchName := flag.String("bench", "", "built-in kernel (spec77 ocean flo52 qcd2 trfd arc2d)")
+	schemeName := flag.String("scheme", "TPI", "coherence scheme: BASE, SC, TPI, HW, VC, or all")
+	procs := flag.Int("procs", 16, "number of processors")
+	n := flag.Int("n", 32, "benchmark grid size")
+	steps := flag.Int("steps", 2, "benchmark time steps")
+	cacheKB := flag.Int64("cache", 64, "cache size in KB (4-byte words)")
+	lineWords := flag.Int("line", 4, "line size in words")
+	ttBits := flag.Int("timetag", 8, "timetag bits")
+	migrate := flag.Bool("migrate", false, "rotate serial tasks across processors")
+	seqc := flag.Bool("seqconsistency", false, "sequential instead of weak consistency")
+	dyn := flag.Bool("dynamic", false, "self-schedule DOALL iterations")
+	dirPtrs := flag.Int("dirpointers", 0, "limited-pointer directory DIR_NB(i); 0 = full map")
+	writeBack := flag.Bool("writeback", false, "TPI write-back-at-boundary instead of write-through")
+	l1KB := flag.Int64("l1", 0, "on-chip L1 size in KB for the two-level TPI implementation (0 = integrated)")
+	topology := flag.String("topology", "multistage", "interconnect model: multistage or torus")
+	prefetch := flag.Bool("prefetch", false, "one-block-lookahead sequential prefetch (TPI)")
+	padScalars := flag.Bool("padscalars", false, "give every scalar its own cache line")
+	verify := flag.Bool("verify", true, "check results against the sequential oracle")
+	traceFile := flag.String("trace", "", "write a memory-event trace to this file")
+	flag.Parse()
+
+	var src string
+	switch {
+	case *benchName != "":
+		k, err := bench.Get(*benchName, bench.Params{N: *n, Steps: *steps})
+		if err != nil {
+			fatal(err)
+		}
+		src = k.Source
+	case flag.NArg() == 1:
+		b, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		src = string(b)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: tpisim (-bench name | file.pfl) [flags]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var schemes []machine.Scheme
+	if strings.EqualFold(*schemeName, "all") {
+		schemes = machine.AllSchemes
+	} else {
+		s, err := parseScheme(*schemeName)
+		if err != nil {
+			fatal(err)
+		}
+		schemes = []machine.Scheme{s}
+	}
+
+	for _, s := range schemes {
+		cfg := machine.Default(s)
+		cfg.Procs = *procs
+		cfg.CacheWords = *cacheKB * 1024 / 4
+		cfg.LineWords = *lineWords
+		cfg.TimetagBits = *ttBits
+		cfg.MigrateSerial = *migrate
+		cfg.SeqConsistency = *seqc
+		cfg.DynamicSched = *dyn
+		cfg.DirPointers = *dirPtrs
+		cfg.TPIWriteBack = *writeBack
+		cfg.L1Words = *l1KB * 1024 / 4
+		cfg.Topology = *topology
+		cfg.Prefetch = *prefetch
+		c, err := core.Compile(src, core.CompileOptions{
+			Interproc:      cfg.Interproc,
+			FirstReadReuse: cfg.FirstReadReuse,
+			AlignWords:     int64(cfg.LineWords),
+			PadScalars:     *padScalars,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		switch {
+		case *traceFile != "":
+			f, err := os.Create(*traceFile)
+			if err != nil {
+				fatal(err)
+			}
+			st, err := core.RunTraced(c, cfg, f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(st)
+			fmt.Printf("      trace written to %s\n", *traceFile)
+		case *verify:
+			st, err := core.VerifyAgainstOracle(c, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(st)
+			fmt.Println("      result verified against sequential oracle")
+		default:
+			st, err := core.Run(c, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(st)
+		}
+	}
+}
+
+func parseScheme(s string) (machine.Scheme, error) {
+	for _, sc := range machine.AllSchemes {
+		if strings.EqualFold(sc.String(), s) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown scheme %q (want BASE, SC, TPI, HW, VC, or all)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tpisim:", err)
+	os.Exit(1)
+}

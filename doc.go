@@ -1,0 +1,12 @@
+// Package repro reproduces Choi & Yew, "Compiler and Hardware Support
+// for Cache Coherence in Large-Scale Multiprocessors: Design
+// Considerations and Performance Study" (ISCA 1996).
+//
+// The library lives under internal/: the compiler pipeline (pfl,
+// epochg, sections, marking), the machine substrate (machine, cache,
+// memory, network, memsys), the coherence schemes (tpi, directory,
+// swschemes), the execution-driven simulator (sim), and the evaluation
+// harness (bench, exper, overhead). Package internal/core is the
+// high-level facade; cmd/ holds the tools and examples/ the runnable
+// walk-throughs. See README.md, DESIGN.md, and EXPERIMENTS.md.
+package repro

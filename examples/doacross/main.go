@@ -1,0 +1,84 @@
+// Doacross: pipelined inter-iteration communication through `ordered`
+// sections — the paper's "threads with inter-thread communication"
+// scenario. A recurrence (prefix smoothing) runs as a DOACROSS loop:
+// iteration i's ordered section consumes iteration i-1's result within
+// the same epoch, below timetag granularity, so the compiler routes all
+// ordered references through memory (like critical-section data) while
+// the surrounding DOALL traffic still enjoys cached Time-Reads.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/marking"
+	"repro/internal/stats"
+)
+
+const src = `
+program doacross
+param n = 128
+scalar total = 0.0
+array A[n]
+array S[n]
+array W[n]
+
+proc main() {
+  doall i = 0 to n-1 {
+    A[i] = 1.0 + (i * 29 % 11) * 0.0625
+    W[i] = 0.5 + (i % 3) * 0.125
+    S[i] = 0.0
+  }
+  # The pipeline: S[i] depends on S[i-1] produced by the PREVIOUS
+  # iteration of the SAME epoch.
+  doall i = 1 to n-1 {
+    ordered {
+      S[i] = S[i-1] * 0.5 + A[i] * W[i]
+    }
+  }
+  # Ordinary cross-epoch consumption: these reads are Time-Reads.
+  doall i = 0 to n-1 {
+    A[i] = S[i] * W[i]
+  }
+  doall i = 0 to n-1 {
+    critical {
+      total = total + A[i]
+    }
+  }
+}
+`
+
+func main() {
+	c, err := core.Compile(src, core.DefaultCompileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ordered, timereads int
+	for _, m := range c.Marks.Marks {
+		switch m.Kind {
+		case marking.Bypass:
+			ordered++
+		case marking.TimeRead:
+			timereads++
+		}
+	}
+	fmt.Printf("marking: %d bypassed (ordered/critical) references, %d time-reads\n\n", ordered, timereads)
+
+	for _, s := range machine.AllSchemes {
+		cfg := machine.Default(s)
+		cfg.Procs = 8
+		st, err := core.VerifyAgainstOracle(c, cfg)
+		if err != nil {
+			log.Fatalf("%s: %v", s, err)
+		}
+		fmt.Printf("%-5s ok: missrate=%.4f bypass-misses=%d cycles=%d\n",
+			s, st.MissRate(), st.ReadMisses[stats.MissBypass], st.Cycles)
+	}
+	fmt.Println()
+	fmt.Println("All five schemes agree with the sequential oracle: the ordered")
+	fmt.Println("sections serialize the recurrence while the rest of the loop")
+	fmt.Println("still runs (and caches) in parallel.")
+}

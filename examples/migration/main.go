@@ -1,0 +1,74 @@
+// Migration: the paper's Section 5 scenario. Under a simple
+// compiler-directed invalidation scheme, a task that migrates to another
+// processor can read its own stale leftovers; TPI's timetags make the
+// cached copies self-describing, so coherence survives arbitrary task
+// placement. This example runs the same program with serial tasks pinned
+// to processor 0 and with serial tasks rotating across all processors
+// (plus cyclic DOALL scheduling), and verifies both against the
+// sequential oracle under every scheme.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+const src = `
+program migration
+param n = 48
+scalar total = 0.0
+array A[n]
+array B[n]
+
+proc main() {
+  doall i = 0 to n-1 {
+    A[i] = i
+    B[i] = 0.0
+  }
+  for t = 0 to 5 {
+    # serial epoch: under -migrate this runs on a different processor
+    # each iteration, leaving stale copies of A[0] behind everywhere.
+    A[0] = A[0] + 1.0
+    doall i = 1 to n-1 {
+      B[i] = A[i-1] + A[0]
+    }
+    doall i = 1 to n-1 {
+      A[i] = B[i] * 0.5
+    }
+  }
+  doall i = 0 to n-1 {
+    critical {
+      total = total + A[i]
+    }
+  }
+}
+`
+
+func main() {
+	c, err := core.Compile(src, core.DefaultCompileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, migrate := range []bool{false, true} {
+		fmt.Printf("--- serial-task placement: migrate=%v ---\n", migrate)
+		for _, scheme := range machine.Schemes {
+			cfg := machine.Default(scheme)
+			cfg.Procs = 8
+			cfg.MigrateSerial = migrate
+			cfg.CyclicSched = migrate
+			st, err := core.VerifyAgainstOracle(c, cfg)
+			if err != nil {
+				log.Fatalf("%s migrate=%v: %v", scheme, migrate, err)
+			}
+			fmt.Printf("%-5s ok: missrate=%.4f cycles=%d\n", scheme, st.MissRate(), st.Cycles)
+		}
+		fmt.Println()
+	}
+	fmt.Println("All schemes stay coherent under task migration: TPI because a")
+	fmt.Println("Time-Read trusts a copy only if its timetag proves it was")
+	fmt.Println("(re)validated after the last possible write, regardless of")
+	fmt.Println("which processor ran which task.")
+}

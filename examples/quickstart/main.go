@@ -1,0 +1,75 @@
+// Quickstart: compile a small parallel program with the TPI compiler
+// pipeline, simulate it under the two headline coherence schemes (the
+// paper's TPI and a full-map hardware directory), verify both against
+// the sequential oracle, and print the comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+const src = `
+program quickstart
+param n = 64
+scalar checksum = 0.0
+array A[n][n]
+array B[n][n]
+
+proc main() {
+  # Epoch 1: every processor initializes its block of rows.
+  doall i = 0 to n-1 {
+    for j = 0 to n-1 {
+      A[i][j] = (i * n + j) * 0.001
+    }
+  }
+  # Epochs 2..: a five-point smoothing pass. Reads of A are potentially
+  # stale (written by other processors last epoch), so the compiler marks
+  # them as Time-Reads with a one-epoch window.
+  for t = 1 to 4 {
+    doall i = 1 to n-2 {
+      for j = 1 to n-2 {
+        B[i][j] = (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]) * 0.25
+      }
+    }
+    doall i = 1 to n-2 {
+      for j = 1 to n-2 {
+        A[i][j] = B[i][j]
+      }
+    }
+  }
+  # A reduction through the global critical-section lock.
+  doall i = 0 to n-1 {
+    critical {
+      checksum = checksum + A[i][i]
+    }
+  }
+}
+`
+
+func main() {
+	c, err := core.Compile(src, core.DefaultCompileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("compiled %q: %d regular reads, %d time-reads, %d bypasses, %d writes\n\n",
+		c.AST.Name, c.Marks.NumRegular, c.Marks.NumTimeRead, c.Marks.NumBypass, c.Marks.NumWrite)
+
+	for _, scheme := range []machine.Scheme{machine.SchemeTPI, machine.SchemeHW} {
+		cfg := machine.Default(scheme)
+		st, err := core.VerifyAgainstOracle(c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(st)
+		fmt.Println("      verified against sequential oracle")
+		fmt.Println()
+	}
+	fmt.Println("Both schemes computed identical results; compare their miss")
+	fmt.Println("rates and traffic above — the paper's claim is that the")
+	fmt.Println("compiler-directed TPI scheme stays competitive with the")
+	fmt.Println("full-map directory at a fraction of the hardware cost.")
+}

@@ -1,0 +1,67 @@
+// Sweep: parameter-sensitivity curves on the ocean kernel — miss rate
+// versus cache size, line size, and timetag width for TPI and the
+// hardware directory. This is the programmatic version of experiments
+// E8–E10 for a single workload.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+func main() {
+	k, err := bench.Get("ocean", bench.Params{N: 32, Steps: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	run := func(cfg machine.Config) float64 {
+		st, err := core.Run(c, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st.MissRate()
+	}
+
+	fmt.Println("ocean kernel, 16 processors")
+	fmt.Println()
+	fmt.Println("miss rate vs cache size:")
+	fmt.Printf("%-8s %8s %8s\n", "cache", "TPI", "HW")
+	for _, words := range []int64{1024, 4096, 16384, 65536} {
+		t := machine.Default(machine.SchemeTPI)
+		h := machine.Default(machine.SchemeHW)
+		t.CacheWords, h.CacheWords = words, words
+		fmt.Printf("%-8s %7.2f%% %7.2f%%\n",
+			fmt.Sprintf("%dKB", words*4/1024), 100*run(t), 100*run(h))
+	}
+
+	fmt.Println()
+	fmt.Println("miss rate vs line size:")
+	fmt.Printf("%-8s %8s %8s\n", "line", "TPI", "HW")
+	for _, lw := range []int{1, 2, 4, 8, 16} {
+		t := machine.Default(machine.SchemeTPI)
+		h := machine.Default(machine.SchemeHW)
+		t.LineWords, h.LineWords = lw, lw
+		fmt.Printf("%-8s %7.2f%% %7.2f%%\n", fmt.Sprintf("%dw", lw), 100*run(t), 100*run(h))
+	}
+
+	fmt.Println()
+	fmt.Println("TPI miss rate and resets vs timetag width:")
+	fmt.Printf("%-8s %8s %8s\n", "bits", "miss", "resets")
+	for _, bits := range []int{2, 3, 4, 8} {
+		t := machine.Default(machine.SchemeTPI)
+		t.TimetagBits = bits
+		st, err := core.Run(c, t)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d %7.2f%% %8d\n", bits, 100*st.MissRate(), st.TimetagResets)
+	}
+}

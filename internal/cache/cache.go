@@ -1,0 +1,246 @@
+// Package cache implements the per-processor data cache used by all
+// coherence schemes: set-associative (direct-mapped by default) with
+// multi-word lines, per-word validity, per-word timetags for the TPI
+// scheme, MSI state and dirty bits for the directory scheme, and per-word
+// used-since-fill bits for Tullsen–Eggers false-sharing classification.
+//
+// The cache stores real data values; the simulator reads through it, so
+// stale data — if a scheme ever allowed it — would visibly corrupt the
+// computation. That is intentional: it is what makes the staleness oracle
+// and the sequential-equivalence property tests meaningful.
+package cache
+
+import (
+	"repro/internal/prog"
+)
+
+// State is the MSI line state used by the directory scheme. Write-through
+// schemes only use Invalid and Shared.
+type State uint8
+
+const (
+	// Invalid means the line holds no valid data.
+	Invalid State = iota
+	// Shared means a clean copy readable by this processor.
+	Shared
+	// Exclusive means this processor owns the only (possibly dirty) copy.
+	Exclusive
+)
+
+// TTInvalid marks an invalid word (no valid data in that word slot).
+const TTInvalid = int64(-1)
+
+// Line is one cache line frame.
+type Line struct {
+	Tag   int64 // line address (word address / line size); -1 when empty
+	State State
+	Dirty bool
+	Vals  []float64
+	// TT is the per-word timetag: the epoch at which the word was last
+	// written, filled, or validated by this processor. TTInvalid marks an
+	// invalid word.
+	TT []int64
+	// Used marks words accessed by the local processor since the fill
+	// (for false-sharing classification).
+	Used []bool
+	// DirtyW marks words written but not yet flushed to memory under the
+	// write-back-at-boundary policy (traffic accounting only; the
+	// simulator keeps memory values authoritative).
+	DirtyW []bool
+	lru    int64
+}
+
+// ValidWord reports whether word w of the line holds data.
+func (l *Line) ValidWord(w int) bool { return l.State != Invalid && l.TT[w] != TTInvalid }
+
+// InvalidateWord drops one word.
+func (l *Line) InvalidateWord(w int) { l.TT[w] = TTInvalid }
+
+// InvalidateLine drops the whole line.
+func (l *Line) InvalidateLine() {
+	l.State = Invalid
+	l.Dirty = false
+	l.Tag = -1
+	for i := range l.TT {
+		l.TT[i] = TTInvalid
+		l.Used[i] = false
+		l.DirtyW[i] = false
+	}
+}
+
+// Cache is one processor's data cache.
+type Cache struct {
+	lineWords int
+	sets      int
+	assoc     int
+	lines     []Line // sets * assoc, set-major
+	clock     int64
+}
+
+// New builds a cache of capacityWords with the given line size (words)
+// and associativity. capacityWords must be a multiple of lineWords*assoc.
+func New(capacityWords int64, lineWords, assoc int) *Cache {
+	numLines := int(capacityWords) / lineWords
+	sets := numLines / assoc
+	c := &Cache{
+		lineWords: lineWords,
+		sets:      sets,
+		assoc:     assoc,
+		lines:     make([]Line, numLines),
+	}
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.Tag = -1
+		l.Vals = make([]float64, lineWords)
+		l.TT = make([]int64, lineWords)
+		l.Used = make([]bool, lineWords)
+		l.DirtyW = make([]bool, lineWords)
+		for w := range l.TT {
+			l.TT[w] = TTInvalid
+		}
+	}
+	return c
+}
+
+// LineWords returns the line size in words.
+func (c *Cache) LineWords() int { return c.lineWords }
+
+// Split decomposes a word address into (line tag, word-in-line).
+func (c *Cache) Split(addr prog.Word) (tag int64, word int) {
+	return int64(addr) / int64(c.lineWords), int(int64(addr) % int64(c.lineWords))
+}
+
+// LineBase returns the first word address of the line containing addr.
+func (c *Cache) LineBase(addr prog.Word) prog.Word {
+	return addr - prog.Word(int(int64(addr))%c.lineWords)
+}
+
+func (c *Cache) set(tag int64) []Line {
+	s := int(tag % int64(c.sets))
+	return c.lines[s*c.assoc : (s+1)*c.assoc]
+}
+
+// Lookup finds the line holding addr. It returns (line, word index,
+// present); present means the tag matches and the line is not Invalid —
+// the word itself may still be invalid (check ValidWord).
+func (c *Cache) Lookup(addr prog.Word) (*Line, int, bool) {
+	tag, w := c.Split(addr)
+	for i := range c.set(tag) {
+		l := &c.set(tag)[i]
+		if l.State != Invalid && l.Tag == tag {
+			return l, w, true
+		}
+	}
+	return nil, w, false
+}
+
+// Touch refreshes the line's LRU position.
+func (c *Cache) Touch(l *Line) {
+	c.clock++
+	l.lru = c.clock
+}
+
+// Victim selects the frame to (re)fill for addr: an invalid way if one
+// exists, else the LRU way. The returned line may hold a conflicting
+// valid line that the caller must evict first.
+func (c *Cache) Victim(addr prog.Word) *Line {
+	tag, _ := c.Split(addr)
+	set := c.set(tag)
+	var victim *Line
+	for i := range set {
+		l := &set[i]
+		if l.State == Invalid {
+			return l
+		}
+		if victim == nil || l.lru < victim.lru {
+			victim = l
+		}
+	}
+	return victim
+}
+
+// InvalidateAll drops every line (whole-cache flash invalidation).
+// It returns the number of valid words dropped.
+func (c *Cache) InvalidateAll() int64 {
+	var dropped int64
+	for i := range c.lines {
+		l := &c.lines[i]
+		if l.State == Invalid {
+			continue
+		}
+		for w := range l.TT {
+			if l.TT[w] != TTInvalid {
+				dropped++
+			}
+		}
+		l.InvalidateLine()
+	}
+	return dropped
+}
+
+// ForEachValidLine visits every non-invalid line.
+func (c *Cache) ForEachValidLine(fn func(l *Line)) {
+	for i := range c.lines {
+		if c.lines[i].State != Invalid {
+			fn(&c.lines[i])
+		}
+	}
+}
+
+// LostReason records why a processor lost a word it once cached; it feeds
+// the miss classifier.
+type LostReason uint8
+
+const (
+	// LostNone means the word was never cached (cold).
+	LostNone LostReason = iota
+	// LostReplaced means the word was evicted by a conflicting fill.
+	LostReplaced
+	// LostInvalTrue means a coherence invalidation where the invalidating
+	// write touched a word this processor had used (true sharing).
+	LostInvalTrue
+	// LostInvalFalse means a coherence invalidation caused by a write to a
+	// word this processor had NOT used since the fill (false sharing).
+	LostInvalFalse
+	// LostReset means a TPI two-phase reset dropped the word.
+	LostReset
+)
+
+// Tracker records per-word history for one processor: whether the word
+// was ever cached, and how it was last lost, for miss classification.
+type Tracker struct {
+	seen   []bool
+	reason []LostReason
+	lostTT []int64
+}
+
+// NewTracker sizes the tracker for the memory extent.
+func NewTracker(memWords int64) *Tracker {
+	return &Tracker{
+		seen:   make([]bool, memWords),
+		reason: make([]LostReason, memWords),
+		lostTT: make([]int64, memWords),
+	}
+}
+
+// NoteCached records that the processor now caches addr.
+func (t *Tracker) NoteCached(addr prog.Word) {
+	t.seen[addr] = true
+	t.reason[addr] = LostNone
+}
+
+// NoteLost records losing a word with a reason and the timetag it had.
+func (t *Tracker) NoteLost(addr prog.Word, r LostReason, tt int64) {
+	if t.seen[addr] {
+		t.reason[addr] = r
+		t.lostTT[addr] = tt
+	}
+}
+
+// Seen reports whether the processor ever cached addr.
+func (t *Tracker) Seen(addr prog.Word) bool { return t.seen[addr] }
+
+// Lost returns how addr was last lost and the timetag it had then.
+func (t *Tracker) Lost(addr prog.Word) (LostReason, int64) {
+	return t.reason[addr], t.lostTT[addr]
+}

@@ -1,0 +1,280 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/prog"
+)
+
+func TestSplitAndLineBase(t *testing.T) {
+	c := New(64, 4, 1)
+	tag, w := c.Split(prog.Word(13))
+	if tag != 3 || w != 1 {
+		t.Fatalf("Split(13) = (%d,%d), want (3,1)", tag, w)
+	}
+	if got := c.LineBase(13); got != 12 {
+		t.Fatalf("LineBase(13) = %d, want 12", got)
+	}
+}
+
+func TestLookupMissThenFill(t *testing.T) {
+	c := New(64, 4, 1)
+	if _, _, ok := c.Lookup(20); ok {
+		t.Fatal("empty cache must miss")
+	}
+	v := c.Victim(20)
+	if v == nil || v.State != Invalid {
+		t.Fatal("victim in empty cache must be an invalid frame")
+	}
+	tag, w := c.Split(20)
+	v.Tag = tag
+	v.State = Shared
+	v.TT[w] = 5
+	v.Vals[w] = 3.25
+	c.Touch(v)
+	l, w2, ok := c.Lookup(20)
+	if !ok || w2 != w || !l.ValidWord(w2) || l.Vals[w2] != 3.25 {
+		t.Fatalf("lookup after fill failed: %v %d %v", l, w2, ok)
+	}
+	// Word 21 shares the line but is invalid.
+	l21, w21, ok := c.Lookup(21)
+	if !ok || l21 != l {
+		t.Fatal("same-line lookup must find the line")
+	}
+	if l21.ValidWord(w21) {
+		t.Fatal("unfilled word must be invalid")
+	}
+}
+
+func TestDirectMappedConflict(t *testing.T) {
+	c := New(16, 4, 1) // 4 lines, direct mapped
+	// addresses 0 and 16 map to the same set (tags 0 and 4, 4 sets).
+	fill := func(addr prog.Word) {
+		v := c.Victim(addr)
+		tag, w := c.Split(addr)
+		v.InvalidateLine()
+		v.Tag = tag
+		v.State = Shared
+		v.TT[w] = 1
+		c.Touch(v)
+	}
+	fill(0)
+	if _, _, ok := c.Lookup(0); !ok {
+		t.Fatal("0 should be present")
+	}
+	v := c.Victim(16)
+	tag0, _ := c.Split(0)
+	if v.Tag != tag0 {
+		t.Fatalf("victim for 16 must be the line holding 0, got tag %d", v.Tag)
+	}
+	fill(16)
+	if _, _, ok := c.Lookup(0); ok {
+		t.Fatal("0 must be evicted by 16 in a direct-mapped cache")
+	}
+}
+
+func TestSetAssociativeLRU(t *testing.T) {
+	c := New(32, 4, 2) // 8 lines, 4 sets... 32/4=8 lines, 8/2=4 sets
+	fill := func(addr prog.Word) {
+		v := c.Victim(addr)
+		tag, w := c.Split(addr)
+		v.InvalidateLine()
+		v.Tag = tag
+		v.State = Shared
+		v.TT[w] = 1
+		c.Touch(v)
+	}
+	// tags 0, 4, 8 all map to set 0 (4 sets).
+	fill(0)
+	fill(16)
+	// touch 0 so 16 is LRU
+	if l, _, ok := c.Lookup(0); ok {
+		c.Touch(l)
+	} else {
+		t.Fatal("0 missing")
+	}
+	fill(32) // must evict 16
+	if _, _, ok := c.Lookup(0); !ok {
+		t.Fatal("0 (MRU) must survive")
+	}
+	if _, _, ok := c.Lookup(16); ok {
+		t.Fatal("16 (LRU) must be evicted")
+	}
+}
+
+func TestInvalidateAll(t *testing.T) {
+	c := New(64, 4, 1)
+	v := c.Victim(0)
+	tag, _ := c.Split(0)
+	v.Tag = tag
+	v.State = Shared
+	v.TT[0] = 1
+	v.TT[2] = 3
+	if got := c.InvalidateAll(); got != 2 {
+		t.Fatalf("dropped %d words, want 2", got)
+	}
+	if _, _, ok := c.Lookup(0); ok {
+		t.Fatal("cache must be empty after InvalidateAll")
+	}
+}
+
+func TestTracker(t *testing.T) {
+	tr := NewTracker(100)
+	if tr.Seen(5) {
+		t.Fatal("fresh tracker must not have seen 5")
+	}
+	tr.NoteCached(5)
+	if !tr.Seen(5) {
+		t.Fatal("5 must be seen")
+	}
+	tr.NoteLost(5, LostInvalFalse, 7)
+	r, tt := tr.Lost(5)
+	if r != LostInvalFalse || tt != 7 {
+		t.Fatalf("Lost = (%v,%d)", r, tt)
+	}
+	// losing a never-seen word is a no-op
+	tr.NoteLost(6, LostReplaced, 1)
+	if r, _ := tr.Lost(6); r != LostNone {
+		t.Fatal("unseen word must keep LostNone")
+	}
+}
+
+func TestWriteBufferCoalescing(t *testing.T) {
+	wb := NewWriteBuffer(true)
+	if !wb.Write(10) {
+		t.Fatal("first write generates traffic")
+	}
+	if wb.Write(10) {
+		t.Fatal("second write to same word must coalesce")
+	}
+	if !wb.Write(11) {
+		t.Fatal("different word generates traffic")
+	}
+	wb.Flush()
+	if !wb.Write(10) {
+		t.Fatal("after flush the word is no longer pending")
+	}
+
+	plain := NewWriteBuffer(false)
+	if !plain.Write(10) || !plain.Write(10) {
+		t.Fatal("plain buffer never coalesces")
+	}
+}
+
+// Property: after filling an address, Lookup finds it with the value; after
+// eviction of its line, it misses — random fill sequence consistency vs a
+// model map.
+func TestQuickCacheModelConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := New(64, 4, 2)
+		model := map[int64]float64{} // line tag -> fill stamp (presence model)
+		present := map[int64]bool{}
+		for step := 0; step < 200; step++ {
+			addr := prog.Word(r.Intn(256))
+			tag, w := c.Split(addr)
+			if l, ww, ok := c.Lookup(addr); ok {
+				if ww != w {
+					return false
+				}
+				if present[tag] && l.ValidWord(ww) && l.Vals[ww] != model[int64(addr)] {
+					return false
+				}
+				c.Touch(l)
+				continue
+			}
+			// fill
+			v := c.Victim(addr)
+			if v.State != Invalid {
+				delete(present, v.Tag)
+			}
+			v.InvalidateLine()
+			v.Tag = tag
+			v.State = Shared
+			val := r.Float64()
+			v.TT[w] = int64(step)
+			v.Vals[w] = val
+			model[int64(addr)] = val
+			present[tag] = true
+			c.Touch(v)
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFourWayAssociativity(t *testing.T) {
+	c := New(64, 4, 4) // 16 lines, 4 sets of 4 ways
+	fill := func(addr prog.Word, stamp int64) {
+		v := c.Victim(addr)
+		if v.State != Invalid {
+			v.InvalidateLine()
+		}
+		tag, w := c.Split(addr)
+		v.Tag = tag
+		v.State = Shared
+		v.TT[w] = stamp
+		c.Touch(v)
+	}
+	// Four tags mapping to set 0 coexist (tags 0,4,8,12 with 4 sets).
+	for k := 0; k < 4; k++ {
+		fill(prog.Word(k*16), int64(k))
+	}
+	for k := 0; k < 4; k++ {
+		if _, _, ok := c.Lookup(prog.Word(k * 16)); !ok {
+			t.Fatalf("way %d evicted prematurely", k)
+		}
+	}
+	// Fifth conflicting fill evicts exactly the LRU (tag of addr 0).
+	fill(prog.Word(4*16), 9)
+	if _, _, ok := c.Lookup(0); ok {
+		t.Fatal("LRU way must be the victim")
+	}
+	for k := 1; k < 5; k++ {
+		if _, _, ok := c.Lookup(prog.Word(k * 16)); !ok {
+			t.Fatalf("way %d should survive", k)
+		}
+	}
+}
+
+func TestForEachValidLine(t *testing.T) {
+	c := New(32, 4, 1)
+	v := c.Victim(0)
+	tag, _ := c.Split(0)
+	v.Tag = tag
+	v.State = Shared
+	v.TT[0] = 1
+	seen := 0
+	c.ForEachValidLine(func(l *Line) { seen++ })
+	if seen != 1 {
+		t.Fatalf("visited %d lines, want 1", seen)
+	}
+}
+
+func TestWordValidityAndDirtyBits(t *testing.T) {
+	c := New(16, 4, 1)
+	v := c.Victim(0)
+	tag, _ := c.Split(0)
+	v.Tag = tag
+	v.State = Shared
+	v.TT[1] = 5
+	v.DirtyW[1] = true
+	if v.ValidWord(0) || !v.ValidWord(1) {
+		t.Fatal("per-word validity broken")
+	}
+	v.InvalidateWord(1)
+	if v.ValidWord(1) {
+		t.Fatal("InvalidateWord failed")
+	}
+	if !v.DirtyW[1] {
+		t.Fatal("InvalidateWord must not clear dirty accounting")
+	}
+	v.InvalidateLine()
+	if v.DirtyW[1] {
+		t.Fatal("InvalidateLine must clear dirty bits")
+	}
+}

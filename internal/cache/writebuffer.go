@@ -1,0 +1,48 @@
+package cache
+
+import "repro/internal/prog"
+
+// WriteBuffer models the infinite write buffer of a write-through cache.
+// When organized as a cache (DEC Alpha 21164 style, the paper's
+// recommendation), writes to a word already pending in the buffer within
+// the current epoch are coalesced and generate no additional memory
+// traffic; a plain buffer forwards every write.
+//
+// The buffer only affects traffic accounting: under weak consistency the
+// simulator retires writes to memory immediately (DOALL independence
+// guarantees no same-epoch cross-task reader outside critical sections,
+// and critical-section writes flush eagerly).
+type WriteBuffer struct {
+	coalesce bool
+	pending  map[prog.Word]bool
+}
+
+// NewWriteBuffer creates a buffer; coalesce selects the
+// write-buffer-as-cache organization.
+func NewWriteBuffer(coalesce bool) *WriteBuffer {
+	return &WriteBuffer{coalesce: coalesce, pending: make(map[prog.Word]bool)}
+}
+
+// Write records a write and reports whether it generates memory traffic
+// (false when coalesced into a pending entry).
+func (wb *WriteBuffer) Write(addr prog.Word) bool {
+	if !wb.coalesce {
+		return true
+	}
+	if wb.pending[addr] {
+		return false
+	}
+	wb.pending[addr] = true
+	return true
+}
+
+// Flush empties the buffer (epoch boundary: the fence forces all pending
+// writes to memory; entries are no longer coalescible afterwards).
+func (wb *WriteBuffer) Flush() {
+	if len(wb.pending) > 0 {
+		wb.pending = make(map[prog.Word]bool)
+	}
+}
+
+// Pending returns the number of distinct buffered words.
+func (wb *WriteBuffer) Pending() int { return len(wb.pending) }

@@ -1,0 +1,191 @@
+// Package core is the library's public entry point: it ties the compiler
+// pipeline (parse → check → epoch flow graphs → section analysis →
+// reference marking) to the machine model and the execution-driven
+// simulator, and provides the scheme factory used by the benchmarks,
+// examples, and command-line tools.
+//
+// Typical use:
+//
+//	c, err := core.Compile(src, core.DefaultCompileOptions())
+//	cfg := machine.Default(machine.SchemeTPI)
+//	st, err := core.Run(c, cfg)
+//	fmt.Println(st)
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/machine"
+	"repro/internal/marking"
+	"repro/internal/memsys"
+	"repro/internal/pfl"
+	"repro/internal/prog"
+	"repro/internal/sections"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/swschemes"
+	"repro/internal/tpi"
+	"repro/internal/vc"
+
+	hwdir "repro/internal/directory"
+)
+
+// CompileOptions configures the compiler pipeline.
+type CompileOptions struct {
+	// Interproc enables interprocedural section analysis and entry
+	// freshness (on by default; the off state is the paper's ablation).
+	Interproc bool
+	// FirstReadReuse enables the intra-task reuse (first-read) analysis.
+	FirstReadReuse bool
+	// AlignWords is the array alignment in words (use the line size).
+	AlignWords int64
+	// PadScalars places every scalar on its own cache line instead of
+	// packing them: the classic false-sharing mitigation (ablation E24).
+	PadScalars bool
+}
+
+// DefaultCompileOptions enables all analyses with 4-word alignment.
+func DefaultCompileOptions() CompileOptions {
+	return CompileOptions{Interproc: true, FirstReadReuse: true, AlignWords: 4}
+}
+
+// Compiled is a fully analyzed, executable program.
+type Compiled struct {
+	Source   string
+	AST      *pfl.Program
+	Info     *pfl.Info
+	Prog     *prog.Prog
+	Analysis *sections.Analysis
+	Marks    *marking.Result
+}
+
+// Compile runs the whole compiler pipeline on PFL source.
+func Compile(src string, opts CompileOptions) (*Compiled, error) {
+	ast, err := pfl.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	info, err := pfl.Check(ast)
+	if err != nil {
+		return nil, err
+	}
+	align := opts.AlignWords
+	if align <= 0 {
+		align = 4
+	}
+	p, err := prog.BuildPadded(info, align, opts.PadScalars)
+	if err != nil {
+		return nil, err
+	}
+	a := sections.Analyze(p, sections.Options{Interproc: opts.Interproc})
+	m := marking.Compute(a, marking.Options{FirstReadReuse: opts.FirstReadReuse})
+	return &Compiled{Source: src, AST: ast, Info: info, Prog: p, Analysis: a, Marks: m}, nil
+}
+
+// CompileForConfig compiles with the analysis toggles and alignment that
+// a machine configuration implies.
+func CompileForConfig(src string, cfg machine.Config) (*Compiled, error) {
+	return Compile(src, CompileOptions{
+		Interproc:      cfg.Interproc,
+		FirstReadReuse: cfg.FirstReadReuse,
+		AlignWords:     int64(cfg.LineWords),
+	})
+}
+
+// NewSystem builds the memory system for cfg.Scheme over a program's
+// memory layout.
+func NewSystem(cfg machine.Config, p *prog.Prog) (memsys.System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Scheme {
+	case machine.SchemeBase:
+		return swschemes.NewBase(cfg, p.MemWords), nil
+	case machine.SchemeSC:
+		return swschemes.NewSC(cfg, p.MemWords), nil
+	case machine.SchemeTPI:
+		if cfg.L1Words > 0 {
+			return tpi.NewTwoLevel(cfg, p.MemWords), nil
+		}
+		return tpi.New(cfg, p.MemWords), nil
+	case machine.SchemeHW:
+		return hwdir.New(cfg, p.MemWords), nil
+	case machine.SchemeVC:
+		return vc.New(cfg, p), nil
+	default:
+		return nil, fmt.Errorf("core: unknown scheme %v", cfg.Scheme)
+	}
+}
+
+// Run simulates the compiled program on a fresh memory system for cfg and
+// returns the run statistics.
+func Run(c *Compiled, cfg machine.Config) (*stats.Stats, error) {
+	st, _, err := RunWithMemory(c, cfg)
+	return st, err
+}
+
+// RunWithMemory is Run plus the final memory image (for result checks).
+func RunWithMemory(c *Compiled, cfg machine.Config) (*stats.Stats, []float64, error) {
+	sys, err := NewSystem(cfg, c.Prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := sim.New(c.Prog, c.Marks, sys, cfg)
+	st, err := r.Run()
+	if err != nil {
+		return nil, nil, err
+	}
+	if hw, ok := sys.(*hwdir.System); ok {
+		if err := hw.CheckInvariants(); err != nil {
+			return nil, nil, err
+		}
+	}
+	return st, sys.Mem().Snapshot(), nil
+}
+
+// RunTraced is Run with a memory-event trace written to w (see
+// sim.Runner.SetTrace for the line format).
+func RunTraced(c *Compiled, cfg machine.Config, w io.Writer) (*stats.Stats, error) {
+	sys, err := NewSystem(cfg, c.Prog)
+	if err != nil {
+		return nil, err
+	}
+	r := sim.New(c.Prog, c.Marks, sys, cfg)
+	r.SetTrace(w)
+	return r.Run()
+}
+
+// RunOracle executes the program with the sequential reference semantics
+// (no caches, direct memory) and returns the authoritative final memory.
+func RunOracle(c *Compiled) ([]float64, error) {
+	cfg := machine.Default(machine.SchemeBase)
+	cfg.Procs = 1
+	sys := memsys.NewOracle(cfg, c.Prog.MemWords)
+	r := sim.New(c.Prog, c.Marks, sys, cfg)
+	if _, err := r.Run(); err != nil {
+		return nil, err
+	}
+	return sys.Mem().Snapshot(), nil
+}
+
+// VerifyAgainstOracle runs the program under cfg and compares the final
+// memory image with the sequential oracle bit-for-bit. It returns the run
+// statistics; a mismatch is an error naming the first differing word.
+func VerifyAgainstOracle(c *Compiled, cfg machine.Config) (*stats.Stats, error) {
+	want, err := RunOracle(c)
+	if err != nil {
+		return nil, fmt.Errorf("core: oracle run failed: %w", err)
+	}
+	st, got, err := RunWithMemory(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	for i := int64(0); i < c.Prog.MemWords; i++ {
+		if got[i] != want[i] {
+			return nil, fmt.Errorf("core: %s result diverges from sequential oracle at word %d: got %v, want %v",
+				cfg.Scheme, i, got[i], want[i])
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/marking"
+)
+
+// doacrossSrc is a pipelined prefix computation: each iteration's ordered
+// section consumes the previous iteration's result within the same epoch
+// — the paper's "threads with inter-thread communication" scenario.
+const doacrossSrc = `
+program pipeline
+param n = 64
+scalar total = 0.0
+array A[n]
+array S[n]
+
+proc main() {
+  doall i = 0 to n-1 {
+    A[i] = 1.0 + (i * 13 % 7) * 0.125
+    S[i] = 0.0
+  }
+  doall i = 1 to n-1 {
+    ordered {
+      S[i] = S[i-1] + A[i]
+    }
+  }
+  doall i = 0 to n-1 {
+    critical {
+      total = total + S[i]
+    }
+  }
+}
+`
+
+func TestDoacrossOrderedSectionsCorrect(t *testing.T) {
+	c := compileT(t, doacrossSrc)
+	for _, s := range machine.AllSchemes {
+		cfg := machine.Default(s)
+		cfg.Procs = 8
+		if _, err := VerifyAgainstOracle(c, cfg); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestDoacrossMarkedBypass(t *testing.T) {
+	c := compileT(t, doacrossSrc)
+	// Every reference to S inside the ordered section must bypass: the
+	// cross-iteration flow happens within one epoch, below timetag
+	// granularity.
+	bypasses := 0
+	for _, name := range []string{"main"} {
+		ps := c.Analysis.Procs[name]
+		for _, ns := range ps.Nodes {
+			for _, r := range ns.Refs {
+				if r.InOrdered && !r.Write {
+					if c.Marks.MarkOf(r.RefID).Kind != marking.Bypass {
+						t.Errorf("ordered read of %s marked %v, want Bypass",
+							r.Array, c.Marks.MarkOf(r.RefID).Kind)
+					}
+					bypasses++
+				}
+			}
+		}
+	}
+	if bypasses == 0 {
+		t.Fatal("no ordered reads found")
+	}
+}
+
+func TestDoacrossUnderMigrationAndTinyTags(t *testing.T) {
+	c := compileT(t, doacrossSrc)
+	cfg := machine.Default(machine.SchemeTPI)
+	cfg.Procs = 8
+	cfg.MigrateSerial = true
+	cfg.CyclicSched = true
+	cfg.TimetagBits = 2
+	if _, err := VerifyAgainstOracle(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntrinsicsCorrect(t *testing.T) {
+	src := `
+program trig
+param n = 32
+scalar norm = 0.0
+array X[n]
+array Y[n]
+
+proc main() {
+  doall i = 0 to n-1 {
+    X[i] = sin(i * 0.1) + cos(i * 0.2)
+    Y[i] = 0.0
+  }
+  doall i = 0 to n-1 {
+    Y[i] = sqrt(abs(X[i])) + exp(min(X[i], 1.0)) * 0.5 + max(X[i], 0.0)
+    Y[i] = Y[i] + floor(X[i] * 4.0) * 0.0625
+  }
+  doall i = 0 to n-1 {
+    critical {
+      norm = norm + Y[i] * Y[i]
+    }
+  }
+}
+`
+	c := compileT(t, src)
+	for _, s := range machine.AllSchemes {
+		cfg := machine.Default(s)
+		cfg.Procs = 4
+		if _, err := VerifyAgainstOracle(c, cfg); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestIntrinsicErrors(t *testing.T) {
+	for _, src := range []string{
+		`program p
+scalar s
+proc main() { s = nosuch(1.0) }`,
+		`program p
+scalar s
+proc main() { s = min(1.0) }`,
+	} {
+		if _, err := Compile(src, DefaultCompileOptions()); err == nil {
+			t.Errorf("want compile error for:\n%s", src)
+		}
+	}
+}
+
+func TestIntrinsicDomainErrorsSurface(t *testing.T) {
+	src := `
+program p
+scalar s = -1.0
+scalar r
+proc main() { r = sqrt(s) }
+`
+	c := compileT(t, src)
+	cfg := machine.Default(machine.SchemeTPI)
+	if _, err := Run(c, cfg); err == nil {
+		t.Fatal("sqrt(-1) must be a runtime error")
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// The extension modes (limited-pointer directory, sequential consistency,
+// dynamic scheduling) must never affect results — only performance.
+
+func TestLimitedPointerDirectoryCorrect(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	for _, ptrs := range []int{1, 2, 4} {
+		cfg := machine.Default(machine.SchemeHW)
+		cfg.Procs = 8
+		cfg.DirPointers = ptrs
+		st, err := VerifyAgainstOracle(c, cfg)
+		if err != nil {
+			t.Fatalf("DIR_NB(%d): %v", ptrs, err)
+		}
+		if ptrs == 1 && st.PointerEvictions == 0 {
+			t.Error("DIR_NB(1) must evict pointers on this workload")
+		}
+	}
+}
+
+func TestSequentialConsistencyCorrectAndSlower(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	for _, s := range machine.Schemes {
+		wcCfg := machine.Default(s)
+		wcCfg.Procs = 8
+		wc, err := VerifyAgainstOracle(c, wcCfg)
+		if err != nil {
+			t.Fatalf("%s WC: %v", s, err)
+		}
+		scCfg := wcCfg
+		scCfg.SeqConsistency = true
+		sc, err := VerifyAgainstOracle(c, scCfg)
+		if err != nil {
+			t.Fatalf("%s SC: %v", s, err)
+		}
+		if sc.Cycles < wc.Cycles {
+			t.Errorf("%s: sequential consistency (%d cycles) cannot beat weak (%d)",
+				s, sc.Cycles, wc.Cycles)
+		}
+	}
+}
+
+func TestSeqConsistencyHurtsWriteThroughMore(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	slowdown := func(s machine.Scheme) float64 {
+		wcCfg := machine.Default(s)
+		wcCfg.Procs = 8
+		wc, err := Run(c, wcCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scCfg := wcCfg
+		scCfg.SeqConsistency = true
+		sc, err := Run(c, scCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return float64(sc.Cycles) / float64(wc.Cycles)
+	}
+	tpi, hw := slowdown(machine.SchemeTPI), slowdown(machine.SchemeHW)
+	if !(tpi > hw) {
+		t.Errorf("write-through TPI slowdown (%.2f) should exceed write-back HW's (%.2f)", tpi, hw)
+	}
+}
+
+func TestDynamicSchedulingCorrect(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	for _, s := range machine.Schemes {
+		cfg := machine.Default(s)
+		cfg.Procs = 8
+		cfg.DynamicSched = true
+		if _, err := VerifyAgainstOracle(c, cfg); err != nil {
+			t.Fatalf("%s dynamic: %v", s, err)
+		}
+	}
+}
+
+func TestWriteBackPolicyCorrect(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	cfg := machine.Default(machine.SchemeTPI)
+	cfg.Procs = 8
+	cfg.TPIWriteBack = true
+	st, err := VerifyAgainstOracle(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FlushedWords == 0 || st.FlushStallCycles == 0 {
+		t.Fatalf("write-back run recorded no flushes: %+v", st)
+	}
+}
+
+func TestTwoLevelTPICorrect(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	cfg := machine.Default(machine.SchemeTPI)
+	cfg.Procs = 8
+	cfg.L1Words = 1024
+	st, err := VerifyAgainstOracle(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two-level design must not change WHAT misses, only what hits cost.
+	base := machine.Default(machine.SchemeTPI)
+	base.Procs = 8
+	st1, err := Run(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TotalReadMisses() != st1.TotalReadMisses() {
+		t.Errorf("two-level misses %d != integrated %d", st.TotalReadMisses(), st1.TotalReadMisses())
+	}
+	if st.Cycles <= st1.Cycles {
+		t.Errorf("off-the-shelf design (%d cycles) must be slower than integrated (%d)", st.Cycles, st1.Cycles)
+	}
+}
+
+func TestTwoLevelTinyTagsAndDoacross(t *testing.T) {
+	c := compileT(t, doacrossSrc)
+	cfg := machine.Default(machine.SchemeTPI)
+	cfg.Procs = 8
+	cfg.L1Words = 512
+	cfg.TimetagBits = 2
+	if _, err := VerifyAgainstOracle(c, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTorusTopologyCorrect(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	for _, s := range machine.AllSchemes {
+		cfg := machine.Default(s)
+		cfg.Procs = 8
+		cfg.Topology = "torus"
+		if _, err := VerifyAgainstOracle(c, cfg); err != nil {
+			t.Fatalf("%s on torus: %v", s, err)
+		}
+	}
+}
+
+func TestLineTimetagsCorrect(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	cfg := machine.Default(machine.SchemeTPI)
+	cfg.Procs = 8
+	cfg.LineTimetags = true
+	st, err := VerifyAgainstOracle(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cfg
+	base.LineTimetags = false
+	stW, err := Run(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MissRate() < stW.MissRate()-0.001 {
+		t.Errorf("line tags (%.4f) cannot beat per-word tags (%.4f)", st.MissRate(), stW.MissRate())
+	}
+}
+
+func TestPrefetchCorrectAndTraded(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	cfg := machine.Default(machine.SchemeTPI)
+	cfg.Procs = 8
+	cfg.Prefetch = true
+	st, err := VerifyAgainstOracle(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.PrefetchedLines == 0 {
+		t.Fatal("no prefetches issued")
+	}
+	base := cfg
+	base.Prefetch = false
+	st0, err := Run(c, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.ReadTrafficWords <= st0.ReadTrafficWords {
+		t.Error("prefetching must add read traffic")
+	}
+	if st.TotalReadMisses() >= st0.TotalReadMisses() {
+		t.Error("prefetching should remove some misses on a streaming stencil")
+	}
+}
+
+func TestScalarPaddingCorrect(t *testing.T) {
+	c, err := Compile(stencilSrc, CompileOptions{
+		Interproc: true, FirstReadReuse: true, AlignWords: 4, PadScalars: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range machine.AllSchemes {
+		cfg := machine.Default(s)
+		cfg.Procs = 8
+		if _, err := VerifyAgainstOracle(c, cfg); err != nil {
+			t.Fatalf("%s padded: %v", s, err)
+		}
+	}
+}

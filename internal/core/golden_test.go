@@ -1,0 +1,85 @@
+package core
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/parallelize"
+	"repro/internal/pfl"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestMarkingReportGolden pins the complete compiler output (epoch flow
+// graph shapes, reference marking, windows, reasons) for the Figure-1
+// example. Any analysis change that alters a single mark or window shows
+// up as a diff here; regenerate deliberately with `go test -run Golden
+// -update ./internal/core/`.
+func TestMarkingReportGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "figure1.pfl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(string(src), DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Marks.Report()
+
+	golden := filepath.Join("testdata", "figure1.marks.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("marking report changed; run `go test -run Golden -update ./internal/core/` if intended.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestAutoparMarkingGolden pins the toolchain output for the sequential
+// example: the auto-parallelizer's decisions and the resulting marking.
+func TestAutoparMarkingGolden(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "sequential.pfl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ast, err := pfl.Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pfl.Check(ast); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := parallelize.Run(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Compile(pfl.Format(ast), DefaultCompileOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.String() + "\n" + c.Marks.Report()
+
+	golden := filepath.Join("testdata", "sequential.toolchain.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("toolchain output changed; regenerate with -update if intended.\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,364 @@
+// Package directory implements the paper's hardware comparison point: a
+// full-map, three-state (invalid / read-shared / write-exclusive)
+// invalidation-based directory protocol with write-back caches, after
+// Censier–Feautrier. Coherence is enforced per cache line, so the scheme
+// pays false-sharing misses where TPI pays conservative misses.
+//
+// Under the weak consistency model writes never stall the processor:
+// ownership acquisition, invalidations, and write-backs are charged as
+// network traffic and coherence transactions, and read misses that hit
+// dirty remote copies pay the extra ownership-forwarding latency.
+package directory
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+)
+
+// dirState is the memory-side state of one line.
+type dirState uint8
+
+const (
+	dirUncached dirState = iota
+	dirShared
+	dirExclusive
+)
+
+// entry is one full-map directory entry.
+type entry struct {
+	state    dirState
+	presence uint64 // bit per processor (P <= 64)
+	owner    int16
+}
+
+// System is the full-map directory memory system.
+type System struct {
+	*memsys.Core
+	caches   []*cache.Cache
+	trackers []*cache.Tracker
+	dir      []entry // one per memory line
+}
+
+// New builds an HW directory system.
+func New(cfg machine.Config, memWords int64) *System {
+	if cfg.Procs > 64 {
+		panic(fmt.Sprintf("directory: full-map presence limited to 64 processors, got %d", cfg.Procs))
+	}
+	s := &System{
+		Core: memsys.NewCore(cfg, memWords),
+	}
+	s.dir = make([]entry, s.Memory.Size()/int64(cfg.LineWords))
+	for p := 0; p < cfg.Procs; p++ {
+		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
+		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
+	}
+	return s
+}
+
+// Name implements memsys.System.
+func (s *System) Name() string { return "HW" }
+
+// Read implements memsys.System. The compiler marking is ignored: the
+// hardware enforces coherence by itself.
+func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
+	s.St.Reads++
+	cc, tr := s.caches[p], s.trackers[p]
+
+	if line, w, ok := cc.Lookup(addr); ok {
+		s.St.ReadHits++
+		line.Used[w] = true
+		cc.Touch(line)
+		s.Memory.CheckFresh(addr, line.Vals[w], p, "hw read hit")
+		return line.Vals[w], s.Cfg.HitCycles
+	}
+
+	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
+	tag, _ := cc.Split(addr)
+	e := &s.dir[tag]
+
+	var extra int64
+	if e.state == dirExclusive && int(e.owner) != p {
+		// Remote dirty copy: the request is forwarded from the home node
+		// to the owner, and the data comes back from the owner.
+		owner := int(e.owner)
+		s.downgradeOwner(owner, tag)
+		e.state = dirShared
+		home := s.HomeOf(addr)
+		extra = s.Netw.DelayBetween(home, owner, 1) + s.Netw.DelayBetween(owner, p, s.Cfg.LineWords)
+		s.St.CoherenceTrafficWords += int64(s.Cfg.LineWords) + 2
+		s.St.CoherenceMsgs++
+		s.Netw.Inject(int64(s.Cfg.LineWords) + 2)
+	}
+
+	s.reservePointer(e, p, tag, addr)
+	nl, nw := s.fill(p, addr, false)
+	e.presence |= 1 << uint(p)
+	if e.state == dirUncached {
+		e.state = dirShared
+	}
+	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	lat := s.LineMissLatencyFor(p, addr) + extra
+	s.St.MissLatencySum += lat
+	return nl.Vals[nw], lat
+}
+
+// Write implements memsys.System: invalidation-based MSI. The processor
+// does not stall (weak consistency); all costs are traffic-side.
+func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	s.St.Writes++
+	s.Memory.Write(addr, val, p, s.Epoch) // authoritative shadow
+	cc := s.caches[p]
+	tag, _ := cc.Split(addr)
+	e := &s.dir[tag]
+
+	if line, w, ok := cc.Lookup(addr); ok {
+		if line.State == cache.Exclusive {
+			line.Vals[w] = val
+			line.Dirty = true
+			line.Used[w] = true
+			cc.Touch(line)
+			return 0
+		}
+		// Shared hit: upgrade. Invalidate all other sharers.
+		s.invalidateSharers(e, p, tag, addr)
+		e.state = dirExclusive
+		e.owner = int16(p)
+		e.presence = 1 << uint(p)
+		line.State = cache.Exclusive
+		line.Vals[w] = val
+		line.Dirty = true
+		line.Used[w] = true
+		cc.Touch(line)
+		s.St.CoherenceMsgs++ // upgrade request
+		s.St.CoherenceTrafficWords++
+		s.Netw.Inject(1)
+		if s.Cfg.SeqConsistency {
+			// the upgrade must be acknowledged before the write retires
+			return s.Netw.RoundTripBetween(p, s.HomeOf(addr), 1)
+		}
+		return 0
+	}
+
+	// Write miss: fetch the line with ownership.
+	if e.state == dirExclusive && int(e.owner) != p {
+		s.downgradeOwner(int(e.owner), tag)
+		s.invalidateSharers(e, p, tag, addr)
+		s.St.CoherenceTrafficWords += int64(s.Cfg.LineWords) + 2
+		s.St.CoherenceMsgs++
+		s.Netw.Inject(int64(s.Cfg.LineWords) + 2)
+	} else {
+		s.invalidateSharers(e, p, tag, addr)
+	}
+	nl, nw := s.fill(p, addr, true)
+	e.state = dirExclusive
+	e.owner = int16(p)
+	e.presence = 1 << uint(p)
+	nl.Vals[nw] = val
+	nl.Dirty = true
+	s.St.ReadTrafficWords += int64(s.Cfg.LineWords) // ownership fetch
+	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	if s.Cfg.SeqConsistency {
+		// the ownership fetch must complete before the write retires
+		return s.LineMissLatencyFor(p, addr)
+	}
+	return 0
+}
+
+// reservePointer enforces the limited-pointer directory variant
+// (DIR_NB(i)): when adding sharer p would exceed the pointer budget, an
+// existing sharer is invalidated to free a pointer. Such invalidations
+// are a directory-capacity artifact and are recorded as replacements at
+// the victim.
+func (s *System) reservePointer(e *entry, p int, tag int64, addr prog.Word) {
+	limit := s.Cfg.DirPointers
+	if limit <= 0 || e.presence&(1<<uint(p)) != 0 {
+		return
+	}
+	for popcount(e.presence) >= limit {
+		victim := -1
+		for q := 0; q < s.Cfg.Procs; q++ {
+			if q != p && e.presence&(1<<uint(q)) != 0 {
+				victim = q
+				break
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		cc, tr := s.caches[victim], s.trackers[victim]
+		base := prog.Word(tag * int64(cc.LineWords()))
+		if line, _, ok := cc.Lookup(base); ok && line.Tag == tag {
+			for i := 0; i < cc.LineWords(); i++ {
+				if line.TT[i] != cache.TTInvalid {
+					tr.NoteLost(base+prog.Word(i), cache.LostReplaced, line.TT[i])
+				}
+			}
+			if line.Dirty {
+				s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
+				s.Netw.Inject(int64(s.Cfg.LineWords))
+			}
+			line.InvalidateLine()
+		}
+		e.presence &^= 1 << uint(victim)
+		s.St.PointerEvictions++
+		s.St.Invalidations++
+		s.St.CoherenceMsgs++
+		s.St.CoherenceTrafficWords += 2
+		s.Netw.Inject(2)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// fill installs the line containing addr in p's cache (evicting with
+// directory bookkeeping) and returns it.
+func (s *System) fill(p int, addr prog.Word, exclusive bool) (*cache.Line, int) {
+	cc, tr := s.caches[p], s.trackers[p]
+	v := cc.Victim(addr)
+	if v.State != cache.Invalid {
+		s.evict(p, v)
+	}
+	nl, nw := s.MissFill(cc, tr, addr, s.Epoch, s.Epoch)
+	if exclusive {
+		nl.State = cache.Exclusive
+	}
+	return nl, nw
+}
+
+// evict removes a victim line with write-back and directory bookkeeping.
+func (s *System) evict(p int, v *cache.Line) {
+	cc, tr := s.caches[p], s.trackers[p]
+	e := &s.dir[v.Tag]
+	e.presence &^= 1 << uint(p)
+	if v.State == cache.Exclusive && int(e.owner) == p {
+		if v.Dirty {
+			s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
+			s.Netw.Inject(int64(s.Cfg.LineWords))
+		}
+		e.state = dirUncached
+		e.owner = 0
+	} else if e.presence == 0 && e.state == dirShared {
+		e.state = dirUncached
+	}
+	base := prog.Word(v.Tag * int64(cc.LineWords()))
+	for i := 0; i < cc.LineWords(); i++ {
+		if v.TT[i] != cache.TTInvalid {
+			tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
+		}
+	}
+	v.InvalidateLine()
+}
+
+// downgradeOwner makes the exclusive owner's copy clean/shared
+// (write-back of dirty data is charged by the caller).
+func (s *System) downgradeOwner(owner int, tag int64) {
+	cc := s.caches[owner]
+	base := prog.Word(tag * int64(cc.LineWords()))
+	if line, _, ok := cc.Lookup(base); ok && line.Tag == tag {
+		line.State = cache.Shared
+		line.Dirty = false
+	}
+}
+
+// invalidateSharers invalidates every other cached copy of the line,
+// classifying each invalidation as true or false sharing by the
+// Tullsen–Eggers rule: it is true sharing only if the invalidated
+// processor had used the written word since filling the line.
+func (s *System) invalidateSharers(e *entry, writer int, tag int64, addr prog.Word) {
+	if e.presence == 0 {
+		return
+	}
+	for q := 0; q < s.Cfg.Procs; q++ {
+		if q == writer || e.presence&(1<<uint(q)) == 0 {
+			continue
+		}
+		cc, tr := s.caches[q], s.trackers[q]
+		base := prog.Word(tag * int64(cc.LineWords()))
+		line, w, ok := cc.Lookup(base + prog.Word(int(int64(addr))%cc.LineWords()))
+		if !ok || line.Tag != tag {
+			e.presence &^= 1 << uint(q)
+			continue
+		}
+		reason := cache.LostInvalFalse
+		if line.Used[w] {
+			reason = cache.LostInvalTrue
+		}
+		for i := 0; i < cc.LineWords(); i++ {
+			if line.TT[i] != cache.TTInvalid {
+				tr.NoteLost(base+prog.Word(i), reason, line.TT[i])
+			}
+		}
+		if line.Dirty {
+			s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
+			s.Netw.Inject(int64(s.Cfg.LineWords))
+		}
+		line.InvalidateLine()
+		e.presence &^= 1 << uint(q)
+		s.St.Invalidations++
+		s.St.CoherenceMsgs++
+		s.St.CoherenceTrafficWords += 2 // invalidate + ack
+		s.Netw.Inject(2)
+	}
+}
+
+// EpochBoundary implements memsys.System: write-back caches keep their
+// contents across epochs (the directory scheme's key advantage).
+func (s *System) EpochBoundary(epoch int64) int64 {
+	s.Epoch = epoch
+	return 0
+}
+
+// CheckInvariants verifies the protocol's global invariants: at most one
+// exclusive owner per line, presence bits consistent with cache contents,
+// and no dirty copy without exclusive state. Tests call it after runs.
+func (s *System) CheckInvariants() error {
+	for tag := range s.dir {
+		e := &s.dir[tag]
+		holders, dirty := 0, 0
+		var exclusiveHolder = -1
+		for p := 0; p < s.Cfg.Procs; p++ {
+			cc := s.caches[p]
+			base := prog.Word(int64(tag) * int64(cc.LineWords()))
+			line, _, ok := cc.Lookup(base)
+			if !ok || line.Tag != int64(tag) {
+				if e.presence&(1<<uint(p)) != 0 {
+					return fmt.Errorf("directory: line %d: presence bit set for P%d without a copy", tag, p)
+				}
+				continue
+			}
+			holders++
+			if e.presence&(1<<uint(p)) == 0 {
+				return fmt.Errorf("directory: line %d: P%d holds a copy without a presence bit", tag, p)
+			}
+			if line.State == cache.Exclusive {
+				exclusiveHolder = p
+			}
+			if line.Dirty {
+				dirty++
+				if line.State != cache.Exclusive {
+					return fmt.Errorf("directory: line %d: dirty non-exclusive copy at P%d", tag, p)
+				}
+			}
+		}
+		if exclusiveHolder >= 0 && holders > 1 {
+			return fmt.Errorf("directory: line %d: exclusive copy at P%d alongside %d holders",
+				tag, exclusiveHolder, holders)
+		}
+		if e.state == dirExclusive && exclusiveHolder != int(e.owner) {
+			return fmt.Errorf("directory: line %d: owner %d has no exclusive copy", tag, e.owner)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,168 @@
+package directory
+
+import (
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/stats"
+)
+
+func cfg() machine.Config {
+	c := machine.Default(machine.SchemeHW)
+	c.Procs = 4
+	c.CacheWords = 64
+	c.LineWords = 4
+	return c
+}
+
+func newSys(t *testing.T, c machine.Config) *System {
+	t.Helper()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return New(c, 256)
+}
+
+func TestReadSharedThenUpgrade(t *testing.T) {
+	s := newSys(t, cfg())
+	s.EpochBoundary(1)
+	// Two readers share the line.
+	s.Read(0, 8, memsys.ReadRegular, 0)
+	s.Read(1, 8, memsys.ReadRegular, 0)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// P0 writes: P1 must be invalidated.
+	inv := s.St.Invalidations
+	s.Write(0, 8, 42, false)
+	if s.St.Invalidations != inv+1 {
+		t.Fatalf("invalidations = %d, want %d", s.St.Invalidations, inv+1)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// P1 re-reads: true-sharing miss (it had used the written word) and
+	// sees the new value.
+	v, _ := s.Read(1, 8, memsys.ReadRegular, 0)
+	if v != 42 {
+		t.Fatalf("read after invalidation = %v, want 42", v)
+	}
+	if s.St.ReadMisses[stats.MissTrueSharing] != 1 {
+		t.Fatalf("true-sharing misses = %d (%v)", s.St.ReadMisses[stats.MissTrueSharing], s.St.ReadMisses)
+	}
+}
+
+func TestFalseSharingClassification(t *testing.T) {
+	s := newSys(t, cfg())
+	s.EpochBoundary(1)
+	s.Read(1, 9, memsys.ReadRegular, 0) // P1 uses word 9 of line 8..11
+	s.Write(0, 8, 1.0, false)           // P0 writes word 8: P1 never used it
+	v, _ := s.Read(1, 9, memsys.ReadRegular, 0)
+	if v == 0 {
+		// word 9 was never written; memory zero is fine
+	}
+	if s.St.ReadMisses[stats.MissFalseSharing] != 1 {
+		t.Fatalf("false-sharing misses = %d (%v)", s.St.ReadMisses[stats.MissFalseSharing], s.St.ReadMisses)
+	}
+}
+
+func TestRemoteDirtyReadPaysExtraLatency(t *testing.T) {
+	s := newSys(t, cfg())
+	s.EpochBoundary(1)
+	// P0 makes the line dirty-exclusive.
+	s.Write(0, 16, 7.5, false)
+	// P1 read miss must fetch through the owner: compare with a clean miss.
+	_, latDirty := s.Read(1, 16, memsys.ReadRegular, 0)
+	_, latClean := s.Read(2, 32, memsys.ReadRegular, 0)
+	if latDirty <= latClean {
+		t.Fatalf("remote-dirty latency %d must exceed clean-miss latency %d", latDirty, latClean)
+	}
+	// Owner's copy is downgraded, both remain readable and coherent.
+	v, _ := s.Read(0, 16, memsys.ReadRegular, 0)
+	if v != 7.5 {
+		t.Fatalf("owner copy = %v", v)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritebackOnEviction(t *testing.T) {
+	s := newSys(t, cfg()) // 64-word cache, direct-mapped: 16 sets
+	s.EpochBoundary(1)
+	s.Write(0, 0, 1.0, false) // dirty line at set 0
+	wt := s.St.WriteTrafficWords
+	s.Read(0, 64, memsys.ReadRegular, 0) // conflicting fill evicts dirty line
+	if s.St.WriteTrafficWords != wt+int64(s.Cfg.LineWords) {
+		t.Fatalf("eviction writeback traffic = %d, want +%d", s.St.WriteTrafficWords-wt, s.Cfg.LineWords)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The value survives in memory.
+	v, _ := s.Read(1, 0, memsys.ReadRegular, 0)
+	if v != 1.0 {
+		t.Fatalf("value after writeback = %v", v)
+	}
+}
+
+func TestWriteMissInvalidatesAllSharers(t *testing.T) {
+	s := newSys(t, cfg())
+	s.EpochBoundary(1)
+	s.Read(1, 24, memsys.ReadRegular, 0)
+	s.Read(2, 24, memsys.ReadRegular, 0)
+	s.Read(3, 24, memsys.ReadRegular, 0)
+	s.Write(0, 24, 5.0, false) // write miss: all three sharers invalidated
+	if s.St.Invalidations != 3 {
+		t.Fatalf("invalidations = %d, want 3", s.St.Invalidations)
+	}
+	for q := 1; q <= 3; q++ {
+		if line, w, ok := s.caches[q].Lookup(24); ok && line.ValidWord(w) {
+			t.Fatalf("P%d still holds an invalidated line", q)
+		}
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExclusiveWriteHitIsSilent(t *testing.T) {
+	s := newSys(t, cfg())
+	s.EpochBoundary(1)
+	s.Write(0, 40, 1.0, false)
+	tr := s.St.TotalTraffic()
+	msgs := s.St.CoherenceMsgs
+	for i := 0; i < 10; i++ {
+		s.Write(0, 40, float64(i), false)
+	}
+	if s.St.TotalTraffic() != tr || s.St.CoherenceMsgs != msgs {
+		t.Fatal("writes to an exclusive line must be free of traffic")
+	}
+}
+
+func TestEpochBoundaryKeepsCacheContents(t *testing.T) {
+	s := newSys(t, cfg())
+	s.EpochBoundary(1)
+	s.Write(0, 48, 3.0, false)
+	s.EpochBoundary(2)
+	hits := s.St.ReadHits
+	v, _ := s.Read(0, 48, memsys.ReadRegular, 0)
+	if v != 3.0 || s.St.ReadHits != hits+1 {
+		t.Fatal("write-back caches must keep dirty data across epochs")
+	}
+}
+
+func TestUsedBitsResetOnRefill(t *testing.T) {
+	s := newSys(t, cfg())
+	s.EpochBoundary(1)
+	s.Read(1, 8, memsys.ReadRegular, 0)  // P1 uses word 8
+	s.Write(0, 8, 1.0, false)            // true-sharing invalidation for P1
+	s.Read(1, 10, memsys.ReadRegular, 0) // P1 refills the line, uses word 10 only
+	s.Write(0, 8, 2.0, false)            // invalidation: word 8 not used since refill
+	r, _ := s.trackers[1].Lost(10)
+	if r != cache.LostInvalFalse {
+		t.Fatalf("second invalidation should be false sharing for P1, got %v", r)
+	}
+}

@@ -1,0 +1,91 @@
+package directory
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/memsys"
+)
+
+func limitedCfg(ptrs int) machine.Config {
+	c := cfg()
+	c.DirPointers = ptrs
+	return c
+}
+
+func TestPointerEvictionOnOverflow(t *testing.T) {
+	s := newSys(t, limitedCfg(2))
+	s.EpochBoundary(1)
+	// Three readers of one line with a 2-pointer directory: the third
+	// fill must evict one existing sharer.
+	s.Read(0, 8, memsys.ReadRegular, 0)
+	s.Read(1, 8, memsys.ReadRegular, 0)
+	if s.St.PointerEvictions != 0 {
+		t.Fatalf("premature evictions: %d", s.St.PointerEvictions)
+	}
+	s.Read(2, 8, memsys.ReadRegular, 0)
+	if s.St.PointerEvictions != 1 {
+		t.Fatalf("pointer evictions = %d, want 1", s.St.PointerEvictions)
+	}
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// The evicted sharer re-reads: correct value, another eviction.
+	v, _ := s.Read(0, 8, memsys.ReadRegular, 0)
+	if v != 0 {
+		t.Fatalf("value = %v", v)
+	}
+	if s.St.PointerEvictions != 2 {
+		t.Fatalf("pointer evictions = %d, want 2", s.St.PointerEvictions)
+	}
+}
+
+func TestFullMapNeverEvictsPointers(t *testing.T) {
+	s := newSys(t, limitedCfg(0))
+	s.EpochBoundary(1)
+	for p := 0; p < s.Cfg.Procs; p++ {
+		s.Read(p, 8, memsys.ReadRegular, 0)
+	}
+	if s.St.PointerEvictions != 0 {
+		t.Fatalf("full map evicted %d pointers", s.St.PointerEvictions)
+	}
+}
+
+func TestLimitedPointerWriteStillCoherent(t *testing.T) {
+	s := newSys(t, limitedCfg(1))
+	s.EpochBoundary(1)
+	s.Read(0, 16, memsys.ReadRegular, 0)
+	s.Read(1, 16, memsys.ReadRegular, 0) // evicts P0's pointer+copy
+	s.Write(2, 16, 5.0, false)           // invalidates the tracked sharer (P1)
+	if err := s.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if v, _ := s.Read(p, 16, memsys.ReadRegular, 0); v != 5.0 {
+			t.Fatalf("P%d read %v, want 5.0", p, v)
+		}
+	}
+}
+
+func TestSeqConsistencyWriteStalls(t *testing.T) {
+	c := cfg()
+	c.SeqConsistency = true
+	s := newSys(t, c)
+	s.EpochBoundary(1)
+	// write miss: must stall for the ownership fetch
+	if stall := s.Write(0, 24, 1.0, false); stall == 0 {
+		t.Fatal("SC write miss must stall")
+	}
+	// exclusive hit: silent
+	if stall := s.Write(0, 24, 2.0, false); stall != 0 {
+		t.Fatalf("SC exclusive write hit stalled %d", stall)
+	}
+	// shared upgrade: stall for the acknowledgement
+	s.Read(1, 24, memsys.ReadRegular, 0) // downgrade owner? (read miss fetches shared copy)
+	if stall := s.Write(1, 24, 3.0, false); stall == 0 {
+		t.Fatal("SC upgrade must stall")
+	}
+}
+
+// Interface conformance.
+var _ memsys.System = (*System)(nil)

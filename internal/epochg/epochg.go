@@ -1,0 +1,383 @@
+// Package epochg builds the epoch flow graph (EFG) of a PFL procedure.
+//
+// The EFG is the paper's "modified flow graph ... [that] contains the
+// epoch boundary information as well as the control flows of the
+// program". Nodes are epochs: serial sections, DOALL loops, loop headers,
+// branches, and procedure calls. Every node entry at runtime increments
+// the processors' epoch counters by exactly one, so the static minimum
+// path distance between two nodes is a guaranteed lower bound on the
+// dynamic epoch-counter distance — the property the Time-Read windows
+// rely on for correctness.
+//
+// The same graph is executable: the simulator walks it node by node, so
+// static analysis and dynamic epoch numbering can never diverge.
+package epochg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pfl"
+)
+
+// Kind classifies EFG nodes.
+type Kind int
+
+const (
+	// KindEntry is the unique procedure entry node.
+	KindEntry Kind = iota
+	// KindExit is the unique procedure exit node.
+	KindExit
+	// KindSerial is a serial section: a statement list executed by one task.
+	KindSerial
+	// KindHeader is a serial loop header controlling a loop whose body
+	// contains epoch boundaries; it evaluates the loop control only.
+	KindHeader
+	// KindBranch evaluates a condition and transfers to one of two arms.
+	KindBranch
+	// KindDoall is a parallel loop: its iterations are the epoch's tasks.
+	KindDoall
+	// KindCall invokes another procedure (whose EFG is entered at runtime).
+	KindCall
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEntry:
+		return "entry"
+	case KindExit:
+		return "exit"
+	case KindSerial:
+		return "serial"
+	case KindHeader:
+		return "header"
+	case KindBranch:
+		return "branch"
+	case KindDoall:
+		return "doall"
+	case KindCall:
+		return "call"
+	default:
+		return "?"
+	}
+}
+
+// LoopCtl is the control payload of a KindHeader node.
+type LoopCtl struct {
+	Var          string
+	Lo, Hi, Step pfl.Expr // Step nil means 1
+	Body, Exit   *Node
+}
+
+// BranchCtl is the control payload of a KindBranch node.
+type BranchCtl struct {
+	Cond       pfl.Expr
+	Then, Else *Node // Else may equal the join node when no else-arm exists
+}
+
+// Counts reports whether entering the node advances the epoch counter.
+// Only real epochs count: DOALL loops and non-empty serial sections.
+// Structural nodes (entry/exit, loop headers, branches, empty serial
+// joins) are control bookkeeping executed inside the surrounding epoch,
+// matching the paper's model where epochs are parallel loops and serial
+// program sections. Static distances and the simulator use the same
+// rule, which is what keeps Time-Read windows sound.
+func (n *Node) Counts() bool {
+	switch n.Kind {
+	case KindDoall, KindCall:
+		return true
+	case KindSerial:
+		return len(n.Stmts) > 0
+	default:
+		return false
+	}
+}
+
+// Node is one epoch in the EFG.
+type Node struct {
+	ID   int
+	Kind Kind
+
+	// Stmts is the serial payload (KindSerial only): statements that
+	// contain no epoch boundary, executed in order by a single task.
+	Stmts []pfl.Stmt
+
+	Loop   *LoopCtl       // KindHeader
+	Branch *BranchCtl     // KindBranch
+	Doall  *pfl.DoallStmt // KindDoall
+	Call   *pfl.CallStmt  // KindCall
+
+	Succs []*Node
+	Preds []*Node
+}
+
+// Graph is the EFG of one procedure.
+type Graph struct {
+	Proc  *pfl.Proc
+	Entry *Node
+	Exit  *Node
+	Nodes []*Node
+}
+
+// ContainsBoundary reports whether a statement contains an epoch boundary
+// (a DOALL or a procedure call) anywhere inside.
+func ContainsBoundary(s pfl.Stmt) bool {
+	switch st := s.(type) {
+	case *pfl.DoallStmt, *pfl.CallStmt:
+		return true
+	case *pfl.ForStmt:
+		return blockHasBoundary(st.Body)
+	case *pfl.IfStmt:
+		if blockHasBoundary(st.Then) {
+			return true
+		}
+		return st.Else != nil && blockHasBoundary(st.Else)
+	default:
+		return false
+	}
+}
+
+func blockHasBoundary(b *pfl.Block) bool {
+	for _, s := range b.Stmts {
+		if ContainsBoundary(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Build constructs the EFG for proc.
+func Build(proc *pfl.Proc) *Graph {
+	g := &Graph{Proc: proc}
+	b := &builder{g: g}
+	g.Entry = b.newNode(KindEntry)
+	frontier := []*Node{g.Entry}
+	frontier = b.block(proc.Body, frontier)
+	g.Exit = b.newNode(KindExit)
+	b.linkAll(frontier, g.Exit)
+	return g
+}
+
+type builder struct {
+	g          *Graph
+	openSerial *Node // serial node accepting more statements, or nil
+}
+
+func (b *builder) newNode(k Kind) *Node {
+	n := &Node{ID: len(b.g.Nodes), Kind: k}
+	b.g.Nodes = append(b.g.Nodes, n)
+	return n
+}
+
+func (b *builder) link(from, to *Node) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+func (b *builder) linkAll(from []*Node, to *Node) {
+	for _, f := range from {
+		b.link(f, to)
+	}
+}
+
+// serialTarget returns a serial node that can accept more statements,
+// creating one if the frontier is not an open serial node.
+func (b *builder) serialTarget(frontier []*Node) (*Node, []*Node) {
+	if b.openSerial != nil && len(frontier) == 1 && frontier[0] == b.openSerial {
+		return b.openSerial, frontier
+	}
+	n := b.newNode(KindSerial)
+	b.linkAll(frontier, n)
+	b.openSerial = n
+	return n, []*Node{n}
+}
+
+// block threads the statements of blk through the graph starting from
+// frontier, returning the new frontier.
+func (b *builder) block(blk *pfl.Block, frontier []*Node) []*Node {
+	for _, s := range blk.Stmts {
+		frontier = b.stmt(s, frontier)
+	}
+	return frontier
+}
+
+func (b *builder) stmt(s pfl.Stmt, frontier []*Node) []*Node {
+	if !ContainsBoundary(s) {
+		n, fr := b.serialTarget(frontier)
+		n.Stmts = append(n.Stmts, s)
+		return fr
+	}
+	b.openSerial = nil
+	switch st := s.(type) {
+	case *pfl.DoallStmt:
+		n := b.newNode(KindDoall)
+		n.Doall = st
+		b.linkAll(frontier, n)
+		return []*Node{n}
+	case *pfl.CallStmt:
+		n := b.newNode(KindCall)
+		n.Call = st
+		b.linkAll(frontier, n)
+		return []*Node{n}
+	case *pfl.ForStmt:
+		h := b.newNode(KindHeader)
+		h.Loop = &LoopCtl{Var: st.Var, Lo: st.Lo, Hi: st.Hi, Step: st.Step}
+		b.linkAll(frontier, h)
+		// Dedicated body-entry serial node so the header's body target is
+		// unambiguous even when the body starts with a boundary statement.
+		bodyEntry := b.newNode(KindSerial)
+		b.link(h, bodyEntry)
+		b.openSerial = bodyEntry
+		bodyFr := b.block(st.Body, []*Node{bodyEntry})
+		h.Loop.Body = bodyEntry
+		b.openSerial = nil
+		b.linkAll(bodyFr, h) // back edge
+		// Loop exit: control leaves from the header (Loop.Exit is resolved
+		// by the next link out of the header).
+		return []*Node{h}
+	case *pfl.IfStmt:
+		br := b.newNode(KindBranch)
+		br.Branch = &BranchCtl{Cond: st.Cond}
+		b.linkAll(frontier, br)
+		thenEntry := b.newNode(KindSerial)
+		b.link(br, thenEntry)
+		b.openSerial = thenEntry
+		thenFr := b.block(st.Then, []*Node{thenEntry})
+		br.Branch.Then = thenEntry
+		b.openSerial = nil
+		elseEntry := b.newNode(KindSerial)
+		b.link(br, elseEntry)
+		b.openSerial = elseEntry
+		elseFr := []*Node{elseEntry}
+		if st.Else != nil {
+			elseFr = b.block(st.Else, []*Node{elseEntry})
+		}
+		br.Branch.Else = elseEntry
+		b.openSerial = nil
+		out := append(append([]*Node{}, thenFr...), elseFr...)
+		return out
+	default:
+		panic(fmt.Sprintf("epochg: statement %T claims boundary but has no expansion", s))
+	}
+}
+
+// weight is the epoch-counter cost of entering a node.
+func weight(n *Node) int {
+	if n.Counts() {
+		return 1
+	}
+	return 0
+}
+
+// Dist returns the minimum number of epoch-counter increments that occur
+// strictly after leaving `from` up to and including entering `to`. Only
+// counting nodes (see Counts) contribute. It returns -1 if `to` is
+// unreachable from `from`. Dist(n, n) follows cycles through n and can
+// legitimately be 0 when a cycle crosses no counting node.
+func (g *Graph) Dist(from, to *Node) int {
+	// 0/1-weight shortest path (deque BFS).
+	const unseen = -1
+	dist := make([]int, len(g.Nodes))
+	for i := range dist {
+		dist[i] = unseen
+	}
+	type item struct {
+		n *Node
+		d int
+	}
+	dq := make([]item, 0, len(g.Nodes))
+	push := func(front bool, it item) {
+		if front {
+			dq = append([]item{it}, dq...)
+		} else {
+			dq = append(dq, it)
+		}
+	}
+	best := -1
+	relax := func(n *Node, d int) {
+		if n == to {
+			if best == -1 || d < best {
+				best = d
+			}
+			return
+		}
+		if dist[n.ID] == unseen || d < dist[n.ID] {
+			dist[n.ID] = d
+			push(weight(n) == 0, item{n, d})
+		}
+	}
+	for _, s := range from.Succs {
+		relax(s, weight(s))
+	}
+	for len(dq) > 0 {
+		it := dq[0]
+		dq = dq[1:]
+		if dist[it.n.ID] != it.d {
+			continue
+		}
+		for _, s := range it.n.Succs {
+			relax(s, it.d+weight(s))
+		}
+	}
+	return best
+}
+
+// DistFromEntry returns, for every node, the minimum number of increments
+// accumulated when entering it from procedure entry (the entry node
+// itself at distance 0; only counting nodes add increments).
+func (g *Graph) DistFromEntry() []int {
+	d := make([]int, len(g.Nodes))
+	for i := range d {
+		d[i] = -1
+	}
+	d[g.Entry.ID] = 0
+	type item struct {
+		n *Node
+		c int
+	}
+	dq := []item{{g.Entry, 0}}
+	for len(dq) > 0 {
+		it := dq[0]
+		dq = dq[1:]
+		if d[it.n.ID] != it.c {
+			continue
+		}
+		for _, s := range it.n.Succs {
+			nd := it.c + weight(s)
+			if d[s.ID] == -1 || nd < d[s.ID] {
+				d[s.ID] = nd
+				if weight(s) == 0 {
+					dq = append([]item{{s, nd}}, dq...)
+				} else {
+					dq = append(dq, item{s, nd})
+				}
+			}
+		}
+	}
+	return d
+}
+
+// String renders the graph structure for debugging and golden tests.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "efg %s:\n", g.Proc.Name)
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  n%d %s", n.ID, n.Kind)
+		switch n.Kind {
+		case KindSerial:
+			fmt.Fprintf(&b, " (%d stmts)", len(n.Stmts))
+		case KindHeader:
+			fmt.Fprintf(&b, " (%s)", n.Loop.Var)
+		case KindDoall:
+			fmt.Fprintf(&b, " (%s)", n.Doall.Var)
+		case KindCall:
+			fmt.Fprintf(&b, " (%s)", n.Call.Name)
+		}
+		b.WriteString(" ->")
+		for _, s := range n.Succs {
+			fmt.Fprintf(&b, " n%d", s.ID)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+package epochg
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pfl"
+)
+
+func mustParse(t *testing.T, src string) *pfl.Program {
+	t.Helper()
+	prog, err := pfl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pfl.Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestBuildStraightLine(t *testing.T) {
+	prog := mustParse(t, `
+program p
+param n = 4
+array A[n]
+array B[n]
+proc main() {
+  A[0] = 1
+  doall i = 0 to n-1 { B[i] = A[0] }
+  A[1] = B[0]
+}
+`)
+	g := Build(prog.Proc("main"))
+	// entry -> serial -> doall -> serial -> exit
+	kinds := []Kind{}
+	n := g.Entry
+	for {
+		kinds = append(kinds, n.Kind)
+		if n.Kind == KindExit {
+			break
+		}
+		if len(n.Succs) != 1 {
+			t.Fatalf("node %d has %d succs", n.ID, len(n.Succs))
+		}
+		n = n.Succs[0]
+	}
+	want := []Kind{KindEntry, KindSerial, KindDoall, KindSerial, KindExit}
+	if len(kinds) != len(want) {
+		t.Fatalf("chain = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("chain = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestBuildLoopWithDoall(t *testing.T) {
+	prog := mustParse(t, `
+program p
+param n = 4
+array A[n]
+proc main() {
+  for t = 0 to 9 {
+    doall i = 0 to n-1 { A[i] = t }
+  }
+}
+`)
+	g := Build(prog.Proc("main"))
+	var header *Node
+	var doall *Node
+	for _, n := range g.Nodes {
+		switch n.Kind {
+		case KindHeader:
+			header = n
+		case KindDoall:
+			doall = n
+		}
+	}
+	if header == nil || doall == nil {
+		t.Fatalf("missing header or doall:\n%s", g)
+	}
+	if header.Loop.Body == nil {
+		t.Fatal("loop body target unset")
+	}
+	// back edge: doall (last body node) -> header
+	found := false
+	for _, s := range doall.Succs {
+		if s == header {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no back edge from doall to header:\n%s", g)
+	}
+	// self-distance of the doall around the loop: the header and
+	// body-entry nodes are structural (weight 0), so consecutive dynamic
+	// instances of the doall are exactly one epoch apart.
+	d := g.Dist(doall, doall)
+	if d != 1 {
+		t.Fatalf("self distance = %d, want 1 (structural nodes are weightless)", d)
+	}
+}
+
+func TestBuildIfWithDoall(t *testing.T) {
+	prog := mustParse(t, `
+program p
+param n = 4
+scalar s
+array A[n]
+proc main() {
+  if (s > 0) {
+    doall i = 0 to n-1 { A[i] = 1 }
+  } else {
+    A[0] = 2
+  }
+  A[1] = 3
+}
+`)
+	g := Build(prog.Proc("main"))
+	var br *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindBranch {
+			br = n
+		}
+	}
+	if br == nil {
+		t.Fatalf("no branch node:\n%s", g)
+	}
+	if br.Branch.Then == nil || br.Branch.Else == nil {
+		t.Fatal("branch targets unset")
+	}
+	if br.Branch.Then == br.Branch.Else {
+		t.Fatal("then and else must be distinct entry nodes")
+	}
+	// both arms must reach the exit
+	if g.Dist(br.Branch.Then, g.Exit) < 0 || g.Dist(br.Branch.Else, g.Exit) < 0 {
+		t.Fatalf("arms do not reach exit:\n%s", g)
+	}
+}
+
+func TestDistances(t *testing.T) {
+	prog := mustParse(t, `
+program p
+param n = 4
+array A[n]
+array B[n]
+proc main() {
+  doall i = 0 to n-1 { A[i] = i }
+  doall i = 0 to n-1 { B[i] = A[i] }
+}
+`)
+	g := Build(prog.Proc("main"))
+	var d1, d2 *Node
+	for _, n := range g.Nodes {
+		if n.Kind == KindDoall {
+			if d1 == nil {
+				d1 = n
+			} else {
+				d2 = n
+			}
+		}
+	}
+	if got := g.Dist(d1, d2); got != 1 {
+		t.Fatalf("Dist(d1,d2) = %d, want 1 (adjacent epochs)", got)
+	}
+	if got := g.Dist(d2, d1); got != -1 {
+		t.Fatalf("Dist(d2,d1) = %d, want -1 (unreachable)", got)
+	}
+	de := g.DistFromEntry()
+	if de[g.Entry.ID] != 0 {
+		t.Fatalf("entry distance = %d", de[g.Entry.ID])
+	}
+	if de[d1.ID] != 1 {
+		t.Fatalf("first doall entry distance = %d, want 1", de[d1.ID])
+	}
+	if de[d2.ID] != 2 {
+		t.Fatalf("second doall entry distance = %d, want 2", de[d2.ID])
+	}
+}
+
+func TestContainsBoundary(t *testing.T) {
+	prog := mustParse(t, `
+program p
+param n = 4
+array A[n]
+proc main() {
+  A[0] = 1
+  for i = 0 to n-1 { A[i] = 2 }
+  call f(A)
+}
+proc f(X[]) {
+  doall i = 0 to n-1 { X[i] = 3 }
+}
+`)
+	body := prog.Proc("main").Body.Stmts
+	if ContainsBoundary(body[0]) {
+		t.Error("assignment is not a boundary")
+	}
+	if ContainsBoundary(body[1]) {
+		t.Error("serial for without doall is not a boundary")
+	}
+	if !ContainsBoundary(body[2]) {
+		t.Error("call is a boundary")
+	}
+}
+
+func TestSerialMerging(t *testing.T) {
+	// consecutive serial statements must share one node
+	prog := mustParse(t, `
+program p
+array A[8]
+proc main() {
+  A[0] = 1
+  A[1] = 2
+  A[2] = 3
+}
+`)
+	g := Build(prog.Proc("main"))
+	serials := 0
+	for _, n := range g.Nodes {
+		if n.Kind == KindSerial {
+			serials++
+			if len(n.Stmts) != 3 {
+				t.Fatalf("serial node has %d stmts, want 3", len(n.Stmts))
+			}
+		}
+	}
+	if serials != 1 {
+		t.Fatalf("%d serial nodes, want 1", serials)
+	}
+}
+
+func TestGraphString(t *testing.T) {
+	prog := mustParse(t, `
+program p
+param n = 4
+array A[n]
+proc main() {
+  A[0] = 1
+  doall i = 0 to n-1 { A[i] = i }
+}
+`)
+	g := Build(prog.Proc("main"))
+	out := g.String()
+	for _, want := range []string{"efg main:", "entry", "serial (1 stmts)", "doall (i)", "exit"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}

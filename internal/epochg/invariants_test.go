@@ -1,0 +1,200 @@
+package epochg
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/pfl"
+)
+
+// genProgram emits a random structurally-valid PFL program exercising
+// nested for/if around doalls.
+func genProgram(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	var b strings.Builder
+	b.WriteString("program g\nparam n = 8\nscalar s\narray A[n]\narray B[n]\n\nproc main() {\n")
+	var emit func(depth, budget int) int
+	emit = func(depth, budget int) int {
+		for budget > 0 {
+			switch r.Intn(5) {
+			case 0:
+				fmt.Fprintf(&b, "%sA[%d] = s + %d.0\n", strings.Repeat(" ", depth), r.Intn(8), r.Intn(9))
+				budget--
+			case 1:
+				fmt.Fprintf(&b, "%sdoall i = 0 to n-1 { B[i] = A[i] * 0.5 }\n", strings.Repeat(" ", depth))
+				budget--
+			case 2:
+				if depth > 6 {
+					continue
+				}
+				fmt.Fprintf(&b, "%sfor t%d = 0 to 2 {\n", strings.Repeat(" ", depth), depth)
+				budget = emit(depth+1, budget-1)
+				fmt.Fprintf(&b, "%s}\n", strings.Repeat(" ", depth))
+			case 3:
+				if depth > 6 {
+					continue
+				}
+				fmt.Fprintf(&b, "%sif (s > 0.5) {\n", strings.Repeat(" ", depth))
+				budget = emit(depth+1, budget-1)
+				fmt.Fprintf(&b, "%s} else {\n", strings.Repeat(" ", depth))
+				budget = emit(depth+1, budget)
+				fmt.Fprintf(&b, "%s}\n", strings.Repeat(" ", depth))
+			case 4:
+				fmt.Fprintf(&b, "%ss = s * 0.5 + %d.0\n", strings.Repeat(" ", depth), r.Intn(5))
+				budget--
+			}
+		}
+		return budget
+	}
+	emit(1, 6+r.Intn(8))
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func buildGraph(t *testing.T, src string) *Graph {
+	t.Helper()
+	prog, err := pfl.Parse(src)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	if _, err := pfl.Check(prog); err != nil {
+		t.Fatalf("%v\n%s", err, src)
+	}
+	return Build(prog.Proc("main"))
+}
+
+// TestGraphInvariants checks structural invariants over random programs:
+// unique entry/exit, predecessor/successor symmetry, exit reachable from
+// every node, every node reachable from entry, and loop headers with a
+// body target among their successors.
+func TestGraphInvariants(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		g := buildGraph(t, genProgram(seed))
+
+		// edge symmetry
+		for _, n := range g.Nodes {
+			for _, s := range n.Succs {
+				if !containsNode(s.Preds, n) {
+					t.Fatalf("seed %d: edge %d->%d missing pred backlink", seed, n.ID, s.ID)
+				}
+			}
+			for _, p := range n.Preds {
+				if !containsNode(p.Succs, n) {
+					t.Fatalf("seed %d: pred %d of %d missing succ link", seed, p.ID, n.ID)
+				}
+			}
+		}
+
+		// reachability: every node from entry; exit from every node
+		for _, n := range g.Nodes {
+			if n == g.Entry {
+				continue
+			}
+			if g.Dist(g.Entry, n) < 0 {
+				t.Fatalf("seed %d: node %d (%s) unreachable from entry:\n%s", seed, n.ID, n.Kind, g)
+			}
+			if n != g.Exit && g.Dist(n, g.Exit) < 0 {
+				t.Fatalf("seed %d: exit unreachable from node %d (%s):\n%s", seed, n.ID, n.Kind, g)
+			}
+		}
+
+		// structural payload consistency
+		for _, n := range g.Nodes {
+			switch n.Kind {
+			case KindHeader:
+				if n.Loop == nil || n.Loop.Body == nil || !containsNode(n.Succs, n.Loop.Body) {
+					t.Fatalf("seed %d: header %d lacks body successor", seed, n.ID)
+				}
+			case KindBranch:
+				if n.Branch == nil || !containsNode(n.Succs, n.Branch.Then) || !containsNode(n.Succs, n.Branch.Else) {
+					t.Fatalf("seed %d: branch %d arm targets missing", seed, n.ID)
+				}
+			case KindExit:
+				if len(n.Succs) != 0 {
+					t.Fatalf("seed %d: exit has successors", seed)
+				}
+			}
+		}
+	}
+}
+
+// TestDistanceProperties checks metric-like properties of the 0/1 distance
+// on random graphs: entry distances obey the triangle inequality via any
+// sampled midpoint, and Dist is consistent with DistFromEntry.
+func TestDistanceProperties(t *testing.T) {
+	for seed := int64(100); seed < 140; seed++ {
+		g := buildGraph(t, genProgram(seed))
+		de := g.DistFromEntry()
+		for _, n := range g.Nodes {
+			if n == g.Entry {
+				continue
+			}
+			d := g.Dist(g.Entry, n)
+			// Dist counts from AFTER leaving entry; DistFromEntry counts
+			// entering nodes from entry at 0 — both count the same node
+			// entries, so they must agree.
+			if d != de[n.ID] {
+				t.Fatalf("seed %d: Dist(entry,%d)=%d but DistFromEntry=%d", seed, n.ID, d, de[n.ID])
+			}
+		}
+		// Triangle inequality over sampled triples.
+		r := rand.New(rand.NewSource(seed))
+		for k := 0; k < 20; k++ {
+			a := g.Nodes[r.Intn(len(g.Nodes))]
+			b := g.Nodes[r.Intn(len(g.Nodes))]
+			c := g.Nodes[r.Intn(len(g.Nodes))]
+			ab, bc, ac := g.Dist(a, b), g.Dist(b, c), g.Dist(a, c)
+			if ab >= 0 && bc >= 0 && ac >= 0 && ac > ab+bc {
+				t.Fatalf("seed %d: triangle violated: d(%d,%d)=%d > %d+%d",
+					seed, a.ID, c.ID, ac, ab, bc)
+			}
+		}
+	}
+}
+
+// TestCountsSemantics: only doalls, calls, and non-empty serial nodes count.
+func TestCountsSemantics(t *testing.T) {
+	g := buildGraph(t, `
+program p
+param n = 4
+scalar s
+array A[n]
+proc main() {
+  A[0] = 1.0
+  for t = 0 to 2 {
+    doall i = 0 to n-1 { A[i] = t }
+  }
+  if (s > 0.0) {
+    doall i = 0 to n-1 { A[i] = 0.0 }
+  }
+}
+`)
+	for _, n := range g.Nodes {
+		got := n.Counts()
+		switch n.Kind {
+		case KindDoall, KindCall:
+			if !got {
+				t.Errorf("node %d (%s) must count", n.ID, n.Kind)
+			}
+		case KindEntry, KindExit, KindHeader, KindBranch:
+			if got {
+				t.Errorf("node %d (%s) must not count", n.ID, n.Kind)
+			}
+		case KindSerial:
+			if got != (len(n.Stmts) > 0) {
+				t.Errorf("serial node %d: Counts=%v with %d stmts", n.ID, got, len(n.Stmts))
+			}
+		}
+	}
+}
+
+func containsNode(ns []*Node, x *Node) bool {
+	for _, n := range ns {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,535 @@
+package exper
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+func smallSuite() *Suite {
+	return NewSuite(bench.Params{N: 16, Steps: 1}, 8)
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q: %v", s, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q: %v", s, err)
+	}
+	return v
+}
+
+func TestE1Shape(t *testing.T) {
+	tab, err := smallSuite().E1StorageOverhead()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 12 { // 3 machine sizes x 4 schemes
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// TPI rows (both granularities) must show zero DRAM.
+	for _, r := range tab.Rows {
+		if (r[1] == "tpi" || r[1] == "tpi-line") && r[3] != "0B" {
+			t.Errorf("%s DRAM = %s, want 0B", r[1], r[3])
+		}
+	}
+}
+
+func TestE3MissRateShape(t *testing.T) {
+	tab, err := smallSuite().E3MissRates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 {
+		t.Fatalf("%d rows, want 6 benchmarks", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		base := parsePct(t, r[1])
+		sc := parsePct(t, r[2])
+		tpi := parsePct(t, r[3])
+		hw := parsePct(t, r[4])
+		if !(base >= sc && sc > tpi) {
+			t.Errorf("%s: ordering BASE(%v) >= SC(%v) > TPI(%v) violated", r[0], base, sc, tpi)
+		}
+		if tpi > 8*hw+1 {
+			t.Errorf("%s: TPI (%v) not comparable to HW (%v)", r[0], tpi, hw)
+		}
+	}
+}
+
+func TestE4UnnecessaryMissesComparable(t *testing.T) {
+	tab, err := smallSuite().E4MissClassification()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TPI rows must have zero false sharing; HW rows zero conservative.
+	for _, r := range tab.Rows {
+		switch r[1] {
+		case "TPI":
+			if parseF(t, r[5]) != 0 {
+				t.Errorf("%s TPI false sharing = %s, want 0", r[0], r[5])
+			}
+		case "HW":
+			if parseF(t, r[6]) != 0 {
+				t.Errorf("%s HW conservative = %s, want 0", r[0], r[6])
+			}
+		}
+	}
+}
+
+func TestE6LatencyShape(t *testing.T) {
+	tab, err := smallSuite().E6MissLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var qcdRow []string
+	for _, r := range tab.Rows {
+		if r[0] == "qcd2" {
+			qcdRow = r
+		}
+		// Larger lines mean longer transfers for both schemes.
+		if !(parseF(t, r[2]) > parseF(t, r[1])) {
+			t.Errorf("%s: TPI 16w latency (%s) should exceed 4w (%s)", r[0], r[2], r[1])
+		}
+	}
+	if qcdRow == nil {
+		t.Fatal("qcd2 row missing")
+	}
+	// The paper's signature: HW's latency exceeds TPI's on qcd2.
+	if !(parseF(t, qcdRow[3]) > parseF(t, qcdRow[1])) {
+		t.Errorf("qcd2: HW 4w latency (%s) should exceed TPI 4w (%s)", qcdRow[3], qcdRow[1])
+	}
+}
+
+func TestE8TimetagShape(t *testing.T) {
+	tab, err := smallSuite().E8TimetagSensitivity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// For each benchmark: 2-bit tags must reset at least as often as
+	// 16-bit tags, and the 16-bit miss rate must be <= the 2-bit one.
+	byBench := map[string]map[string][]string{}
+	for _, r := range tab.Rows {
+		if byBench[r[0]] == nil {
+			byBench[r[0]] = map[string][]string{}
+		}
+		byBench[r[0]][r[1]] = r
+	}
+	for name, rows := range byBench {
+		r2, r16 := rows["2"], rows["16"]
+		if parseF(t, r2[3]) < parseF(t, r16[3]) {
+			t.Errorf("%s: 2-bit resets (%s) < 16-bit resets (%s)", name, r2[3], r16[3])
+		}
+		if parsePct(t, r2[2]) < parsePct(t, r16[2])-0.01 {
+			t.Errorf("%s: 2-bit miss rate (%s) below 16-bit (%s)", name, r2[2], r16[2])
+		}
+	}
+}
+
+func TestE13AblationShape(t *testing.T) {
+	tab, err := smallSuite().E13CompilerAblations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "neither" must never beat "full" on miss rate (analyses only help).
+	full := map[string]float64{}
+	neither := map[string]float64{}
+	for _, r := range tab.Rows {
+		switch r[1] {
+		case "full":
+			full[r[0]] = parsePct(t, r[2])
+		case "neither":
+			neither[r[0]] = parsePct(t, r[2])
+		}
+	}
+	for name := range full {
+		if neither[name] < full[name]-0.01 {
+			t.Errorf("%s: ablated compiler (%v) beats full (%v)", name, neither[name], full[name])
+		}
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep")
+	}
+	tabs, err := smallSuite().All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tabs) != 25 {
+		t.Fatalf("%d tables, want 25", len(tabs))
+	}
+	for _, tab := range tabs {
+		if len(tab.Rows) == 0 {
+			t.Errorf("%s has no rows", tab.ID)
+		}
+		if !strings.Contains(tab.String(), tab.ID) {
+			t.Errorf("%s render missing id", tab.ID)
+		}
+	}
+}
+
+func TestE14PointerPressure(t *testing.T) {
+	tab, err := smallSuite().E14LimitedPointers()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DIR_NB(1) must never beat full-map, and must show pointer evictions
+	// somewhere.
+	fullRate := map[string]float64{}
+	anyEvictions := false
+	for _, r := range tab.Rows {
+		if r[1] == "full-map" {
+			fullRate[r[0]] = parsePct(t, r[2])
+			if parseF(t, r[3]) != 0 {
+				t.Errorf("%s: full-map must have zero pointer evictions", r[0])
+			}
+		}
+	}
+	for _, r := range tab.Rows {
+		if r[1] == "DIR_NB(1)" {
+			if parsePct(t, r[2]) < fullRate[r[0]]-0.01 {
+				t.Errorf("%s: DIR_NB(1) (%s) beats full-map (%v)", r[0], r[2], fullRate[r[0]])
+			}
+			if parseF(t, r[3]) > 0 {
+				anyEvictions = true
+			}
+		}
+	}
+	if !anyEvictions {
+		t.Error("DIR_NB(1) never evicted a pointer on any kernel")
+	}
+}
+
+func TestE15ConsistencyShape(t *testing.T) {
+	tab, err := smallSuite().E15ConsistencyModels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := map[string]map[string]float64{}
+	for _, r := range tab.Rows {
+		if slow[r[0]] == nil {
+			slow[r[0]] = map[string]float64{}
+		}
+		slow[r[0]][r[1]] = parseF(t, r[4])
+		if parseF(t, r[4]) < 1.0 {
+			t.Errorf("%s/%s: SC cannot be faster than WC (%s)", r[0], r[1], r[4])
+		}
+	}
+	for name, m := range slow {
+		if !(m["TPI"] > m["HW"]) {
+			t.Errorf("%s: TPI SC-slowdown (%v) should exceed HW's (%v)", name, m["TPI"], m["HW"])
+		}
+	}
+}
+
+func TestE16SchedulingShape(t *testing.T) {
+	tab, err := smallSuite().E16SchedulingPolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 9 {
+		t.Fatalf("%d rows, want 9", len(tab.Rows))
+	}
+	// block placement must win on the affinity-heavy stencil (ocean).
+	rates := map[string]float64{}
+	for _, r := range tab.Rows {
+		if r[0] == "ocean" {
+			rates[r[1]] = parsePct(t, r[2])
+		}
+	}
+	if !(rates["block"] <= rates["cyclic"]) {
+		t.Errorf("ocean: block (%v) should not miss more than cyclic (%v)", rates["block"], rates["cyclic"])
+	}
+}
+
+func TestE17HSCDFamilyShape(t *testing.T) {
+	tab, err := smallSuite().E17HSCDFamily()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		sc := parsePct(t, r[1])
+		vc := parsePct(t, r[2])
+		tpi := parsePct(t, r[3])
+		// runtime coherence state (VC, TPI) must beat pure bypass (SC)
+		// decisively; VC-vs-TPI depends on write granularity (see
+		// EXPERIMENTS.md E17) so only a loose band is asserted.
+		if !(vc < sc/2) {
+			t.Errorf("%s: VC (%v) should beat SC (%v) decisively", r[0], vc, sc)
+		}
+		if !(tpi < sc/2) {
+			t.Errorf("%s: TPI (%v) should beat SC (%v) decisively", r[0], tpi, sc)
+		}
+		if tpi > 3*vc+1 || vc > 3*tpi+1 {
+			t.Errorf("%s: VC (%v) and TPI (%v) should be in the same band", r[0], vc, tpi)
+		}
+	}
+}
+
+func TestE18WritePolicyShape(t *testing.T) {
+	tab, err := smallSuite().E18WritePolicies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byKey := map[string][]string{}
+	for _, r := range tab.Rows {
+		byKey[r[0]+"/"+r[1]] = r
+	}
+	wt := byKey["trfd/write-through+wbc"]
+	wb := byKey["trfd/write-back-flush"]
+	if wt == nil || wb == nil {
+		t.Fatal("missing trfd rows")
+	}
+	// Write-back must flush at barriers and pay stalls there.
+	if parseF(t, wb[3]) == 0 {
+		t.Error("write-back policy must report flush stalls")
+	}
+	if parseF(t, wt[3]) != 0 {
+		t.Error("write-through policy must not flush at barriers")
+	}
+	// Write-back coalesces at least as well as the wb-cache on trfd.
+	if parseF(t, wb[2]) > parseF(t, wt[2])+0.01 {
+		t.Errorf("write-back traffic (%s) should not exceed write-through+wbc (%s)", wb[2], wt[2])
+	}
+}
+
+func TestE19OffTheShelfShape(t *testing.T) {
+	tab, err := smallSuite().E19OffTheShelf()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		integ, two := tab.Rows[i], tab.Rows[i+1]
+		if parsePct(t, integ[2]) != parsePct(t, two[2]) {
+			t.Errorf("%s: two-level must not change the miss rate (%s vs %s)",
+				integ[0], integ[2], two[2])
+		}
+		if parseF(t, two[4]) < 1.0 {
+			t.Errorf("%s: two-level slowdown %s < 1", integ[0], two[4])
+		}
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tab := &Table{
+		ID:      "T1",
+		Title:   "demo",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"x", "1"}, {"longer-cell", "2"}},
+		Notes:   "n",
+	}
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// column alignment: the second column starts at the same offset on
+	// every data line
+	idx := strings.Index(lines[1], "long-column")
+	for _, ln := range lines[2:4] {
+		if len(ln) <= idx {
+			t.Fatalf("row too short: %q", ln)
+		}
+	}
+	if !strings.HasPrefix(lines[4], "note:") {
+		t.Fatalf("notes missing: %q", lines[4])
+	}
+}
+
+func TestE5TrafficShape(t *testing.T) {
+	tab, err := smallSuite().E5NetworkTraffic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tpiWrite, noWbcWrite float64
+	for _, r := range tab.Rows {
+		// BASE reads exactly one word per read reference.
+		if r[1] == "BASE" && parseF(t, r[2]) != 1.0 {
+			t.Errorf("%s BASE read traffic %s != 1.000", r[0], r[2])
+		}
+		// HW never writes through (write-back): write column is writebacks
+		// only and coherence traffic is nonzero on sharing-heavy kernels.
+		if r[0] == "trfd" && r[1] == "TPI" {
+			tpiWrite = parseF(t, r[3])
+		}
+		if r[0] == "trfd" && r[1] == "TPI-nowbc" {
+			noWbcWrite = parseF(t, r[3])
+		}
+	}
+	if !(noWbcWrite > 2*tpiWrite) {
+		t.Errorf("trfd redundant writes: nowbc %v should be >2x wbc %v", noWbcWrite, tpiWrite)
+	}
+}
+
+func TestE7ExecutionTimeShape(t *testing.T) {
+	tab, err := smallSuite().E7ExecutionTime()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		base, sc, tpi, hw := parseF(t, r[1]), parseF(t, r[2]), parseF(t, r[3]), parseF(t, r[4])
+		if hw != 1.0 {
+			t.Errorf("%s: HW column must be 1.000, got %v", r[0], hw)
+		}
+		if !(base >= sc && sc >= tpi) {
+			t.Errorf("%s: ordering BASE(%v) >= SC(%v) >= TPI(%v) violated", r[0], base, sc, tpi)
+		}
+		if tpi > 4 {
+			t.Errorf("%s: TPI %vx HW is not 'comparable'", r[0], tpi)
+		}
+	}
+}
+
+func TestE9CacheSizeShape(t *testing.T) {
+	tab, err := smallSuite().E9CacheSizeSweep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within each benchmark, miss rates must be non-increasing in cache
+	// size for both schemes.
+	prev := map[string][2]float64{}
+	for _, r := range tab.Rows {
+		cur := [2]float64{parsePct(t, r[2]), parsePct(t, r[3])}
+		if p, ok := prev[r[0]]; ok {
+			if cur[0] > p[0]+0.01 || cur[1] > p[1]+0.01 {
+				t.Errorf("%s: miss rate rose with cache size: %v -> %v", r[0], p, cur)
+			}
+		}
+		prev[r[0]] = cur
+	}
+}
+
+func TestE12ScalabilityShape(t *testing.T) {
+	tab, err := smallSuite().E12Scalability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevTPI, prevHW float64 = 1e18, 1e18
+	for _, r := range tab.Rows {
+		tpi, hw := parseF(t, r[1]), parseF(t, r[3])
+		if tpi > prevTPI*1.05 || hw > prevHW*1.05 {
+			t.Errorf("P=%s: cycles rose with more processors (TPI %v->%v, HW %v->%v)",
+				r[0], prevTPI, tpi, prevHW, hw)
+		}
+		prevTPI, prevHW = tpi, hw
+	}
+}
+
+func TestE21ToolchainShape(t *testing.T) {
+	tab, err := smallSuite().E21Toolchain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if parseF(t, r[1]) < 3 {
+			t.Errorf("%s: only %s loops parallelized", r[0], r[1])
+		}
+		// auto and hand miss rates agree to within a couple of points
+		if a, h := parsePct(t, r[3]), parsePct(t, r[4]); a > h+2 || h > a+2 {
+			t.Errorf("%s: auto (%v) and hand (%v) diverge", r[0], a, h)
+		}
+	}
+	// ocean-seq carries the resid reduction.
+	if tab.Rows[0][2] == "0" {
+		t.Error("ocean-seq reduction not recognized")
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{
+		ID:      "T1",
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+		Rows:    [][]string{{"x", "1"}},
+		Notes:   "note text",
+	}
+	md := tab.Markdown()
+	for _, want := range []string{"### T1 — demo", "| a | b |", "|---|---|", "| x | 1 |", "*note text*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+}
+
+func TestE22TagGranularityShape(t *testing.T) {
+	tab, err := smallSuite().E22TagGranularity()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		word, line := tab.Rows[i], tab.Rows[i+1]
+		if parsePct(t, line[2]) < parsePct(t, word[2])-0.01 {
+			t.Errorf("%s: per-line tags (%s) beat per-word (%s)", word[0], line[2], word[2])
+		}
+	}
+}
+
+func TestE23PrefetchShape(t *testing.T) {
+	tab, err := smallSuite().E23Prefetch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(tab.Rows); i += 2 {
+		off, on := tab.Rows[i], tab.Rows[i+1]
+		if parseF(t, on[4]) == 0 {
+			t.Errorf("%s: no prefetches issued", off[0])
+		}
+		if parsePct(t, on[2]) > parsePct(t, off[2])+0.5 {
+			t.Errorf("%s: prefetching raised the miss rate (%s -> %s)", off[0], off[2], on[2])
+		}
+	}
+}
+
+func TestE24ScalarPaddingShape(t *testing.T) {
+	tab, err := smallSuite().E24ScalarPadding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string][]string{}
+	for _, r := range tab.Rows {
+		rows[r[0]+"/"+r[1]] = r
+	}
+	hwPacked, hwPadded := rows["HW/packed"], rows["HW/padded"]
+	if !(parseF(t, hwPacked[3]) > 50*parseF(t, hwPadded[3])+1) {
+		t.Errorf("padding should crush HW scalar false sharing: %s -> %s", hwPacked[3], hwPadded[3])
+	}
+	for _, layout := range []string{"packed", "padded"} {
+		r := rows["TPI/"+layout]
+		if parseF(t, r[3]) != 0 {
+			t.Errorf("TPI %s has false sharing %s, want 0 (word-grain tags)", layout, r[3])
+		}
+	}
+}
+
+func TestE25DecompositionShape(t *testing.T) {
+	tab, err := smallSuite().E25TimeDecomposition()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := map[string]float64{}
+	for _, r := range tab.Rows {
+		if r[0] == "ocean" {
+			shares[r[1]] = parsePct(t, r[3])
+		}
+	}
+	// BASE spends (far) more of its time stalled on reads than TPI/HW.
+	if !(shares["BASE"] > shares["TPI"] && shares["BASE"] > shares["HW"]) {
+		t.Errorf("stall shares: %v", shares)
+	}
+}

@@ -1,0 +1,453 @@
+package exper
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/parallelize"
+	"repro/internal/pfl"
+	"repro/internal/stats"
+)
+
+// E14LimitedPointers compares the full-map directory with LimitLess-style
+// limited-pointer variants DIR_NB(i): Figure 5 showed their storage
+// advantage; this experiment shows the performance price of pointer
+// eviction on widely shared data.
+func (s *Suite) E14LimitedPointers() (*Table, error) {
+	t := &Table{
+		ID:      "E14",
+		Title:   "full-map vs limited-pointer directory DIR_NB(i)",
+		Columns: []string{"benchmark", "directory", "missrate", "ptr-evictions", "invalidations"},
+		Notes:   "few pointers force sharer eviction on widely-read data (e.g. read-only tables)",
+	}
+	for _, name := range kernelNames() {
+		for _, ptrs := range []int{0, 4, 1} {
+			cfg := s.cfg(machine.SchemeHW)
+			cfg.DirPointers = ptrs
+			st, err := s.run(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			label := "full-map"
+			if ptrs > 0 {
+				label = fmt.Sprintf("DIR_NB(%d)", ptrs)
+			}
+			t.Rows = append(t.Rows, []string{
+				name, label, pct(st.MissRate()), d(st.PointerEvictions), d(st.Invalidations),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E15ConsistencyModels compares weak consistency (the paper's model)
+// with sequential consistency, where writes stall until globally
+// performed — the paper's footnote that coherence costs "would be much
+// more significant in a sequential consistency model".
+func (s *Suite) E15ConsistencyModels() (*Table, error) {
+	t := &Table{
+		ID:      "E15",
+		Title:   "weak vs sequential consistency (execution cycles)",
+		Columns: []string{"benchmark", "scheme", "WC cycles", "SC cycles", "slowdown"},
+		Notes:   "write-through schemes are devastated without write buffering; HW's owned writes stay local",
+	}
+	for _, name := range []string{"ocean", "trfd", "arc2d"} {
+		for _, scheme := range []machine.Scheme{machine.SchemeTPI, machine.SchemeHW} {
+			wcCfg := s.cfg(scheme)
+			wc, err := s.run(name, wcCfg)
+			if err != nil {
+				return nil, err
+			}
+			scCfg := s.cfg(scheme)
+			scCfg.SeqConsistency = true
+			sc, err := s.run(name, scCfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				name, scheme.String(), d(wc.Cycles), d(sc.Cycles),
+				f3(float64(sc.Cycles) / float64(wc.Cycles)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E16SchedulingPolicies compares block, cyclic, and dynamic
+// (self-scheduling) DOALL iteration placement under TPI: the compiler
+// cannot know the schedule (the paper's core motivation for runtime
+// timetags), and placement changes locality, not correctness.
+func (s *Suite) E16SchedulingPolicies() (*Table, error) {
+	t := &Table{
+		ID:      "E16",
+		Title:   "DOALL scheduling policy under TPI",
+		Columns: []string{"benchmark", "policy", "missrate", "cycles", "imbalance"},
+		Notes:   "dynamic placement balances load but destroys processor/data affinity",
+	}
+	for _, name := range []string{"ocean", "spec77", "qcd2"} {
+		for _, policy := range []string{"block", "cyclic", "dynamic"} {
+			cfg := s.cfg(machine.SchemeTPI)
+			cfg.CyclicSched = policy == "cyclic"
+			cfg.DynamicSched = policy == "dynamic"
+			st, err := s.run(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{name, policy, pct(st.MissRate()), d(st.Cycles), f3(st.Imbalance())})
+		}
+	}
+	return t, nil
+}
+
+// E17HSCDFamily compares the three hardware-supported compiler-directed
+// generations side by side: SC (cache bypass, no runtime state), VC
+// (per-variable version numbers, Cheong–Veidenbaum) and TPI (per-word
+// timetags with epoch windows) — the axis along which the paper's
+// contribution improves on its predecessors, with HW as the yardstick.
+func (s *Suite) E17HSCDFamily() (*Table, error) {
+	t := &Table{
+		ID:      "E17",
+		Title:   "HSCD scheme family: SC vs VC vs TPI (HW yardstick)",
+		Columns: []string{"benchmark", "SC miss", "VC miss", "TPI miss", "HW miss", "VC conserv/1k", "TPI conserv/1k"},
+		Notes:   "finer coherence state monotonically recovers locality: bypass < per-variable < per-word",
+	}
+	for _, name := range kernelNames() {
+		row := []string{name}
+		var vcConserv, tpiConserv string
+		for _, scheme := range []machine.Scheme{machine.SchemeSC, machine.SchemeVC, machine.SchemeTPI, machine.SchemeHW} {
+			st, err := s.run(name, s.cfg(scheme))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(st.MissRate()))
+			c := f3(1000 * float64(st.ReadMisses[stats.MissConservative]) / float64(st.Reads))
+			if scheme == machine.SchemeVC {
+				vcConserv = c
+			}
+			if scheme == machine.SchemeTPI {
+				tpiConserv = c
+			}
+		}
+		row = append(row, vcConserv, tpiConserv)
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}
+
+// E18WritePolicies compares TPI's write policies: write-through with the
+// wb-cache (the paper's choice) against write-back with a forced flush
+// at every epoch boundary (the alternative the paper rejects as adding
+// invalidation latency and bursty traffic).
+func (s *Suite) E18WritePolicies() (*Table, error) {
+	t := &Table{
+		ID:      "E18",
+		Title:   "TPI write policy: write-through+wbc vs write-back-at-boundary",
+		Columns: []string{"benchmark", "policy", "write-traffic/read", "flush-stall", "cycles"},
+		Notes:   "write-back coalesces best but pays bursty barrier flushes",
+	}
+	for _, name := range []string{"trfd", "ocean", "spec77"} {
+		for _, wb := range []bool{false, true} {
+			cfg := s.cfg(machine.SchemeTPI)
+			cfg.TPIWriteBack = wb
+			st, err := s.run(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			policy := "write-through+wbc"
+			if wb {
+				policy = "write-back-flush"
+			}
+			t.Rows = append(t.Rows, []string{
+				name, policy,
+				f3(float64(st.WriteTrafficWords) / float64(st.Reads)),
+				d(st.FlushStallCycles), d(st.Cycles),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E19OffTheShelf reproduces the paper's Section 3 design discussion: the
+// integrated implementation (timetags beside the on-chip cache) against
+// the off-the-shelf two-level implementation, where Time-Reads compile
+// to an L1 block-invalidate + load and always pay the off-chip L2 access.
+func (s *Suite) E19OffTheShelf() (*Table, error) {
+	t := &Table{
+		ID:      "E19",
+		Title:   "TPI integrated vs off-the-shelf two-level implementation",
+		Columns: []string{"benchmark", "design", "missrate", "cycles", "slowdown"},
+		Notes:   "Time-Reads cannot be validated on-chip: every one costs at least the L2 access",
+	}
+	for _, name := range []string{"ocean", "spec77", "trfd"} {
+		base := s.cfg(machine.SchemeTPI)
+		st1, err := s.run(name, base)
+		if err != nil {
+			return nil, err
+		}
+		two := base
+		two.L1Words = 2048 // 8 KB on-chip
+		st2, err := s.run(name, two)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{name, "integrated", pct(st1.MissRate()), d(st1.Cycles), "1.000"})
+		t.Rows = append(t.Rows, []string{name, "two-level", pct(st2.MissRate()), d(st2.Cycles),
+			f3(float64(st2.Cycles) / float64(st1.Cycles))})
+	}
+	return t, nil
+}
+
+// E20Topologies compares the paper's simulated network (Kruskal–Snir
+// indirect multistage, uniform latency) with the Cray T3D's physical
+// topology (a torus with line-interleaved home memories and
+// distance-dependent latency).
+func (s *Suite) E20Topologies() (*Table, error) {
+	t := &Table{
+		ID:      "E20",
+		Title:   "interconnect: multistage (paper model) vs 2-D torus (T3D physical)",
+		Columns: []string{"benchmark", "scheme", "multistage lat", "torus lat", "multistage cycles", "torus cycles"},
+		Notes:   "the torus rewards placement locality; the indirect net is distance-blind",
+	}
+	for _, name := range []string{"ocean", "qcd2"} {
+		for _, scheme := range []machine.Scheme{machine.SchemeTPI, machine.SchemeHW} {
+			ms := s.cfg(scheme)
+			st1, err := s.run(name, ms)
+			if err != nil {
+				return nil, err
+			}
+			to := s.cfg(scheme)
+			to.Topology = "torus"
+			st2, err := s.run(name, to)
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				name, scheme.String(),
+				f1(st1.AvgMissLatency()), f1(st2.AvgMissLatency()),
+				d(st1.Cycles), d(st2.Cycles),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E21Toolchain runs the whole pipeline front to back the way the paper's
+// authors did: sequential source -> Polaris-style auto-parallelization
+// (with reduction recognition) -> reference marking -> simulation, and
+// compares the result with the hand-parallelized kernels.
+func (s *Suite) E21Toolchain() (*Table, error) {
+	t := &Table{
+		ID:      "E21",
+		Title:   "full toolchain: auto-parallelized sequential code vs hand-parallelized",
+		Columns: []string{"kernel", "loops DOALLed", "reductions", "auto TPI miss", "hand TPI miss"},
+		Notes:   "the auto-parallelizer recovers the DOALL structure the hand kernels encode",
+	}
+	hand := map[string]string{"ocean-seq": "ocean", "trfd-seq": "trfd"}
+	for _, k := range bench.SequentialKernels(s.Params) {
+		ast, err := pfl.Parse(k.Source)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := pfl.Check(ast); err != nil {
+			return nil, err
+		}
+		rep, err := parallelize.Run(ast)
+		if err != nil {
+			return nil, err
+		}
+		reds := 0
+		for _, d := range rep.Decisions {
+			reds += len(d.Reductions)
+		}
+		cfg := s.cfg(machine.SchemeTPI)
+		c, err := core.Compile(pfl.Format(ast), core.CompileOptions{
+			Interproc: true, FirstReadReuse: true, AlignWords: int64(cfg.LineWords),
+		})
+		if err != nil {
+			return nil, err
+		}
+		stAuto, err := core.Run(c, cfg)
+		if err != nil {
+			return nil, err
+		}
+		stHand, err := s.run(hand[k.Name], cfg)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			k.Name, d(int64(rep.NumParallelized())), d(int64(reds)),
+			pct(stAuto.MissRate()), pct(stHand.MissRate()),
+		})
+	}
+	return t, nil
+}
+
+// E22TagGranularity prices the timetag granularity choice implicit in
+// Figure 5: per-word tags (8*L*C*P SRAM bits, the paper's design) against
+// one tag per line (8*C*P bits). Line-granular tags cannot be promoted on
+// writes or validated hits — a line's tag may only claim what all its
+// words support — so intra-epoch and producer-consumer locality degrade.
+func (s *Suite) E22TagGranularity() (*Table, error) {
+	t := &Table{
+		ID:      "E22",
+		Title:   "TPI timetag granularity: per-word (paper) vs per-line",
+		Columns: []string{"benchmark", "tags", "missrate", "conserv/1k", "SRAM bits/line"},
+		Notes:   "the line tag saves L* the SRAM but pays false-sharing-like conservative misses",
+	}
+	for _, name := range kernelNames() {
+		for _, lineTags := range []bool{false, true} {
+			cfg := s.cfg(machine.SchemeTPI)
+			cfg.LineTimetags = lineTags
+			st, err := s.run(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			label, bits := "per-word", fmt.Sprintf("%d", 8*cfg.LineWords)
+			if lineTags {
+				label, bits = "per-line", "8"
+			}
+			t.Rows = append(t.Rows, []string{
+				name, label, pct(st.MissRate()),
+				f3(1000 * float64(st.ReadMisses[stats.MissConservative]) / float64(st.Reads)),
+				bits,
+			})
+		}
+	}
+	return t, nil
+}
+
+// E23Prefetch measures one-block-lookahead sequential prefetching under
+// TPI: the miss-rate/traffic trade Tullsen & Eggers warn about.
+func (s *Suite) E23Prefetch() (*Table, error) {
+	t := &Table{
+		ID:      "E23",
+		Title:   "TPI sequential prefetch (one-block lookahead)",
+		Columns: []string{"benchmark", "prefetch", "missrate", "read-traffic/read", "prefetches", "cycles"},
+		Notes:   "prefetching trades read traffic for misses; wins on streaming kernels only",
+	}
+	for _, name := range []string{"ocean", "trfd", "qcd2"} {
+		for _, pf := range []bool{false, true} {
+			cfg := s.cfg(machine.SchemeTPI)
+			cfg.Prefetch = pf
+			st, err := s.run(name, cfg)
+			if err != nil {
+				return nil, err
+			}
+			label := "off"
+			if pf {
+				label = "on"
+			}
+			t.Rows = append(t.Rows, []string{
+				name, label, pct(st.MissRate()),
+				f3(float64(st.ReadTrafficWords) / float64(st.Reads)),
+				d(st.PrefetchedLines), d(st.Cycles),
+			})
+		}
+	}
+	return t, nil
+}
+
+// scalarPingPong is a synthetic workload isolating false sharing on
+// packed scalars: four per-processor counters live on one cache line
+// (at 4-word lines); each DOALL iteration updates only its own counter,
+// so under the line-grain HW directory the line ping-pongs between the
+// owners while TPI's per-word tags are unaffected.
+const scalarPingPong = `
+program pingpong
+param n = 4
+param steps = 200
+scalar s0 = 0.0
+scalar s1 = 0.0
+scalar s2 = 0.0
+scalar s3 = 0.0
+array A[n]
+
+proc main() {
+  doall i = 0 to n-1 { A[i] = i * 0.5 }
+  for t = 1 to steps {
+    doall i = 0 to n-1 {
+      if (i == 0) { s0 = s0 + A[0] }
+      if (i == 1) { s1 = s1 + A[1] }
+      if (i == 2) { s2 = s2 + A[2] }
+      if (i == 3) { s3 = s3 + A[3] }
+    }
+  }
+}
+`
+
+// E24ScalarPadding isolates false sharing on packed scalars: the HW
+// directory invalidates whole lines, so per-processor counters packed
+// into one line ping-pong; padding gives each its own line. TPI's
+// per-word timetags never see the effect.
+func (s *Suite) E24ScalarPadding() (*Table, error) {
+	t := &Table{
+		ID:      "E24",
+		Title:   "scalar padding vs packed scalars (per-processor counters)",
+		Columns: []string{"scheme", "layout", "missrate", "false-shr/1k", "invalidations"},
+		Notes:   "padding removes scalar false sharing at a few words of memory; TPI is immune either way",
+	}
+	for _, scheme := range []machine.Scheme{machine.SchemeHW, machine.SchemeTPI} {
+		for _, pad := range []bool{false, true} {
+			cfg := s.cfg(scheme)
+			c, err := core.Compile(scalarPingPong, core.CompileOptions{
+				Interproc: true, FirstReadReuse: true,
+				AlignWords: int64(cfg.LineWords), PadScalars: pad,
+			})
+			if err != nil {
+				return nil, err
+			}
+			st, err := core.Run(c, cfg)
+			if err != nil {
+				return nil, err
+			}
+			label := "packed"
+			if pad {
+				label = "padded"
+			}
+			t.Rows = append(t.Rows, []string{
+				scheme.String(), label, pct(st.MissRate()),
+				f3(1000 * float64(st.ReadMisses[stats.MissFalseSharing]) / float64(st.Reads)),
+				d(st.Invalidations),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E25TimeDecomposition splits execution into compute, read-stall, and
+// barrier/reset components per scheme — the execution-time-breakdown
+// view papers of this era present alongside raw speedups. Shares are of
+// total processor busy time (compute + stalls), with the barrier and
+// flush costs shown per total cycles.
+func (s *Suite) E25TimeDecomposition() (*Table, error) {
+	t := &Table{
+		ID:      "E25",
+		Title:   "execution time decomposition",
+		Columns: []string{"benchmark", "scheme", "cycles", "read-stall %busy", "barrier %cycles"},
+		Notes:   "BASE/SC drown in read stalls; HW converts them into coherence traffic",
+	}
+	for _, name := range []string{"ocean", "trfd"} {
+		for _, scheme := range machine.Schemes {
+			st, err := s.run(name, s.cfg(scheme))
+			if err != nil {
+				return nil, err
+			}
+			var busy int64
+			for _, b := range st.ProcBusy {
+				busy += b
+			}
+			stallShare := 0.0
+			if busy > 0 {
+				stallShare = float64(st.MissLatencySum) / float64(busy)
+			}
+			t.Rows = append(t.Rows, []string{
+				name, scheme.String(), d(st.Cycles),
+				pct(stallShare),
+				pct(float64(st.BarrierCycles) / float64(st.Cycles)),
+			})
+		}
+	}
+	return t, nil
+}

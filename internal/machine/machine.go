@@ -1,0 +1,236 @@
+// Package machine defines the simulated machine configuration. The
+// defaults reproduce the paper's Figure 8: a Cray-T3D-like multiprocessor
+// with 16 single-issue processors, 64 KB direct-mapped lock-up-free data
+// caches with 4-word lines, 1-cycle hits, a 100-cycle base miss latency,
+// an 8-bit timetag with a 128-cycle two-phase reset, infinite write
+// buffers, weak consistency, and an indirect multistage network whose
+// delays follow the Kruskal–Snir analytic model.
+package machine
+
+import "fmt"
+
+// Scheme selects the coherence scheme under simulation.
+type Scheme int
+
+const (
+	// SchemeBase caches nothing that is shared: every shared reference is
+	// a remote memory access (the no-coherence baseline).
+	SchemeBase Scheme = iota
+	// SchemeSC is the software cache-bypass scheme: potentially-stale
+	// references (compiler-marked) bypass the cache; everything else
+	// caches with write-through.
+	SchemeSC
+	// SchemeTPI is the paper's two-phase invalidation HSCD scheme.
+	SchemeTPI
+	// SchemeHW is the full-map three-state invalidation directory with
+	// write-back caches.
+	SchemeHW
+	// SchemeVC is the Cheong–Veidenbaum version-control HSCD scheme: one
+	// current-version number per shared variable, one birth-version
+	// number per cache word (our extension; the paper's closest
+	// predecessor, compared against directories by Lilja).
+	SchemeVC
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeBase:
+		return "BASE"
+	case SchemeSC:
+		return "SC"
+	case SchemeTPI:
+		return "TPI"
+	case SchemeHW:
+		return "HW"
+	case SchemeVC:
+		return "VC"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// Schemes lists the paper's four schemes in its comparison order.
+var Schemes = []Scheme{SchemeBase, SchemeSC, SchemeTPI, SchemeHW}
+
+// AllSchemes additionally includes the version-control extension.
+var AllSchemes = []Scheme{SchemeBase, SchemeSC, SchemeTPI, SchemeHW, SchemeVC}
+
+// Config is the machine and scheme configuration.
+type Config struct {
+	Scheme Scheme
+
+	// Procs is the number of processors (paper default 16).
+	Procs int
+	// CacheWords is the per-processor data cache capacity in words.
+	// The paper's 64 KB cache with 32-bit words is 16384 words.
+	CacheWords int64
+	// LineWords is the cache line size in words (paper default 4).
+	LineWords int
+	// Assoc is the set associativity (paper default 1, direct-mapped).
+	Assoc int
+
+	// TimetagBits is the per-word timetag width (paper default 8).
+	TimetagBits int
+	// ResetCycles is the stall charged by one two-phase timetag reset
+	// (paper default 128).
+	ResetCycles int64
+	// FlashReset selects the ablation where counter overflow invalidates
+	// the whole cache instead of only out-of-phase words.
+	FlashReset bool
+
+	// HitCycles and MissCycles are the cache hit latency and the base
+	// (unloaded, local-equivalent) miss latency in CPU cycles.
+	HitCycles  int64
+	MissCycles int64
+
+	// SwitchArity is k for the k-ary multistage interconnection network.
+	SwitchArity int
+
+	// Topology selects the interconnect model: "multistage" (the paper's
+	// Kruskal–Snir indirect network, the default) or "torus" (a 2-D
+	// bidirectional torus like the Cray T3D's physical network, with
+	// distance-dependent latency to line-interleaved home nodes).
+	Topology string
+
+	// WriteBufferCache organizes the write buffer as a small cache that
+	// coalesces redundant writes within an epoch (DEC 21164-style), as the
+	// paper recommends to eliminate TPI's redundant write traffic.
+	WriteBufferCache bool
+
+	// L1Words enables the two-level "off-the-shelf microprocessor"
+	// implementation of the paper's Section 3: a small on-chip L1 without
+	// timetags in front of the timetagged off-chip L2. Time-Reads cannot
+	// be validated in L1, so they are compiled to a cache-block-invalidate
+	// + load sequence (MIPS R10000 / PowerPC DCBF style) that always pays
+	// at least the L2 access. 0 disables the L1 (the integrated design).
+	L1Words int64
+
+	// L1HitCycles and L2HitCycles split the hit latency for the two-level
+	// implementation (defaults 1 and 6).
+	L1HitCycles, L2HitCycles int64
+
+	// Prefetch enables one-block-lookahead sequential prefetching on TPI
+	// read misses: the next line is fetched alongside the missing one
+	// (neighbour-rule timetags), trading extra traffic for fewer misses —
+	// with the bus-saturation caveats of Tullsen & Eggers.
+	Prefetch bool
+
+	// LineTimetags is the storage-saving ablation: one timetag per cache
+	// LINE instead of per word (Figure 5's 8*L*C*P SRAM bits become
+	// 8*C*P). Soundness then forbids tag promotion on writes and hits —
+	// a line's tag can only claim what ALL its words support — so the
+	// scheme pays false-sharing-like conservative misses.
+	LineTimetags bool
+
+	// TPIWriteBack switches the HSCD schemes from write-through to
+	// write-back with a forced flush of all dirty words at every epoch
+	// boundary — the alternative the paper rejects because it "increases
+	// the latency of the invalidation, and results in more bursty
+	// traffic". Flushes drain at FlushBandwidth words/cycle through the
+	// barrier.
+	TPIWriteBack bool
+
+	// FlushBandwidth is the epoch-boundary flush drain rate in
+	// words/cycle (default 4).
+	FlushBandwidth int64
+
+	// MigrateSerial rotates serial epochs across processors instead of
+	// pinning them to processor 0, exercising the task-migration scenario
+	// the paper's Section 5 discusses.
+	MigrateSerial bool
+
+	// CyclicSched schedules DOALL iterations cyclically instead of in
+	// blocks.
+	CyclicSched bool
+
+	// LockCycles is the cost of acquiring+releasing the critical-section
+	// lock.
+	LockCycles int64
+
+	// MaxEpochs aborts runaway simulations (0 = default guard).
+	MaxEpochs int64
+
+	// DirPointers limits the HW directory to i sharer pointers per line
+	// (LimitLess-style DIR_NB(i)); adding a sharer beyond the limit
+	// evicts an existing one. 0 means full-map.
+	DirPointers int
+
+	// SeqConsistency switches from the weak model to sequential
+	// consistency: writes stall the processor until globally performed.
+	SeqConsistency bool
+
+	// DynamicSched self-schedules DOALL iterations onto the least-loaded
+	// processor instead of a static block/cyclic assignment.
+	DynamicSched bool
+
+	// BarrierCycles is the cost of the epoch-boundary barrier.
+	BarrierCycles int64
+
+	// Interproc and FirstReadReuse gate the compiler analyses (ablations).
+	Interproc      bool
+	FirstReadReuse bool
+}
+
+// Default returns the paper's Figure 8 configuration for a scheme.
+func Default(s Scheme) Config {
+	return Config{
+		Scheme:           s,
+		Procs:            16,
+		CacheWords:       16384, // 64 KB of 4-byte words
+		LineWords:        4,
+		Assoc:            1,
+		TimetagBits:      8,
+		ResetCycles:      128,
+		HitCycles:        1,
+		MissCycles:       100,
+		SwitchArity:      4,
+		WriteBufferCache: true,
+		FlushBandwidth:   4,
+		L1HitCycles:      1,
+		L2HitCycles:      6,
+		BarrierCycles:    20,
+		LockCycles:       40,
+		Interproc:        true,
+		FirstReadReuse:   true,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Procs <= 0:
+		return fmt.Errorf("machine: Procs must be positive, got %d", c.Procs)
+	case c.LineWords <= 0 || (c.LineWords&(c.LineWords-1)) != 0:
+		return fmt.Errorf("machine: LineWords must be a positive power of two, got %d", c.LineWords)
+	case c.CacheWords <= 0 || c.CacheWords%int64(c.LineWords) != 0:
+		return fmt.Errorf("machine: CacheWords %d must be a positive multiple of LineWords %d", c.CacheWords, c.LineWords)
+	case c.Assoc <= 0:
+		return fmt.Errorf("machine: Assoc must be positive, got %d", c.Assoc)
+	case c.TimetagBits < 1 || c.TimetagBits > 62:
+		return fmt.Errorf("machine: TimetagBits out of range: %d", c.TimetagBits)
+	case c.SwitchArity < 2:
+		return fmt.Errorf("machine: SwitchArity must be >= 2, got %d", c.SwitchArity)
+	case c.Topology != "" && c.Topology != "multistage" && c.Topology != "torus":
+		return fmt.Errorf("machine: unknown topology %q", c.Topology)
+	}
+	lines := c.CacheWords / int64(c.LineWords)
+	if lines%int64(c.Assoc) != 0 {
+		return fmt.Errorf("machine: %d lines not divisible by associativity %d", lines, c.Assoc)
+	}
+	if c.L1Words > 0 {
+		if c.L1Words%int64(c.LineWords) != 0 {
+			return fmt.Errorf("machine: L1Words %d must be a multiple of LineWords %d", c.L1Words, c.LineWords)
+		}
+		if (c.L1Words/int64(c.LineWords))%int64(c.Assoc) != 0 {
+			return fmt.Errorf("machine: L1 lines not divisible by associativity %d", c.Assoc)
+		}
+	}
+	return nil
+}
+
+// MaxWindow is the widest Time-Read window the timetag width can support:
+// one value is reserved to distinguish "just written" from the oldest
+// representable epoch, as in the two-phase scheme.
+func (c Config) MaxWindow() int64 {
+	return (int64(1) << uint(c.TimetagBits)) - 2
+}

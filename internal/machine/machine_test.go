@@ -1,0 +1,78 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultMatchesPaperFigure8(t *testing.T) {
+	c := Default(SchemeTPI)
+	if c.Procs != 16 {
+		t.Errorf("Procs = %d", c.Procs)
+	}
+	if c.CacheWords != 16384 { // 64 KB of 4-byte words
+		t.Errorf("CacheWords = %d", c.CacheWords)
+	}
+	if c.LineWords != 4 || c.Assoc != 1 {
+		t.Errorf("line/assoc = %d/%d", c.LineWords, c.Assoc)
+	}
+	if c.TimetagBits != 8 || c.ResetCycles != 128 {
+		t.Errorf("timetag = %d bits, reset %d", c.TimetagBits, c.ResetCycles)
+	}
+	if c.HitCycles != 1 || c.MissCycles != 100 {
+		t.Errorf("hit/miss = %d/%d", c.HitCycles, c.MissCycles)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		mutate func(*Config)
+		want   string
+	}{
+		{func(c *Config) { c.Procs = 0 }, "Procs"},
+		{func(c *Config) { c.LineWords = 3 }, "LineWords"},
+		{func(c *Config) { c.CacheWords = 6 }, "CacheWords"},
+		{func(c *Config) { c.Assoc = 0 }, "Assoc"},
+		{func(c *Config) { c.TimetagBits = 0 }, "TimetagBits"},
+		{func(c *Config) { c.TimetagBits = 63 }, "TimetagBits"},
+		{func(c *Config) { c.SwitchArity = 1 }, "SwitchArity"},
+		{func(c *Config) { c.CacheWords = 12; c.LineWords = 4; c.Assoc = 2 }, "associativity"},
+		{func(c *Config) { c.Topology = "hypercube" }, "topology"},
+		{func(c *Config) { c.L1Words = 6 }, "L1Words"},
+	}
+	for _, cse := range cases {
+		c := Default(SchemeTPI)
+		cse.mutate(&c)
+		err := c.Validate()
+		if err == nil || !strings.Contains(err.Error(), cse.want) {
+			t.Errorf("want error containing %q, got %v", cse.want, err)
+		}
+	}
+}
+
+func TestMaxWindow(t *testing.T) {
+	c := Default(SchemeTPI)
+	c.TimetagBits = 8
+	if c.MaxWindow() != 254 {
+		t.Errorf("MaxWindow(8) = %d", c.MaxWindow())
+	}
+	c.TimetagBits = 2
+	if c.MaxWindow() != 2 {
+		t.Errorf("MaxWindow(2) = %d", c.MaxWindow())
+	}
+}
+
+func TestSchemeStrings(t *testing.T) {
+	want := []string{"BASE", "SC", "TPI", "HW"}
+	for i, s := range Schemes {
+		if s.String() != want[i] {
+			t.Errorf("scheme %d = %s", i, s)
+		}
+	}
+	if !strings.Contains(Scheme(99).String(), "99") {
+		t.Error("unknown scheme string")
+	}
+}

@@ -1,0 +1,131 @@
+package marking_test
+
+// Marking-stability tests over the benchmark kernels: these pin down the
+// compiler's per-kernel behaviour (how many reads end up Regular /
+// Time-Read / Bypass and the window distribution), so an analysis
+// regression that silently degrades precision — or worse, silently
+// loosens conservatism — shows up as a test failure rather than a
+// perturbation buried in simulator statistics.
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/marking"
+)
+
+type markCounts struct {
+	regular, timeread, bypass int
+	maxWindow                 int
+}
+
+func countMarks(t *testing.T, name string, interproc, reuse bool) markCounts {
+	t.Helper()
+	k, err := bench.Get(name, bench.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.CompileOptions{
+		Interproc:      interproc,
+		FirstReadReuse: reuse,
+		AlignWords:     4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mc markCounts
+	for _, m := range c.Marks.Marks {
+		switch m.Kind {
+		case marking.Regular:
+			mc.regular++
+		case marking.TimeRead:
+			mc.timeread++
+			if m.Window > mc.maxWindow {
+				mc.maxWindow = m.Window
+			}
+		case marking.Bypass:
+			mc.bypass++
+		}
+	}
+	return mc
+}
+
+func TestKernelMarkingProfiles(t *testing.T) {
+	// Expected static marking profile per kernel with full analysis.
+	// These are behavioural pins, revisited deliberately when the
+	// analysis changes.
+	want := map[string]struct {
+		minRegular, minTimeread, minBypass int
+	}{
+		"spec77": {minRegular: 1, minTimeread: 4, minBypass: 1},
+		"ocean":  {minRegular: 0, minTimeread: 8, minBypass: 2},
+		"flo52":  {minRegular: 0, minTimeread: 6, minBypass: 0},
+		"qcd2":   {minRegular: 1, minTimeread: 3, minBypass: 1},
+		"trfd":   {minRegular: 1, minTimeread: 3, minBypass: 0},
+		"arc2d":  {minRegular: 0, minTimeread: 4, minBypass: 0},
+	}
+	for name, w := range want {
+		mc := countMarks(t, name, true, true)
+		if mc.regular < w.minRegular {
+			t.Errorf("%s: regular reads = %d, want >= %d", name, mc.regular, w.minRegular)
+		}
+		if mc.timeread < w.minTimeread {
+			t.Errorf("%s: time-reads = %d, want >= %d", name, mc.timeread, w.minTimeread)
+		}
+		if mc.bypass < w.minBypass {
+			t.Errorf("%s: bypasses = %d, want >= %d", name, mc.bypass, w.minBypass)
+		}
+		// Windows stay small on these kernels: epoch distances are short.
+		if mc.maxWindow > 64 {
+			t.Errorf("%s: suspiciously wide window %d", name, mc.maxWindow)
+		}
+	}
+}
+
+func TestReuseAblationNeverAddsRegulars(t *testing.T) {
+	for _, name := range bench.Names {
+		full := countMarks(t, name, true, true)
+		noReuse := countMarks(t, name, true, false)
+		if noReuse.regular > full.regular {
+			t.Errorf("%s: disabling reuse analysis cannot create Regular marks (%d -> %d)",
+				name, full.regular, noReuse.regular)
+		}
+		if noReuse.timeread < full.timeread {
+			t.Errorf("%s: disabling reuse analysis cannot remove Time-Reads (%d -> %d)",
+				name, full.timeread, noReuse.timeread)
+		}
+	}
+}
+
+func TestInterprocAblationNeverWidensWindows(t *testing.T) {
+	for _, name := range bench.Names {
+		k, err := bench.Get(name, bench.DefaultParams())
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := core.Compile(k.Source, core.CompileOptions{Interproc: true, FirstReadReuse: true, AlignWords: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := core.Compile(k.Source, core.CompileOptions{Interproc: false, FirstReadReuse: true, AlignWords: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(full.Marks.Marks) != len(off.Marks.Marks) {
+			t.Fatalf("%s: mark counts differ", name)
+		}
+		for i := range full.Marks.Marks {
+			fm, om := full.Marks.Marks[i], off.Marks.Marks[i]
+			if fm.Kind == marking.TimeRead && om.Kind == marking.TimeRead && om.Window > fm.Window {
+				t.Errorf("%s ref %d: interproc-off window %d wider than full %d",
+					name, i, om.Window, fm.Window)
+			}
+			// A Regular mark under full analysis may become a Time-Read
+			// without interprocedural information, never the other way.
+			if fm.Kind == marking.TimeRead && om.Kind == marking.Regular {
+				t.Errorf("%s ref %d: losing interprocedural info cannot prove more", name, i)
+			}
+		}
+	}
+}

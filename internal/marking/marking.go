@@ -1,0 +1,335 @@
+// Package marking implements the paper's reference-marking algorithm:
+// stale-reference-sequence detection over the epoch flow graph, first-read
+// (upwardly-exposed) identification for intra-task reuse, and assignment
+// of conservative Time-Read epoch windows.
+//
+// Every read reference receives one of three marks:
+//
+//   - Regular: the cached copy can never be stale (covered by an earlier
+//     access of the same task instance, or the data has no possible writer
+//     before this read). The hardware performs an ordinary tag-match load.
+//   - TimeRead(w): potentially stale; the hardware hits only when the
+//     word's timetag tt satisfies tt >= E - w for current epoch counter E.
+//     w is a proven lower bound on the epoch distance from the most recent
+//     possible cross-task write.
+//   - Bypass: lock-protected data inside a critical section; same-epoch
+//     cross-task communication is possible, so the access always goes to
+//     memory.
+//
+// Soundness invariant (checked at runtime by the simulator's staleness
+// oracle): a Regular or TimeRead-hit load never returns a value older than
+// the most recent write to that word.
+package marking
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sections"
+	"repro/internal/symexpr"
+)
+
+// Kind classifies a read reference's coherence behaviour.
+type Kind int
+
+const (
+	// Regular is an ordinary load (address tag check only).
+	Regular Kind = iota
+	// TimeRead is a load that additionally checks the word timetag.
+	TimeRead
+	// Bypass always reads from memory (critical-section data).
+	Bypass
+	// WriteRef marks a write reference (write-through; no read marking).
+	WriteRef
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Regular:
+		return "read"
+	case TimeRead:
+		return "time-read"
+	case Bypass:
+		return "bypass"
+	case WriteRef:
+		return "write"
+	default:
+		return "?"
+	}
+}
+
+// Mark is the per-reference marking result.
+type Mark struct {
+	Kind Kind
+	// Window is the Time-Read epoch window w (Kind == TimeRead only): the
+	// access hits iff timetag >= E - w.
+	Window int
+	// Reason is a human-readable explanation for tooling and tests.
+	Reason string
+}
+
+// Result holds the whole-program marking, indexed by RefID.
+type Result struct {
+	Analysis *sections.Analysis
+	Marks    []Mark
+
+	// Stats for reporting.
+	NumRegular, NumTimeRead, NumBypass, NumWrite int
+}
+
+// WindowHistogram buckets the Time-Read windows: [0]=w0, [1]=w1, [2]=w2,
+// [3]=w>=3. Narrow windows are the compiler's conservatism at work.
+func (r *Result) WindowHistogram() [4]int {
+	var h [4]int
+	for _, m := range r.Marks {
+		if m.Kind != TimeRead {
+			continue
+		}
+		w := m.Window
+		if w > 3 {
+			w = 3
+		}
+		h[w]++
+	}
+	return h
+}
+
+// Options configures marking.
+type Options struct {
+	// FirstReadReuse enables coverage by earlier same-task accesses
+	// (the intra-task reuse analysis). Disabled, every potentially-stale
+	// read is a Time-Read — the paper's ablation for reuse analysis.
+	FirstReadReuse bool
+}
+
+// DefaultOptions enables all analyses.
+func DefaultOptions() Options { return Options{FirstReadReuse: true} }
+
+// Compute runs the marking algorithm over a completed section analysis.
+func Compute(a *sections.Analysis, opts Options) *Result {
+	res := &Result{
+		Analysis: a,
+		Marks:    make([]Mark, a.Prog.Info.NumRefs),
+	}
+	for _, name := range procNames(a) {
+		ps := a.Procs[name]
+		m := &marker{a: a, ps: ps, res: res, opts: opts, distFromEntry: ps.Graph.DistFromEntry()}
+		for _, ns := range ps.Nodes {
+			m.markNode(ns)
+		}
+	}
+	for _, mk := range res.Marks {
+		switch mk.Kind {
+		case Regular:
+			res.NumRegular++
+		case TimeRead:
+			res.NumTimeRead++
+		case Bypass:
+			res.NumBypass++
+		case WriteRef:
+			res.NumWrite++
+		}
+	}
+	return res
+}
+
+func procNames(a *sections.Analysis) []string {
+	ns := make([]string, 0, len(a.Procs))
+	for n := range a.Procs {
+		ns = append(ns, n)
+	}
+	sort.Strings(ns)
+	return ns
+}
+
+type marker struct {
+	a             *sections.Analysis
+	ps            *sections.ProcSummary
+	res           *Result
+	opts          Options
+	distFromEntry []int
+}
+
+// markNode assigns marks to every reference in one epoch node.
+func (m *marker) markNode(ns *sections.NodeSummary) {
+	// covered accumulates sections already touched by must-execute
+	// references earlier in the same task instance, keyed by array.
+	covered := map[string][]*sections.Ref{}
+
+	// Variables written inside critical sections of this epoch can change
+	// under another task's lock at any moment of the epoch; every read of
+	// them in this epoch — critical or not — must go to memory.
+	critWritten := map[string]bool{}
+	for _, r := range ns.Refs {
+		if r.Write && (r.InCritical || r.InOrdered) {
+			critWritten[r.Array] = true
+		}
+	}
+
+	for _, r := range ns.Refs {
+		switch {
+		case r.Write:
+			m.res.Marks[r.RefID] = Mark{Kind: WriteRef, Reason: "write-through"}
+		case critWritten[r.Array]:
+			m.res.Marks[r.RefID] = Mark{Kind: Bypass, Reason: "lock-protected data (written under lock this epoch)"}
+		default:
+			m.res.Marks[r.RefID] = m.markRead(ns, r, covered)
+		}
+		if m.opts.FirstReadReuse && r.MustExecute() && !r.InCritical && !r.InOrdered && !critWritten[r.Array] {
+			covered[r.Array] = append(covered[r.Array], r)
+		}
+	}
+}
+
+// markRead classifies one read reference.
+func (m *marker) markRead(ns *sections.NodeSummary, r *sections.Ref, covered map[string][]*sections.Ref) Mark {
+	if r.InCritical {
+		return Mark{Kind: Bypass, Reason: "critical-section data"}
+	}
+	if r.InOrdered {
+		return Mark{Kind: Bypass, Reason: "ordered-section (doacross) data"}
+	}
+
+	// Intra-task coverage: an earlier must-execute access of the same task
+	// instance that certainly touched this element makes the copy current
+	// for the rest of the epoch (no other task may write it this epoch).
+	if m.opts.FirstReadReuse {
+		for _, c := range covered[r.Array] {
+			if taskCovers(c, r) {
+				return Mark{Kind: Regular, Reason: fmt.Sprintf("covered by earlier access at %s", c.Pos)}
+			}
+		}
+	}
+
+	// Find candidate cross-task writers and the minimum epoch distance.
+	window := sections.Infinity
+	why := ""
+	rSec := r.NodeSec()
+
+	for _, ws := range m.ps.Nodes {
+		mod, ok := ws.Mod[r.Array]
+		if !ok {
+			continue
+		}
+		if !mod.MayOverlap(rSec, nil) {
+			continue
+		}
+		var d int
+		if ws.Node == ns.Node {
+			d = m.ps.Graph.Dist(ns.Node, ns.Node) // cross-instance self distance
+		} else {
+			d = m.ps.Graph.Dist(ws.Node, ns.Node)
+		}
+		if d < 0 {
+			continue // writer cannot precede this read
+		}
+		if d < window {
+			window = d
+			why = fmt.Sprintf("write in epoch node n%d at distance %d", ws.Node.ID, d)
+		}
+	}
+
+	// Writes that happened before procedure entry.
+	if ef := m.ps.EntryFresh[r.Array]; ef < sections.Infinity {
+		if de := m.distFromEntry[ns.Node.ID]; de >= 0 && ef+de < window {
+			window = ef + de
+			why = fmt.Sprintf("pre-entry write at freshness %d + entry distance %d", ef, de)
+		}
+	}
+
+	if window >= sections.Infinity {
+		return Mark{Kind: Regular, Reason: "no possible prior cross-task write"}
+	}
+	return Mark{Kind: TimeRead, Window: window, Reason: why}
+}
+
+// taskCovers reports whether an earlier reference `cov` certainly touched
+// every element that `r` touches, within the same task instance.
+func taskCovers(cov, r *sections.Ref) bool {
+	if cov.Array != r.Array {
+		return false
+	}
+	if cov.IsScalar && r.IsScalar {
+		return true
+	}
+	// Identify the shared loop-frame prefix (same source loops).
+	shared := 0
+	for shared < len(cov.Loops) && shared < len(r.Loops) &&
+		cov.Loops[shared].Stmt == r.Loops[shared].Stmt {
+		shared++
+	}
+	// cov must execute in every iteration of the frames beyond the shared
+	// prefix that enclose r... no: cov's own extra frames are expanded, so
+	// they only need to be provably non-empty; that is part of
+	// MustExecute, which the caller established before adding cov.
+
+	// Expand both references over their non-shared frames; shared frames
+	// and the doall variable stay symbolic (same values for both).
+	covSec := expandBeyond(cov, shared)
+	rSec := expandBeyond(r, shared)
+	return covSec.MustContain(rSec, nil)
+}
+
+// expandBeyond expands a reference's section over its loop frames beyond
+// the first `shared` frames (innermost first), keeping shared frames and
+// the doall variable symbolic.
+func expandBeyond(r *sections.Ref, shared int) symexpr.Section {
+	s := r.PointSec()
+	for i := len(r.Loops) - 1; i >= shared; i-- {
+		f := r.Loops[i]
+		s = s.Expand(f.Var, f.Lo, f.Hi)
+	}
+	return s
+}
+
+// Report renders a human-readable marking summary per procedure, in
+// source order, for cmd/tpicc and golden tests.
+func (r *Result) Report() string {
+	var b strings.Builder
+	a := r.Analysis
+	for _, name := range procNames(a) {
+		ps := a.Procs[name]
+		fmt.Fprintf(&b, "proc %s:\n", name)
+		for _, ns := range ps.Nodes {
+			if len(ns.Refs) == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  epoch n%d (%s):\n", ns.Node.ID, ns.Node.Kind)
+			for _, ref := range ns.Refs {
+				mk := r.Marks[ref.RefID]
+				loc := refString(ref)
+				switch mk.Kind {
+				case TimeRead:
+					fmt.Fprintf(&b, "    %-20s %s window=%d  # %s\n", loc, mk.Kind, mk.Window, mk.Reason)
+				case WriteRef:
+					fmt.Fprintf(&b, "    %-20s %s\n", loc, mk.Kind)
+				default:
+					fmt.Fprintf(&b, "    %-20s %s  # %s\n", loc, mk.Kind, mk.Reason)
+				}
+			}
+		}
+	}
+	return b.String()
+}
+
+func refString(r *sections.Ref) string {
+	if r.IsScalar {
+		return fmt.Sprintf("%s@%s", r.Array, r.Pos)
+	}
+	var parts []string
+	for _, s := range r.Subs {
+		parts = append(parts, s.String())
+	}
+	return fmt.Sprintf("%s[%s]@%s", r.Array, strings.Join(parts, "]["), r.Pos)
+}
+
+// MarkOf is a convenience accessor used by the simulator: it returns the
+// mark for a reference id, defaulting to a conservative Time-Read window 0
+// for ids the compiler never saw (defensive; should not happen).
+func (r *Result) MarkOf(refID int) Mark {
+	if refID < 0 || refID >= len(r.Marks) {
+		return Mark{Kind: TimeRead, Window: 0, Reason: "unknown ref"}
+	}
+	return r.Marks[refID]
+}

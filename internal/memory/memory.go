@@ -1,0 +1,83 @@
+// Package memory models the shared main memory: a word-addressed float64
+// store with per-word provenance (last writer and last write epoch). The
+// provenance doubles as the simulator's staleness oracle: the memory is
+// always authoritative under write-through, so any cached value that
+// disagrees with it (and predates its last write) is stale.
+package memory
+
+import (
+	"fmt"
+
+	"repro/internal/prog"
+)
+
+// Memory is the simulated shared main memory.
+type Memory struct {
+	words          []float64
+	lastWriteEpoch []int64
+	lastWriter     []int32
+}
+
+// New creates a zeroed memory of the given extent.
+func New(words int64) *Memory {
+	m := &Memory{
+		words:          make([]float64, words),
+		lastWriteEpoch: make([]int64, words),
+		lastWriter:     make([]int32, words),
+	}
+	for i := range m.lastWriter {
+		m.lastWriter[i] = -1 // written by "program load"
+	}
+	return m
+}
+
+// Size returns the memory extent in words.
+func (m *Memory) Size() int64 { return int64(len(m.words)) }
+
+// Read returns the current (authoritative) value of a word.
+func (m *Memory) Read(addr prog.Word) float64 {
+	return m.words[addr]
+}
+
+// Write stores a value with provenance.
+func (m *Memory) Write(addr prog.Word, v float64, proc int, epoch int64) {
+	m.words[addr] = v
+	m.lastWriteEpoch[addr] = epoch
+	m.lastWriter[addr] = int32(proc)
+}
+
+// LastWriteEpoch returns the epoch of the most recent write to addr
+// (0 if never written since load).
+func (m *Memory) LastWriteEpoch(addr prog.Word) int64 {
+	return m.lastWriteEpoch[addr]
+}
+
+// LastWriter returns the processor that last wrote addr (-1 = initial).
+func (m *Memory) LastWriter(addr prog.Word) int {
+	return int(m.lastWriter[addr])
+}
+
+// InitWord sets a word's initial value without provenance (program load).
+func (m *Memory) InitWord(addr prog.Word, v float64) {
+	m.words[addr] = v
+}
+
+// CheckFresh panics unless the supplied value matches the authoritative
+// word. It is the staleness oracle used to verify that regular reads and
+// Time-Read hits never return stale data; a failure is a compiler-marking
+// or protocol soundness bug, which must abort the experiment rather than
+// silently corrupt it.
+func (m *Memory) CheckFresh(addr prog.Word, got float64, proc int, context string) {
+	want := m.words[addr]
+	if got != want {
+		panic(fmt.Sprintf("memory: STALE READ by P%d at word %d: got %v, want %v (%s; last write by P%d at epoch %d)",
+			proc, addr, got, want, context, m.LastWriter(addr), m.LastWriteEpoch(addr)))
+	}
+}
+
+// Snapshot copies the current contents (for end-of-run comparisons).
+func (m *Memory) Snapshot() []float64 {
+	out := make([]float64, len(m.words))
+	copy(out, m.words)
+	return out
+}

@@ -1,0 +1,66 @@
+package memory
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadWriteProvenance(t *testing.T) {
+	m := New(16)
+	if m.Size() != 16 {
+		t.Fatalf("size = %d", m.Size())
+	}
+	if m.LastWriter(3) != -1 {
+		t.Fatal("initial writer must be -1 (program load)")
+	}
+	m.Write(3, 2.5, 7, 42)
+	if m.Read(3) != 2.5 || m.LastWriter(3) != 7 || m.LastWriteEpoch(3) != 42 {
+		t.Fatalf("provenance: v=%v w=%d e=%d", m.Read(3), m.LastWriter(3), m.LastWriteEpoch(3))
+	}
+}
+
+func TestInitWordHasNoProvenance(t *testing.T) {
+	m := New(8)
+	m.InitWord(2, 1.5)
+	if m.Read(2) != 1.5 {
+		t.Fatal("init value")
+	}
+	if m.LastWriteEpoch(2) != 0 || m.LastWriter(2) != -1 {
+		t.Fatal("InitWord must not record a write")
+	}
+}
+
+func TestCheckFreshPassesOnMatch(t *testing.T) {
+	m := New(8)
+	m.Write(1, 3.0, 0, 1)
+	m.CheckFresh(1, 3.0, 2, "test") // must not panic
+}
+
+func TestCheckFreshPanicsOnStale(t *testing.T) {
+	m := New(8)
+	m.Write(1, 3.0, 0, 5)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("CheckFresh must panic on a stale value")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "STALE READ") {
+			t.Fatalf("panic payload: %v", r)
+		}
+	}()
+	m.CheckFresh(1, 2.0, 3, "test")
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	m := New(4)
+	m.Write(0, 1.0, 0, 1)
+	snap := m.Snapshot()
+	m.Write(0, 2.0, 0, 2)
+	if snap[0] != 1.0 {
+		t.Fatal("snapshot must not alias live memory")
+	}
+	if len(snap) != 4 {
+		t.Fatalf("snapshot length %d", len(snap))
+	}
+}

@@ -1,0 +1,220 @@
+// Package memsys defines the interface between the execution-driven
+// simulator and a coherence scheme's memory system, plus helpers shared
+// by the scheme implementations (miss classification, fill/evict logic,
+// network-latency accounting).
+//
+// All schemes move real float64 values: the simulator reads through the
+// simulated caches, so any coherence bug corrupts the computation and is
+// caught by the sequential-equivalence tests and the staleness oracle.
+package memsys
+
+import (
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memory"
+	"repro/internal/network"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// ReadKind tells the memory system how the compiler marked a read.
+type ReadKind int
+
+const (
+	// ReadRegular is an ordinary load.
+	ReadRegular ReadKind = iota
+	// ReadTime is a Time-Read with an epoch window.
+	ReadTime
+	// ReadBypass always fetches from memory.
+	ReadBypass
+)
+
+func (k ReadKind) String() string {
+	switch k {
+	case ReadRegular:
+		return "regular-read"
+	case ReadTime:
+		return "time-read"
+	case ReadBypass:
+		return "bypass-read"
+	default:
+		return "?"
+	}
+}
+
+// System is a coherence scheme's memory system for one machine.
+type System interface {
+	// Name returns the scheme name ("TPI", "HW", ...).
+	Name() string
+	// Read performs a load by processor p and returns the value and the
+	// processor stall in cycles. window is the Time-Read epoch window
+	// (ReadTime only).
+	Read(p int, addr prog.Word, kind ReadKind, window int) (float64, int64)
+	// Write performs a store by processor p and returns the processor
+	// stall in cycles (usually 0: writes are buffered under weak
+	// consistency). crit marks critical-section stores, which must be
+	// immediately visible to same-epoch bypass readers and must not leave
+	// epoch-fresh copies behind in HSCD caches.
+	Write(p int, addr prog.Word, val float64, crit bool) int64
+	// EpochBoundary announces the global barrier advancing the epoch
+	// counter to epoch; it returns any extra stall applied to every
+	// processor (e.g. a two-phase timetag reset).
+	EpochBoundary(epoch int64) int64
+	// Mem exposes the authoritative memory (for initialization and
+	// end-of-run result extraction).
+	Mem() *memory.Memory
+	// Stats exposes the run's measurements.
+	Stats() *stats.Stats
+	// Net exposes the network model (the simulator advances its clock).
+	Net() network.Net
+}
+
+// Versioned is implemented by schemes that track per-variable version
+// numbers (the Cheong–Veidenbaum version-control scheme): the simulator
+// reports, at each epoch boundary, which variables the finished epoch may
+// have modified.
+type Versioned interface {
+	// EpochMods announces the (global) array/scalar names the epoch that
+	// just finished may have written; the scheme advances their current
+	// version numbers.
+	EpochMods(names []string)
+}
+
+// Core bundles the state every scheme implementation shares.
+type Core struct {
+	Cfg    machine.Config
+	Memory *memory.Memory
+	Netw   network.Net
+	St     stats.Stats
+	Epoch  int64
+}
+
+// NewCore builds the shared state for a scheme. The memory extent is
+// rounded up to a whole number of cache lines so line fills at the end of
+// the data segment stay in bounds (the padding words belong to no array).
+func NewCore(cfg machine.Config, memWords int64) *Core {
+	lw := int64(cfg.LineWords)
+	if lw > 0 {
+		memWords = (memWords + lw - 1) / lw * lw
+	}
+	c := &Core{
+		Cfg:    cfg,
+		Memory: memory.New(memWords),
+	}
+	if cfg.Topology == "torus" {
+		c.Netw = network.NewTorus(cfg.Procs)
+	} else {
+		c.Netw = network.New(cfg.Procs, cfg.SwitchArity)
+	}
+	c.St.Scheme = cfg.Scheme.String()
+	return c
+}
+
+// Mem implements System.
+func (c *Core) Mem() *memory.Memory { return c.Memory }
+
+// Stats implements System.
+func (c *Core) Stats() *stats.Stats { return &c.St }
+
+// Net implements System.
+func (c *Core) Net() network.Net { return c.Netw }
+
+// HomeOf returns the memory module (home node) of a word: lines are
+// interleaved across the processors' local memories, as on the T3D.
+func (c *Core) HomeOf(addr prog.Word) int {
+	return int(int64(addr) / int64(c.Cfg.LineWords) % int64(c.Cfg.Procs))
+}
+
+// ClassifyMiss decides the miss class for a word that is absent from
+// processor p's cache, using the per-word tracker history and, for words
+// lost to resets, whether the data actually changed since.
+func (c *Core) ClassifyMiss(tr *cache.Tracker, addr prog.Word) stats.MissClass {
+	if !tr.Seen(addr) {
+		return stats.MissCold
+	}
+	reason, lostTT := tr.Lost(addr)
+	switch reason {
+	case cache.LostReplaced:
+		return stats.MissReplace
+	case cache.LostInvalTrue:
+		return stats.MissTrueSharing
+	case cache.LostInvalFalse:
+		return stats.MissFalseSharing
+	case cache.LostReset:
+		// A reset dropped the word; if nobody wrote it since the copy was
+		// made, the re-fetch is a pure artifact of the small timetag.
+		if c.Memory.LastWriteEpoch(addr) > lostTT {
+			return stats.MissTrueSharing
+		}
+		return stats.MissConservative
+	default:
+		// Seen but never recorded as lost: a word-grain hole in a present
+		// line (e.g. write-validate fill neighbours): treat as cold.
+		return stats.MissCold
+	}
+}
+
+// MissFill fills the whole line containing addr into cacheC for processor
+// p with fresh memory data, evicting as needed, and returns the line and
+// word index. Timetags: the accessed word gets ttAccessed, its neighbours
+// ttNeighbour (the TPI fill rule; write-through schemes pass the epoch for
+// both). The tracker records eviction losses and the new residency.
+func (c *Core) MissFill(cc *cache.Cache, tr *cache.Tracker, addr prog.Word, ttAccessed, ttNeighbour int64) (*cache.Line, int) {
+	v := cc.Victim(addr)
+	if v.State != cache.Invalid {
+		c.evict(cc, tr, v)
+	}
+	tag, w := cc.Split(addr)
+	base := cc.LineBase(addr)
+	v.Tag = tag
+	v.State = cache.Shared
+	v.Dirty = false
+	for i := 0; i < cc.LineWords(); i++ {
+		a := base + prog.Word(i)
+		v.Vals[i] = c.Memory.Read(a)
+		if i == w {
+			v.TT[i] = ttAccessed
+		} else {
+			v.TT[i] = ttNeighbour
+		}
+		v.Used[i] = false
+		tr.NoteCached(a)
+	}
+	v.Used[w] = true
+	cc.Touch(v)
+	return v, w
+}
+
+// evict records the loss of every valid word of a victim line.
+func (c *Core) evict(cc *cache.Cache, tr *cache.Tracker, v *cache.Line) {
+	base := prog.Word(v.Tag * int64(cc.LineWords()))
+	for i := 0; i < cc.LineWords(); i++ {
+		if v.TT[i] != cache.TTInvalid {
+			tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
+		}
+	}
+	v.InvalidateLine()
+}
+
+// LineMissLatency is the read-miss stall: base miss cost plus a request
+// out and a line-sized reply back through the network (average distance).
+func (c *Core) LineMissLatency() int64 {
+	return c.Cfg.MissCycles + c.Netw.RoundTrip(c.Cfg.LineWords)
+}
+
+// LineMissLatencyFor is the distance-aware variant: the request travels
+// from processor p to the word's home node and the line travels back.
+func (c *Core) LineMissLatencyFor(p int, addr prog.Word) int64 {
+	return c.Cfg.MissCycles + c.Netw.RoundTripBetween(p, c.HomeOf(addr), c.Cfg.LineWords)
+}
+
+// WordMissLatency is the stall of an uncached single-word fetch
+// (average distance).
+func (c *Core) WordMissLatency() int64 {
+	return c.Cfg.MissCycles + c.Netw.RoundTrip(1)
+}
+
+// WordMissLatencyFor is the distance-aware single-word fetch.
+func (c *Core) WordMissLatencyFor(p int, addr prog.Word) int64 {
+	return c.Cfg.MissCycles + c.Netw.RoundTripBetween(p, c.HomeOf(addr), 1)
+}

@@ -1,0 +1,43 @@
+package memsys
+
+import (
+	"repro/internal/machine"
+	"repro/internal/prog"
+)
+
+// Oracle is the reference memory system: no caches, no latency, direct
+// authoritative memory. Running a program on the Oracle with one
+// processor yields the sequential-semantics result that every coherence
+// scheme must reproduce bit-for-bit.
+type Oracle struct {
+	*Core
+}
+
+// NewOracle builds the reference system.
+func NewOracle(cfg machine.Config, memWords int64) *Oracle {
+	o := &Oracle{Core: NewCore(cfg, memWords)}
+	o.St.Scheme = "ORACLE"
+	return o
+}
+
+// Name implements System.
+func (o *Oracle) Name() string { return "ORACLE" }
+
+// Read implements System.
+func (o *Oracle) Read(p int, addr prog.Word, kind ReadKind, window int) (float64, int64) {
+	o.St.Reads++
+	return o.Memory.Read(addr), 0
+}
+
+// Write implements System.
+func (o *Oracle) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	o.St.Writes++
+	o.Memory.Write(addr, val, p, o.Epoch)
+	return 0
+}
+
+// EpochBoundary implements System.
+func (o *Oracle) EpochBoundary(epoch int64) int64 {
+	o.Epoch = epoch
+	return 0
+}

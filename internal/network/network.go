@@ -1,0 +1,94 @@
+// Package network implements the interconnection network model: an
+// indirect k-ary multistage network whose delays follow the Kruskal–Snir
+// analytic queueing model, plus per-class traffic accounting.
+//
+// The Kruskal–Snir result approximates the expected waiting time per
+// stage of an unbuffered/buffered banyan under offered load m (packets
+// per cycle per input) with k-input switches as
+//
+//	w = m * (1 - 1/k) / (2 * (1 - m))
+//
+// so a request that traverses n = ceil(log_k P) stages with a payload of
+// L words sees a network delay of roughly n*(1+w) + (L-1) pipelined
+// cycles each way.
+package network
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is the analytic network model.
+type Model struct {
+	Procs  int
+	Arity  int // k
+	Stages int // ceil(log_k Procs)
+
+	// load estimation state: an exponentially-weighted words/cycle/port.
+	ewmaLoad  float64
+	lastCycle int64
+	words     int64 // words injected since lastCycle
+}
+
+// New builds the model for a machine size.
+func New(procs, arity int) *Model {
+	if arity < 2 {
+		arity = 2
+	}
+	stages := 0
+	for n := 1; n < procs; n *= arity {
+		stages++
+	}
+	if stages == 0 {
+		stages = 1
+	}
+	return &Model{Procs: procs, Arity: arity, Stages: stages}
+}
+
+// Inject records words entering the network (for load estimation).
+func (m *Model) Inject(words int64) { m.words += words }
+
+// AdvanceTo updates the load estimate at a new global cycle count.
+func (m *Model) AdvanceTo(cycle int64) {
+	if cycle <= m.lastCycle {
+		return
+	}
+	dt := cycle - m.lastCycle
+	inst := float64(m.words) / (float64(dt) * float64(m.Procs))
+	const alpha = 0.25
+	m.ewmaLoad = alpha*inst + (1-alpha)*m.ewmaLoad
+	m.words = 0
+	m.lastCycle = cycle
+}
+
+// Load returns the current offered-load estimate, clamped to [0, 0.95]
+// so the queueing term stays finite.
+func (m *Model) Load() float64 {
+	l := m.ewmaLoad
+	if l < 0 {
+		return 0
+	}
+	if l > 0.95 {
+		return 0.95
+	}
+	return l
+}
+
+// Delay returns the one-way network traversal time in cycles for a packet
+// of payloadWords under the current load estimate.
+func (m *Model) Delay(payloadWords int) int64 {
+	load := m.Load()
+	perStageWait := load * (1 - 1/float64(m.Arity)) / (2 * (1 - load))
+	d := float64(m.Stages)*(1+perStageWait) + float64(payloadWords-1)
+	return int64(math.Ceil(d))
+}
+
+// RoundTrip returns request + response traversal time: a small request
+// packet out, a payload packet back.
+func (m *Model) RoundTrip(payloadWords int) int64 {
+	return m.Delay(1) + m.Delay(payloadWords)
+}
+
+func (m *Model) String() string {
+	return fmt.Sprintf("network{P=%d, %d-ary, %d stages, load=%.3f}", m.Procs, m.Arity, m.Stages, m.Load())
+}

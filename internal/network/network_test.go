@@ -1,0 +1,176 @@
+package network
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestStageCount(t *testing.T) {
+	cases := []struct {
+		procs, arity, want int
+	}{
+		{16, 4, 2},
+		{16, 2, 4},
+		{64, 4, 3},
+		{1024, 4, 5},
+		{1, 2, 1},
+		{3, 2, 2},
+	}
+	for _, c := range cases {
+		m := New(c.procs, c.arity)
+		if m.Stages != c.want {
+			t.Errorf("New(%d,%d).Stages = %d, want %d", c.procs, c.arity, m.Stages, c.want)
+		}
+	}
+}
+
+func TestDelayGrowsWithLoad(t *testing.T) {
+	m := New(16, 4)
+	d0 := m.Delay(4)
+	// Saturate the load estimator.
+	m.Inject(100000)
+	m.AdvanceTo(1000)
+	if m.Load() <= 0 {
+		t.Fatal("load estimator did not rise")
+	}
+	d1 := m.Delay(4)
+	if d1 <= d0 {
+		t.Fatalf("loaded delay %d must exceed unloaded %d", d1, d0)
+	}
+}
+
+func TestLoadClamped(t *testing.T) {
+	m := New(16, 4)
+	for i := 0; i < 50; i++ {
+		m.Inject(1 << 40)
+		m.AdvanceTo(int64(i+1) * 10)
+	}
+	if l := m.Load(); l > 0.95 {
+		t.Fatalf("load %f exceeds clamp", l)
+	}
+	// Delay stays finite at the clamp.
+	if d := m.Delay(4); d <= 0 || d > 10000 {
+		t.Fatalf("clamped delay = %d", d)
+	}
+}
+
+func TestDelayGrowsWithPayload(t *testing.T) {
+	m := New(16, 4)
+	if !(m.Delay(16) > m.Delay(4) && m.Delay(4) > m.Delay(1)) {
+		t.Fatal("delay must grow with payload (pipelined words)")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	m := New(16, 4)
+	if m.RoundTrip(4) != m.Delay(1)+m.Delay(4) {
+		t.Fatal("round trip = request + reply")
+	}
+}
+
+func TestAdvanceIgnoresPast(t *testing.T) {
+	m := New(16, 4)
+	m.Inject(100)
+	m.AdvanceTo(100)
+	l := m.Load()
+	m.AdvanceTo(50) // no-op
+	if m.Load() != l {
+		t.Fatal("AdvanceTo into the past must not change the estimate")
+	}
+}
+
+func TestQuickDelayMonotoneInLoad(t *testing.T) {
+	// For any pair of load states, more load never means less delay.
+	f := func(a, b uint16) bool {
+		m1, m2 := New(16, 4), New(16, 4)
+		m1.Inject(int64(a))
+		m1.AdvanceTo(100)
+		m2.Inject(int64(b))
+		m2.AdvanceTo(100)
+		if m1.Load() <= m2.Load() {
+			return m1.Delay(4) <= m2.Delay(4)
+		}
+		return m1.Delay(4) >= m2.Delay(4)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForm(t *testing.T) {
+	m := New(16, 4)
+	if s := m.String(); s == "" {
+		t.Fatal("empty string form")
+	}
+}
+
+func TestTorusDims(t *testing.T) {
+	cases := []struct{ procs, dx, dy int }{
+		{16, 4, 4},
+		{8, 2, 4},
+		{12, 3, 4},
+		{7, 1, 7},
+		{1, 1, 1},
+	}
+	for _, c := range cases {
+		tr := NewTorus(c.procs)
+		if tr.DimX != c.dx || tr.DimY != c.dy {
+			t.Errorf("NewTorus(%d) = %dx%d, want %dx%d", c.procs, tr.DimX, tr.DimY, c.dx, c.dy)
+		}
+		if tr.DimX*tr.DimY != c.procs {
+			t.Errorf("NewTorus(%d): dims do not multiply out", c.procs)
+		}
+	}
+}
+
+func TestTorusHops(t *testing.T) {
+	tr := NewTorus(16) // 4x4
+	if got := tr.Hops(0, 0); got != 0 {
+		t.Errorf("self distance = %d", got)
+	}
+	if got := tr.Hops(0, 3); got != 1 {
+		t.Errorf("ring wrap 0->3 = %d, want 1", got)
+	}
+	if got := tr.Hops(0, 5); got != 2 {
+		t.Errorf("diagonal 0->5 = %d, want 2", got)
+	}
+	// max distance on a 4x4 torus is 2+2
+	max := 0
+	for a := 0; a < 16; a++ {
+		for b := 0; b < 16; b++ {
+			if h := tr.Hops(a, b); h > max {
+				max = h
+			}
+			if tr.Hops(a, b) != tr.Hops(b, a) {
+				t.Fatalf("asymmetric hops %d<->%d", a, b)
+			}
+		}
+	}
+	if max != 4 {
+		t.Errorf("diameter = %d, want 4", max)
+	}
+}
+
+func TestTorusDistanceDependence(t *testing.T) {
+	tr := NewTorus(16)
+	near := tr.DelayBetween(0, 1, 4)
+	far := tr.DelayBetween(0, 10, 4)
+	if !(far > near) {
+		t.Errorf("far delay %d should exceed near %d", far, near)
+	}
+	// average-distance Delay sits between the extremes
+	avg := tr.Delay(4)
+	if avg < near || avg > far+1 {
+		t.Errorf("avg %d outside [%d, %d]", avg, near, far)
+	}
+}
+
+func TestTorusLoadRaisesDelay(t *testing.T) {
+	tr := NewTorus(16)
+	d0 := tr.DelayBetween(0, 10, 4)
+	tr.Inject(1 << 30)
+	tr.AdvanceTo(100)
+	if d1 := tr.DelayBetween(0, 10, 4); d1 <= d0 {
+		t.Errorf("loaded delay %d should exceed unloaded %d", d1, d0)
+	}
+}

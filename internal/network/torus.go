@@ -1,0 +1,157 @@
+package network
+
+import (
+	"fmt"
+	"math"
+)
+
+// Net abstracts the interconnect model: the Kruskal–Snir multistage
+// network the paper simulates (uniform, distance-independent) and a
+// 2-D torus like the Cray T3D's physical topology (distance-dependent,
+// dimension-ordered routing).
+type Net interface {
+	// Inject records words entering the network for load estimation.
+	Inject(words int64)
+	// AdvanceTo updates the load estimate at a new global cycle count.
+	AdvanceTo(cycle int64)
+	// Load returns the clamped offered-load estimate.
+	Load() float64
+	// Delay is the one-way traversal time under uniform (average
+	// distance) traffic.
+	Delay(payloadWords int) int64
+	// DelayBetween is the one-way traversal time between two endpoints
+	// (equal to Delay for distance-independent topologies).
+	DelayBetween(src, dst, payloadWords int) int64
+	// RoundTrip is a request out and a payload back, average distance.
+	RoundTrip(payloadWords int) int64
+	// RoundTripBetween is a request src->dst and a payload dst->src.
+	RoundTripBetween(src, dst, payloadWords int) int64
+	fmt.Stringer
+}
+
+// The multistage Model implements Net (distance-independent).
+var _ Net = (*Model)(nil)
+
+// DelayBetween implements Net: a multistage network's path length does
+// not depend on the endpoints.
+func (m *Model) DelayBetween(src, dst, payloadWords int) int64 {
+	return m.Delay(payloadWords)
+}
+
+// RoundTripBetween implements Net.
+func (m *Model) RoundTripBetween(src, dst, payloadWords int) int64 {
+	return m.RoundTrip(payloadWords)
+}
+
+// Torus is a 2-D bidirectional torus with dimension-ordered routing and
+// the same EWMA load estimator as the multistage model: per-hop latency
+// grows with channel load, and total latency with the Manhattan-on-rings
+// distance between the endpoints.
+type Torus struct {
+	Procs      int
+	DimX, DimY int
+
+	ewmaLoad  float64
+	lastCycle int64
+	words     int64
+}
+
+// NewTorus builds a near-square 2-D torus for the machine size.
+func NewTorus(procs int) *Torus {
+	if procs < 1 {
+		procs = 1
+	}
+	dx := int(math.Sqrt(float64(procs)))
+	for dx > 1 && procs%dx != 0 {
+		dx--
+	}
+	return &Torus{Procs: procs, DimX: dx, DimY: procs / dx}
+}
+
+var _ Net = (*Torus)(nil)
+
+// Inject implements Net.
+func (t *Torus) Inject(words int64) { t.words += words }
+
+// AdvanceTo implements Net.
+func (t *Torus) AdvanceTo(cycle int64) {
+	if cycle <= t.lastCycle {
+		return
+	}
+	dt := cycle - t.lastCycle
+	inst := float64(t.words) / (float64(dt) * float64(t.Procs))
+	const alpha = 0.25
+	t.ewmaLoad = alpha*inst + (1-alpha)*t.ewmaLoad
+	t.words = 0
+	t.lastCycle = cycle
+}
+
+// Load implements Net.
+func (t *Torus) Load() float64 {
+	l := t.ewmaLoad
+	if l < 0 {
+		return 0
+	}
+	if l > 0.95 {
+		return 0.95
+	}
+	return l
+}
+
+// ringDist is the shortest distance between a and b on a ring of size n.
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if n-d < d {
+		d = n - d
+	}
+	return d
+}
+
+// Hops returns the dimension-ordered routing distance between two nodes.
+func (t *Torus) Hops(src, dst int) int {
+	sx, sy := src%t.DimX, src/t.DimX
+	dx, dy := dst%t.DimX, dst/t.DimX
+	return ringDist(sx, dx, t.DimX) + ringDist(sy, dy, t.DimY)
+}
+
+// AvgHops is the expected routing distance under uniform traffic.
+func (t *Torus) AvgHops() float64 {
+	return (float64(t.DimX) + float64(t.DimY)) / 4
+}
+
+func (t *Torus) delayHops(hops float64, payloadWords int) int64 {
+	if hops < 1 {
+		hops = 1
+	}
+	load := t.Load()
+	perHopWait := load / (2 * (1 - load))
+	d := hops*(1+perHopWait) + float64(payloadWords-1)
+	return int64(math.Ceil(d))
+}
+
+// Delay implements Net (average distance).
+func (t *Torus) Delay(payloadWords int) int64 {
+	return t.delayHops(t.AvgHops(), payloadWords)
+}
+
+// DelayBetween implements Net.
+func (t *Torus) DelayBetween(src, dst, payloadWords int) int64 {
+	return t.delayHops(float64(t.Hops(src, dst)), payloadWords)
+}
+
+// RoundTrip implements Net.
+func (t *Torus) RoundTrip(payloadWords int) int64 {
+	return t.Delay(1) + t.Delay(payloadWords)
+}
+
+// RoundTripBetween implements Net.
+func (t *Torus) RoundTripBetween(src, dst, payloadWords int) int64 {
+	return t.DelayBetween(src, dst, 1) + t.DelayBetween(dst, src, payloadWords)
+}
+
+func (t *Torus) String() string {
+	return fmt.Sprintf("torus{%dx%d, load=%.3f}", t.DimX, t.DimY, t.Load())
+}

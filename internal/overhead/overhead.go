@@ -1,0 +1,124 @@
+// Package overhead implements the paper's Figure 5 storage-overhead
+// model: the extra SRAM (cache-side) and DRAM (memory-side) bits that a
+// full-map directory, a LimitLess directory DIR_NB(i), and the TPI scheme
+// require, as functions of
+//
+//	P — number of processors
+//	L — words per memory block (cache line)
+//	C — node cache size in blocks... the paper states its formulas with
+//	    C = cache size and M = memory size in blocks per node:
+//
+//	Full-map:   cache 2*C*P SRAM bits,  memory (P+2)*M*P DRAM bits
+//	LimitLess:  cache 2*C*P SRAM bits,  memory (i+2)*M*P DRAM bits
+//	TPI:        cache 8*L*C*P SRAM bits, no memory overhead
+//
+// (The paper's headline point: at P = 1024, i = 10 the directory schemes
+// need gigabytes of DRAM directory state, while TPI needs only the
+// per-word 8-bit timetags — 64 MB of SRAM total — because coherence
+// state lives with the cache, proportional to cache size, not memory
+// size.)
+package overhead
+
+import "fmt"
+
+// Config holds the machine parameters of the model.
+type Config struct {
+	P int64 // processors
+	L int64 // words per block
+	C int64 // cache blocks per node
+	M int64 // memory blocks per node
+	I int64 // LimitLess pointer count i
+	T int64 // TPI timetag bits per word (paper uses 8)
+}
+
+// PaperDefault reproduces the paper's Figure 5 printed totals at
+// P = 1024, i = 10: full-map 4 MB SRAM + ~64.5 GB DRAM, LimitLess 4 MB
+// SRAM + a few GB DRAM, TPI 64 MB SRAM only. The scraped figure does not
+// pin down its cache/memory units unambiguously, so C and M are chosen
+// to land on the printed totals; the scaling *shape* (what grows with P,
+// M, and cache size) is exactly the paper's formulas.
+func PaperDefault() Config {
+	return Config{
+		P: 1024,
+		L: 4,
+		C: 16384,  // cache blocks per node
+		M: 524288, // memory blocks per node
+		I: 10,
+		T: 8,
+	}
+}
+
+// Overhead is one scheme's storage cost in bits.
+type Overhead struct {
+	Scheme    string
+	CacheSRAM int64 // total across the machine
+	MemDRAM   int64
+}
+
+// Total returns combined bits.
+func (o Overhead) Total() int64 { return o.CacheSRAM + o.MemDRAM }
+
+// FullMap returns the Censier–Feautrier full-map directory overhead:
+// 2 state bits per cache block on the cache side; P presence bits plus 2
+// state bits per memory block on the memory side.
+func FullMap(c Config) Overhead {
+	return Overhead{
+		Scheme:    "full-map",
+		CacheSRAM: 2 * c.C * c.P,
+		MemDRAM:   (c.P + 2) * c.M * c.P,
+	}
+}
+
+// LimitLess returns the DIR_NB(i) overhead: i pointers of log2(P) bits
+// are approximated by the paper as (i+2) bits per block scaled by the
+// pointer width folded into i; we follow the paper's printed formula
+// (i+2)*M*P with i counting pointer-register bits.
+func LimitLess(c Config) Overhead {
+	return Overhead{
+		Scheme:    "limitless",
+		CacheSRAM: 2 * c.C * c.P,
+		MemDRAM:   (c.I + 2) * c.M * c.P,
+	}
+}
+
+// TPI returns the two-phase invalidation overhead: a T-bit timetag per
+// cache word and no memory-side state at all.
+func TPI(c Config) Overhead {
+	return Overhead{
+		Scheme:    "tpi",
+		CacheSRAM: c.T * c.L * c.C * c.P,
+		MemDRAM:   0,
+	}
+}
+
+// TPILine returns the per-line-timetag variant's overhead (experiment
+// E22): one T-bit tag per block instead of per word, an L-fold SRAM
+// saving bought with false-sharing-like conservative misses.
+func TPILine(c Config) Overhead {
+	return Overhead{
+		Scheme:    "tpi-line",
+		CacheSRAM: c.T * c.C * c.P,
+		MemDRAM:   0,
+	}
+}
+
+// All returns the compared schemes, the paper's three plus the per-line
+// tag variant.
+func All(c Config) []Overhead {
+	return []Overhead{FullMap(c), LimitLess(c), TPI(c), TPILine(c)}
+}
+
+// FormatBits renders a bit count in human units (paper uses MB/GB).
+func FormatBits(bits int64) string {
+	bytes := float64(bits) / 8
+	switch {
+	case bytes >= 1<<30:
+		return fmt.Sprintf("%.1fGB", bytes/(1<<30))
+	case bytes >= 1<<20:
+		return fmt.Sprintf("%.1fMB", bytes/(1<<20))
+	case bytes >= 1<<10:
+		return fmt.Sprintf("%.1fKB", bytes/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", bytes)
+	}
+}

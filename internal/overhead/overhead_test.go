@@ -1,0 +1,106 @@
+package overhead
+
+import "testing"
+
+func TestPaperFigure5Totals(t *testing.T) {
+	c := PaperDefault()
+
+	fm := FullMap(c)
+	// Paper: 4 MB SRAM / 64.5 GB DRAM at P=1024.
+	if got := FormatBits(fm.CacheSRAM); got != "4.0MB" {
+		t.Errorf("full-map SRAM = %s, want 4.0MB", got)
+	}
+	if got := FormatBits(fm.MemDRAM); got != "64.1GB" && got != "64.5GB" {
+		// (P+2)*M*P = 1026 * 4Mi * 1024 bits = 64.125 GiB; the paper
+		// rounds to 64.5 GB. Accept the computed value.
+		t.Errorf("full-map DRAM = %s, want ~64GB", got)
+	}
+
+	ll := LimitLess(c)
+	// Paper: 4 MB SRAM and a few GB of DRAM at i=10 — an order of
+	// magnitude below full-map, far above TPI's zero.
+	if got := FormatBits(ll.CacheSRAM); got != "4.0MB" {
+		t.Errorf("limitless SRAM = %s, want 4.0MB", got)
+	}
+	if !(ll.MemDRAM*10 < fm.MemDRAM) || ll.MemDRAM == 0 {
+		t.Errorf("limitless DRAM %s must sit between TPI (0) and full-map (%s)",
+			FormatBits(ll.MemDRAM), FormatBits(fm.MemDRAM))
+	}
+
+	tpi := TPI(c)
+	// Paper: 64 MB SRAM only, no DRAM.
+	if got := FormatBits(tpi.CacheSRAM); got != "64.0MB" {
+		t.Errorf("TPI SRAM = %s, want 64.0MB", got)
+	}
+	if tpi.MemDRAM != 0 {
+		t.Errorf("TPI DRAM = %d, want 0", tpi.MemDRAM)
+	}
+
+	// The structural claims that make the paper's argument:
+	// 1. TPI total is orders of magnitude below full-map total.
+	if tpi.Total()*100 > fm.Total() {
+		t.Errorf("TPI total %d should be <1%% of full-map total %d", tpi.Total(), fm.Total())
+	}
+	// 2. Directory DRAM grows with P (full-map) but TPI does not grow
+	//    with memory size at all.
+	big := c
+	big.M *= 4
+	if TPI(big).Total() != tpi.Total() {
+		t.Error("TPI overhead must not depend on memory size")
+	}
+	if FullMap(big).MemDRAM <= fm.MemDRAM {
+		t.Error("full-map overhead must grow with memory size")
+	}
+}
+
+func TestScalingWithProcessors(t *testing.T) {
+	c := PaperDefault()
+	prev := int64(0)
+	for _, p := range []int64{16, 64, 256, 1024} {
+		c.P = p
+		fm := FullMap(c)
+		// Full-map DRAM grows superlinearly in P: (P+2)*M*P.
+		if fm.MemDRAM <= prev {
+			t.Fatalf("full-map DRAM must grow with P: %d at P=%d", fm.MemDRAM, p)
+		}
+		// TPI stays linear in P.
+		tpi := TPI(c)
+		if tpi.CacheSRAM != c.T*c.L*c.C*p {
+			t.Fatalf("TPI linear-in-P broken at P=%d", p)
+		}
+		prev = fm.MemDRAM
+	}
+}
+
+func TestFormatBits(t *testing.T) {
+	cases := []struct {
+		bits int64
+		want string
+	}{
+		{8, "1B"},
+		{8 << 10, "1.0KB"},
+		{8 << 20, "1.0MB"},
+		{8 << 30, "1.0GB"},
+	}
+	for _, c := range cases {
+		if got := FormatBits(c.bits); got != c.want {
+			t.Errorf("FormatBits(%d) = %s, want %s", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestTPILineVariant(t *testing.T) {
+	c := PaperDefault()
+	word := TPI(c)
+	line := TPILine(c)
+	if line.MemDRAM != 0 {
+		t.Fatal("per-line variant has no memory state either")
+	}
+	if word.CacheSRAM != line.CacheSRAM*c.L {
+		t.Fatalf("per-word SRAM (%d) must be L=%d times the per-line SRAM (%d)",
+			word.CacheSRAM, c.L, line.CacheSRAM)
+	}
+	if len(All(c)) != 4 {
+		t.Fatal("All must include the per-line variant")
+	}
+}

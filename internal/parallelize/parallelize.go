@@ -1,0 +1,578 @@
+// Package parallelize implements the front half of the paper's
+// toolchain: the Polaris-style pass that turns sequential loops into
+// DOALLs. The paper's inputs are "first parallelized by the Polaris
+// compiler; in the parallelized code, the parallelism is expressed in
+// terms of DOALL loops" — this pass lets the reproduction start from
+// sequential PFL as the authors started from sequential Fortran.
+//
+// A serial `for` loop becomes a DOALL when no cross-iteration dependence
+// can exist:
+//
+//   - scalar writes are either absent or are recognized reductions
+//     (s = s + e / s = s * e with e free of s), which are wrapped in
+//     critical sections — Polaris's reduction recognition,
+//   - no procedure call appears in the body,
+//   - for every array written in the body, some dimension separates the
+//     iterations: every subscript range in that dimension (from all
+//     writes, paired against all reads and writes of the same array) is
+//     affine in the loop variable with one common coefficient a != 0 and
+//     constant offsets whose spread is smaller than |a| (the classic
+//     stride/offset disjointness test). Arrays that are only read never
+//     constrain parallelism.
+//
+// The test is conservative: a loop that fails stays serial, which is
+// always correct. The transformation rewrites the AST in place and
+// reports, per loop, the decision and the reason — the compiler
+// diagnostics a Polaris user would read.
+package parallelize
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pfl"
+	"repro/internal/prog"
+	"repro/internal/symexpr"
+)
+
+// Decision records the outcome for one candidate loop.
+type Decision struct {
+	Pos        pfl.Pos
+	Var        string
+	Parallel   bool
+	Reason     string
+	Reductions []string // scalars rewritten as critical-section reductions
+}
+
+// Report is the pass's diagnostic output.
+type Report struct {
+	Decisions []Decision
+}
+
+// NumParallelized counts loops converted to DOALLs.
+func (r *Report) NumParallelized() int {
+	n := 0
+	for _, d := range r.Decisions {
+		if d.Parallel {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, d := range r.Decisions {
+		verdict := "serial"
+		if d.Parallel {
+			verdict = "DOALL"
+		}
+		fmt.Fprintf(&b, "%s loop %s: %-6s %s", d.Pos, d.Var, verdict, d.Reason)
+		if len(d.Reductions) > 0 {
+			fmt.Fprintf(&b, " (reductions: %s)", strings.Join(d.Reductions, ", "))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Run analyzes and rewrites the program in place: outermost provably
+// independent `for` loops become DOALLs. The program must already have
+// passed pfl.Check (the pass re-checks afterwards to renumber refs).
+func Run(p *pfl.Program) (*Report, error) {
+	info, err := pfl.Check(p)
+	if err != nil {
+		return nil, fmt.Errorf("parallelize: input does not check: %w", err)
+	}
+	// Parameter values are needed to fold affine subscripts.
+	pr, err := prog.Build(info, 1)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	for _, procDecl := range p.Procs {
+		rewriteBlock(pr, procDecl.Body, rep, false)
+	}
+	// Re-check to renumber references and DOALL ids for later phases.
+	if _, err := pfl.Check(p); err != nil {
+		return nil, fmt.Errorf("parallelize: rewritten program does not check: %w", err)
+	}
+	return rep, nil
+}
+
+// rewriteBlock walks statements, converting eligible loops. inDoall
+// suppresses conversion (nested DOALLs are not allowed).
+func rewriteBlock(pr *prog.Prog, b *pfl.Block, rep *Report, inDoall bool) {
+	for i, s := range b.Stmts {
+		switch st := s.(type) {
+		case *pfl.ForStmt:
+			if !inDoall {
+				if ok, reason, reds := loopIndependent(pr, st); ok {
+					wrapReductions(st.Body, reds)
+					b.Stmts[i] = &pfl.DoallStmt{
+						Pos: st.Pos, Var: st.Var, Lo: st.Lo, Hi: st.Hi, Body: st.Body,
+					}
+					rep.Decisions = append(rep.Decisions, Decision{
+						Pos: st.Pos, Var: st.Var, Parallel: true, Reason: reason,
+						Reductions: sortedKeys(reds),
+					})
+					// Body loops stay serial inside the new DOALL.
+					rewriteBlock(pr, st.Body, rep, true)
+					continue
+				} else {
+					rep.Decisions = append(rep.Decisions, Decision{
+						Pos: st.Pos, Var: st.Var, Parallel: false, Reason: reason,
+					})
+				}
+			}
+			rewriteBlock(pr, st.Body, rep, inDoall)
+		case *pfl.DoallStmt:
+			rewriteBlock(pr, st.Body, rep, true)
+		case *pfl.IfStmt:
+			rewriteBlock(pr, st.Then, rep, inDoall)
+			if st.Else != nil {
+				rewriteBlock(pr, st.Else, rep, inDoall)
+			}
+		case *pfl.CriticalStmt:
+			rewriteBlock(pr, st.Body, rep, inDoall)
+		case *pfl.OrderedStmt:
+			rewriteBlock(pr, st.Body, rep, inDoall)
+		}
+	}
+}
+
+// access is one array reference collected from a loop body: per-dimension
+// subscript ranges affine in the loop variable (inner serial loops
+// already expanded away).
+type access struct {
+	write bool
+	dims  []symexpr.Range
+}
+
+// loopIndependent decides whether a for loop has no cross-iteration
+// dependences (modulo recognized reductions), returning the diagnostic
+// reason and the reduction scalars to wrap in critical sections.
+func loopIndependent(pr *prog.Prog, st *pfl.ForStmt) (bool, string, map[string]bool) {
+	// Only unit-step increasing loops are considered (steps complicate
+	// the stride test and the kernels never need them).
+	if st.Step != nil {
+		if c, ok := pr.Affine(st.Step, nil).IsConst(); !ok || c != 1 {
+			return false, "non-unit step", nil
+		}
+	}
+	col := &collector{pr: pr, loopVar: st.Var, accesses: map[string][]access{}}
+	if !col.block(st.Body) {
+		return false, col.obstacle, nil
+	}
+	if len(col.writtenArrays) == 0 && len(col.reductions) == 0 {
+		return false, "no writes (parallelizing would not help)", nil
+	}
+
+	for _, arr := range sortedKeys(col.writtenArrays) {
+		ok, why := arrayIndependent(col.accesses[arr], st.Var)
+		if !ok {
+			return false, fmt.Sprintf("array %s: %s", arr, why), nil
+		}
+	}
+	reason := "iterations write disjoint sections"
+	if len(col.writtenArrays) > 0 {
+		reason = fmt.Sprintf("iterations write disjoint sections of %s",
+			strings.Join(sortedKeys(col.writtenArrays), ", "))
+	} else {
+		reason = "pure reduction loop"
+	}
+	return true, reason, col.reductions
+}
+
+// wrapReductions rewrites every recognized reduction assignment in the
+// body into a critical section (recursing through inner structures).
+func wrapReductions(b *pfl.Block, reds map[string]bool) {
+	if len(reds) == 0 {
+		return
+	}
+	for i, s := range b.Stmts {
+		switch st := s.(type) {
+		case *pfl.AssignStmt:
+			if vr, ok := st.LHS.(*pfl.VarRef); ok && reds[vr.Name] {
+				b.Stmts[i] = &pfl.CriticalStmt{
+					Pos:  st.Pos,
+					Body: &pfl.Block{Stmts: []pfl.Stmt{st}},
+				}
+			}
+		case *pfl.ForStmt:
+			wrapReductions(st.Body, reds)
+		case *pfl.IfStmt:
+			wrapReductions(st.Then, reds)
+			if st.Else != nil {
+				wrapReductions(st.Else, reds)
+			}
+		}
+	}
+}
+
+// arrayIndependent proves the absence of cross-iteration conflicts.
+// First the whole-array stride/offset test (one dimension separates all
+// accesses); failing that, a pairwise test: every (write, access) pair
+// must be separated in some dimension either by the stride/offset test
+// or by a GCD disproof (a1*i + b1 = a2*j + b2 has no integer solutions
+// when gcd(a1, a2) does not divide b2 - b1).
+func arrayIndependent(accs []access, loopVar string) (bool, string) {
+	if len(accs) == 0 {
+		return true, ""
+	}
+	rank := len(accs[0].dims)
+	for d := 0; d < rank; d++ {
+		if dimSeparates(accs, d, loopVar) {
+			return true, ""
+		}
+	}
+	// Pairwise fallback.
+	for i, a := range accs {
+		for j, b := range accs {
+			if j <= i || (!a.write && !b.write) {
+				continue
+			}
+			if !pairSeparated(a, b, loopVar) {
+				return false, "no dimension separates the iterations"
+			}
+		}
+		// a write must also be separated from itself across iterations
+		if a.write && !pairSeparated(a, a, loopVar) {
+			return false, "a write conflicts with itself across iterations"
+		}
+	}
+	return true, ""
+}
+
+// pairSeparated checks one access pair across distinct iterations.
+func pairSeparated(a, b access, loopVar string) bool {
+	for d := 0; d < len(a.dims) && d < len(b.dims); d++ {
+		if dimSeparates([]access{a, b}, d, loopVar) {
+			return true
+		}
+		if gcdDisproof(a.dims[d], b.dims[d], loopVar) {
+			return true
+		}
+	}
+	return false
+}
+
+// gcdDisproof applies the classic GCD test to two point subscripts
+// a1*i + b1 and a2*j + b2: if gcd(a1, a2) does not divide b2 - b1 the
+// equation has no integer solutions at all, so the accesses can never
+// touch the same element (in this dimension) for ANY iteration pair.
+func gcdDisproof(ra, rb symexpr.Range, loopVar string) bool {
+	if !ra.IsPoint() || !rb.IsPoint() {
+		return false
+	}
+	a1 := ra.Lo.Coeff(loopVar)
+	a2 := rb.Lo.Coeff(loopVar)
+	if a1 == 0 && a2 == 0 {
+		return false
+	}
+	b1, ok1 := ra.Lo.Sub(symexpr.Var(loopVar).MulConst(a1)).IsConst()
+	b2, ok2 := rb.Lo.Sub(symexpr.Var(loopVar).MulConst(a2)).IsConst()
+	if !ok1 || !ok2 {
+		return false
+	}
+	g := gcd64(abs64(a1), abs64(a2))
+	if g == 0 {
+		return false
+	}
+	return (b2-b1)%g != 0
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// dimSeparates checks the test on dimension d.
+func dimSeparates(accs []access, d int, loopVar string) bool {
+	var coeff int64
+	first := true
+	var minC, maxC int64
+	for _, a := range accs {
+		if d >= len(a.dims) {
+			return false
+		}
+		r := a.dims[d]
+		for _, e := range []symexpr.Expr{r.Lo, r.Hi} {
+			if e.IsUnknown() {
+				return false
+			}
+			c := e.Coeff(loopVar)
+			if c == 0 {
+				return false
+			}
+			// The offset must be constant once the loop term is removed
+			// (no other symbolic variables).
+			off := e.Sub(symexpr.Var(loopVar).MulConst(c))
+			k, ok := off.IsConst()
+			if !ok {
+				return false
+			}
+			if first {
+				coeff = c
+				minC, maxC = k, k
+				first = false
+				continue
+			}
+			if c != coeff {
+				return false
+			}
+			if k < minC {
+				minC = k
+			}
+			if k > maxC {
+				maxC = k
+			}
+		}
+	}
+	a := coeff
+	if a < 0 {
+		a = -a
+	}
+	return maxC-minC < a
+}
+
+// collector gathers array accesses with the loop variable symbolic and
+// inner serial loops expanded; it aborts on parallelization obstacles.
+type collector struct {
+	pr            *prog.Prog
+	loopVar       string
+	innerLoops    []innerLoop
+	accesses      map[string][]access
+	writtenArrays map[string]bool
+	// reductions maps scalars whose only appearances are recognized
+	// accumulations s = s op e; otherUses tracks scalars read outside
+	// their own accumulation, which disqualifies them.
+	reductions map[string]bool
+	otherUses  map[string]bool
+	obstacle   string
+}
+
+type innerLoop struct {
+	v      string
+	lo, hi symexpr.Expr
+}
+
+func (c *collector) fail(reason string) bool {
+	if c.obstacle == "" {
+		c.obstacle = reason
+	}
+	return false
+}
+
+func (c *collector) vars() map[string]bool {
+	m := map[string]bool{c.loopVar: true}
+	for _, il := range c.innerLoops {
+		m[il.v] = true
+	}
+	return m
+}
+
+func (c *collector) block(b *pfl.Block) bool {
+	for _, s := range b.Stmts {
+		if !c.stmt(s) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *collector) stmt(s pfl.Stmt) bool {
+	switch st := s.(type) {
+	case *pfl.AssignStmt:
+		switch lhs := st.LHS.(type) {
+		case *pfl.VarRef:
+			// Reduction recognition: s = s op e with e free of s.
+			if op, rhs, ok := reductionForm(lhs.Name, st.RHS); ok && !usesScalar(rhs, lhs.Name) {
+				_ = op
+				if c.otherUses[lhs.Name] {
+					return c.fail(fmt.Sprintf("scalar %s used outside its reduction", lhs.Name))
+				}
+				if c.reductions == nil {
+					c.reductions = map[string]bool{}
+				}
+				c.reductions[lhs.Name] = true
+				return c.expr(rhs)
+			}
+			return c.fail(fmt.Sprintf("writes shared scalar %s", lhs.Name))
+		case *pfl.IndexRef:
+			if !c.ref(lhs, true) {
+				return false
+			}
+			for _, sub := range lhs.Subs {
+				if !c.expr(sub) {
+					return false
+				}
+			}
+		}
+		return c.expr(st.RHS)
+	case *pfl.ForStmt:
+		vars := c.vars()
+		lo := c.pr.Affine(st.Lo, vars)
+		hi := c.pr.Affine(st.Hi, vars)
+		if st.Step != nil {
+			if v, ok := c.pr.Affine(st.Step, vars).IsConst(); !ok || v != 1 {
+				return c.fail("inner loop with non-unit step")
+			}
+		}
+		if !c.expr(st.Lo) || !c.expr(st.Hi) {
+			return false
+		}
+		c.innerLoops = append(c.innerLoops, innerLoop{st.Var, lo, hi})
+		ok := c.block(st.Body)
+		c.innerLoops = c.innerLoops[:len(c.innerLoops)-1]
+		return ok
+	case *pfl.IfStmt:
+		// Conditional bodies still contribute may-accesses.
+		if !c.expr(st.Cond) || !c.block(st.Then) {
+			return false
+		}
+		if st.Else != nil {
+			return c.block(st.Else)
+		}
+		return true
+	case *pfl.CallStmt:
+		return c.fail(fmt.Sprintf("calls %s", st.Name))
+	case *pfl.DoallStmt:
+		return c.fail("contains a DOALL already")
+	case *pfl.CriticalStmt, *pfl.OrderedStmt:
+		return c.fail("contains a synchronized section")
+	default:
+		return c.fail("unsupported statement")
+	}
+}
+
+func (c *collector) expr(e pfl.Expr) bool {
+	switch ex := e.(type) {
+	case *pfl.NumLit:
+		return true
+	case *pfl.VarRef:
+		if ex.RefID >= 0 { // resolves to a shared scalar
+			if c.reductions[ex.Name] {
+				return c.fail(fmt.Sprintf("scalar %s used outside its reduction", ex.Name))
+			}
+			if c.otherUses == nil {
+				c.otherUses = map[string]bool{}
+			}
+			c.otherUses[ex.Name] = true
+		}
+		return true
+	case *pfl.IndexRef:
+		if !c.ref(ex, false) {
+			return false
+		}
+		for _, sub := range ex.Subs {
+			if !c.expr(sub) {
+				return false
+			}
+		}
+		return true
+	case *pfl.BinExpr:
+		return c.expr(ex.X) && c.expr(ex.Y)
+	case *pfl.UnExpr:
+		return c.expr(ex.X)
+	case *pfl.CallExpr:
+		for _, a := range ex.Args {
+			if !c.expr(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return c.fail("unsupported expression")
+	}
+}
+
+// ref records one array access, expanding inner loop variables.
+func (c *collector) ref(ir *pfl.IndexRef, write bool) bool {
+	vars := c.vars()
+	dims := make([]symexpr.Range, len(ir.Subs))
+	for i, sub := range ir.Subs {
+		e := c.pr.Affine(sub, vars)
+		r := symexpr.PointRange(e)
+		for j := len(c.innerLoops) - 1; j >= 0; j-- {
+			il := c.innerLoops[j]
+			r = r.Expand(il.v, il.lo, il.hi)
+		}
+		dims[i] = r
+	}
+	if c.accesses == nil {
+		c.accesses = map[string][]access{}
+	}
+	c.accesses[ir.Name] = append(c.accesses[ir.Name], access{write: write, dims: dims})
+	if write {
+		if c.writtenArrays == nil {
+			c.writtenArrays = map[string]bool{}
+		}
+		c.writtenArrays[ir.Name] = true
+	}
+	return true
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// reductionForm matches RHS patterns s + e, e + s, s * e, e * s for the
+// scalar named name, returning the operator and the e operand.
+func reductionForm(name string, rhs pfl.Expr) (string, pfl.Expr, bool) {
+	be, ok := rhs.(*pfl.BinExpr)
+	if !ok || (be.Op != "+" && be.Op != "*") {
+		return "", nil, false
+	}
+	if vr, ok := be.X.(*pfl.VarRef); ok && vr.Name == name {
+		return be.Op, be.Y, true
+	}
+	if vr, ok := be.Y.(*pfl.VarRef); ok && vr.Name == name {
+		return be.Op, be.X, true
+	}
+	return "", nil, false
+}
+
+// usesScalar reports whether e mentions the named scalar.
+func usesScalar(e pfl.Expr, name string) bool {
+	switch ex := e.(type) {
+	case *pfl.VarRef:
+		return ex.Name == name
+	case *pfl.IndexRef:
+		for _, s := range ex.Subs {
+			if usesScalar(s, name) {
+				return true
+			}
+		}
+	case *pfl.BinExpr:
+		return usesScalar(ex.X, name) || usesScalar(ex.Y, name)
+	case *pfl.UnExpr:
+		return usesScalar(ex.X, name)
+	case *pfl.CallExpr:
+		for _, a := range ex.Args {
+			if usesScalar(a, name) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,460 @@
+package pfl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Info is the result of semantic analysis: resolved symbol kinds, dense
+// reference and DOALL numbering, and per-procedure call information. The
+// checker also mutates the AST in place, assigning IndexRef.RefID and
+// DoallStmt.ID.
+type Info struct {
+	Prog *Program
+
+	// NumRefs is the total number of array references in the program;
+	// RefIDs are dense in [0, NumRefs).
+	NumRefs int
+	// NumDoalls is the total number of DOALL statements; IDs are dense.
+	NumDoalls int
+
+	// GlobalArrayRank maps global array name to its rank.
+	GlobalArrayRank map[string]int
+	// Callees maps procedure name to the set of procedures it calls.
+	Callees map[string][]string
+}
+
+type symKind int
+
+const (
+	symNone symKind = iota
+	symParam
+	symScalar
+	symArray
+	symLoopVar
+)
+
+// Check performs semantic analysis and returns program info. Rules:
+// name resolution; array rank agreement; DOALL bodies may not contain
+// nested DOALLs or calls (the paper's epochs are flat parallel loops);
+// calls pass arrays only; the call graph must be acyclic; main must exist
+// and take no formals.
+func Check(p *Program) (*Info, error) {
+	info := &Info{
+		Prog:            p,
+		GlobalArrayRank: make(map[string]int),
+		Callees:         make(map[string][]string),
+	}
+
+	globals := map[string]symKind{}
+	declare := func(name string, k symKind, pos Pos) error {
+		if globals[name] != symNone {
+			return fmt.Errorf("pfl: %s: duplicate global declaration %q", pos, name)
+		}
+		globals[name] = k
+		return nil
+	}
+	for _, d := range p.Params {
+		// The initializer may only use parameters declared before it.
+		if err := checkParamInit(globals, d.Value); err != nil {
+			return nil, err
+		}
+		if err := declare(d.Name, symParam, d.Pos); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range p.Scalars {
+		if err := declare(d.Name, symScalar, d.Pos); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range p.Arrays {
+		if err := declare(d.Name, symArray, d.Pos); err != nil {
+			return nil, err
+		}
+		info.GlobalArrayRank[d.Name] = len(d.Dims)
+		for _, dim := range d.Dims {
+			if err := checkParamExpr(p, dim); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	procNames := map[string]*Proc{}
+	for _, pr := range p.Procs {
+		if procNames[pr.Name] != nil {
+			return nil, fmt.Errorf("pfl: %s: duplicate proc %q", pr.Pos, pr.Name)
+		}
+		if globals[pr.Name] != symNone {
+			return nil, fmt.Errorf("pfl: %s: proc %q collides with a global", pr.Pos, pr.Name)
+		}
+		procNames[pr.Name] = pr
+	}
+	main := procNames["main"]
+	if main == nil {
+		return nil, fmt.Errorf("pfl: program %s has no proc main", p.Name)
+	}
+	if len(main.Formals) != 0 {
+		return nil, fmt.Errorf("pfl: %s: proc main must take no formals", main.Pos)
+	}
+
+	for _, pr := range p.Procs {
+		c := &checker{prog: p, info: info, globals: globals, procs: procNames, proc: pr}
+		c.arrayRank = map[string]int{}
+		for name, r := range info.GlobalArrayRank {
+			c.arrayRank[name] = r
+		}
+		seen := map[string]bool{}
+		for _, f := range pr.Formals {
+			if globals[f.Name] != symNone || seen[f.Name] {
+				return nil, fmt.Errorf("pfl: %s: formal %q shadows another name", f.Pos, f.Name)
+			}
+			seen[f.Name] = true
+			c.arrayRank[f.Name] = f.Rank
+		}
+		if err := c.block(pr.Body, false); err != nil {
+			return nil, err
+		}
+		sort.Strings(info.Callees[pr.Name])
+	}
+
+	if err := checkAcyclic(info.Callees, "main"); err != nil {
+		return nil, err
+	}
+	return info, nil
+}
+
+// checkParamExpr verifies that e is a constant expression over params.
+func checkParamExpr(p *Program, e Expr) error {
+	switch ex := e.(type) {
+	case *NumLit:
+		if !ex.IsInt {
+			return fmt.Errorf("pfl: %s: array dimension must be an integer", ex.Pos)
+		}
+		return nil
+	case *VarRef:
+		if p.Param(ex.Name) == nil {
+			return fmt.Errorf("pfl: %s: array dimension must use params only, found %q", ex.Pos, ex.Name)
+		}
+		return nil
+	case *BinExpr:
+		if err := checkParamExpr(p, ex.X); err != nil {
+			return err
+		}
+		return checkParamExpr(p, ex.Y)
+	case *UnExpr:
+		return checkParamExpr(p, ex.X)
+	default:
+		return fmt.Errorf("pfl: %s: invalid array dimension expression", e.Position())
+	}
+}
+
+type checker struct {
+	prog      *Program
+	info      *Info
+	globals   map[string]symKind
+	procs     map[string]*Proc
+	proc      *Proc
+	arrayRank map[string]int // arrays visible in this proc (globals + formals)
+	loopVars  []string       // active loop variables, innermost last
+}
+
+func (c *checker) loopVarActive(name string) bool {
+	for _, v := range c.loopVars {
+		if v == name {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) block(b *Block, inDoall bool) error {
+	for _, s := range b.Stmts {
+		if err := c.stmt(s, inDoall); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) stmt(s Stmt, inDoall bool) error {
+	switch st := s.(type) {
+	case *AssignStmt:
+		switch lhs := st.LHS.(type) {
+		case *VarRef:
+			if c.globals[lhs.Name] != symScalar {
+				return fmt.Errorf("pfl: %s: assignment target %q is not a scalar", lhs.Pos, lhs.Name)
+			}
+			lhs.RefID = c.info.NumRefs
+			c.info.NumRefs++
+		case *IndexRef:
+			if err := c.expr(lhs); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("pfl: %s: invalid assignment target", st.Pos)
+		}
+		return c.expr(st.RHS)
+	case *ForStmt:
+		if err := c.enterLoopVar(st.Var, st.Pos); err != nil {
+			return err
+		}
+		defer c.exitLoopVar()
+		for _, e := range []Expr{st.Lo, st.Hi} {
+			// bounds may not use the loop's own variable
+			if err := c.exprNoVar(e, st.Var); err != nil {
+				return err
+			}
+		}
+		if st.Step != nil {
+			if err := c.exprNoVar(st.Step, st.Var); err != nil {
+				return err
+			}
+		}
+		return c.block(st.Body, inDoall)
+	case *DoallStmt:
+		if inDoall {
+			return fmt.Errorf("pfl: %s: nested doall is not allowed", st.Pos)
+		}
+		st.ID = c.info.NumDoalls
+		c.info.NumDoalls++
+		if err := c.enterLoopVar(st.Var, st.Pos); err != nil {
+			return err
+		}
+		defer c.exitLoopVar()
+		for _, e := range []Expr{st.Lo, st.Hi} {
+			if err := c.exprNoVar(e, st.Var); err != nil {
+				return err
+			}
+		}
+		return c.block(st.Body, true)
+	case *IfStmt:
+		if err := c.expr(st.Cond); err != nil {
+			return err
+		}
+		if err := c.block(st.Then, inDoall); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.block(st.Else, inDoall)
+		}
+		return nil
+	case *CallStmt:
+		if inDoall {
+			return fmt.Errorf("pfl: %s: call inside doall is not allowed", st.Pos)
+		}
+		callee := c.procs[st.Name]
+		if callee == nil {
+			return fmt.Errorf("pfl: %s: call to undefined proc %q", st.Pos, st.Name)
+		}
+		if len(st.Args) != len(callee.Formals) {
+			return fmt.Errorf("pfl: %s: call %s: got %d args, want %d",
+				st.Pos, st.Name, len(st.Args), len(callee.Formals))
+		}
+		for i, arg := range st.Args {
+			rank, ok := c.arrayRank[arg]
+			if !ok {
+				return fmt.Errorf("pfl: %s: call %s: argument %q is not an array", st.Pos, st.Name, arg)
+			}
+			if rank != callee.Formals[i].Rank {
+				return fmt.Errorf("pfl: %s: call %s: argument %q has rank %d, formal %q wants %d",
+					st.Pos, st.Name, arg, rank, callee.Formals[i].Name, callee.Formals[i].Rank)
+			}
+		}
+		c.info.Callees[c.proc.Name] = appendUnique(c.info.Callees[c.proc.Name], st.Name)
+		return nil
+	case *CriticalStmt:
+		if !inDoall {
+			return fmt.Errorf("pfl: %s: critical section outside doall", st.Pos)
+		}
+		return c.block(st.Body, inDoall)
+	case *OrderedStmt:
+		if !inDoall {
+			return fmt.Errorf("pfl: %s: ordered section outside doall", st.Pos)
+		}
+		return c.block(st.Body, inDoall)
+	default:
+		return fmt.Errorf("pfl: %s: unknown statement", s.Position())
+	}
+}
+
+func (c *checker) enterLoopVar(name string, pos Pos) error {
+	if c.globals[name] != symNone || c.arrayRank[name] > 0 || c.loopVarActive(name) {
+		return fmt.Errorf("pfl: %s: loop variable %q shadows another name", pos, name)
+	}
+	c.loopVars = append(c.loopVars, name)
+	return nil
+}
+
+func (c *checker) exitLoopVar() {
+	c.loopVars = c.loopVars[:len(c.loopVars)-1]
+}
+
+func (c *checker) expr(e Expr) error {
+	switch ex := e.(type) {
+	case *NumLit:
+		return nil
+	case *VarRef:
+		switch {
+		case c.loopVarActive(ex.Name):
+			return nil
+		case c.globals[ex.Name] == symParam:
+			return nil
+		case c.globals[ex.Name] == symScalar:
+			ex.RefID = c.info.NumRefs
+			c.info.NumRefs++
+			return nil
+		case c.arrayRank[ex.Name] > 0:
+			return fmt.Errorf("pfl: %s: array %q used without subscripts", ex.Pos, ex.Name)
+		default:
+			return fmt.Errorf("pfl: %s: undefined name %q", ex.Pos, ex.Name)
+		}
+	case *IndexRef:
+		rank, ok := c.arrayRank[ex.Name]
+		if !ok {
+			return fmt.Errorf("pfl: %s: %q is not an array", ex.Pos, ex.Name)
+		}
+		if len(ex.Subs) != rank {
+			return fmt.Errorf("pfl: %s: array %q has rank %d, got %d subscripts",
+				ex.Pos, ex.Name, rank, len(ex.Subs))
+		}
+		ex.RefID = c.info.NumRefs
+		c.info.NumRefs++
+		for _, s := range ex.Subs {
+			if err := c.expr(s); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *BinExpr:
+		if err := c.expr(ex.X); err != nil {
+			return err
+		}
+		return c.expr(ex.Y)
+	case *UnExpr:
+		return c.expr(ex.X)
+	case *CallExpr:
+		arity, ok := Intrinsics[ex.Name]
+		if !ok {
+			return fmt.Errorf("pfl: %s: unknown intrinsic %q", ex.Pos, ex.Name)
+		}
+		if len(ex.Args) != arity {
+			return fmt.Errorf("pfl: %s: intrinsic %s takes %d argument(s), got %d",
+				ex.Pos, ex.Name, arity, len(ex.Args))
+		}
+		for _, a := range ex.Args {
+			if err := c.expr(a); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("pfl: %s: unknown expression", e.Position())
+	}
+}
+
+// Intrinsics maps the builtin pure functions to their arities.
+var Intrinsics = map[string]int{
+	"abs": 1, "sqrt": 1, "exp": 1, "log": 1, "sin": 1, "cos": 1,
+	"floor": 1, "min": 2, "max": 2,
+}
+
+// exprNoVar checks e and additionally rejects uses of variable v (used for
+// loop bounds, which may not reference the loop's own index).
+func (c *checker) exprNoVar(e Expr, v string) error {
+	if err := c.expr(e); err != nil {
+		return err
+	}
+	var uses func(Expr) bool
+	uses = func(e Expr) bool {
+		switch ex := e.(type) {
+		case *VarRef:
+			return ex.Name == v
+		case *IndexRef:
+			for _, s := range ex.Subs {
+				if uses(s) {
+					return true
+				}
+			}
+		case *BinExpr:
+			return uses(ex.X) || uses(ex.Y)
+		case *UnExpr:
+			return uses(ex.X)
+		case *CallExpr:
+			for _, a := range ex.Args {
+				if uses(a) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	if uses(e) {
+		return fmt.Errorf("pfl: %s: loop bound may not use loop variable %q", e.Position(), v)
+	}
+	return nil
+}
+
+func appendUnique(ss []string, s string) []string {
+	for _, x := range ss {
+		if x == s {
+			return ss
+		}
+	}
+	return append(ss, s)
+}
+
+// checkAcyclic rejects recursive call graphs (the interprocedural analysis
+// is a bottom-up pass over an acyclic call graph, as in the paper).
+func checkAcyclic(callees map[string][]string, root string) error {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var visit func(string) error
+	visit = func(n string) error {
+		switch color[n] {
+		case grey:
+			return fmt.Errorf("pfl: recursive call cycle through %q", n)
+		case black:
+			return nil
+		}
+		color[n] = grey
+		for _, m := range callees[n] {
+			if err := visit(m); err != nil {
+				return err
+			}
+		}
+		color[n] = black
+		return nil
+	}
+	return visit(root)
+}
+
+// checkParamInit verifies a param initializer is a constant expression
+// over already-declared params.
+func checkParamInit(declared map[string]symKind, e Expr) error {
+	switch ex := e.(type) {
+	case *NumLit:
+		if !ex.IsInt {
+			return fmt.Errorf("pfl: %s: param initializer must be an integer", ex.Pos)
+		}
+		return nil
+	case *VarRef:
+		if declared[ex.Name] != symParam {
+			return fmt.Errorf("pfl: %s: param initializer may only use earlier params, found %q", ex.Pos, ex.Name)
+		}
+		return nil
+	case *UnExpr:
+		return checkParamInit(declared, ex.X)
+	case *BinExpr:
+		if err := checkParamInit(declared, ex.X); err != nil {
+			return err
+		}
+		return checkParamInit(declared, ex.Y)
+	default:
+		return fmt.Errorf("pfl: %s: invalid param initializer", e.Position())
+	}
+}

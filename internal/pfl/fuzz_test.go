@@ -1,0 +1,44 @@
+package pfl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse asserts the front end never panics: any input either parses
+// (and then formats to re-parseable source) or returns an error.
+func FuzzParse(f *testing.F) {
+	f.Add(sampleSrc)
+	f.Add("program p\nproc main() { }")
+	f.Add("program p\nscalar s\nproc main() { s = min(1.0, sin(s)) }")
+	f.Add("program p\narray A[4]\nproc main() { doall i = 0 to 3 { ordered { A[i] = 1 } } }")
+	f.Add(strings.Repeat("(", 2000))
+	f.Add("program p\n" + strings.Repeat("param x%d = 1\n", 3))
+	f.Add("\x00\x01\xff")
+	f.Add("program p proc main() { if (1 < 2 && 3 > 4) { } else { } }")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := Check(prog); err != nil {
+			return
+		}
+		// A checked program must format to source that parses and checks.
+		out := Format(prog)
+		p2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, out)
+		}
+		if _, err := Check(p2); err != nil {
+			t.Fatalf("formatted output does not re-check: %v\n%s", err, out)
+		}
+	})
+}
+
+func TestDeepNestingRejected(t *testing.T) {
+	src := "program p\nscalar s\nproc main() { s = " + strings.Repeat("(", 600) + "1" + strings.Repeat(")", 600) + " }"
+	if _, err := Parse(src); err == nil || !strings.Contains(err.Error(), "nesting too deep") {
+		t.Fatalf("want nesting error, got %v", err)
+	}
+}

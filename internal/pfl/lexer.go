@@ -1,0 +1,177 @@
+package pfl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates token kinds.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokKeyword
+	tokOp // operators and punctuation
+)
+
+var keywords = map[string]bool{
+	"program": true, "param": true, "scalar": true, "array": true,
+	"proc": true, "for": true, "doall": true, "to": true, "step": true,
+	"if": true, "else": true, "call": true, "critical": true, "ordered": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	pos  Pos
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer converts PFL source text into a token stream.
+type lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) errorf(pos Pos, format string, args ...any) error {
+	return fmt.Errorf("pfl: %s: %s", pos, fmt.Sprintf(format, args...))
+}
+
+func (l *lexer) peekByte() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.off]
+	l.off++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// multi-byte operators, longest first.
+var multiOps = []string{"<=", ">=", "==", "!=", "&&", "||"}
+
+// next scans the next token.
+func (l *lexer) next() (token, error) {
+	for l.off < len(l.src) {
+		c := l.peekByte()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#':
+			for l.off < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, pos: Pos{l.line, l.col}}, nil
+
+scan:
+	pos := Pos{l.line, l.col}
+	c := l.peekByte()
+
+	if unicode.IsLetter(rune(c)) || c == '_' {
+		start := l.off
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			if !unicode.IsLetter(rune(c)) && !unicode.IsDigit(rune(c)) && c != '_' {
+				break
+			}
+			l.advance()
+		}
+		text := l.src[start:l.off]
+		if keywords[text] {
+			return token{kind: tokKeyword, text: text, pos: pos}, nil
+		}
+		return token{kind: tokIdent, text: text, pos: pos}, nil
+	}
+
+	if unicode.IsDigit(rune(c)) || (c == '.' && l.off+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.off+1]))) {
+		start := l.off
+		seenDot, seenExp := false, false
+		for l.off < len(l.src) {
+			c := l.peekByte()
+			switch {
+			case unicode.IsDigit(rune(c)):
+				l.advance()
+			case c == '.' && !seenDot && !seenExp:
+				seenDot = true
+				l.advance()
+			case (c == 'e' || c == 'E') && !seenExp && l.off > start:
+				seenExp = true
+				l.advance()
+				if l.peekByte() == '+' || l.peekByte() == '-' {
+					l.advance()
+				}
+			default:
+				goto doneNum
+			}
+		}
+	doneNum:
+		text := l.src[start:l.off]
+		if _, err := strconv.ParseFloat(text, 64); err != nil {
+			return token{}, l.errorf(pos, "malformed number %q", text)
+		}
+		return token{kind: tokNumber, text: text, pos: pos}, nil
+	}
+
+	if l.off+1 < len(l.src) {
+		two := l.src[l.off : l.off+2]
+		for _, op := range multiOps {
+			if two == op {
+				l.advance()
+				l.advance()
+				return token{kind: tokOp, text: op, pos: pos}, nil
+			}
+		}
+	}
+
+	if strings.ContainsRune("+-*/%<>=!(){}[],", rune(c)) {
+		l.advance()
+		return token{kind: tokOp, text: string(c), pos: pos}, nil
+	}
+
+	return token{}, l.errorf(pos, "unexpected character %q", string(c))
+}
+
+// lexAll scans the whole input (used by tests).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var toks []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.kind == tokEOF {
+			return toks, nil
+		}
+	}
+}

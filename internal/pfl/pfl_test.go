@@ -1,0 +1,393 @@
+package pfl
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleSrc = `
+program sample
+param n = 8
+scalar sum = 0.0
+array A[n][n]
+array B[n][n]
+array W[2*n]
+
+proc main() {
+  doall i = 0 to n-1 {
+    for j = 0 to n-1 {
+      A[i][j] = i * n + j
+    }
+  }
+  call smooth(A, B)
+  for t = 0 to 1 {
+    doall i = 1 to n-2 {
+      for j = 1 to n-2 {
+        B[i][j] = (A[i-1][j] + A[i+1][j] + A[i][j-1] + A[i][j+1]) / 4.0
+      }
+      critical {
+        sum = sum + B[i][1]
+      }
+      ordered {
+        B[i][0] = max(B[i][0], abs(sum) * 0.5)
+      }
+    }
+  }
+  if (sum > 0.0) {
+    W[0] = sum
+  } else {
+    W[1] = 0.0 - sum
+  }
+}
+
+proc smooth(X[][], Y[][]) {
+  doall i = 0 to n-1 {
+    Y[i][0] = X[i][0] * 0.5
+  }
+}
+`
+
+func TestLexBasics(t *testing.T) {
+	toks, err := lexAll("doall i = 0 to n-1 { A[i] = 1.5e2 } # comment\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	for _, tk := range toks {
+		if tk.kind == tokEOF {
+			break
+		}
+		kinds = append(kinds, tk.text)
+	}
+	want := []string{"doall", "i", "=", "0", "to", "n", "-", "1", "{", "A", "[", "i", "]", "=", "1.5e2", "}"}
+	if strings.Join(kinds, " ") != strings.Join(want, " ") {
+		t.Fatalf("tokens = %v, want %v", kinds, want)
+	}
+}
+
+func TestLexMultiCharOps(t *testing.T) {
+	toks, err := lexAll("a <= b && c != d || !e >= f == g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ops []string
+	for _, tk := range toks {
+		if tk.kind == tokOp {
+			ops = append(ops, tk.text)
+		}
+	}
+	want := []string{"<=", "&&", "!=", "||", "!", ">=", "=="}
+	if strings.Join(ops, " ") != strings.Join(want, " ") {
+		t.Fatalf("ops = %v, want %v", ops, want)
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := lexAll("a @ b"); err == nil {
+		t.Fatal("want error for @")
+	}
+}
+
+func TestParseAndCheckSample(t *testing.T) {
+	prog, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Name != "sample" {
+		t.Errorf("name = %q", prog.Name)
+	}
+	if len(prog.Procs) != 2 || prog.Proc("smooth") == nil {
+		t.Fatalf("procs = %d", len(prog.Procs))
+	}
+	if info.NumDoalls != 3 {
+		t.Errorf("NumDoalls = %d, want 3", info.NumDoalls)
+	}
+	if info.NumRefs == 0 {
+		t.Error("no refs numbered")
+	}
+	if got := info.Callees["main"]; len(got) != 1 || got[0] != "smooth" {
+		t.Errorf("callees(main) = %v", got)
+	}
+	if info.GlobalArrayRank["A"] != 2 || info.GlobalArrayRank["W"] != 1 {
+		t.Errorf("ranks = %v", info.GlobalArrayRank)
+	}
+}
+
+func TestFormatRoundTrip(t *testing.T) {
+	prog, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src2 := Format(prog)
+	prog2, err := Parse(src2)
+	if err != nil {
+		t.Fatalf("reparse of formatted output failed: %v\nsource:\n%s", err, src2)
+	}
+	// formatting must be a fixed point after one round
+	src3 := Format(prog2)
+	if src2 != src3 {
+		t.Fatalf("format not idempotent:\n--- first ---\n%s\n--- second ---\n%s", src2, src3)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	prog, err := Parse(`
+program p
+scalar s
+array A[4]
+proc main() {
+  s = 1 + 2 * 3
+  A[0] = s
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Procs[0].Body.Stmts[0].(*AssignStmt)
+	be := as.RHS.(*BinExpr)
+	if be.Op != "+" {
+		t.Fatalf("top op = %q, want +", be.Op)
+	}
+	if inner, ok := be.Y.(*BinExpr); !ok || inner.Op != "*" {
+		t.Fatalf("rhs of + should be *, got %v", FormatExpr(be.Y))
+	}
+}
+
+func TestParenOverridesPrecedence(t *testing.T) {
+	prog, err := Parse(`
+program p
+scalar s
+proc main() {
+  s = (1 + 2) * 3
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as := prog.Procs[0].Body.Stmts[0].(*AssignStmt)
+	be := as.RHS.(*BinExpr)
+	if be.Op != "*" {
+		t.Fatalf("top op = %q, want *", be.Op)
+	}
+}
+
+func checkErr(t *testing.T, src, wantSub string) {
+	t.Helper()
+	prog, err := Parse(src)
+	if err == nil {
+		_, err = Check(prog)
+	}
+	if err == nil || !strings.Contains(err.Error(), wantSub) {
+		t.Fatalf("error = %v, want substring %q", err, wantSub)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	t.Run("no main", func(t *testing.T) {
+		checkErr(t, `program p
+array A[2]
+proc other() { A[0] = 1 }`, "no proc main")
+	})
+	t.Run("nested doall", func(t *testing.T) {
+		checkErr(t, `program p
+param n = 4
+array A[n][n]
+proc main() {
+  doall i = 0 to n-1 {
+    doall j = 0 to n-1 { A[i][j] = 0 }
+  }
+}`, "nested doall")
+	})
+	t.Run("call inside doall", func(t *testing.T) {
+		checkErr(t, `program p
+param n = 4
+array A[n]
+proc main() {
+  doall i = 0 to n-1 { call f(A) }
+}
+proc f(X[]) { X[0] = 1 }`, "call inside doall")
+	})
+	t.Run("undefined name", func(t *testing.T) {
+		checkErr(t, `program p
+array A[2]
+proc main() { A[0] = zz }`, "undefined name")
+	})
+	t.Run("rank mismatch", func(t *testing.T) {
+		checkErr(t, `program p
+array A[2][2]
+proc main() { A[0] = 1 }`, "rank 2")
+	})
+	t.Run("recursion", func(t *testing.T) {
+		checkErr(t, `program p
+array A[2]
+proc main() { call f(A) }
+proc f(X[]) { call f(X) }`, "recursive")
+	})
+	t.Run("assign to param", func(t *testing.T) {
+		checkErr(t, `program p
+param n = 3
+proc main() { n = 4 }`, "not a scalar")
+	})
+	t.Run("critical outside doall", func(t *testing.T) {
+		checkErr(t, `program p
+scalar s
+proc main() { critical { s = 1 } }`, "critical section outside doall")
+	})
+	t.Run("loop bound uses own var", func(t *testing.T) {
+		checkErr(t, `program p
+array A[9]
+proc main() { for i = 0 to i { A[0] = 1 } }`, "may not use loop variable")
+	})
+	t.Run("shadowing loop var", func(t *testing.T) {
+		checkErr(t, `program p
+param n = 4
+array A[n]
+proc main() {
+  for i = 0 to n-1 { for i = 0 to n-1 { A[0] = 1 } }
+}`, "shadows")
+	})
+	t.Run("arg count", func(t *testing.T) {
+		checkErr(t, `program p
+array A[2]
+proc main() { call f() }
+proc f(X[]) { X[0] = 1 }`, "got 0 args")
+	})
+}
+
+func TestRefIDsDense(t *testing.T) {
+	prog, err := Parse(sampleSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Check(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, info.NumRefs)
+	var walkE func(Expr)
+	walkE = func(e Expr) {
+		switch ex := e.(type) {
+		case *VarRef:
+			if ex.RefID >= 0 {
+				if ex.RefID >= info.NumRefs || seen[ex.RefID] {
+					t.Fatalf("bad scalar RefID %d", ex.RefID)
+				}
+				seen[ex.RefID] = true
+			}
+		case *IndexRef:
+			if ex.RefID < 0 || ex.RefID >= info.NumRefs || seen[ex.RefID] {
+				t.Fatalf("bad RefID %d", ex.RefID)
+			}
+			seen[ex.RefID] = true
+			for _, s := range ex.Subs {
+				walkE(s)
+			}
+		case *BinExpr:
+			walkE(ex.X)
+			walkE(ex.Y)
+		case *UnExpr:
+			walkE(ex.X)
+		case *CallExpr:
+			for _, a := range ex.Args {
+				walkE(a)
+			}
+		}
+	}
+	var walkB func(*Block)
+	walkS := func(s Stmt) {
+		switch st := s.(type) {
+		case *AssignStmt:
+			walkE(st.LHS)
+			walkE(st.RHS)
+		case *ForStmt:
+			walkE(st.Lo)
+			walkE(st.Hi)
+			walkB(st.Body)
+		case *DoallStmt:
+			walkE(st.Lo)
+			walkE(st.Hi)
+			walkB(st.Body)
+		case *IfStmt:
+			walkE(st.Cond)
+			walkB(st.Then)
+			if st.Else != nil {
+				walkB(st.Else)
+			}
+		case *CriticalStmt:
+			walkB(st.Body)
+		case *OrderedStmt:
+			walkB(st.Body)
+		}
+	}
+	walkB = func(b *Block) {
+		for _, s := range b.Stmts {
+			walkS(s)
+		}
+	}
+	for _, pr := range prog.Procs {
+		walkB(pr.Body)
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Fatalf("RefID %d never assigned", i)
+		}
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	// Parser and checker errors must carry accurate line:col positions.
+	cases := []struct {
+		src  string
+		want string // "line:col" prefix expected in the message
+	}{
+		{"program p\nproc main() { x = }", "2:19"},              // missing expr
+		{"program p\nscalar s\nproc main() { s = zz }", "3:19"}, // undefined name
+		{"program p\nproc main() { doall i = 0 to }", "2:30"},   // missing bound
+	}
+	for _, c := range cases {
+		prog, err := Parse(c.src)
+		if err == nil {
+			_, err = Check(prog)
+		}
+		if err == nil {
+			t.Errorf("no error for %q", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("error %q does not mention position %s", err, c.want)
+		}
+	}
+}
+
+func TestIntrinsicFormatRoundTrip(t *testing.T) {
+	src := `program p
+scalar s
+proc main() {
+  s = min(abs(s), max(1.0, sin(s)))
+}
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err != nil {
+		t.Fatal(err)
+	}
+	out := Format(prog)
+	if !strings.Contains(out, "min(abs(s), max(1.0, sin(s)))") {
+		t.Fatalf("intrinsics not formatted:\n%s", out)
+	}
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+}
+
+func TestOrderedCheckErrors(t *testing.T) {
+	checkErr(t, `program p
+scalar s
+proc main() { ordered { s = 1 } }`, "ordered section outside doall")
+}

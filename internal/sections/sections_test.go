@@ -1,0 +1,396 @@
+package sections
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/epochg"
+	"repro/internal/pfl"
+	"repro/internal/prog"
+)
+
+func build(t *testing.T, src string, interproc bool) *Analysis {
+	t.Helper()
+	ast, err := pfl.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := pfl.Check(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prog.Build(info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Analyze(p, Options{Interproc: interproc})
+}
+
+func findNodes(ps *ProcSummary, k epochg.Kind) []*NodeSummary {
+	var out []*NodeSummary
+	for _, ns := range ps.Nodes {
+		if ns.Node.Kind == k {
+			out = append(out, ns)
+		}
+	}
+	return out
+}
+
+func TestDoallModSection(t *testing.T) {
+	a := build(t, `
+program p
+param n = 64
+array A[n][n]
+proc main() {
+  doall i = 0 to n-1 {
+    for j = 1 to n-2 {
+      A[i][j] = 1.0
+    }
+  }
+}
+`, true)
+	ps := a.Procs["main"]
+	doalls := findNodes(ps, epochg.KindDoall)
+	if len(doalls) != 1 {
+		t.Fatalf("%d doall nodes", len(doalls))
+	}
+	mod := doalls[0].Mod["A"]
+	if got, want := mod.String(), "[0:63][1:62]"; got != want {
+		t.Fatalf("MOD(A) = %s, want %s", got, want)
+	}
+	if _, ok := doalls[0].Use["A"]; ok {
+		t.Fatal("A is not read in this epoch")
+	}
+}
+
+func TestUseSectionAndStencil(t *testing.T) {
+	a := build(t, `
+program p
+param n = 16
+array A[n]
+array B[n]
+proc main() {
+  doall i = 1 to n-2 {
+    B[i] = A[i-1] + A[i+1]
+  }
+}
+`, true)
+	ps := a.Procs["main"]
+	d := findNodes(ps, epochg.KindDoall)[0]
+	if got, want := d.Use["A"].String(), "[0:15]"; got != want {
+		t.Fatalf("USE(A) = %s, want %s", got, want)
+	}
+	if got, want := d.Mod["B"].String(), "[1:14]"; got != want {
+		t.Fatalf("MOD(B) = %s, want %s", got, want)
+	}
+}
+
+func TestNonAffineSubscriptBecomesUnknown(t *testing.T) {
+	a := build(t, `
+program p
+param n = 8
+array A[n]
+array IDX[n]
+proc main() {
+  doall i = 0 to n-1 {
+    A[IDX[i]] = 1.0
+  }
+}
+`, true)
+	ps := a.Procs["main"]
+	d := findNodes(ps, epochg.KindDoall)[0]
+	if !d.Mod["A"].Dims[0].IsFull() {
+		t.Fatalf("MOD(A) = %s, want full (unknown subscript)", d.Mod["A"])
+	}
+	// IDX[i] itself is a read with a precise section.
+	if got, want := d.Use["IDX"].String(), "[0:7]"; got != want {
+		t.Fatalf("USE(IDX) = %s, want %s", got, want)
+	}
+}
+
+func TestScalarRefs(t *testing.T) {
+	a := build(t, `
+program p
+param n = 8
+scalar s
+array A[n]
+proc main() {
+  doall i = 0 to n-1 {
+    critical {
+      s = s + A[i]
+    }
+  }
+}
+`, true)
+	ps := a.Procs["main"]
+	d := findNodes(ps, epochg.KindDoall)[0]
+	if _, ok := d.Mod["s"]; !ok {
+		t.Fatal("scalar write missing from MOD")
+	}
+	if _, ok := d.Use["s"]; !ok {
+		t.Fatal("scalar read missing from USE")
+	}
+	var critRefs int
+	for _, r := range d.Refs {
+		if r.InCritical {
+			critRefs++
+		}
+	}
+	// s (read), A[i] (read), s (write) are inside the critical section;
+	// the subscript i is a register.
+	if critRefs != 3 {
+		t.Fatalf("critical refs = %d, want 3", critRefs)
+	}
+}
+
+func TestInterproceduralGMod(t *testing.T) {
+	src := `
+program p
+param n = 8
+array A[n]
+array B[n]
+proc main() {
+  call init(A)
+  doall i = 0 to n-1 { B[i] = A[i] }
+}
+proc init(X[]) {
+  doall i = 0 to n-1 { X[i] = 0.5 }
+}
+`
+	a := build(t, src, true)
+	ps := a.Procs["main"]
+	calls := findNodes(ps, epochg.KindCall)
+	if len(calls) != 1 {
+		t.Fatalf("%d call nodes", len(calls))
+	}
+	// The call's MOD must be renamed to the actual argument A.
+	if got, want := calls[0].Mod["A"].String(), "[0:7]"; got != want {
+		t.Fatalf("call MOD(A) = %s, want %s", got, want)
+	}
+	if _, ok := calls[0].Mod["X"]; ok {
+		t.Fatal("formal name leaked into caller summary")
+	}
+	if _, ok := calls[0].Mod["B"]; ok {
+		t.Fatal("B is not written by init")
+	}
+
+	// Without interprocedural analysis the call clobbers everything.
+	a2 := build(t, src, false)
+	calls2 := findNodes(a2.Procs["main"], epochg.KindCall)
+	if _, ok := calls2[0].Mod["B"]; !ok {
+		t.Fatal("interproc-off call must clobber all arrays")
+	}
+}
+
+func TestEntryFreshness(t *testing.T) {
+	src := `
+program p
+param n = 8
+array A[n]
+array B[n]
+proc main() {
+  doall i = 0 to n-1 { A[i] = 1.0 }
+  doall i = 0 to n-1 { B[i] = 2.0 }
+  call use(A)
+}
+proc use(X[]) {
+  doall i = 0 to n-1 { X[i] = X[i] + 1.0 }
+}
+`
+	a := build(t, src, true)
+	use := a.Procs["use"]
+	// A is written two counting epochs before the callee entry (the B
+	// doall and the call-node prologue; the callee's entry node is
+	// structural and free).
+	fx := use.EntryFresh["X"]
+	if fx != 2 {
+		t.Fatalf("EntryFresh(X) = %d, want 2", fx)
+	}
+	// B is also written before the call (one epoch closer).
+	fb := use.EntryFresh["B"]
+	if fb >= Infinity || fb <= 0 {
+		t.Fatalf("EntryFresh(B) = %d, want finite > 0", fb)
+	}
+	if fx <= fb {
+		t.Fatalf("A written earlier than B: freshness(X)=%d should exceed freshness(B)=%d", fx, fb)
+	}
+
+	// main's entry freshness is infinite (nothing precedes program start).
+	if a.Procs["main"].EntryFresh["A"] != Infinity {
+		t.Fatal("main entry freshness must be Infinity")
+	}
+
+	// interproc off: callee must assume everything was just written.
+	a2 := build(t, src, false)
+	if a2.Procs["use"].EntryFresh["X"] != 0 {
+		t.Fatal("interproc-off entry freshness must be 0")
+	}
+}
+
+func TestMustExecute(t *testing.T) {
+	a := build(t, `
+program p
+param n = 8
+scalar s
+array A[n]
+array B[n]
+proc main() {
+  doall i = 0 to n-1 {
+    A[i] = 0.0
+    if (s > 0) {
+      B[i] = 1.0
+    }
+    for j = 0 to n-1 {
+      A[j % 4] = A[j % 4] + 1.0
+    }
+  }
+}
+`, true)
+	ps := a.Procs["main"]
+	d := findNodes(ps, epochg.KindDoall)[0]
+	var aDef, bDef *Ref
+	for _, r := range d.Refs {
+		if r.Write && r.Array == "A" && len(r.Loops) == 0 {
+			aDef = r
+		}
+		if r.Write && r.Array == "B" {
+			bDef = r
+		}
+	}
+	if aDef == nil || bDef == nil {
+		t.Fatal("refs not found")
+	}
+	if !aDef.MustExecute() {
+		t.Error("unconditional A def must execute")
+	}
+	if bDef.MustExecute() {
+		t.Error("conditional B def must not be a must-def")
+	}
+}
+
+func TestRefSeqOrdering(t *testing.T) {
+	a := build(t, `
+program p
+array A[4]
+array B[4]
+proc main() {
+  A[0] = B[0]
+  B[1] = A[0]
+}
+`, true)
+	ps := a.Procs["main"]
+	ser := findNodes(ps, epochg.KindSerial)[0]
+	last := -1
+	for _, r := range ser.Refs {
+		if r.Seq <= last {
+			t.Fatalf("refs out of order: %d after %d", r.Seq, last)
+		}
+		last = r.Seq
+	}
+	// Order: B[0] read, A[0] write, A[0] read, B[1] write.
+	if len(ser.Refs) != 4 {
+		t.Fatalf("refs = %d, want 4", len(ser.Refs))
+	}
+	if ser.Refs[0].Array != "B" || ser.Refs[0].Write {
+		t.Fatalf("first ref should be read of B, got %+v", ser.Refs[0])
+	}
+	if ser.Refs[1].Array != "A" || !ser.Refs[1].Write {
+		t.Fatalf("second ref should be write of A, got %+v", ser.Refs[1])
+	}
+}
+
+func TestReportContents(t *testing.T) {
+	a := build(t, `
+program p
+param n = 8
+array A[n]
+array T[n]
+proc main() {
+  doall i = 0 to n-1 { A[i] = T[i] }
+  call f(A)
+}
+proc f(X[]) {
+  doall i = 1 to n-2 { X[i] = X[i-1] * 0.5 }
+}
+`, true)
+	rep := a.Report()
+	for _, want := range []string{
+		"proc main:", "proc f:",
+		"MOD A[0:7]", "USE T[0:7]",
+		"GMOD X[1:6]", "GUSE X[0:5]",
+		"entry-fresh T = never-written",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestOrderedRefsFlagged(t *testing.T) {
+	a := build(t, `
+program p
+param n = 8
+array S[n]
+proc main() {
+  doall i = 1 to n-1 {
+    ordered {
+      S[i] = S[i-1] + 1.0
+    }
+  }
+}
+`, true)
+	d := findNodes(a.Procs["main"], epochg.KindDoall)[0]
+	ordered := 0
+	for _, r := range d.Refs {
+		if r.InOrdered {
+			ordered++
+		}
+		if r.InCritical {
+			t.Error("ordered is not critical")
+		}
+	}
+	// S[i-1] read and S[i] write inside the ordered section (the
+	// subscript i is a register).
+	if ordered != 2 {
+		t.Fatalf("ordered refs = %d, want 2", ordered)
+	}
+}
+
+func TestIntrinsicArgsAreUses(t *testing.T) {
+	a := build(t, `
+program p
+param n = 8
+array A[n]
+array B[n]
+proc main() {
+  doall i = 0 to n-1 {
+    B[i] = max(A[i], sin(A[n-1-i]))
+  }
+}
+`, true)
+	d := findNodes(a.Procs["main"], epochg.KindDoall)[0]
+	if got, want := d.Use["A"].String(), "[0:7]"; got != want {
+		t.Fatalf("USE(A) = %s, want %s (intrinsic arguments must be walked)", got, want)
+	}
+}
+
+func TestDecreasingLoopSection(t *testing.T) {
+	a := build(t, `
+program p
+param n = 8
+array A[n]
+proc main() {
+  doall i = 0 to 0 {
+    for j = 6 to 2 step -2 {
+      A[j] = 1.0
+    }
+  }
+}
+`, true)
+	d := findNodes(a.Procs["main"], epochg.KindDoall)[0]
+	// Decreasing loop [6..2 step -2] writes indices {2,4,6}: the section
+	// hull must be ordered low:high.
+	if got, want := d.Mod["A"].String(), "[2:6]"; got != want {
+		t.Fatalf("MOD(A) = %s, want %s", got, want)
+	}
+}

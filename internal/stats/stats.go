@@ -1,0 +1,180 @@
+// Package stats collects the measurements the paper's evaluation reports:
+// miss rates with cause classification, network traffic split into read,
+// write, and coherence words, miss latencies, and execution time.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// MissClass classifies why a cache miss happened, following the paper's
+// decomposition (true sharing is a necessary coherence miss; false sharing
+// and conservative misses are the unnecessary ones; cold and replacement
+// are ordinary uniprocessor misses).
+type MissClass int
+
+const (
+	// MissCold is the first access to a word by this processor.
+	MissCold MissClass = iota
+	// MissReplace re-fetches a word lost to capacity/conflict eviction.
+	MissReplace
+	// MissTrueSharing re-fetches a word another processor actually
+	// changed (necessary coherence miss).
+	MissTrueSharing
+	// MissFalseSharing re-fetches a word lost to an invalidation caused
+	// by a write to a *different* word of the line (directory protocols).
+	MissFalseSharing
+	// MissConservative re-fetches a word that was actually still current
+	// but failed the Time-Read window test (HSCD schemes) .
+	MissConservative
+	// MissBypass counts uncached accesses (BASE shared data, SC bypasses,
+	// critical-section reads): always remote.
+	MissBypass
+	numMissClasses
+)
+
+func (m MissClass) String() string {
+	switch m {
+	case MissCold:
+		return "cold"
+	case MissReplace:
+		return "replace"
+	case MissTrueSharing:
+		return "true-sharing"
+	case MissFalseSharing:
+		return "false-sharing"
+	case MissConservative:
+		return "conservative"
+	case MissBypass:
+		return "bypass"
+	default:
+		return "?"
+	}
+}
+
+// MissClasses lists all classes in report order.
+var MissClasses = []MissClass{
+	MissCold, MissReplace, MissTrueSharing, MissFalseSharing, MissConservative, MissBypass,
+}
+
+// Stats accumulates one simulation run's measurements.
+type Stats struct {
+	Scheme string
+
+	Reads      int64 // all read references issued
+	Writes     int64 // all write references issued
+	ReadHits   int64
+	ReadMisses [numMissClasses]int64
+
+	// Traffic in words moved through the network.
+	ReadTrafficWords      int64
+	WriteTrafficWords     int64
+	CoherenceTrafficWords int64
+	CoherenceMsgs         int64 // invalidations, ownership transfers
+	Invalidations         int64 // lines/words invalidated by coherence
+
+	// Latency: sum of read miss latencies in cycles (for avg miss latency).
+	MissLatencySum int64
+
+	// TPI-specific.
+	TimetagResets      int64 // two-phase reset events
+	ResetInvalidations int64 // words invalidated by resets
+	WritesCoalesced    int64 // redundant writes removed by the wb-cache
+
+	// Limited-pointer directory: sharers evicted to free a pointer.
+	PointerEvictions int64
+
+	// Write-back-at-boundary policy: words flushed at barriers and the
+	// stall cycles those bursts cost.
+	FlushedWords     int64
+	FlushStallCycles int64
+
+	// PrefetchedLines counts one-block-lookahead prefetches issued.
+	PrefetchedLines int64
+
+	// Execution time.
+	Cycles        int64
+	BarrierCycles int64
+	Epochs        int64
+
+	// ProcBusy is the per-processor busy-cycle total (compute + stalls),
+	// filled by the simulator for load-imbalance analysis.
+	ProcBusy []int64
+}
+
+// Imbalance is max/mean of the per-processor busy cycles (1.0 =
+// perfectly balanced; undefined without ProcBusy data).
+func (s *Stats) Imbalance() float64 {
+	if len(s.ProcBusy) == 0 {
+		return 0
+	}
+	var max, sum int64
+	for _, v := range s.ProcBusy {
+		if v > max {
+			max = v
+		}
+		sum += v
+	}
+	if sum == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(s.ProcBusy))
+	return float64(max) / mean
+}
+
+// TotalReadMisses sums all miss classes.
+func (s *Stats) TotalReadMisses() int64 {
+	var t int64
+	for _, v := range s.ReadMisses {
+		t += v
+	}
+	return t
+}
+
+// MissRate is read misses over all reads.
+func (s *Stats) MissRate() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalReadMisses()) / float64(s.Reads)
+}
+
+// AvgMissLatency is the mean read-miss latency in cycles.
+func (s *Stats) AvgMissLatency() float64 {
+	n := s.TotalReadMisses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.MissLatencySum) / float64(n)
+}
+
+// TotalTraffic sums all traffic classes in words.
+func (s *Stats) TotalTraffic() int64 {
+	return s.ReadTrafficWords + s.WriteTrafficWords + s.CoherenceTrafficWords
+}
+
+// UnnecessaryMisses are the coherence misses the paper calls unnecessary:
+// false-sharing (directory) plus conservative (HSCD).
+func (s *Stats) UnnecessaryMisses() int64 {
+	return s.ReadMisses[MissFalseSharing] + s.ReadMisses[MissConservative]
+}
+
+// String renders a compact single-run report.
+func (s *Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-5s reads=%d writes=%d missrate=%.4f avgmisslat=%.1f cycles=%d\n",
+		s.Scheme, s.Reads, s.Writes, s.MissRate(), s.AvgMissLatency(), s.Cycles)
+	fmt.Fprintf(&b, "      misses:")
+	for _, c := range MissClasses {
+		if s.ReadMisses[c] > 0 {
+			fmt.Fprintf(&b, " %s=%d", c, s.ReadMisses[c])
+		}
+	}
+	fmt.Fprintf(&b, "\n      traffic: read=%d write=%d coherence=%d words (coalesced %d writes)",
+		s.ReadTrafficWords, s.WriteTrafficWords, s.CoherenceTrafficWords, s.WritesCoalesced)
+	if s.TimetagResets > 0 {
+		fmt.Fprintf(&b, "\n      resets=%d resetInvalidations=%d", s.TimetagResets, s.ResetInvalidations)
+	}
+	return b.String()
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRates(t *testing.T) {
+	var s Stats
+	s.Scheme = "TPI"
+	s.Reads = 100
+	s.ReadHits = 90
+	s.ReadMisses[MissCold] = 4
+	s.ReadMisses[MissTrueSharing] = 3
+	s.ReadMisses[MissConservative] = 2
+	s.ReadMisses[MissBypass] = 1
+	if s.TotalReadMisses() != 10 {
+		t.Fatalf("total misses = %d", s.TotalReadMisses())
+	}
+	if s.MissRate() != 0.10 {
+		t.Fatalf("miss rate = %f", s.MissRate())
+	}
+	if s.UnnecessaryMisses() != 2 {
+		t.Fatalf("unnecessary = %d", s.UnnecessaryMisses())
+	}
+	s.MissLatencySum = 1000
+	if s.AvgMissLatency() != 100 {
+		t.Fatalf("avg latency = %f", s.AvgMissLatency())
+	}
+}
+
+func TestZeroDivisionSafety(t *testing.T) {
+	var s Stats
+	if s.MissRate() != 0 || s.AvgMissLatency() != 0 {
+		t.Fatal("empty stats must not divide by zero")
+	}
+}
+
+func TestTraffic(t *testing.T) {
+	var s Stats
+	s.ReadTrafficWords = 10
+	s.WriteTrafficWords = 20
+	s.CoherenceTrafficWords = 5
+	if s.TotalTraffic() != 35 {
+		t.Fatalf("traffic = %d", s.TotalTraffic())
+	}
+}
+
+func TestStringIncludesClasses(t *testing.T) {
+	var s Stats
+	s.Scheme = "TPI"
+	s.Reads = 10
+	s.ReadMisses[MissConservative] = 2
+	s.TimetagResets = 1
+	out := s.String()
+	for _, want := range []string{"TPI", "conservative=2", "resets=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMissClassStrings(t *testing.T) {
+	want := map[MissClass]string{
+		MissCold:         "cold",
+		MissReplace:      "replace",
+		MissTrueSharing:  "true-sharing",
+		MissFalseSharing: "false-sharing",
+		MissConservative: "conservative",
+		MissBypass:       "bypass",
+	}
+	for c, w := range want {
+		if c.String() != w {
+			t.Errorf("%d = %s, want %s", c, c, w)
+		}
+	}
+	if len(MissClasses) != len(want) {
+		t.Error("MissClasses list out of sync")
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	var s Stats
+	if s.Imbalance() != 0 {
+		t.Fatal("no data -> 0")
+	}
+	s.ProcBusy = []int64{100, 100, 100, 100}
+	if got := s.Imbalance(); got != 1.0 {
+		t.Fatalf("balanced = %f", got)
+	}
+	s.ProcBusy = []int64{400, 0, 0, 0}
+	if got := s.Imbalance(); got != 4.0 {
+		t.Fatalf("one-proc = %f", got)
+	}
+}

@@ -1,0 +1,183 @@
+// Package swschemes implements the paper's two software-side comparison
+// schemes:
+//
+//   - BASE: no caching of shared data at all. Every shared reference is a
+//     remote memory access. This is the "rely on the user" baseline of
+//     machines like the Cray T3D.
+//   - SC: software cache-bypass. Compiler-identified potentially-stale
+//     references bypass the cache and fetch from memory; everything else
+//     caches with write-through. SC keeps intra-task reuse but no
+//     intertask locality.
+package swschemes
+
+import (
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// Base is the uncached-shared-data scheme.
+type Base struct {
+	*memsys.Core
+}
+
+// NewBase builds a BASE system.
+func NewBase(cfg machine.Config, memWords int64) *Base {
+	return &Base{Core: memsys.NewCore(cfg, memWords)}
+}
+
+// Name implements memsys.System.
+func (s *Base) Name() string { return "BASE" }
+
+// Read implements memsys.System: every read is a remote word fetch.
+func (s *Base) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
+	s.St.Reads++
+	s.St.ReadMisses[stats.MissBypass]++
+	s.St.ReadTrafficWords++
+	s.Netw.Inject(2)
+	lat := s.WordMissLatencyFor(p, addr)
+	s.St.MissLatencySum += lat
+	return s.Memory.Read(addr), lat
+}
+
+// Write implements memsys.System: every write is a remote word store; the
+// write buffer hides the latency.
+func (s *Base) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	s.St.Writes++
+	s.Memory.Write(addr, val, p, s.Epoch)
+	s.St.WriteTrafficWords++
+	s.Netw.Inject(1)
+	if s.Cfg.SeqConsistency {
+		return s.WordMissLatencyFor(p, addr)
+	}
+	return 0
+}
+
+// EpochBoundary implements memsys.System.
+func (s *Base) EpochBoundary(epoch int64) int64 {
+	s.Epoch = epoch
+	return 0
+}
+
+// SC is the software cache-bypass scheme.
+type SC struct {
+	*memsys.Core
+	caches   []*cache.Cache
+	trackers []*cache.Tracker
+	wbufs    []*cache.WriteBuffer
+}
+
+// NewSC builds an SC system.
+func NewSC(cfg machine.Config, memWords int64) *SC {
+	s := &SC{Core: memsys.NewCore(cfg, memWords)}
+	for p := 0; p < cfg.Procs; p++ {
+		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
+		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
+		s.wbufs = append(s.wbufs, cache.NewWriteBuffer(cfg.WriteBufferCache))
+	}
+	return s
+}
+
+// Name implements memsys.System.
+func (s *SC) Name() string { return "SC" }
+
+// Read implements memsys.System. Potentially-stale reads (Time-Read or
+// bypass marks) fetch the word from memory without validating the cache;
+// a present copy is refreshed in place so later covered reads of the same
+// task stay correct. Regular reads cache normally.
+func (s *SC) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
+	s.St.Reads++
+	cc, tr := s.caches[p], s.trackers[p]
+
+	if kind != memsys.ReadRegular {
+		v := s.Memory.Read(addr)
+		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+			line.Vals[w] = v
+		}
+		s.St.ReadMisses[stats.MissBypass]++
+		s.St.ReadTrafficWords++
+		s.Netw.Inject(2)
+		lat := s.WordMissLatencyFor(p, addr)
+		s.St.MissLatencySum += lat
+		return v, lat
+	}
+
+	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+		s.St.ReadHits++
+		line.Used[w] = true
+		cc.Touch(line)
+		s.Memory.CheckFresh(addr, line.Vals[w], p, "sc regular hit")
+		return line.Vals[w], s.Cfg.HitCycles
+	}
+	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
+	nl, nw := s.MissFill(cc, tr, addr, s.Epoch, s.Epoch)
+	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	lat := s.LineMissLatencyFor(p, addr)
+	s.St.MissLatencySum += lat
+	return nl.Vals[nw], lat
+}
+
+// Write implements memsys.System: write-through, write-validate allocate.
+// Critical stores self-invalidate like TPI's.
+func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	s.St.Writes++
+	s.Memory.Write(addr, val, p, s.Epoch)
+	cc, tr := s.caches[p], s.trackers[p]
+	if crit {
+		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+			tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
+			line.InvalidateWord(w)
+		}
+		s.St.WriteTrafficWords++
+		s.Netw.Inject(1)
+		return 0
+	}
+	if line, w, ok := cc.Lookup(addr); ok {
+		line.Vals[w] = val
+		line.TT[w] = s.Epoch
+		line.Used[w] = true
+		cc.Touch(line)
+		tr.NoteCached(addr)
+	} else {
+		v := cc.Victim(addr)
+		if v.State != cache.Invalid {
+			base := prog.Word(v.Tag * int64(cc.LineWords()))
+			for i := 0; i < cc.LineWords(); i++ {
+				if v.TT[i] != cache.TTInvalid {
+					tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
+				}
+			}
+			v.InvalidateLine()
+		}
+		tag, w := cc.Split(addr)
+		v.Tag = tag
+		v.State = cache.Shared
+		v.Vals[w] = val
+		v.TT[w] = s.Epoch
+		v.Used[w] = true
+		cc.Touch(v)
+		tr.NoteCached(addr)
+	}
+	if s.wbufs[p].Write(addr) {
+		s.St.WriteTrafficWords++
+		s.Netw.Inject(1)
+	} else {
+		s.St.WritesCoalesced++
+	}
+	if s.Cfg.SeqConsistency {
+		return s.WordMissLatencyFor(p, addr)
+	}
+	return 0
+}
+
+// EpochBoundary implements memsys.System.
+func (s *SC) EpochBoundary(epoch int64) int64 {
+	s.Epoch = epoch
+	for _, wb := range s.wbufs {
+		wb.Flush()
+	}
+	return 0
+}

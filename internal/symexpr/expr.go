@@ -1,0 +1,283 @@
+// Package symexpr implements symbolic affine expressions and bounded
+// regular array sections, the value domain used by the compiler's array
+// data-flow analysis.
+//
+// An Expr is an affine combination c0 + c1*v1 + c2*v2 + ... of named
+// symbolic variables (loop indices and program parameters). Expressions
+// that cannot be kept affine (for example a product of two variables, or
+// a value loaded through an unanalyzable subscript) collapse to the
+// distinguished "unknown" expression, which every analysis must treat
+// conservatively.
+//
+// A Section is a bounded regular section descriptor: one triplet
+// [lo : hi : step] per array dimension, with affine bounds. Sections
+// support the conservative may-overlap and must-contain queries required
+// for stale-reference detection.
+package symexpr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Expr is an affine symbolic expression: Const + Σ Coeffs[v]·v.
+// The zero value is the constant 0. Expressions are immutable once built;
+// all operations return new values.
+type Expr struct {
+	unknown bool
+	c0      int64
+	coeffs  map[string]int64 // never contains zero-valued entries
+}
+
+// Unknown is the top element of the expression lattice: a value about which
+// nothing is known. Any arithmetic involving Unknown yields Unknown.
+func Unknown() Expr { return Expr{unknown: true} }
+
+// Const returns the constant expression c.
+func Const(c int64) Expr { return Expr{c0: c} }
+
+// Var returns the expression consisting of the single variable v.
+func Var(v string) Expr { return Expr{coeffs: map[string]int64{v: 1}} }
+
+// IsUnknown reports whether e is the unknown (top) expression.
+func (e Expr) IsUnknown() bool { return e.unknown }
+
+// IsConst reports whether e is a known constant, and returns its value.
+func (e Expr) IsConst() (int64, bool) {
+	if e.unknown || len(e.coeffs) != 0 {
+		return 0, false
+	}
+	return e.c0, true
+}
+
+// ConstPart returns the constant term of e. Meaningless for Unknown.
+func (e Expr) ConstPart() int64 { return e.c0 }
+
+// Coeff returns the coefficient of variable v in e.
+func (e Expr) Coeff(v string) int64 { return e.coeffs[v] }
+
+// Vars returns the variables appearing in e with nonzero coefficient,
+// in sorted order.
+func (e Expr) Vars() []string {
+	vs := make([]string, 0, len(e.coeffs))
+	for v := range e.coeffs {
+		vs = append(vs, v)
+	}
+	sort.Strings(vs)
+	return vs
+}
+
+// HasVar reports whether v appears in e.
+func (e Expr) HasVar(v string) bool { return e.coeffs[v] != 0 }
+
+func (e Expr) clone() Expr {
+	c := Expr{unknown: e.unknown, c0: e.c0}
+	if len(e.coeffs) > 0 {
+		c.coeffs = make(map[string]int64, len(e.coeffs))
+		for v, k := range e.coeffs {
+			c.coeffs[v] = k
+		}
+	}
+	return c
+}
+
+// Add returns e + o.
+func (e Expr) Add(o Expr) Expr {
+	if e.unknown || o.unknown {
+		return Unknown()
+	}
+	r := e.clone()
+	r.c0 += o.c0
+	for v, k := range o.coeffs {
+		nk := r.coeffs[v] + k
+		if r.coeffs == nil {
+			r.coeffs = make(map[string]int64)
+		}
+		if nk == 0 {
+			delete(r.coeffs, v)
+		} else {
+			r.coeffs[v] = nk
+		}
+	}
+	if len(r.coeffs) == 0 {
+		r.coeffs = nil
+	}
+	return r
+}
+
+// Sub returns e - o.
+func (e Expr) Sub(o Expr) Expr { return e.Add(o.Neg()) }
+
+// Neg returns -e.
+func (e Expr) Neg() Expr {
+	if e.unknown {
+		return Unknown()
+	}
+	r := Expr{c0: -e.c0}
+	if len(e.coeffs) > 0 {
+		r.coeffs = make(map[string]int64, len(e.coeffs))
+		for v, k := range e.coeffs {
+			r.coeffs[v] = -k
+		}
+	}
+	return r
+}
+
+// MulConst returns e·c.
+func (e Expr) MulConst(c int64) Expr {
+	if e.unknown {
+		return Unknown()
+	}
+	if c == 0 {
+		return Const(0)
+	}
+	r := Expr{c0: e.c0 * c}
+	if len(e.coeffs) > 0 {
+		r.coeffs = make(map[string]int64, len(e.coeffs))
+		for v, k := range e.coeffs {
+			r.coeffs[v] = k * c
+		}
+	}
+	return r
+}
+
+// Mul returns e·o when the product is affine (at least one side constant);
+// otherwise it returns Unknown.
+func (e Expr) Mul(o Expr) Expr {
+	if e.unknown || o.unknown {
+		return Unknown()
+	}
+	if c, ok := e.IsConst(); ok {
+		return o.MulConst(c)
+	}
+	if c, ok := o.IsConst(); ok {
+		return e.MulConst(c)
+	}
+	return Unknown()
+}
+
+// Equal reports structural equality of the two expressions. Two Unknown
+// expressions compare equal (both are the same lattice element).
+func (e Expr) Equal(o Expr) bool {
+	if e.unknown || o.unknown {
+		return e.unknown == o.unknown
+	}
+	if e.c0 != o.c0 || len(e.coeffs) != len(o.coeffs) {
+		return false
+	}
+	for v, k := range e.coeffs {
+		if o.coeffs[v] != k {
+			return false
+		}
+	}
+	return true
+}
+
+// Subst substitutes expression val for every occurrence of variable v.
+func (e Expr) Subst(v string, val Expr) Expr {
+	if e.unknown {
+		return Unknown()
+	}
+	k, ok := e.coeffs[v]
+	if !ok {
+		return e
+	}
+	r := e.clone()
+	delete(r.coeffs, v)
+	if len(r.coeffs) == 0 {
+		r.coeffs = nil
+	}
+	return r.Add(val.MulConst(k))
+}
+
+// Eval evaluates e under the variable binding env. It reports failure if e
+// is Unknown or mentions an unbound variable.
+func (e Expr) Eval(env map[string]int64) (int64, bool) {
+	if e.unknown {
+		return 0, false
+	}
+	r := e.c0
+	for v, k := range e.coeffs {
+		x, ok := env[v]
+		if !ok {
+			return 0, false
+		}
+		r += k * x
+	}
+	return r, true
+}
+
+// String renders e in a deterministic human-readable form.
+func (e Expr) String() string {
+	if e.unknown {
+		return "?"
+	}
+	var b strings.Builder
+	first := true
+	for _, v := range e.Vars() {
+		k := e.coeffs[v]
+		switch {
+		case first && k == 1:
+			b.WriteString(v)
+		case first && k == -1:
+			b.WriteString("-" + v)
+		case first:
+			fmt.Fprintf(&b, "%d*%s", k, v)
+		case k == 1:
+			b.WriteString("+" + v)
+		case k == -1:
+			b.WriteString("-" + v)
+		case k > 0:
+			fmt.Fprintf(&b, "+%d*%s", k, v)
+		default:
+			fmt.Fprintf(&b, "-%d*%s", -k, v)
+		}
+		first = false
+	}
+	if first {
+		fmt.Fprintf(&b, "%d", e.c0)
+	} else if e.c0 > 0 {
+		fmt.Fprintf(&b, "+%d", e.c0)
+	} else if e.c0 < 0 {
+		fmt.Fprintf(&b, "%d", e.c0)
+	}
+	return b.String()
+}
+
+// Bounds describes a known inclusive integer interval for a symbolic value.
+type Bounds struct {
+	Lo, Hi int64
+	Known  bool
+}
+
+// ExactBounds returns the degenerate interval [v, v].
+func ExactBounds(v int64) Bounds { return Bounds{Lo: v, Hi: v, Known: true} }
+
+// Env maps variable names to their known value intervals. It is the context
+// under which expression bounds are computed (loop index ranges, known
+// parameter values).
+type Env map[string]Bounds
+
+// BoundsOf computes a conservative interval for e under env. If e is
+// Unknown, or any variable lacks bounds, the result is not Known.
+func (e Expr) BoundsOf(env Env) Bounds {
+	if e.unknown {
+		return Bounds{}
+	}
+	lo, hi := e.c0, e.c0
+	for v, k := range e.coeffs {
+		b, ok := env[v]
+		if !ok || !b.Known {
+			return Bounds{}
+		}
+		if k >= 0 {
+			lo += k * b.Lo
+			hi += k * b.Hi
+		} else {
+			lo += k * b.Hi
+			hi += k * b.Lo
+		}
+	}
+	return Bounds{Lo: lo, Hi: hi, Known: true}
+}

@@ -1,0 +1,188 @@
+package symexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstArithmetic(t *testing.T) {
+	a := Const(3)
+	b := Const(4)
+	if v, ok := a.Add(b).IsConst(); !ok || v != 7 {
+		t.Fatalf("3+4 = %v, %v", v, ok)
+	}
+	if v, ok := a.Sub(b).IsConst(); !ok || v != -1 {
+		t.Fatalf("3-4 = %v, %v", v, ok)
+	}
+	if v, ok := a.Mul(b).IsConst(); !ok || v != 12 {
+		t.Fatalf("3*4 = %v, %v", v, ok)
+	}
+}
+
+func TestVarArithmetic(t *testing.T) {
+	i := Var("i")
+	e := i.MulConst(2).Add(Const(3)) // 2i+3
+	if got := e.String(); got != "2*i+3" {
+		t.Fatalf("String = %q", got)
+	}
+	v, ok := e.Eval(map[string]int64{"i": 5})
+	if !ok || v != 13 {
+		t.Fatalf("eval 2i+3 at i=5 = %v, %v", v, ok)
+	}
+	// cancellation: (2i+3) - 2i = 3
+	d := e.Sub(i.MulConst(2))
+	if c, ok := d.IsConst(); !ok || c != 3 {
+		t.Fatalf("cancellation failed: %v", d)
+	}
+}
+
+func TestUnknownPropagation(t *testing.T) {
+	u := Unknown()
+	i := Var("i")
+	if !u.Add(i).IsUnknown() || !i.Mul(Var("j")).IsUnknown() {
+		t.Fatal("unknown should propagate")
+	}
+	if _, ok := u.Eval(map[string]int64{}); ok {
+		t.Fatal("unknown must not evaluate")
+	}
+	if !Unknown().Equal(Unknown()) {
+		t.Fatal("two unknowns compare equal")
+	}
+}
+
+func TestSubst(t *testing.T) {
+	// (3i + j + 1)[i := 2k+1] = 6k + j + 4
+	e := Var("i").MulConst(3).Add(Var("j")).Add(Const(1))
+	s := e.Subst("i", Var("k").MulConst(2).Add(Const(1)))
+	want := Var("k").MulConst(6).Add(Var("j")).Add(Const(4))
+	if !s.Equal(want) {
+		t.Fatalf("subst = %v, want %v", s, want)
+	}
+	// substituting an absent variable is identity
+	if !e.Subst("z", Const(9)).Equal(e) {
+		t.Fatal("subst of absent var changed expr")
+	}
+}
+
+func TestBoundsOf(t *testing.T) {
+	env := Env{"i": {Lo: 0, Hi: 9, Known: true}}
+	e := Var("i").MulConst(-2).Add(Const(5)) // -2i+5 over i in [0,9] -> [-13, 5]
+	b := e.BoundsOf(env)
+	if !b.Known || b.Lo != -13 || b.Hi != 5 {
+		t.Fatalf("bounds = %+v", b)
+	}
+	if Var("q").BoundsOf(env).Known {
+		t.Fatal("unbound var must yield unknown bounds")
+	}
+}
+
+// randomExpr builds a random affine expression over vars i,j,k with small
+// coefficients, for property testing.
+func randomExpr(r *rand.Rand) Expr {
+	e := Const(r.Int63n(21) - 10)
+	for _, v := range []string{"i", "j", "k"} {
+		if r.Intn(2) == 1 {
+			e = e.Add(Var(v).MulConst(r.Int63n(9) - 4))
+		}
+	}
+	return e
+}
+
+func randomEnvVals(r *rand.Rand) map[string]int64 {
+	return map[string]int64{
+		"i": r.Int63n(41) - 20,
+		"j": r.Int63n(41) - 20,
+		"k": r.Int63n(41) - 20,
+	}
+}
+
+func TestQuickAddEvalHomomorphism(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomExpr(r), randomExpr(r)
+		env := randomEnvVals(r)
+		va, _ := a.Eval(env)
+		vb, _ := b.Eval(env)
+		vs, ok := a.Add(b).Eval(env)
+		return ok && vs == va+vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubEvalHomomorphism(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomExpr(r), randomExpr(r)
+		env := randomEnvVals(r)
+		va, _ := a.Eval(env)
+		vb, _ := b.Eval(env)
+		vs, ok := a.Sub(b).Eval(env)
+		return ok && vs == va-vb
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSubstEval(t *testing.T) {
+	// eval(e[i:=g], env) == eval(e, env[i:=eval(g, env)])
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e, g := randomExpr(r), randomExpr(r)
+		env := randomEnvVals(r)
+		vg, _ := g.Eval(env)
+		env2 := map[string]int64{"i": vg, "j": env["j"], "k": env["k"]}
+		lhs, ok1 := e.Subst("i", g).Eval(env)
+		rhs, ok2 := e.Eval(env2)
+		return ok1 && ok2 && lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBoundsSound(t *testing.T) {
+	// any concrete evaluation lies within BoundsOf for the interval env
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		e := randomExpr(r)
+		env := Env{
+			"i": {Lo: -20, Hi: 20, Known: true},
+			"j": {Lo: -20, Hi: 20, Known: true},
+			"k": {Lo: -20, Hi: 20, Known: true},
+		}
+		b := e.BoundsOf(env)
+		if !b.Known {
+			return false
+		}
+		vals := randomEnvVals(r)
+		v, ok := e.Eval(vals)
+		return ok && b.Lo <= v && v <= b.Hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want string
+	}{
+		{Const(0), "0"},
+		{Const(-7), "-7"},
+		{Var("i"), "i"},
+		{Var("i").Neg(), "-i"},
+		{Var("i").Add(Var("j")), "i+j"},
+		{Var("i").Sub(Var("j")).Add(Const(-2)), "i-j-2"},
+		{Unknown(), "?"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.e, got, c.want)
+		}
+	}
+}

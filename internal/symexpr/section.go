@@ -1,0 +1,292 @@
+package symexpr
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Range is one dimension of a bounded regular section: the index set
+// {Lo, Lo+Step, ..., Hi} (Step >= 1; Step is a concrete integer because
+// the analyses only ever generate literal strides). A Range whose bounds
+// are Unknown denotes the whole dimension.
+type Range struct {
+	Lo, Hi Expr
+	Step   int64
+}
+
+// PointRange returns the single-index range [e : e : 1].
+func PointRange(e Expr) Range { return Range{Lo: e, Hi: e, Step: 1} }
+
+// FullRange returns the range covering an entire dimension of unknown extent.
+func FullRange() Range { return Range{Lo: Unknown(), Hi: Unknown(), Step: 1} }
+
+// IsFull reports whether r covers the whole dimension (unknown bounds).
+func (r Range) IsFull() bool { return r.Lo.IsUnknown() || r.Hi.IsUnknown() }
+
+// IsPoint reports whether r denotes exactly one index.
+func (r Range) IsPoint() bool { return !r.IsFull() && r.Lo.Equal(r.Hi) }
+
+func (r Range) String() string {
+	if r.IsPoint() {
+		return r.Lo.String()
+	}
+	if r.Step != 1 {
+		return fmt.Sprintf("%s:%s:%d", r.Lo, r.Hi, r.Step)
+	}
+	return fmt.Sprintf("%s:%s", r.Lo, r.Hi)
+}
+
+// Subst substitutes val for variable v in the range bounds.
+func (r Range) Subst(v string, val Expr) Range {
+	return Range{Lo: r.Lo.Subst(v, val), Hi: r.Hi.Subst(v, val), Step: r.Step}
+}
+
+// Expand widens r so that it covers all values the bounds can take while
+// variable v ranges over [lo, hi]: the standard loop-summarization step that
+// turns a per-iteration reference into a per-loop section.
+func (r Range) Expand(v string, lo, hi Expr) Range {
+	out := r
+	if r.Lo.HasVar(v) {
+		if k := r.Lo.Coeff(v); k > 0 {
+			out.Lo = r.Lo.Subst(v, lo)
+		} else {
+			out.Lo = r.Lo.Subst(v, hi)
+		}
+	}
+	if r.Hi.HasVar(v) {
+		if k := r.Hi.Coeff(v); k > 0 {
+			out.Hi = r.Hi.Subst(v, hi)
+		} else {
+			out.Hi = r.Hi.Subst(v, lo)
+		}
+	}
+	// Expansion over a loop index generally destroys stride regularity
+	// unless the range was a point with unit-coefficient dependence.
+	if r.IsPoint() && absInt64(r.Lo.Coeff(v)) > 1 {
+		out.Step = absInt64(r.Lo.Coeff(v))
+	} else if !r.IsPoint() && (r.Lo.HasVar(v) || r.Hi.HasVar(v)) {
+		out.Step = 1
+	}
+	return out
+}
+
+func absInt64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// boundsOf computes the conservative interval spanned by the whole range:
+// from the least value Lo can take to the greatest value Hi can take.
+func (r Range) boundsOf(env Env) Bounds {
+	lb := r.Lo.BoundsOf(env)
+	hb := r.Hi.BoundsOf(env)
+	if !lb.Known || !hb.Known {
+		return Bounds{}
+	}
+	return Bounds{Lo: lb.Lo, Hi: hb.Hi, Known: true}
+}
+
+// MayOverlap conservatively decides whether the two ranges can share an
+// index under env. It returns false only when the ranges are provably
+// disjoint; any uncertainty yields true.
+func (r Range) MayOverlap(o Range, env Env) bool {
+	rb := r.boundsOf(env)
+	ob := o.boundsOf(env)
+	if !rb.Known || !ob.Known {
+		return true
+	}
+	if rb.Hi < ob.Lo || ob.Hi < rb.Lo {
+		return false
+	}
+	// Interval overlap exists; try a stride-based disproof for the common
+	// constant-offset same-stride case (e.g. 2i vs 2i+1).
+	if r.Step == o.Step && r.Step > 1 {
+		d := r.Lo.Sub(o.Lo)
+		if c, ok := d.IsConst(); ok && c%r.Step != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// MustContain conservatively decides whether r certainly contains every
+// index of o under env. It returns true only when containment is provable.
+func (r Range) MustContain(o Range, env Env) bool {
+	if r.IsFull() {
+		// Unknown bounds: cannot prove containment of anything except by
+		// structural identity, handled below.
+		return rangeIdentical(r, o)
+	}
+	if rangeIdentical(r, o) {
+		return true
+	}
+	if r.Step != 1 {
+		return false
+	}
+	rb := r.boundsOf(env)
+	ob := o.boundsOf(env)
+	if rb.Known && ob.Known && rb.Lo <= ob.Lo && ob.Hi <= rb.Hi {
+		return true
+	}
+	// Symbolic proof: r.Lo <= o.Lo and o.Hi <= r.Hi via difference bounds.
+	if diffNonNegative(o.Lo.Sub(r.Lo), env) && diffNonNegative(r.Hi.Sub(o.Hi), env) {
+		return true
+	}
+	return false
+}
+
+// rangeIdentical reports whether two ranges denote provably the same
+// index set. Unknown bounds denote *some* unknown index set, not the full
+// dimension, so two Unknown-bounded ranges are never provably identical —
+// treating them as equal would let one unanalyzable subscript "cover"
+// another that reads a different element (a must-analysis soundness bug).
+func rangeIdentical(a, b Range) bool {
+	if a.Lo.IsUnknown() || a.Hi.IsUnknown() || b.Lo.IsUnknown() || b.Hi.IsUnknown() {
+		return false
+	}
+	return a.Lo.Equal(b.Lo) && a.Hi.Equal(b.Hi) && a.Step == b.Step
+}
+
+// diffNonNegative reports whether d >= 0 is provable under env.
+func diffNonNegative(d Expr, env Env) bool {
+	b := d.BoundsOf(env)
+	return b.Known && b.Lo >= 0
+}
+
+// Hull returns the smallest regular range covering both r and o (a bounding
+// approximation: the union may be overapproximated).
+func (r Range) Hull(o Range, env Env) Range {
+	if r.IsFull() || o.IsFull() {
+		return FullRange()
+	}
+	out := Range{Step: 1}
+	if r.Step == o.Step {
+		out.Step = r.Step
+	}
+	out.Lo = minExpr(r.Lo, o.Lo, env)
+	out.Hi = maxExpr(r.Hi, o.Hi, env)
+	return out
+}
+
+func minExpr(a, b Expr, env Env) Expr {
+	if a.Equal(b) {
+		return a
+	}
+	if diffNonNegative(b.Sub(a), env) {
+		return a
+	}
+	if diffNonNegative(a.Sub(b), env) {
+		return b
+	}
+	return Unknown()
+}
+
+func maxExpr(a, b Expr, env Env) Expr {
+	if a.Equal(b) {
+		return a
+	}
+	if diffNonNegative(a.Sub(b), env) {
+		return a
+	}
+	if diffNonNegative(b.Sub(a), env) {
+		return b
+	}
+	return Unknown()
+}
+
+// Section is a bounded regular section over the dimensions of one array:
+// the cross product of its per-dimension ranges.
+type Section struct {
+	Dims []Range
+}
+
+// PointSection builds the section selecting exactly the element with the
+// given subscripts.
+func PointSection(subs []Expr) Section {
+	dims := make([]Range, len(subs))
+	for i, s := range subs {
+		dims[i] = PointRange(s)
+	}
+	return Section{Dims: dims}
+}
+
+// FullSection returns the section covering an entire n-dimensional array.
+func FullSection(n int) Section {
+	dims := make([]Range, n)
+	for i := range dims {
+		dims[i] = FullRange()
+	}
+	return Section{Dims: dims}
+}
+
+func (s Section) String() string {
+	parts := make([]string, len(s.Dims))
+	for i, d := range s.Dims {
+		parts[i] = "[" + d.String() + "]"
+	}
+	return strings.Join(parts, "")
+}
+
+// Subst substitutes val for variable v in every dimension.
+func (s Section) Subst(v string, val Expr) Section {
+	dims := make([]Range, len(s.Dims))
+	for i, d := range s.Dims {
+		dims[i] = d.Subst(v, val)
+	}
+	return Section{Dims: dims}
+}
+
+// Expand widens the section over loop variable v in [lo, hi].
+func (s Section) Expand(v string, lo, hi Expr) Section {
+	dims := make([]Range, len(s.Dims))
+	for i, d := range s.Dims {
+		dims[i] = d.Expand(v, lo, hi)
+	}
+	return Section{Dims: dims}
+}
+
+// MayOverlap conservatively decides whether two sections of the same array
+// can share an element. Sections overlap only if every dimension overlaps.
+func (s Section) MayOverlap(o Section, env Env) bool {
+	if len(s.Dims) != len(o.Dims) {
+		// Shape confusion (e.g. via procedure reshaping): be conservative.
+		return true
+	}
+	for i := range s.Dims {
+		if !s.Dims[i].MayOverlap(o.Dims[i], env) {
+			return false
+		}
+	}
+	return true
+}
+
+// MustContain reports whether s provably contains every element of o.
+func (s Section) MustContain(o Section, env Env) bool {
+	if len(s.Dims) != len(o.Dims) {
+		return false
+	}
+	for i := range s.Dims {
+		if !s.Dims[i].MustContain(o.Dims[i], env) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hull returns a regular section covering both s and o.
+func (s Section) Hull(o Section, env Env) Section {
+	if len(s.Dims) != len(o.Dims) {
+		n := len(s.Dims)
+		if len(o.Dims) > n {
+			n = len(o.Dims)
+		}
+		return FullSection(n)
+	}
+	dims := make([]Range, len(s.Dims))
+	for i := range s.Dims {
+		dims[i] = s.Dims[i].Hull(o.Dims[i], env)
+	}
+	return Section{Dims: dims}
+}

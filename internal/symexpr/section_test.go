@@ -1,0 +1,303 @@
+package symexpr
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRangeOverlapDisjointConstants(t *testing.T) {
+	a := Range{Lo: Const(0), Hi: Const(9), Step: 1}
+	b := Range{Lo: Const(10), Hi: Const(19), Step: 1}
+	if a.MayOverlap(b, nil) {
+		t.Fatal("disjoint constant ranges must not overlap")
+	}
+	c := Range{Lo: Const(9), Hi: Const(12), Step: 1}
+	if !a.MayOverlap(c, nil) {
+		t.Fatal("touching ranges overlap")
+	}
+}
+
+func TestRangeOverlapStrideDisproof(t *testing.T) {
+	// 2i over [0..18] vs 2i+1 over [1..19]: same stride 2, offset parity differs.
+	even := Range{Lo: Const(0), Hi: Const(18), Step: 2}
+	odd := Range{Lo: Const(1), Hi: Const(19), Step: 2}
+	if even.MayOverlap(odd, nil) {
+		t.Fatal("even/odd strided ranges must be disjoint")
+	}
+	if !even.MayOverlap(even, nil) {
+		t.Fatal("range overlaps itself")
+	}
+}
+
+func TestRangeOverlapSymbolicConservative(t *testing.T) {
+	a := Range{Lo: Var("n"), Hi: Var("n").Add(Const(5)), Step: 1}
+	b := Range{Lo: Const(0), Hi: Const(3), Step: 1}
+	// without bounds on n, must be conservative
+	if !a.MayOverlap(b, nil) {
+		t.Fatal("unbounded symbolic ranges must conservatively overlap")
+	}
+	// with n >= 100, provably disjoint
+	env := Env{"n": {Lo: 100, Hi: 200, Known: true}}
+	if a.MayOverlap(b, env) {
+		t.Fatal("n in [100,200] makes ranges disjoint")
+	}
+}
+
+func TestRangeMustContain(t *testing.T) {
+	outer := Range{Lo: Const(0), Hi: Const(99), Step: 1}
+	inner := Range{Lo: Const(10), Hi: Const(20), Step: 1}
+	if !outer.MustContain(inner, nil) {
+		t.Fatal("constant containment")
+	}
+	if inner.MustContain(outer, nil) {
+		t.Fatal("inner does not contain outer")
+	}
+	// symbolic: [0 : n-1] contains [1 : n-2] given n >= 2 -- needs bounds
+	env := Env{"n": {Lo: 2, Hi: 1 << 30, Known: true}}
+	a := Range{Lo: Const(0), Hi: Var("n").Sub(Const(1)), Step: 1}
+	b := Range{Lo: Const(1), Hi: Var("n").Sub(Const(2)), Step: 1}
+	if !a.MustContain(b, env) {
+		t.Fatal("symbolic containment via difference bounds")
+	}
+	// identical symbolic ranges always contain each other
+	c := Range{Lo: Var("p"), Hi: Var("q"), Step: 1}
+	if !c.MustContain(c, nil) {
+		t.Fatal("identical ranges")
+	}
+}
+
+func TestRangeExpand(t *testing.T) {
+	// point 2i+1, i in [0, n-1]  ->  [1 : 2n-1 : 2]
+	p := PointRange(Var("i").MulConst(2).Add(Const(1)))
+	e := p.Expand("i", Const(0), Var("n").Sub(Const(1)))
+	if got, want := e.String(), "1:2*n-1:2"; got != want {
+		t.Fatalf("expand = %q, want %q", got, want)
+	}
+	// decreasing coefficient: point n-i over i in [0, 9] -> [n-9 : n]
+	p2 := PointRange(Var("n").Sub(Var("i")))
+	e2 := p2.Expand("i", Const(0), Const(9))
+	if got, want := e2.String(), "n-9:n"; got != want {
+		t.Fatalf("expand = %q, want %q", got, want)
+	}
+}
+
+func TestSectionOverlapAndContain(t *testing.T) {
+	env := Env{"n": {Lo: 64, Hi: 64, Known: true}}
+	// A[0:31][j] vs A[32:63][j'] disjoint in dim 0
+	s1 := Section{Dims: []Range{{Lo: Const(0), Hi: Const(31), Step: 1}, FullRange()}}
+	s2 := Section{Dims: []Range{{Lo: Const(32), Hi: Const(63), Step: 1}, FullRange()}}
+	if s1.MayOverlap(s2, env) {
+		t.Fatal("row-disjoint sections")
+	}
+	full := FullSection(2)
+	if !full.MayOverlap(s1, env) {
+		t.Fatal("full overlaps everything")
+	}
+	// Self-containment holds for known bounds, but an Unknown-bounded
+	// dimension denotes *some* unknown index set, so a section containing
+	// one can never prove containment — not even of itself.
+	bounded := Section{Dims: []Range{
+		{Lo: Const(0), Hi: Const(31), Step: 1},
+		{Lo: Var("j"), Hi: Var("j"), Step: 1},
+	}}
+	if !bounded.MustContain(bounded, env) {
+		t.Fatal("self containment of known-bound section")
+	}
+	if s1.MustContain(s1, env) {
+		t.Fatal("unknown-bounded section must not prove self-containment")
+	}
+	if s1.MustContain(full, env) {
+		t.Fatal("bounded section cannot contain full section")
+	}
+}
+
+func TestSectionHull(t *testing.T) {
+	a := Section{Dims: []Range{{Lo: Const(0), Hi: Const(9), Step: 1}}}
+	b := Section{Dims: []Range{{Lo: Const(5), Hi: Const(20), Step: 1}}}
+	h := a.Hull(b, nil)
+	if got, want := h.String(), "[0:20]"; got != want {
+		t.Fatalf("hull = %q, want %q", got, want)
+	}
+	if !h.MustContain(a, nil) || !h.MustContain(b, nil) {
+		t.Fatal("hull must contain operands")
+	}
+}
+
+func TestSectionDimMismatchConservative(t *testing.T) {
+	a := FullSection(1)
+	b := FullSection(2)
+	if !a.MayOverlap(b, nil) {
+		t.Fatal("dimension mismatch must be conservative for overlap")
+	}
+	if a.MustContain(b, nil) {
+		t.Fatal("dimension mismatch must not prove containment")
+	}
+}
+
+// enumerateRange lists the concrete indices of a constant range.
+func enumerateRange(r Range, env map[string]int64) ([]int64, bool) {
+	lo, ok1 := r.Lo.Eval(env)
+	hi, ok2 := r.Hi.Eval(env)
+	if !ok1 || !ok2 {
+		return nil, false
+	}
+	var out []int64
+	for v := lo; v <= hi; v += r.Step {
+		out = append(out, v)
+	}
+	return out, true
+}
+
+func randomConstRange(r *rand.Rand) Range {
+	lo := r.Int63n(30)
+	hi := lo + r.Int63n(20)
+	step := int64(1 + r.Intn(3))
+	return Range{Lo: Const(lo), Hi: Const(hi), Step: step}
+}
+
+// Property: MayOverlap is sound — whenever two constant ranges share a
+// concrete index, MayOverlap must return true.
+func TestQuickOverlapSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomConstRange(r), randomConstRange(r)
+		ia, _ := enumerateRange(a, nil)
+		ib, _ := enumerateRange(b, nil)
+		set := map[int64]bool{}
+		for _, x := range ia {
+			set[x] = true
+		}
+		shared := false
+		for _, x := range ib {
+			if set[x] {
+				shared = true
+				break
+			}
+		}
+		if shared && !a.MayOverlap(b, nil) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MustContain is sound — if it returns true on constant ranges,
+// every index of the inner range is in the outer.
+func TestQuickContainSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomConstRange(r), randomConstRange(r)
+		if !a.MustContain(b, nil) {
+			return true // nothing claimed
+		}
+		ia, _ := enumerateRange(a, nil)
+		ib, _ := enumerateRange(b, nil)
+		set := map[int64]bool{}
+		for _, x := range ia {
+			set[x] = true
+		}
+		for _, x := range ib {
+			if !set[x] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: overlap is symmetric.
+func TestQuickOverlapSymmetric(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomConstRange(r), randomConstRange(r)
+		return a.MayOverlap(b, nil) == b.MayOverlap(a, nil)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Hull contains both operands (constant case).
+func TestQuickHullContains(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomConstRange(r), randomConstRange(r)
+		a.Step, b.Step = 1, 1
+		h := a.Hull(b, nil)
+		return h.MustContain(a, nil) && h.MustContain(b, nil)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Expand soundness — the expanded section contains the point
+// section at every concrete value of the expanded variable.
+func TestQuickExpandSound(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// point subscript: a*i + b (a in [-3,3]\{?}, b in [-10,10])
+		a := r.Int63n(7) - 3
+		b := r.Int63n(21) - 10
+		p := PointRange(Var("i").MulConst(a).Add(Const(b)))
+		lo := r.Int63n(5)
+		hi := lo + r.Int63n(10)
+		e := p.Expand("i", Const(lo), Const(hi))
+		// every instantiation must fall inside the expanded bounds
+		for i := lo; i <= hi; i++ {
+			v := a*i + b
+			eb := e.boundsOf(nil)
+			if !eb.Known {
+				return true // conservative: unknown bounds never claim containment
+			}
+			if v < eb.Lo || v > eb.Hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Subst then Expand commutes with direct evaluation for
+// sections: expanding a 2-D point section over two nested variables
+// contains every concrete element.
+func TestQuickSectionExpandNested(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		// subscripts: (i + c1, j + c2)
+		c1 := r.Int63n(9) - 4
+		c2 := r.Int63n(9) - 4
+		s := PointSection([]Expr{
+			Var("i").Add(Const(c1)),
+			Var("j").Add(Const(c2)),
+		})
+		jlo, jhi := int64(0), r.Int63n(6)+1
+		ilo, ihi := int64(1), r.Int63n(6)+2
+		exp := s.Expand("j", Const(jlo), Const(jhi)).Expand("i", Const(ilo), Const(ihi))
+		for i := ilo; i <= ihi; i++ {
+			for j := jlo; j <= jhi; j++ {
+				pt := PointSection([]Expr{Const(i + c1), Const(j + c2)})
+				if !exp.MayOverlap(pt, nil) {
+					return false // containment implies at least overlap
+				}
+				if !exp.MustContain(pt, nil) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

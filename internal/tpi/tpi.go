@@ -1,0 +1,398 @@
+// Package tpi implements the paper's Two-Phase Invalidation (TPI)
+// hardware: per-processor epoch counters, per-word timetags, the
+// Time-Read hit rule, the line-fill timetag rule that protects against
+// same-epoch false sharing, write-through caches with (optionally
+// cache-organized) write buffers, and the two-phase timetag reset that
+// recycles small timetags.
+//
+// Hit rules (E = current epoch counter, tt = word timetag, w = window):
+//
+//	regular load:  hit iff the word is valid.
+//	Time-Read(w):  hit iff the word is valid AND tt >= E - min(w, maxW).
+//	bypass load:   always fetches from memory (critical-section data).
+//
+// Update rules:
+//
+//	write:        tt := E (write-through; critical writes self-invalidate)
+//	fill:         accessed word tt := E, neighbours tt := E-1
+//	Time-Read hit: tt := E (validation refreshes the tag)
+//	regular hit:   tt := E (the compiler proved freshness this epoch)
+package tpi
+
+import (
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// System is the TPI memory system.
+type System struct {
+	*memsys.Core
+	caches   []*cache.Cache
+	trackers []*cache.Tracker
+	wbufs    []*cache.WriteBuffer
+	phase    int64 // two-phase reset period: half the timetag range
+}
+
+// New builds a TPI system.
+func New(cfg machine.Config, memWords int64) *System {
+	s := &System{
+		Core:  memsys.NewCore(cfg, memWords),
+		phase: (int64(1) << uint(cfg.TimetagBits)) / 2,
+	}
+	if s.phase < 1 {
+		s.phase = 1
+	}
+	for p := 0; p < cfg.Procs; p++ {
+		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
+		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
+		s.wbufs = append(s.wbufs, cache.NewWriteBuffer(cfg.WriteBufferCache))
+	}
+	return s
+}
+
+// Name implements memsys.System.
+func (s *System) Name() string { return "TPI" }
+
+// effWindow caps a compiler window at what the timetag width supports.
+func (s *System) effWindow(w int) int64 {
+	max := s.Cfg.MaxWindow()
+	if int64(w) > max {
+		return max
+	}
+	return int64(w)
+}
+
+// Read implements memsys.System.
+func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
+	s.St.Reads++
+	cc, tr := s.caches[p], s.trackers[p]
+
+	if kind == memsys.ReadBypass {
+		return s.bypassRead(p, addr)
+	}
+
+	line, w, present := cc.Lookup(addr)
+	if present && line.ValidWord(w) {
+		ok := true
+		if kind == memsys.ReadTime && line.TT[w] < s.Epoch-s.effWindow(window) {
+			ok = false
+		}
+		if ok {
+			s.St.ReadHits++
+			if !s.Cfg.LineTimetags {
+				// Per-word tags may be promoted on a validated hit; a
+				// line-granular tag may not (its other words could have
+				// been written by other tasks since the fill).
+				line.TT[w] = s.Epoch
+			}
+			line.Used[w] = true
+			cc.Touch(line)
+			s.Memory.CheckFresh(addr, line.Vals[w], p, kind.String()+" hit")
+			return line.Vals[w], s.Cfg.HitCycles
+		}
+		// Window failure on a present word: necessary (data really
+		// changed) or conservative (compiler/window artifact)?
+		if s.Memory.LastWriteEpoch(addr) > line.TT[w] {
+			s.St.ReadMisses[stats.MissTrueSharing]++
+		} else {
+			s.St.ReadMisses[stats.MissConservative]++
+		}
+		s.refreshLine(line, w, addr, cc, tr)
+		lat := s.chargeLineMiss(p, addr)
+		return line.Vals[w], lat
+	}
+
+	// Word absent (whole line, or a word-grain hole).
+	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
+	if present {
+		s.refreshLine(line, w, addr, cc, tr)
+		lat := s.chargeLineMiss(p, addr)
+		return line.Vals[w], lat
+	}
+	if v := cc.Victim(addr); v.State != cache.Invalid {
+		s.evictFor(p, v) // accounts write-back of dirty words
+	}
+	accessedTT := s.Epoch
+	if s.Cfg.LineTimetags {
+		accessedTT = s.Epoch - 1 // the line tag claims only fill freshness
+	}
+	nl, nw := s.MissFill(cc, tr, addr, accessedTT, s.Epoch-1)
+	lat := s.chargeLineMiss(p, addr)
+	s.maybePrefetch(p, addr)
+	return nl.Vals[nw], lat
+}
+
+// maybePrefetch fetches the sequentially-next line after a demand miss
+// (one-block lookahead). The prefetched words carry neighbour-rule
+// timetags (E-1): they are data prefetches, not freshness claims.
+func (s *System) maybePrefetch(p int, addr prog.Word) {
+	if !s.Cfg.Prefetch {
+		return
+	}
+	cc, tr := s.caches[p], s.trackers[p]
+	next := cc.LineBase(addr) + prog.Word(cc.LineWords())
+	if int64(next) >= s.Memory.Size() {
+		return
+	}
+	if _, _, ok := cc.Lookup(next); ok {
+		return // already resident
+	}
+	if v := cc.Victim(next); v.State != cache.Invalid {
+		s.evictFor(p, v)
+	}
+	s.MissFill(cc, tr, next, s.Epoch-1, s.Epoch-1)
+	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	s.St.PrefetchedLines++
+	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	// No processor stall: the prefetch overlaps with computation.
+}
+
+// refreshLine refetches a present line's data from memory, promoting the
+// accessed word to the current epoch and its neighbours to at least E-1.
+func (s *System) refreshLine(line *cache.Line, w int, addr prog.Word, cc *cache.Cache, tr *cache.Tracker) {
+	base := cc.LineBase(addr)
+	for i := 0; i < cc.LineWords(); i++ {
+		line.Vals[i] = s.Memory.Read(base + prog.Word(i))
+		if nt := s.Epoch - 1; line.TT[i] == cache.TTInvalid || line.TT[i] < nt {
+			line.TT[i] = nt
+		}
+		tr.NoteCached(base + prog.Word(i))
+	}
+	if !s.Cfg.LineTimetags {
+		line.TT[w] = s.Epoch
+	}
+	line.Used[w] = true
+	cc.Touch(line)
+}
+
+// chargeLineMiss accounts traffic, network load and latency of a line
+// fetch by processor p from addr's home node.
+func (s *System) chargeLineMiss(p int, addr prog.Word) int64 {
+	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	lat := s.LineMissLatencyFor(p, addr)
+	s.St.MissLatencySum += lat
+	return lat
+}
+
+// bypassRead fetches one word from memory without validating the cache.
+// Any cached copy of the word is refreshed in place (value only) so that
+// later covered reads of the same task see current data.
+func (s *System) bypassRead(p int, addr prog.Word) (float64, int64) {
+	v := s.Memory.Read(addr)
+	cc := s.caches[p]
+	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+		line.Vals[w] = v
+	}
+	s.St.ReadMisses[stats.MissBypass]++
+	s.St.ReadTrafficWords++
+	s.Netw.Inject(2)
+	lat := s.WordMissLatencyFor(p, addr)
+	s.St.MissLatencySum += lat
+	return v, lat
+}
+
+// Write implements memsys.System: write-through with an infinite write
+// buffer; the processor does not stall. Critical stores are written
+// through immediately (no coalescing) and self-invalidated so no cache
+// holds a copy that claims epoch-freshness for lock-protected data.
+func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	if crit {
+		return s.writeCritical(p, addr, val)
+	}
+	s.St.Writes++
+	s.Memory.Write(addr, val, p, s.Epoch)
+	cc, tr := s.caches[p], s.trackers[p]
+	wtt := s.Epoch
+	if s.Cfg.LineTimetags {
+		// A line-granular tag cannot record a single-word write; the
+		// written value is usable via the ordinary validity rules only.
+		wtt = s.Epoch - 1
+	}
+	if line, w, ok := cc.Lookup(addr); ok {
+		line.Vals[w] = val
+		if line.TT[w] < wtt || line.TT[w] == cache.TTInvalid {
+			line.TT[w] = wtt
+		}
+		line.Used[w] = true
+		cc.Touch(line)
+		tr.NoteCached(addr)
+	} else {
+		// Write-validate allocation: claim a frame, validate only the
+		// written word (no fetch-on-write).
+		v := cc.Victim(addr)
+		if v.State != cache.Invalid {
+			s.evictFor(p, v)
+		}
+		tag, w := cc.Split(addr)
+		v.Tag = tag
+		v.State = cache.Shared
+		v.Vals[w] = val
+		v.TT[w] = wtt
+		v.Used[w] = true
+		cc.Touch(v)
+		tr.NoteCached(addr)
+	}
+	if s.Cfg.TPIWriteBack {
+		// Write-back-at-boundary: the write stays dirty in the cache (the
+		// simulator keeps memory values authoritative; only traffic and
+		// stalls follow the policy) and drains at the next barrier.
+		if line, w, ok := cc.Lookup(addr); ok {
+			line.DirtyW[w] = true
+		}
+		return 0
+	}
+	if s.wbufs[p].Write(addr) {
+		s.St.WriteTrafficWords++
+		s.Netw.Inject(1)
+	} else {
+		s.St.WritesCoalesced++
+	}
+	if s.Cfg.SeqConsistency {
+		// write-through must be globally performed before the processor
+		// proceeds: the whole remote store latency is exposed.
+		return s.WordMissLatencyFor(p, addr)
+	}
+	return 0
+}
+
+func (s *System) writeCritical(p int, addr prog.Word, val float64) int64 {
+	s.St.Writes++
+	s.Memory.Write(addr, val, p, s.Epoch)
+	cc, tr := s.caches[p], s.trackers[p]
+	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+		tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
+		line.InvalidateWord(w)
+	}
+	s.St.WriteTrafficWords++
+	s.Netw.Inject(1)
+	return 0
+}
+
+func (s *System) evictFor(p int, v *cache.Line) {
+	cc, tr := s.caches[p], s.trackers[p]
+	base := prog.Word(v.Tag * int64(cc.LineWords()))
+	for i := 0; i < cc.LineWords(); i++ {
+		if v.TT[i] != cache.TTInvalid {
+			tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
+		}
+		if v.DirtyW[i] {
+			s.St.WriteTrafficWords++
+			s.Netw.Inject(1)
+		}
+	}
+	v.InvalidateLine()
+}
+
+// EpochBoundary implements memsys.System: the barrier drains write
+// buffers (or, under the write-back policy, flushes every dirty word in
+// a burst), and when the epoch counter crosses a phase boundary it runs
+// the two-phase timetag reset (or the flash-invalidate ablation).
+func (s *System) EpochBoundary(epoch int64) int64 {
+	s.Epoch = epoch
+	var stall int64
+	if s.Cfg.TPIWriteBack {
+		stall += s.flushDirty()
+	}
+	for _, wb := range s.wbufs {
+		wb.Flush()
+	}
+	switch {
+	case s.Cfg.FlashReset:
+		if epoch > 0 && epoch%(2*s.phase) == 0 {
+			s.St.TimetagResets++
+			for p := 0; p < s.Cfg.Procs; p++ {
+				s.flashInvalidate(p)
+			}
+			stall += s.Cfg.ResetCycles
+		}
+	default:
+		if epoch > 0 && epoch%s.phase == 0 {
+			s.St.TimetagResets++
+			cut := epoch - s.phase
+			for p := 0; p < s.Cfg.Procs; p++ {
+				s.resetOutOfPhase(p, cut)
+			}
+			stall += s.Cfg.ResetCycles
+		}
+	}
+	return stall
+}
+
+// flushDirty drains every dirty word at the barrier (the burst the paper
+// warns about), returning the stall: the slowest processor's dirty words
+// at FlushBandwidth words/cycle.
+func (s *System) flushDirty() int64 {
+	bw := s.Cfg.FlushBandwidth
+	if bw <= 0 {
+		bw = 1
+	}
+	var worst int64
+	for p := 0; p < s.Cfg.Procs; p++ {
+		var dirty int64
+		s.caches[p].ForEachValidLine(func(l *cache.Line) {
+			for i := range l.DirtyW {
+				if l.DirtyW[i] {
+					dirty++
+					l.DirtyW[i] = false
+				}
+			}
+		})
+		s.St.FlushedWords += dirty
+		s.St.WriteTrafficWords += dirty
+		s.Netw.Inject(dirty)
+		if dirty > worst {
+			worst = dirty
+		}
+	}
+	stall := (worst + bw - 1) / bw
+	s.St.FlushStallCycles += stall
+	return stall
+}
+
+// resetOutOfPhase invalidates every word whose timetag is at or below the
+// cut (one full phase old): the two-phase hardware reset.
+func (s *System) resetOutOfPhase(p int, cut int64) {
+	cc, tr := s.caches[p], s.trackers[p]
+	cc.ForEachValidLine(func(l *cache.Line) {
+		base := prog.Word(l.Tag * int64(cc.LineWords()))
+		live := 0
+		for i := 0; i < cc.LineWords(); i++ {
+			if l.TT[i] == cache.TTInvalid {
+				continue
+			}
+			if l.TT[i] <= cut {
+				tr.NoteLost(base+prog.Word(i), cache.LostReset, l.TT[i])
+				l.InvalidateWord(i)
+				s.St.ResetInvalidations++
+			} else {
+				live++
+			}
+		}
+		if live == 0 {
+			l.InvalidateLine()
+		}
+	})
+}
+
+// flashInvalidate drops the whole cache (the simple overflow strategy the
+// paper rejects).
+func (s *System) flashInvalidate(p int) {
+	cc, tr := s.caches[p], s.trackers[p]
+	cc.ForEachValidLine(func(l *cache.Line) {
+		base := prog.Word(l.Tag * int64(cc.LineWords()))
+		for i := 0; i < cc.LineWords(); i++ {
+			if l.TT[i] != cache.TTInvalid {
+				tr.NoteLost(base+prog.Word(i), cache.LostReset, l.TT[i])
+				s.St.ResetInvalidations++
+			}
+		}
+		l.InvalidateLine()
+	})
+}
+
+// Caches exposes the per-processor caches for white-box tests.
+func (s *System) Caches() []*cache.Cache { return s.caches }

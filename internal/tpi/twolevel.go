@@ -1,0 +1,135 @@
+package tpi
+
+// Two-level "off-the-shelf microprocessor" implementation (paper §3).
+//
+// Commodity CPUs (the paper names the MIPS R10000 and the PowerPC 600
+// series) have on-chip caches with no room for per-word timetags, so the
+// TPI state lives in the off-chip L2 SRAM. Ordinary loads may hit the
+// on-chip L1; a Time-Read cannot be validated there, so the compiler
+// emits a cache-block-invalidate followed by a regular load ("Index
+// Write Back Invalidate" on the R10000, DCBF on the PowerPC): the L1
+// word is discarded and the access is re-validated against the L2
+// timetags, paying at least the L2 latency even when the data was
+// on-chip and fresh.
+//
+// The model here: when cfg.L1Words > 0, every processor gets an L1 in
+// front of the existing (timetagged) cache, which plays the L2 role.
+//   - regular load: L1 hit (L1HitCycles) else L2 path + L1 fill.
+//   - Time-Read:    invalidate the L1 word, run the L2 Time-Read path
+//                   (L2HitCycles on an L2 timetag hit), refill L1.
+//   - bypass load:  invalidate the L1 word, fetch memory.
+//   - store:        write-through both levels (write-validate allocate
+//                   in L1 only on hit).
+// Inclusion is maintained the cheap way: L1 data is always a subset of
+// what the L2 path would return, because every L1 fill comes from an L2
+// access that just validated or fetched the word.
+
+import (
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+)
+
+// TwoLevel wraps the TPI system with per-processor on-chip L1 caches.
+type TwoLevel struct {
+	*System
+	l1 []*cache.Cache
+
+	// L1Stats
+	L1Hits, L1Misses, TimeReadL1Invalidations int64
+}
+
+// NewTwoLevel builds the off-the-shelf implementation.
+func NewTwoLevel(cfg machine.Config, memWords int64) *TwoLevel {
+	t := &TwoLevel{System: New(cfg, memWords)}
+	for p := 0; p < cfg.Procs; p++ {
+		t.l1 = append(t.l1, cache.New(cfg.L1Words, cfg.LineWords, cfg.Assoc))
+	}
+	return t
+}
+
+// Name implements memsys.System.
+func (t *TwoLevel) Name() string { return "TPI2L" }
+
+// Read implements memsys.System.
+func (t *TwoLevel) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
+	l1 := t.l1[p]
+
+	if kind == memsys.ReadRegular {
+		if line, w, ok := l1.Lookup(addr); ok && line.ValidWord(w) {
+			t.L1Hits++
+			t.St.Reads++
+			t.St.ReadHits++
+			l1.Touch(line)
+			t.Memory.CheckFresh(addr, line.Vals[w], p, "tpi2l L1 hit")
+			return line.Vals[w], t.Cfg.L1HitCycles
+		}
+		t.L1Misses++
+		v, lat := t.System.Read(p, addr, kind, window)
+		if lat == t.Cfg.HitCycles {
+			lat = t.Cfg.L2HitCycles // the L2 tag+timetag access is slower
+		}
+		t.fillL1(p, addr, v)
+		return v, lat
+	}
+
+	// Time-Read / bypass: the on-chip copy cannot be validated; the
+	// compiled sequence invalidates it and re-reads through the L2.
+	if line, w, ok := l1.Lookup(addr); ok && line.ValidWord(w) {
+		line.InvalidateWord(w)
+		t.TimeReadL1Invalidations++
+	}
+	v, lat := t.System.Read(p, addr, kind, window)
+	if lat == t.Cfg.HitCycles {
+		lat = t.Cfg.L2HitCycles
+	}
+	if kind == memsys.ReadTime {
+		t.fillL1(p, addr, v)
+	}
+	return v, lat
+}
+
+// fillL1 installs a word in the on-chip cache (word-grain validate; no
+// extra memory traffic — the data just came through the L2 path).
+func (t *TwoLevel) fillL1(p int, addr prog.Word, v float64) {
+	l1 := t.l1[p]
+	if line, w, ok := l1.Lookup(addr); ok {
+		line.Vals[w] = v
+		line.TT[w] = 0 // L1 carries no timetags; 0 marks "valid"
+		l1.Touch(line)
+		return
+	}
+	vic := l1.Victim(addr)
+	if vic.State != cache.Invalid {
+		vic.InvalidateLine() // clean write-through L1: silent drop
+	}
+	tag, w := l1.Split(addr)
+	vic.Tag = tag
+	vic.State = cache.Shared
+	vic.Vals[w] = v
+	vic.TT[w] = 0
+	l1.Touch(vic)
+}
+
+// Write implements memsys.System: write-through both levels.
+func (t *TwoLevel) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	l1 := t.l1[p]
+	if line, w, ok := l1.Lookup(addr); ok && line.ValidWord(w) {
+		if crit {
+			line.InvalidateWord(w)
+		} else {
+			line.Vals[w] = val
+		}
+	}
+	return t.System.Write(p, addr, val, crit)
+}
+
+// EpochBoundary implements memsys.System. The L1 needs no epoch actions:
+// it holds no coherence state (Time-Reads never trust it), and two-phase
+// resets apply to the timetagged L2 only. Regular reads may keep hitting
+// stale-capable L1 words only if the compiler proved them never-stale,
+// which is exactly the Regular contract.
+func (t *TwoLevel) EpochBoundary(epoch int64) int64 {
+	return t.System.EpochBoundary(epoch)
+}

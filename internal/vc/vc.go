@@ -1,0 +1,261 @@
+// Package vc implements the version-control HSCD coherence scheme of
+// Cheong and Veidenbaum (ICS 1989) — the paper's closest predecessor,
+// compared against hardware directories by Lilja. It is our extension to
+// the paper's four-scheme comparison.
+//
+// Mechanism: every shared variable X (each array and each scalar) has a
+// current version number CVN(X); every cache word carries the birth
+// version number (BVN) it was created under. The compiler (here: the
+// section analysis) tells the hardware, at each epoch boundary, which
+// variables the finished epoch may have written; their CVNs advance.
+//
+//	read hit:  word valid AND BVN >= CVN(var of word)
+//	write:     BVN := CVN + 1  (the write creates the next version)
+//	fill:      BVN := CVN      (memory holds the current version)
+//
+// Compared with TPI, coherence state is per *variable* rather than per
+// word with epoch distances: one write anywhere in a large array ages
+// every cached element of it, so VC loses intertask locality whenever an
+// array is partially updated — exactly the gap the paper's timetags
+// close. Compared with SC, unmodified variables stay cacheable across
+// epochs.
+package vc
+
+import (
+	"sort"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// System is the version-control memory system.
+type System struct {
+	*memsys.Core
+	caches   []*cache.Cache
+	trackers []*cache.Tracker
+	wbufs    []*cache.WriteBuffer
+
+	cvn    []int64 // current version number per variable
+	varOf  []int32 // word address -> variable id (-1: padding)
+	byName map[string]int32
+}
+
+// New builds a VC system for a program layout (needed to map addresses
+// to variables).
+func New(cfg machine.Config, p *prog.Prog) *System {
+	s := &System{
+		Core:   memsys.NewCore(cfg, p.MemWords),
+		byName: map[string]int32{},
+	}
+	s.varOf = make([]int32, s.Memory.Size())
+	for i := range s.varOf {
+		s.varOf[i] = -1
+	}
+	assign := func(name string, base prog.Word, size int64) {
+		id := int32(len(s.cvn))
+		s.byName[name] = id
+		s.cvn = append(s.cvn, 0)
+		for w := int64(0); w < size; w++ {
+			s.varOf[int64(base)+w] = id
+		}
+	}
+	// Deterministic variable numbering: scalars then arrays, layout order.
+	var scalars []*prog.ScalarInfo
+	for _, sc := range p.Scalars {
+		scalars = append(scalars, sc)
+	}
+	sort.Slice(scalars, func(i, j int) bool { return scalars[i].Addr < scalars[j].Addr })
+	for _, sc := range scalars {
+		assign(sc.Name, sc.Addr, 1)
+	}
+	var arrays []*prog.ArrayInfo
+	for _, ai := range p.Arrays {
+		arrays = append(arrays, ai)
+	}
+	sort.Slice(arrays, func(i, j int) bool { return arrays[i].Base < arrays[j].Base })
+	for _, ai := range arrays {
+		assign(ai.Name, ai.Base, ai.Size)
+	}
+
+	for q := 0; q < cfg.Procs; q++ {
+		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
+		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
+		s.wbufs = append(s.wbufs, cache.NewWriteBuffer(cfg.WriteBufferCache))
+	}
+	return s
+}
+
+// Name implements memsys.System.
+func (s *System) Name() string { return "VC" }
+
+// cvnAt returns the current version of the variable holding addr
+// (padding words version 0, never advanced).
+func (s *System) cvnAt(addr prog.Word) int64 {
+	id := s.varOf[addr]
+	if id < 0 {
+		return 0
+	}
+	return s.cvn[id]
+}
+
+// EpochMods implements memsys.Versioned.
+func (s *System) EpochMods(names []string) {
+	for _, n := range names {
+		if id, ok := s.byName[n]; ok {
+			s.cvn[id]++
+		}
+	}
+}
+
+// Read implements memsys.System. The Time-Read window is ignored — VC's
+// compiler support is only the per-epoch modification sets.
+func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
+	s.St.Reads++
+	cc, tr := s.caches[p], s.trackers[p]
+
+	if kind == memsys.ReadBypass {
+		v := s.Memory.Read(addr)
+		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+			line.Vals[w] = v
+		}
+		s.St.ReadMisses[stats.MissBypass]++
+		s.St.ReadTrafficWords++
+		s.Netw.Inject(2)
+		lat := s.WordMissLatencyFor(p, addr)
+		s.St.MissLatencySum += lat
+		return v, lat
+	}
+
+	line, w, present := cc.Lookup(addr)
+	if present && line.ValidWord(w) {
+		if line.TT[w] >= s.cvnAt(addr) {
+			s.St.ReadHits++
+			line.Used[w] = true
+			cc.Touch(line)
+			s.Memory.CheckFresh(addr, line.Vals[w], p, "vc hit")
+			return line.Vals[w], s.Cfg.HitCycles
+		}
+		// Version failure: did the data actually change?
+		if line.Vals[w] != s.Memory.Read(addr) {
+			s.St.ReadMisses[stats.MissTrueSharing]++
+		} else {
+			s.St.ReadMisses[stats.MissConservative]++
+		}
+		s.refreshLine(line, w, addr, cc, tr)
+		return line.Vals[w], s.chargeLineMiss(p, addr)
+	}
+
+	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
+	if present {
+		s.refreshLine(line, w, addr, cc, tr)
+		return line.Vals[w], s.chargeLineMiss(p, addr)
+	}
+	nl, nw := s.fillLine(cc, tr, addr)
+	return nl.Vals[nw], s.chargeLineMiss(p, addr)
+}
+
+// fillLine installs the line with per-word BVN = CVN(var of word).
+func (s *System) fillLine(cc *cache.Cache, tr *cache.Tracker, addr prog.Word) (*cache.Line, int) {
+	nl, nw := s.MissFill(cc, tr, addr, 0, 0)
+	base := cc.LineBase(addr)
+	for i := 0; i < cc.LineWords(); i++ {
+		nl.TT[i] = s.cvnAt(base + prog.Word(i))
+	}
+	return nl, nw
+}
+
+// refreshLine refetches a present line; every word's BVN becomes the
+// current version of its variable.
+func (s *System) refreshLine(line *cache.Line, w int, addr prog.Word, cc *cache.Cache, tr *cache.Tracker) {
+	base := cc.LineBase(addr)
+	for i := 0; i < cc.LineWords(); i++ {
+		a := base + prog.Word(i)
+		line.Vals[i] = s.Memory.Read(a)
+		line.TT[i] = s.cvnAt(a)
+		tr.NoteCached(a)
+	}
+	line.Used[w] = true
+	cc.Touch(line)
+}
+
+func (s *System) chargeLineMiss(p int, addr prog.Word) int64 {
+	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	lat := s.LineMissLatencyFor(p, addr)
+	s.St.MissLatencySum += lat
+	return lat
+}
+
+// Write implements memsys.System: write-through; the written word's BVN
+// becomes CVN+1 (the version this epoch is producing).
+func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	s.St.Writes++
+	s.Memory.Write(addr, val, p, s.Epoch)
+	cc, tr := s.caches[p], s.trackers[p]
+	if crit {
+		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+			tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
+			line.InvalidateWord(w)
+		}
+		s.St.WriteTrafficWords++
+		s.Netw.Inject(1)
+		return 0
+	}
+	bvn := s.cvnAt(addr) + 1
+	if line, w, ok := cc.Lookup(addr); ok {
+		line.Vals[w] = val
+		line.TT[w] = bvn
+		line.Used[w] = true
+		cc.Touch(line)
+		tr.NoteCached(addr)
+	} else {
+		v := cc.Victim(addr)
+		if v.State != cache.Invalid {
+			base := prog.Word(v.Tag * int64(cc.LineWords()))
+			for i := 0; i < cc.LineWords(); i++ {
+				if v.TT[i] != cache.TTInvalid {
+					tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
+				}
+			}
+			v.InvalidateLine()
+		}
+		tag, w := cc.Split(addr)
+		v.Tag = tag
+		v.State = cache.Shared
+		v.Vals[w] = val
+		v.TT[w] = bvn
+		v.Used[w] = true
+		cc.Touch(v)
+		tr.NoteCached(addr)
+	}
+	if s.wbufs[p].Write(addr) {
+		s.St.WriteTrafficWords++
+		s.Netw.Inject(1)
+	} else {
+		s.St.WritesCoalesced++
+	}
+	if s.Cfg.SeqConsistency {
+		return s.WordMissLatencyFor(p, addr)
+	}
+	return 0
+}
+
+// EpochBoundary implements memsys.System.
+func (s *System) EpochBoundary(epoch int64) int64 {
+	s.Epoch = epoch
+	for _, wb := range s.wbufs {
+		wb.Flush()
+	}
+	return 0
+}
+
+// CVN exposes a variable's current version (tests).
+func (s *System) CVN(name string) int64 {
+	if id, ok := s.byName[name]; ok {
+		return s.cvn[id]
+	}
+	return -1
+}

@@ -1,0 +1,159 @@
+package vc
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/pfl"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+func buildProg(t *testing.T) *prog.Prog {
+	t.Helper()
+	ast, err := pfl.Parse(`
+program p
+param n = 16
+scalar s
+array A[n]
+array B[n]
+proc main() { A[0] = s  B[0] = A[0] }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := pfl.Check(ast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := prog.Build(info, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func newSys(t *testing.T) (*System, *prog.Prog) {
+	t.Helper()
+	p := buildProg(t)
+	cfg := machine.Default(machine.SchemeVC)
+	cfg.Procs = 2
+	cfg.CacheWords = 64
+	return New(cfg, p), p
+}
+
+func TestVersionHitAndAging(t *testing.T) {
+	s, p := newSys(t)
+	a := p.Arrays["A"]
+	s.EpochBoundary(1)
+	s.Write(0, a.Base, 1.5, false) // BVN = CVN+1 = 1
+
+	// same variable unmodified across the boundary: still a hit
+	s.EpochMods([]string{"A"}) // the write's epoch modified A: CVN -> 1
+	s.EpochBoundary(2)
+	v, lat := s.Read(0, a.Base, memsys.ReadRegular, 0)
+	if v != 1.5 || lat != s.Cfg.HitCycles {
+		t.Fatalf("own write should still hit: v=%v lat=%d", v, lat)
+	}
+
+	// another epoch modifies A ANYWHERE: every cached element of A ages
+	s.Write(1, a.Base+5, 9.0, false)
+	s.EpochMods([]string{"A"}) // CVN -> 2
+	s.EpochBoundary(3)
+	misses := s.St.TotalReadMisses()
+	v, _ = s.Read(0, a.Base, memsys.ReadRegular, 0)
+	if v != 1.5 {
+		t.Fatalf("refetched value = %v", v)
+	}
+	if s.St.TotalReadMisses() != misses+1 {
+		t.Fatal("aged version must miss")
+	}
+	// word a.Base was NOT actually rewritten: conservative miss (the
+	// per-variable granularity at work — TPI would have hit here).
+	if s.St.ReadMisses[stats.MissConservative] != 1 {
+		t.Fatalf("conservative misses = %v", s.St.ReadMisses)
+	}
+}
+
+func TestUnmodifiedVariableKeepsLocality(t *testing.T) {
+	s, p := newSys(t)
+	b := p.Arrays["B"]
+	s.EpochBoundary(1)
+	s.Read(0, b.Base, memsys.ReadRegular, 0) // fill, BVN = 0
+	// many epochs pass; B never modified
+	for e := int64(2); e < 10; e++ {
+		s.EpochMods([]string{"A"})
+		s.EpochBoundary(e)
+	}
+	_, lat := s.Read(0, b.Base, memsys.ReadRegular, 0)
+	if lat != s.Cfg.HitCycles {
+		t.Fatal("unmodified variable must stay cached (VC's advantage over SC)")
+	}
+}
+
+func TestPerVariableGranularity(t *testing.T) {
+	s, p := newSys(t)
+	a, b := p.Arrays["A"], p.Arrays["B"]
+	s.EpochBoundary(1)
+	s.Read(0, a.Base, memsys.ReadRegular, 0)
+	s.Read(0, b.Base, memsys.ReadRegular, 0)
+	s.EpochMods([]string{"A"}) // only A modified
+	s.EpochBoundary(2)
+	if _, lat := s.Read(0, b.Base, memsys.ReadRegular, 0); lat != s.Cfg.HitCycles {
+		t.Fatal("B must still hit: only A was modified")
+	}
+	if s.CVN("A") != 1 || s.CVN("B") != 0 {
+		t.Fatalf("CVNs: A=%d B=%d", s.CVN("A"), s.CVN("B"))
+	}
+}
+
+func TestTrueSharingDetected(t *testing.T) {
+	s, p := newSys(t)
+	a := p.Arrays["A"]
+	s.EpochBoundary(1)
+	s.Read(0, a.Base, memsys.ReadRegular, 0) // P0 caches old value
+	s.Write(1, a.Base, 7.0, false)           // P1 rewrites the same word
+	s.EpochMods([]string{"A"})
+	s.EpochBoundary(2)
+	v, _ := s.Read(0, a.Base, memsys.ReadRegular, 0)
+	if v != 7.0 {
+		t.Fatalf("read %v, want 7.0", v)
+	}
+	if s.St.ReadMisses[stats.MissTrueSharing] != 1 {
+		t.Fatalf("true-sharing misses = %v", s.St.ReadMisses)
+	}
+}
+
+func TestScalarVersioning(t *testing.T) {
+	s, p := newSys(t)
+	sc := p.Scalars["s"]
+	s.EpochBoundary(1)
+	s.Write(0, sc.Addr, 3.0, false)
+	s.EpochMods([]string{"s"})
+	s.EpochBoundary(2)
+	if v, lat := s.Read(0, sc.Addr, memsys.ReadRegular, 0); v != 3.0 || lat != s.Cfg.HitCycles {
+		t.Fatalf("own scalar write must hit next epoch: v=%v lat=%d", v, lat)
+	}
+	if s.CVN("nope") != -1 {
+		t.Fatal("unknown variable CVN must be -1")
+	}
+}
+
+func TestCriticalWritesSelfInvalidate(t *testing.T) {
+	s, p := newSys(t)
+	sc := p.Scalars["s"]
+	s.EpochBoundary(1)
+	s.Write(0, sc.Addr, 1.0, false)
+	s.Write(0, sc.Addr, 2.0, true)
+	v, _ := s.Read(0, sc.Addr, memsys.ReadBypass, 0)
+	if v != 2.0 {
+		t.Fatalf("bypass read = %v", v)
+	}
+}
+
+// VC must satisfy both the System and the Versioned interfaces.
+var (
+	_ memsys.System    = (*System)(nil)
+	_ memsys.Versioned = (*System)(nil)
+)
