@@ -260,6 +260,38 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	b.ReportMetric(float64(refs), "refs/run")
 }
 
+// BenchmarkSimHotLoop measures the simulator's inner loop on each paper
+// kernel at the unit-test workload size under TPI: compile once, then
+// simulate repeatedly on a fresh memory system. ns/op tracks the
+// end-to-end run; B/op must stay flat in the reference count (the
+// steady-state inner loop performs no per-reference allocations).
+func BenchmarkSimHotLoop(b *testing.B) {
+	for _, name := range bench.Names {
+		b.Run(name, func(b *testing.B) {
+			k, err := bench.Get(name, bench.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cfg := machine.Default(machine.SchemeTPI)
+			var refs int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				st, err := core.Run(c, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				refs = st.Reads + st.Writes
+			}
+			b.ReportMetric(float64(refs), "refs/run")
+		})
+	}
+}
+
 // BenchmarkLimitedPointerDirectory regenerates E14 (extension).
 func BenchmarkLimitedPointerDirectory(b *testing.B) {
 	var evict1 float64

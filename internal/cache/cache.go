@@ -79,6 +79,9 @@ type Cache struct {
 
 // New builds a cache of capacityWords with the given line size (words)
 // and associativity. capacityWords must be a multiple of lineWords*assoc.
+// The per-line word arrays are carved out of four shared backing slices,
+// so construction costs a handful of allocations rather than four per
+// line (systems are built per simulated run).
 func New(capacityWords int64, lineWords, assoc int) *Cache {
 	numLines := int(capacityWords) / lineWords
 	sets := numLines / assoc
@@ -88,16 +91,22 @@ func New(capacityWords int64, lineWords, assoc int) *Cache {
 		assoc:     assoc,
 		lines:     make([]Line, numLines),
 	}
+	words := numLines * lineWords
+	vals := make([]float64, words)
+	tt := make([]int64, words)
+	used := make([]bool, words)
+	dirtyW := make([]bool, words)
+	for i := range tt {
+		tt[i] = TTInvalid
+	}
 	for i := range c.lines {
 		l := &c.lines[i]
 		l.Tag = -1
-		l.Vals = make([]float64, lineWords)
-		l.TT = make([]int64, lineWords)
-		l.Used = make([]bool, lineWords)
-		l.DirtyW = make([]bool, lineWords)
-		for w := range l.TT {
-			l.TT[w] = TTInvalid
-		}
+		lo, hi := i*lineWords, (i+1)*lineWords
+		l.Vals = vals[lo:hi:hi]
+		l.TT = tt[lo:hi:hi]
+		l.Used = used[lo:hi:hi]
+		l.DirtyW = dirtyW[lo:hi:hi]
 	}
 	return c
 }

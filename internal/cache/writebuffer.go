@@ -37,11 +37,11 @@ func (wb *WriteBuffer) Write(addr prog.Word) bool {
 }
 
 // Flush empties the buffer (epoch boundary: the fence forces all pending
-// writes to memory; entries are no longer coalescible afterwards).
+// writes to memory; entries are no longer coalescible afterwards). The
+// map is cleared in place, not reallocated: it is flushed every epoch
+// and its capacity is reused by the next epoch's writes.
 func (wb *WriteBuffer) Flush() {
-	if len(wb.pending) > 0 {
-		wb.pending = make(map[prog.Word]bool)
-	}
+	clear(wb.pending)
 }
 
 // Pending returns the number of distinct buffered words.

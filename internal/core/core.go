@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/machine"
 	"repro/internal/marking"
@@ -58,6 +59,20 @@ type Compiled struct {
 	Prog     *prog.Prog
 	Analysis *sections.Analysis
 	Marks    *marking.Result
+
+	lowerOnce sync.Once
+	lowered   *sim.Program
+	lowerErr  error
+}
+
+// Lowered returns the program's slot-addressed closure IR, lowering on
+// first use and caching the result (safe for concurrent runs, e.g. the
+// exper sweep executor sharing one Compiled across goroutines).
+func (c *Compiled) Lowered() (*sim.Program, error) {
+	c.lowerOnce.Do(func() {
+		c.lowered, c.lowerErr = sim.Lower(c.Prog, c.Marks)
+	})
+	return c.lowered, c.lowerErr
 }
 
 // Compile runs the whole compiler pipeline on PFL source.
@@ -127,11 +142,15 @@ func Run(c *Compiled, cfg machine.Config) (*stats.Stats, error) {
 
 // RunWithMemory is Run plus the final memory image (for result checks).
 func RunWithMemory(c *Compiled, cfg machine.Config) (*stats.Stats, []float64, error) {
+	lp, err := c.Lowered()
+	if err != nil {
+		return nil, nil, err
+	}
 	sys, err := NewSystem(cfg, c.Prog)
 	if err != nil {
 		return nil, nil, err
 	}
-	r := sim.New(c.Prog, c.Marks, sys, cfg)
+	r := sim.NewLowered(lp, sys, cfg)
 	st, err := r.Run()
 	if err != nil {
 		return nil, nil, err
@@ -147,11 +166,15 @@ func RunWithMemory(c *Compiled, cfg machine.Config) (*stats.Stats, []float64, er
 // RunTraced is Run with a memory-event trace written to w (see
 // sim.Runner.SetTrace for the line format).
 func RunTraced(c *Compiled, cfg machine.Config, w io.Writer) (*stats.Stats, error) {
+	lp, err := c.Lowered()
+	if err != nil {
+		return nil, err
+	}
 	sys, err := NewSystem(cfg, c.Prog)
 	if err != nil {
 		return nil, err
 	}
-	r := sim.New(c.Prog, c.Marks, sys, cfg)
+	r := sim.NewLowered(lp, sys, cfg)
 	r.SetTrace(w)
 	return r.Run()
 }
@@ -159,10 +182,14 @@ func RunTraced(c *Compiled, cfg machine.Config, w io.Writer) (*stats.Stats, erro
 // RunOracle executes the program with the sequential reference semantics
 // (no caches, direct memory) and returns the authoritative final memory.
 func RunOracle(c *Compiled) ([]float64, error) {
+	lp, err := c.Lowered()
+	if err != nil {
+		return nil, err
+	}
 	cfg := machine.Default(machine.SchemeBase)
 	cfg.Procs = 1
 	sys := memsys.NewOracle(cfg, c.Prog.MemWords)
-	r := sim.New(c.Prog, c.Marks, sys, cfg)
+	r := sim.NewLowered(lp, sys, cfg)
 	if _, err := r.Run(); err != nil {
 		return nil, err
 	}

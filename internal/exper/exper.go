@@ -112,12 +112,14 @@ func forEach[T any](items []T, fn func(T) ([][]string, error)) ([][]string, erro
 	}
 	results := make([]result, len(items))
 	var wg sync.WaitGroup
+	// Acquire before spawning: a large cross product keeps at most
+	// GOMAXPROCS goroutines alive instead of one per item up front.
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for i, it := range items {
+		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int, it T) {
 			defer wg.Done()
-			sem <- struct{}{}
 			defer func() { <-sem }()
 			rows, err := fn(it)
 			results[i] = result{rows, err}

@@ -1,0 +1,50 @@
+package exper
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// TestLoweredSimMatchesOracle guards the slot-addressed closure IR: every
+// kernel runs through the lowered simulator on all four schemes and the
+// final memory image must match the sequential oracle bit-for-bit. The
+// cross product fans out through forEach, so one Compiled's lazy lowering
+// is also hit concurrently (the race detector covers the sync.Once path).
+func TestLoweredSimMatchesOracle(t *testing.T) {
+	s := smallSuite()
+	schemes := []machine.Scheme{
+		machine.SchemeBase, machine.SchemeSC, machine.SchemeTPI, machine.SchemeHW,
+	}
+	type point struct {
+		kernel string
+		scheme machine.Scheme
+	}
+	var points []point
+	for _, name := range bench.Names {
+		for _, sch := range schemes {
+			points = append(points, point{name, sch})
+		}
+	}
+	_, err := forEach(points, func(pt point) ([][]string, error) {
+		cfg := s.cfg(pt.scheme)
+		c, err := s.compile(pt.kernel, core.CompileOptions{
+			Interproc:      cfg.Interproc,
+			FirstReadReuse: cfg.FirstReadReuse,
+			AlignWords:     int64(cfg.LineWords),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pt.kernel, err)
+		}
+		if _, err := core.VerifyAgainstOracle(c, cfg); err != nil {
+			return nil, fmt.Errorf("%s/%s: %w", pt.kernel, pt.scheme, err)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

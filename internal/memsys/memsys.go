@@ -42,6 +42,21 @@ func (k ReadKind) String() string {
 	}
 }
 
+// HitContext is String()+" hit" without the per-call concatenation (it
+// labels every cache hit's freshness check, a hot path).
+func (k ReadKind) HitContext() string {
+	switch k {
+	case ReadRegular:
+		return "regular-read hit"
+	case ReadTime:
+		return "time-read hit"
+	case ReadBypass:
+		return "bypass-read hit"
+	default:
+		return "? hit"
+	}
+}
+
 // System is a coherence scheme's memory system for one machine.
 type System interface {
 	// Name returns the scheme name ("TPI", "HW", ...).

@@ -21,10 +21,19 @@ type Word int64
 
 // ArrayInfo describes one global array's shape and placement.
 type ArrayInfo struct {
-	Name string
-	Dims []int64 // evaluated extents
-	Base Word    // word address of element [0][0]...
-	Size int64   // total words
+	Name    string
+	Dims    []int64 // evaluated extents
+	Strides []int64 // row-major word strides: Strides[d] = product of Dims[d+1:]
+	Base    Word    // word address of element [0][0]...
+	Size    int64   // total words
+}
+
+// SubscriptErr is the canonical out-of-range error for subscript i in
+// dimension d (shared by Address and the simulator's lowered address
+// computation, so both report identically).
+func (a *ArrayInfo) SubscriptErr(d int, i int64) error {
+	return fmt.Errorf("prog: array %s: subscript %d out of range [0,%d) in dim %d",
+		a.Name, i, a.Dims[d], d)
 }
 
 // ScalarInfo describes one global scalar's placement.
@@ -109,6 +118,12 @@ func BuildPadded(info *pfl.Info, align int64, padScalars bool) (*Prog, error) {
 			size *= v
 		}
 		ai.Size = size
+		ai.Strides = make([]int64, len(ai.Dims))
+		stride := int64(1)
+		for d := len(ai.Dims) - 1; d >= 0; d-- {
+			ai.Strides[d] = stride
+			stride *= ai.Dims[d]
+		}
 		p.Arrays[d.Name] = ai
 		next += Word(size)
 	}
@@ -181,10 +196,9 @@ func (p *Prog) Address(array *ArrayInfo, idx []int64) (Word, error) {
 	var lin int64
 	for d, i := range idx {
 		if i < 0 || i >= array.Dims[d] {
-			return 0, fmt.Errorf("prog: array %s: subscript %d out of range [0,%d) in dim %d",
-				array.Name, i, array.Dims[d], d)
+			return 0, array.SubscriptErr(d, i)
 		}
-		lin = lin*array.Dims[d] + i
+		lin += i * array.Strides[d]
 	}
 	return array.Base + Word(lin), nil
 }

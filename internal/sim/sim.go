@@ -1,9 +1,15 @@
-// Package sim is the execution-driven simulator: it interprets a
+// Package sim is the execution-driven simulator: it executes a
 // compiled PFL program by walking each procedure's epoch flow graph,
 // scheduling DOALL iterations across the simulated processors, and
 // driving every memory reference through a coherence scheme's memory
 // system — so data values actually flow through the simulated caches and
 // any coherence failure corrupts the results visibly.
+//
+// Procedure bodies are first lowered (see lower.go) to a slot-addressed
+// closure IR, so the hot loop executes pre-bound closures over a flat
+// []int64 frame instead of re-walking the AST with map-keyed
+// environments. Lowering never changes the observable memory-reference
+// order or the cycle charges.
 //
 // Timing model (the paper's): single-issue processors, weak consistency
 // (reads stall on misses, writes retire through an infinite write
@@ -29,13 +35,23 @@ import (
 	"repro/internal/stats"
 )
 
-// Runner executes one program on one memory system.
+// readFunc performs one read reference; selected once per run so the
+// tracing test is not paid per reference.
+type readFunc func(t *task, addr prog.Word, kind memsys.ReadKind, window int) float64
+
+// writeFunc performs one write reference.
+type writeFunc func(t *task, addr prog.Word, v float64)
+
+// Runner executes one lowered program on one memory system.
 type Runner struct {
-	prog  *prog.Prog
-	marks *marking.Result
-	sys   memsys.System
-	cfg   machine.Config
-	trace io.Writer
+	lp       *Program
+	lowerErr error
+	sys      memsys.System
+	cfg      machine.Config
+	trace    io.Writer
+
+	read  readFunc
+	write writeFunc
 
 	epoch      int64
 	cycles     int64
@@ -45,16 +61,25 @@ type Runner struct {
 	maxEpochs  int64
 }
 
-// New builds a runner. The marking must have been computed for this
-// program.
+// New builds a runner, lowering the program first. The marking must
+// have been computed for this program. Lowering diagnostics surface
+// from Run, preserving the interpreter-era error flow.
 func New(p *prog.Prog, marks *marking.Result, sys memsys.System, cfg machine.Config) *Runner {
+	lp, err := Lower(p, marks)
+	r := NewLowered(lp, sys, cfg)
+	r.lowerErr = err
+	return r
+}
+
+// NewLowered builds a runner over an already-lowered program, so the
+// lowering cost is paid once per compiled program rather than per run.
+func NewLowered(lp *Program, sys memsys.System, cfg machine.Config) *Runner {
 	maxE := cfg.MaxEpochs
 	if maxE == 0 {
 		maxE = 50_000_000
 	}
 	return &Runner{
-		prog:      p,
-		marks:     marks,
+		lp:        lp,
 		sys:       sys,
 		cfg:       cfg,
 		procWork:  make([]int64, cfg.Procs),
@@ -65,133 +90,127 @@ func New(p *prog.Prog, marks *marking.Result, sys memsys.System, cfg machine.Con
 
 // Run initializes memory from declarations, executes proc main, and
 // returns the accumulated statistics.
-func (r *Runner) Run() (*stats.Stats, error) {
-	for _, sc := range r.prog.Scalars {
+func (r *Runner) Run() (st *stats.Stats, err error) {
+	if r.lowerErr != nil {
+		return nil, r.lowerErr
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			re, ok := p.(runError)
+			if !ok {
+				panic(p)
+			}
+			st, err = nil, re.err
+		}
+	}()
+	if r.trace != nil {
+		r.read, r.write = readTraced, writeTraced
+	} else {
+		r.read, r.write = readFast, writeFast
+	}
+	for _, sc := range r.lp.prog.Scalars {
 		r.sys.Mem().InitWord(sc.Addr, sc.Init)
 	}
-	if err := r.runProc("main", map[string]*prog.ArrayInfo{}); err != nil {
-		return nil, err
-	}
+	r.runProc(r.lp.procs["main"], nil)
 	r.endEpoch() // flush trailing structural-node work into the total
-	st := r.sys.Stats()
+	st = r.sys.Stats()
 	st.Cycles = r.cycles
 	st.Epochs = r.epoch
 	st.ProcBusy = append([]int64(nil), r.procBusy...)
 	return st, nil
 }
 
-// task is the execution context of one running task.
+// task is the execution context of one running task: the frame of loop
+// variable slots plus the formal-array bindings of the enclosing
+// procedure invocation. One task value is reused across the tasks of a
+// procedure walk; only proc (and transiently inCrit) change.
 type task struct {
-	r        *Runner
-	proc     int
-	env      map[string]int64
-	bindings map[string]*prog.ArrayInfo
-	inCrit   bool
+	r      *Runner
+	proc   int
+	inCrit bool
+	slots  []int64
+	arrays []*prog.ArrayInfo
 }
 
 // charge adds processor cycles to the task's processor.
 func (t *task) charge(c int64) { t.r.procWork[t.proc] += c }
 
-// runProc walks a procedure's epoch flow graph.
-func (r *Runner) runProc(name string, bindings map[string]*prog.ArrayInfo) error {
-	ps := r.marks.Analysis.Procs[name]
-	if ps == nil {
-		return fmt.Errorf("sim: no analysis for proc %q", name)
-	}
-	g := ps.Graph
+// loopState is one header node's live iteration state.
+type loopState struct {
+	active      bool
+	v, hi, step int64
+}
 
-	type loopState struct {
-		active      bool
-		v, hi, step int64
-	}
-	loops := map[*epochg.Node]*loopState{}
-	env := map[string]int64{}
+// runProc walks a procedure's epoch flow graph over its lowered nodes.
+func (r *Runner) runProc(lp *loweredProc, arrays []*prog.ArrayInfo) {
+	loops := make([]loopState, len(lp.nodes))
+	t := task{r: r, slots: make([]int64, lp.numSlots), arrays: arrays}
 
-	n := g.Entry
+	n := lp.graph.Entry
 	for n != nil {
 		// Only real epochs (see epochg.Node.Counts) advance the counter
 		// and pay the barrier; structural nodes execute inside the
 		// surrounding epoch, exactly as the static distances assume.
 		counts := n.Counts()
 		if counts {
-			if err := r.enterEpoch(); err != nil {
-				return err
-			}
+			r.enterEpoch()
 		}
+		ln := &lp.nodes[n.ID]
 		switch n.Kind {
 		case epochg.KindEntry:
 			n = onlySucc(n)
 
 		case epochg.KindExit:
-			return nil // exit nodes have no references
+			return // exit nodes have no references
 
 		case epochg.KindSerial:
-			t := r.newSerialTask(env, bindings)
-			for _, s := range n.Stmts {
-				if err := t.stmt(s); err != nil {
-					return err
-				}
+			t.proc = r.serialProc()
+			for _, s := range ln.serial {
+				s(&t)
 			}
 			if counts {
-				r.noteEpochMods(name, n, bindings)
+				r.noteEpochMods(ln, arrays)
 				r.endEpoch()
 			}
 			n = onlySucc(n)
 
 		case epochg.KindHeader:
-			t := r.newSerialTask(env, bindings)
-			ls := loops[n]
-			if ls == nil || !ls.active {
-				lo, err := t.evalInt(n.Loop.Lo)
-				if err != nil {
-					return err
-				}
-				hi, err := t.evalInt(n.Loop.Hi)
-				if err != nil {
-					return err
-				}
+			t.proc = r.serialProc()
+			ls := &loops[n.ID]
+			if !ls.active {
+				lo := int64(ln.lo(&t))
+				hi := int64(ln.hi(&t))
 				step := int64(1)
-				if n.Loop.Step != nil {
-					if step, err = t.evalInt(n.Loop.Step); err != nil {
-						return err
-					}
+				if ln.step != nil {
+					step = int64(ln.step(&t))
 					if step == 0 {
-						return fmt.Errorf("sim: %s: loop step is zero", n.Loop.Lo.Position())
+						fail("sim: %s: loop step is zero", ln.stepPos)
 					}
 				}
-				ls = &loopState{active: true, v: lo, hi: hi, step: step}
-				loops[n] = ls
+				*ls = loopState{active: true, v: lo, hi: hi, step: step}
 			} else {
 				ls.v += ls.step
 			}
 			t.charge(2) // loop bookkeeping
-			env[n.Loop.Var] = ls.v
-			cont := (ls.step > 0 && ls.v <= ls.hi) || (ls.step < 0 && ls.v >= ls.hi)
-			if cont {
+			t.slots[ln.loopVarSlot] = ls.v
+			if (ls.step > 0 && ls.v <= ls.hi) || (ls.step < 0 && ls.v >= ls.hi) {
 				n = n.Loop.Body
 			} else {
 				ls.active = false
-				delete(env, n.Loop.Var)
 				n = loopExit(n)
 			}
 
 		case epochg.KindBranch:
-			t := r.newSerialTask(env, bindings)
-			v, err := t.eval(n.Branch.Cond)
-			if err != nil {
-				return err
-			}
-			if v != 0 {
+			t.proc = r.serialProc()
+			if ln.cond(&t) != 0 {
 				n = n.Branch.Then
 			} else {
 				n = n.Branch.Else
 			}
 
 		case epochg.KindDoall:
-			if err := r.runDoall(n.Doall, env, bindings); err != nil {
-				return err
-			}
-			r.noteEpochMods(name, n, bindings)
+			r.runDoall(ln.doall, &t)
+			r.noteEpochMods(ln, arrays)
 			r.endEpoch()
 			n = onlySucc(n)
 
@@ -199,25 +218,21 @@ func (r *Runner) runProc(name string, bindings map[string]*prog.ArrayInfo) error
 			// The call node's own epoch is the call prologue; the callee's
 			// epochs follow inside it.
 			r.endEpoch()
-			callee := r.prog.AST.Proc(n.Call.Name)
-			nb := map[string]*prog.ArrayInfo{}
-			for i, f := range callee.Formals {
-				ai, err := r.resolveArray(n.Call.Args[i], bindings)
-				if err != nil {
-					return err
+			calleeArrays := make([]*prog.ArrayInfo, len(ln.callArgs))
+			for i, src := range ln.callArgs {
+				if src.fixed != nil {
+					calleeArrays[i] = src.fixed
+				} else {
+					calleeArrays[i] = arrays[src.formal]
 				}
-				nb[f.Name] = ai
 			}
-			if err := r.runProc(n.Call.Name, nb); err != nil {
-				return err
-			}
+			r.runProc(ln.callee, calleeArrays)
 			n = onlySucc(n)
 
 		default:
-			return fmt.Errorf("sim: unknown node kind %v", n.Kind)
+			fail("sim: unknown node kind %v", n.Kind)
 		}
 	}
-	return nil
 }
 
 // onlySucc returns a node's unique non-structural successor.
@@ -248,40 +263,37 @@ func loopExit(h *epochg.Node) *epochg.Node {
 func (r *Runner) SetTrace(w io.Writer) { r.trace = w }
 
 // enterEpoch advances the global epoch counter and applies boundary costs.
-func (r *Runner) enterEpoch() error {
+func (r *Runner) enterEpoch() {
 	r.epoch++
 	if r.trace != nil {
 		fmt.Fprintf(r.trace, "E %d\n", r.epoch)
 	}
 	if r.epoch > r.maxEpochs {
-		return fmt.Errorf("sim: epoch limit exceeded (%d): runaway loop?", r.maxEpochs)
+		fail("sim: epoch limit exceeded (%d): runaway loop?", r.maxEpochs)
 	}
 	stall := r.sys.EpochBoundary(r.epoch)
 	if stall > 0 {
 		r.cycles += stall
 	}
-	return nil
 }
 
 // noteEpochMods reports the finishing epoch's may-written variables to a
-// version-tracking scheme (VC), translating formal array names to the
-// bound actuals.
-func (r *Runner) noteEpochMods(procName string, n *epochg.Node, bindings map[string]*prog.ArrayInfo) {
+// version-tracking scheme (VC), resolving formal bindings to the bound
+// actuals.
+func (r *Runner) noteEpochMods(ln *loweredNode, arrays []*prog.ArrayInfo) {
+	if len(ln.mods) == 0 {
+		return
+	}
 	vs, ok := r.sys.(memsys.Versioned)
 	if !ok {
 		return
 	}
-	ps := r.marks.Analysis.Procs[procName]
-	mods := ps.Nodes[n.ID].Mod
-	if len(mods) == 0 {
-		return
-	}
-	names := make([]string, 0, len(mods))
-	for name := range mods {
-		if ai, ok := bindings[name]; ok {
-			names = append(names, ai.Name)
+	names := make([]string, len(ln.mods))
+	for i, m := range ln.mods {
+		if m.formal >= 0 {
+			names[i] = arrays[m.formal].Name
 		} else {
-			names = append(names, name)
+			names[i] = m.name
 		}
 	}
 	vs.EpochMods(names)
@@ -303,35 +315,31 @@ func (r *Runner) endEpoch() {
 	r.sys.Net().AdvanceTo(r.cycles)
 }
 
-// newSerialTask builds the task context for serial work, honoring the
-// serial-task placement policy.
-func (r *Runner) newSerialTask(env map[string]int64, bindings map[string]*prog.ArrayInfo) *task {
-	p := 0
-	if r.cfg.MigrateSerial {
-		p = r.serialNext
-		r.serialNext = (r.serialNext + 1) % r.cfg.Procs
+// serialProc picks the processor for serial work, honoring the
+// serial-task placement policy (one rotation per serial task, exactly
+// as the interpreter rotated).
+func (r *Runner) serialProc() int {
+	if !r.cfg.MigrateSerial {
+		return 0
 	}
-	return &task{r: r, proc: p, env: env, bindings: bindings}
+	p := r.serialNext
+	r.serialNext = (r.serialNext + 1) % r.cfg.Procs
+	return p
 }
 
 // runDoall schedules and executes a parallel loop.
-func (r *Runner) runDoall(d *pfl.DoallStmt, env map[string]int64, bindings map[string]*prog.ArrayInfo) error {
+func (r *Runner) runDoall(ld *loweredDoall, t *task) {
 	// Bounds are evaluated once by the scheduling (serial) task.
-	st := r.newSerialTask(env, bindings)
-	lo, err := st.evalInt(d.Lo)
-	if err != nil {
-		return err
-	}
-	hi, err := st.evalInt(d.Hi)
-	if err != nil {
-		return err
-	}
-	st.charge(4) // dispatch overhead
+	t.proc = r.serialProc()
+	lo := int64(ld.lo(t))
+	hi := int64(ld.hi(t))
+	t.charge(4) // dispatch overhead
 	if hi < lo {
-		return nil
+		return
 	}
 	n := hi - lo + 1
-	chunk := (n + int64(r.cfg.Procs) - 1) / int64(r.cfg.Procs)
+	procs := int64(r.cfg.Procs)
+	chunk := (n + procs - 1) / procs
 
 	for it := lo; it <= hi; it++ {
 		var p int64
@@ -345,350 +353,49 @@ func (r *Runner) runDoall(d *pfl.DoallStmt, env map[string]int64, bindings map[s
 				}
 			}
 		case r.cfg.CyclicSched:
-			p = (it - lo) % int64(r.cfg.Procs)
+			p = (it - lo) % procs
 		default:
 			p = (it - lo) / chunk
 		}
-		t := &task{
-			r:        r,
-			proc:     int(p),
-			env:      make(map[string]int64, len(env)+1),
-			bindings: bindings,
-		}
-		for k, v := range env {
-			t.env[k] = v
-		}
-		t.env[d.Var] = it
+		t.proc = int(p)
+		t.slots[ld.varSlot] = it
 		t.charge(2) // per-task scheduling overhead
-		for _, s := range d.Body.Stmts {
-			if err := t.stmt(s); err != nil {
-				return err
-			}
+		for _, s := range ld.body {
+			s(t)
 		}
-	}
-	return nil
-}
-
-// resolveArray maps an array name through formal bindings to its storage.
-func (r *Runner) resolveArray(name string, bindings map[string]*prog.ArrayInfo) (*prog.ArrayInfo, error) {
-	if ai, ok := bindings[name]; ok {
-		return ai, nil
-	}
-	if ai, ok := r.prog.Arrays[name]; ok {
-		return ai, nil
-	}
-	return nil, fmt.Errorf("sim: unknown array %q", name)
-}
-
-// stmt executes one statement in the task context.
-func (t *task) stmt(s pfl.Stmt) error {
-	switch st := s.(type) {
-	case *pfl.AssignStmt:
-		v, err := t.eval(st.RHS)
-		if err != nil {
-			return err
-		}
-		t.charge(1)
-		return t.store(st.LHS, v)
-
-	case *pfl.ForStmt:
-		lo, err := t.evalInt(st.Lo)
-		if err != nil {
-			return err
-		}
-		hi, err := t.evalInt(st.Hi)
-		if err != nil {
-			return err
-		}
-		step := int64(1)
-		if st.Step != nil {
-			if step, err = t.evalInt(st.Step); err != nil {
-				return err
-			}
-			if step == 0 {
-				return fmt.Errorf("sim: %s: loop step is zero", st.Pos)
-			}
-		}
-		for v := lo; (step > 0 && v <= hi) || (step < 0 && v >= hi); v += step {
-			t.env[st.Var] = v
-			t.charge(2)
-			for _, bs := range st.Body.Stmts {
-				if err := t.stmt(bs); err != nil {
-					return err
-				}
-			}
-		}
-		delete(t.env, st.Var)
-		return nil
-
-	case *pfl.IfStmt:
-		v, err := t.eval(st.Cond)
-		if err != nil {
-			return err
-		}
-		t.charge(1)
-		if v != 0 {
-			for _, bs := range st.Then.Stmts {
-				if err := t.stmt(bs); err != nil {
-					return err
-				}
-			}
-		} else if st.Else != nil {
-			for _, bs := range st.Else.Stmts {
-				if err := t.stmt(bs); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-
-	case *pfl.CriticalStmt:
-		t.charge(t.r.cfg.LockCycles)
-		t.inCrit = true
-		for _, bs := range st.Body.Stmts {
-			if err := t.stmt(bs); err != nil {
-				t.inCrit = false
-				return err
-			}
-		}
-		t.inCrit = false
-		return nil
-
-	case *pfl.OrderedStmt:
-		// The simulator executes DOALL iterations in ascending order, so
-		// the doacross ordering holds by construction; the synchronization
-		// cost models the iteration-order token handoff.
-		t.charge(t.r.cfg.LockCycles)
-		t.inCrit = true // ordered data takes the critical coherence path
-		for _, bs := range st.Body.Stmts {
-			if err := t.stmt(bs); err != nil {
-				t.inCrit = false
-				return err
-			}
-		}
-		t.inCrit = false
-		return nil
-
-	default:
-		return fmt.Errorf("sim: %s: unexpected statement %T in task body", s.Position(), s)
 	}
 }
 
-// store writes a value to an assignment target.
-func (t *task) store(lhs pfl.Expr, v float64) error {
-	switch e := lhs.(type) {
-	case *pfl.VarRef:
-		sc := t.r.prog.Scalars[e.Name]
-		if sc == nil {
-			return fmt.Errorf("sim: %s: assignment to non-scalar %q", e.Pos, e.Name)
-		}
-		stall := t.r.sys.Write(t.proc, sc.Addr, v, t.inCrit)
-		t.charge(1 + stall)
-		t.traceWrite(sc.Addr, stall)
-		return nil
-	case *pfl.IndexRef:
-		addr, err := t.address(e)
-		if err != nil {
-			return err
-		}
-		stall := t.r.sys.Write(t.proc, addr, v, t.inCrit)
-		t.charge(1 + stall)
-		t.traceWrite(addr, stall)
-		return nil
-	default:
-		return fmt.Errorf("sim: invalid assignment target %T", lhs)
-	}
+// readFast performs a read reference through the memory system.
+func readFast(t *task, addr prog.Word, kind memsys.ReadKind, window int) float64 {
+	v, stall := t.r.sys.Read(t.proc, addr, kind, window)
+	t.charge(stall)
+	return v
 }
 
-// traceWrite logs one store event when tracing is active.
-func (t *task) traceWrite(addr prog.Word, stall int64) {
-	if t.r.trace == nil {
-		return
-	}
+// readTraced is readFast plus the trace line.
+func readTraced(t *task, addr prog.Word, kind memsys.ReadKind, window int) float64 {
+	v, stall := t.r.sys.Read(t.proc, addr, kind, window)
+	t.charge(stall)
+	fmt.Fprintf(t.r.trace, "R %d %d %s %d\n", t.proc, addr, kind, stall)
+	return v
+}
+
+// writeFast performs a write reference through the memory system.
+func writeFast(t *task, addr prog.Word, v float64) {
+	stall := t.r.sys.Write(t.proc, addr, v, t.inCrit)
+	t.charge(1 + stall)
+}
+
+// writeTraced is writeFast plus the trace line.
+func writeTraced(t *task, addr prog.Word, v float64) {
+	stall := t.r.sys.Write(t.proc, addr, v, t.inCrit)
+	t.charge(1 + stall)
 	crit := 0
 	if t.inCrit {
 		crit = 1
 	}
 	fmt.Fprintf(t.r.trace, "W %d %d %d %d\n", t.proc, addr, crit, stall)
-}
-
-// address computes the word address of an array element reference.
-func (t *task) address(e *pfl.IndexRef) (prog.Word, error) {
-	ai, err := t.r.resolveArray(e.Name, t.bindings)
-	if err != nil {
-		return 0, fmt.Errorf("sim: %s: %v", e.Pos, err)
-	}
-	idx := make([]int64, len(e.Subs))
-	for i, sub := range e.Subs {
-		v, err := t.evalInt(sub)
-		if err != nil {
-			return 0, err
-		}
-		idx[i] = v
-	}
-	addr, err := t.r.prog.Address(ai, idx)
-	if err != nil {
-		return 0, fmt.Errorf("sim: %s: %v", e.Pos, err)
-	}
-	return addr, nil
-}
-
-// load performs a read reference through the memory system using the
-// compiler's mark (forced to bypass inside critical sections).
-func (t *task) load(addr prog.Word, refID int) float64 {
-	kind := memsys.ReadRegular
-	window := 0
-	if t.inCrit {
-		kind = memsys.ReadBypass
-	} else {
-		mk := t.r.marks.MarkOf(refID)
-		switch mk.Kind {
-		case marking.TimeRead:
-			kind = memsys.ReadTime
-			window = mk.Window
-		case marking.Bypass:
-			kind = memsys.ReadBypass
-		}
-	}
-	v, stall := t.r.sys.Read(t.proc, addr, kind, window)
-	t.charge(stall)
-	if t.r.trace != nil {
-		fmt.Fprintf(t.r.trace, "R %d %d %s %d\n", t.proc, addr, kind, stall)
-	}
-	return v
-}
-
-// evalInt evaluates an expression as an integer (subscripts, bounds).
-func (t *task) evalInt(e pfl.Expr) (int64, error) {
-	v, err := t.eval(e)
-	if err != nil {
-		return 0, err
-	}
-	return int64(v), nil
-}
-
-// eval evaluates an expression, charging one cycle per operator and
-// driving every memory reference through the coherence scheme.
-func (t *task) eval(e pfl.Expr) (float64, error) {
-	switch ex := e.(type) {
-	case *pfl.NumLit:
-		return ex.Val, nil
-	case *pfl.VarRef:
-		if v, ok := t.env[ex.Name]; ok {
-			return float64(v), nil
-		}
-		if pv, ok := t.r.prog.Params[ex.Name]; ok {
-			return float64(pv), nil
-		}
-		if sc := t.r.prog.Scalars[ex.Name]; sc != nil {
-			return t.load(sc.Addr, ex.RefID), nil
-		}
-		return 0, fmt.Errorf("sim: %s: unbound name %q", ex.Pos, ex.Name)
-	case *pfl.IndexRef:
-		addr, err := t.address(ex)
-		if err != nil {
-			return 0, err
-		}
-		return t.load(addr, ex.RefID), nil
-	case *pfl.UnExpr:
-		v, err := t.eval(ex.X)
-		if err != nil {
-			return 0, err
-		}
-		t.charge(1)
-		switch ex.Op {
-		case "-":
-			return -v, nil
-		case "!":
-			if v == 0 {
-				return 1, nil
-			}
-			return 0, nil
-		}
-		return 0, fmt.Errorf("sim: %s: unknown unary op %q", ex.Pos, ex.Op)
-	case *pfl.CallExpr:
-		args := make([]float64, len(ex.Args))
-		for i, a := range ex.Args {
-			v, err := t.eval(a)
-			if err != nil {
-				return 0, err
-			}
-			args[i] = v
-		}
-		t.charge(4) // intrinsics cost a few cycles
-		return evalIntrinsic(ex, args)
-	case *pfl.BinExpr:
-		x, err := t.eval(ex.X)
-		if err != nil {
-			return 0, err
-		}
-		// Short-circuit boolean operators.
-		switch ex.Op {
-		case "&&":
-			t.charge(1)
-			if x == 0 {
-				return 0, nil
-			}
-			y, err := t.eval(ex.Y)
-			if err != nil {
-				return 0, err
-			}
-			return boolVal(y != 0), nil
-		case "||":
-			t.charge(1)
-			if x != 0 {
-				return 1, nil
-			}
-			y, err := t.eval(ex.Y)
-			if err != nil {
-				return 0, err
-			}
-			return boolVal(y != 0), nil
-		}
-		y, err := t.eval(ex.Y)
-		if err != nil {
-			return 0, err
-		}
-		t.charge(1)
-		switch ex.Op {
-		case "+":
-			return x + y, nil
-		case "-":
-			return x - y, nil
-		case "*":
-			return x * y, nil
-		case "/":
-			if y == 0 {
-				return 0, fmt.Errorf("sim: %s: division by zero", ex.Pos)
-			}
-			return x / y, nil
-		case "%":
-			iy := int64(y)
-			if iy == 0 {
-				return 0, fmt.Errorf("sim: %s: modulo by zero", ex.Pos)
-			}
-			m := int64(x) % iy
-			if m < 0 {
-				m += absI64(iy)
-			}
-			return float64(m), nil
-		case "<":
-			return boolVal(x < y), nil
-		case "<=":
-			return boolVal(x <= y), nil
-		case ">":
-			return boolVal(x > y), nil
-		case ">=":
-			return boolVal(x >= y), nil
-		case "==":
-			return boolVal(x == y), nil
-		case "!=":
-			return boolVal(x != y), nil
-		}
-		return 0, fmt.Errorf("sim: %s: unknown op %q", ex.Pos, ex.Op)
-	default:
-		return 0, fmt.Errorf("sim: unknown expression %T", e)
-	}
 }
 
 func boolVal(b bool) float64 {
@@ -705,7 +412,8 @@ func absI64(x int64) int64 {
 	return x
 }
 
-// evalIntrinsic applies a builtin pure function.
+// evalIntrinsic applies a builtin pure function (shared by the lowerer's
+// constant folding; the lowered closures inline the same operations).
 func evalIntrinsic(ex *pfl.CallExpr, args []float64) (float64, error) {
 	switch ex.Name {
 	case "abs":

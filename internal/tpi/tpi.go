@@ -90,7 +90,7 @@ func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (
 			}
 			line.Used[w] = true
 			cc.Touch(line)
-			s.Memory.CheckFresh(addr, line.Vals[w], p, kind.String()+" hit")
+			s.Memory.CheckFresh(addr, line.Vals[w], p, kind.HitContext())
 			return line.Vals[w], s.Cfg.HitCycles
 		}
 		// Window failure on a present word: necessary (data really
