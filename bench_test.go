@@ -8,6 +8,7 @@ package repro
 // paper workload size.
 
 import (
+	"io"
 	"strconv"
 	"strings"
 	"testing"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/exper"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/overhead"
 )
 
@@ -290,6 +292,47 @@ func BenchmarkSimHotLoop(b *testing.B) {
 			b.ReportMetric(float64(refs), "refs/run")
 		})
 	}
+}
+
+// BenchmarkObsOverhead measures the cost of the instrumentation layer on
+// the ocean/TPI hot loop at each obs.Level. The "off" sub-benchmark is
+// the same work as BenchmarkSimHotLoop/ocean and must stay within noise
+// of it: with observation off the runner selects the plain readFast /
+// writeFast closures and no obs code is on the reference path.
+func BenchmarkObsOverhead(b *testing.B) {
+	k, err := bench.Get("ocean", bench.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Default(machine.SchemeTPI)
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(c, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("counters", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RunObserved(c, cfg, obs.LevelCounters, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("trace", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.RunObserved(c, cfg, obs.LevelTrace, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkLimitedPointerDirectory regenerates E14 (extension).

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -33,10 +34,27 @@ func main() {
 	quick := flag.Bool("quick", false, "small workload for a fast smoke run")
 	procs := flag.Int("procs", 16, "number of processors")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	jsonOut := flag.Bool("json", false, "emit the results as schema-versioned JSON (see exper.Results)")
+	validate := flag.String("validate", "", "validate a results JSON file against the schema and exit")
 	outFile := flag.String("out", "", "also write the output to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		r, err := exper.ValidateResults(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema v%d, %d experiments)\n", *validate, r.SchemaVersion, len(r.Experiments))
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -117,6 +135,7 @@ func main() {
 		sink.WriteString(text)
 	}
 
+	results := exper.Results{SchemaVersion: exper.ResultsSchemaVersion, Params: p, Procs: *procs}
 	start := time.Now()
 	for _, e := range entries {
 		if len(want) > 0 && !want[e.id] {
@@ -128,20 +147,33 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
 			os.Exit(1)
 		}
-		if *markdown {
+		switch {
+		case *jsonOut:
+			results.Experiments = append(results.Experiments, tab)
+		case *markdown:
 			emit(tab.Markdown() + "\n")
-		} else {
+		default:
 			emit(tab.String())
+			emit("\n")
 		}
-		fmt.Printf("(%s in %v)\n\n", e.id, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s in %v)\n", e.id, time.Since(t0).Round(time.Millisecond))
 	}
-	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 
+	if *jsonOut {
+		data, err := json.MarshalIndent(&results, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		emit(string(data))
+	}
 	if *outFile != "" {
 		if err := os.WriteFile(*outFile, []byte(sink.String()), 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: write %s: %v\n", *outFile, err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *outFile)
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *outFile)
 	}
 }

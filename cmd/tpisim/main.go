@@ -10,8 +10,10 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/machine"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -41,7 +44,10 @@ func main() {
 	prefetch := flag.Bool("prefetch", false, "one-block-lookahead sequential prefetch (TPI)")
 	padScalars := flag.Bool("padscalars", false, "give every scalar its own cache line")
 	verify := flag.Bool("verify", true, "check results against the sequential oracle")
-	traceFile := flag.String("trace", "", "write a memory-event trace to this file")
+	traceFile := flag.String("trace", "", "write a text memory-event trace to this file")
+	obsLevel := flag.String("obs", "off", "instrumentation level: off, counters, or trace")
+	btraceFile := flag.String("btrace", "", "write a binary event trace to this file (implies -obs trace; analyze with tpitrace)")
+	jsonOut := flag.Bool("json", false, "emit a JSON array of per-scheme run results (stats schema + attributed report when -obs is on)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
@@ -77,7 +83,7 @@ func main() {
 		}()
 	}
 
-	var src string
+	var src, program string
 	switch {
 	case *benchName != "":
 		k, err := bench.Get(*benchName, bench.Params{N: *n, Steps: *steps})
@@ -85,12 +91,14 @@ func main() {
 			fatal(err)
 		}
 		src = k.Source
+		program = *benchName
 	case flag.NArg() == 1:
 		b, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		src = string(b)
+		program = flag.Arg(0)
 	default:
 		fmt.Fprintln(os.Stderr, "usage: tpisim (-bench name | file.pfl) [flags]")
 		flag.PrintDefaults()
@@ -108,6 +116,15 @@ func main() {
 		schemes = []machine.Scheme{s}
 	}
 
+	level, err := obs.ParseLevel(*obsLevel)
+	if err != nil {
+		fatal(err)
+	}
+	if *btraceFile != "" && len(schemes) > 1 {
+		fatal(fmt.Errorf("-btrace needs a single -scheme"))
+	}
+
+	var results []core.RunResult
 	for _, s := range schemes {
 		cfg := machine.Default(s)
 		cfg.Procs = *procs
@@ -132,6 +149,33 @@ func main() {
 			fatal(err)
 		}
 		switch {
+		case level != obs.LevelOff || *btraceFile != "" || *jsonOut:
+			var btw io.Writer
+			var btf *os.File
+			if *btraceFile != "" {
+				btf, err = os.Create(*btraceFile)
+				if err != nil {
+					fatal(err)
+				}
+				btw = btf
+			}
+			st, rep, err := core.RunObserved(c, cfg, level, btw)
+			if btf != nil {
+				if cerr := btf.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil {
+				fatal(err)
+			}
+			if *jsonOut {
+				results = append(results, core.NewRunResult(program, cfg, st, rep))
+			} else {
+				fmt.Println(st)
+				if btf != nil {
+					fmt.Printf("      binary trace written to %s (analyze with tpitrace)\n", *btraceFile)
+				}
+			}
 		case *traceFile != "":
 			f, err := os.Create(*traceFile)
 			if err != nil {
@@ -159,6 +203,13 @@ func main() {
 				fatal(err)
 			}
 			fmt.Println(st)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fatal(err)
 		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/machine"
 	"repro/internal/memsys"
 	"repro/internal/prog"
+	"repro/internal/stats"
 )
 
 // dirState is the memory-side state of one line.
@@ -117,6 +118,7 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	e := &s.dir[tag]
 
 	if line, w, ok := cc.Lookup(addr); ok {
+		s.St.WriteHits++
 		if line.State == cache.Exclusive {
 			line.Vals[w] = val
 			line.Dirty = true
@@ -144,7 +146,10 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		return 0
 	}
 
-	// Write miss: fetch the line with ownership.
+	// Write miss: fetch the line with ownership. Classify from p's tracker
+	// history before the fill below records the new residency (sharer
+	// invalidations only touch other processors' trackers).
+	s.St.WriteMisses[s.ClassifyMiss(s.trackers[p], addr)]++
 	if e.state == dirExclusive && int(e.owner) != p {
 		s.downgradeOwner(int(e.owner), tag)
 		s.invalidateSharers(e, p, tag, addr)
@@ -164,7 +169,9 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
 	if s.Cfg.SeqConsistency {
 		// the ownership fetch must complete before the write retires
-		return s.LineMissLatencyFor(p, addr)
+		lat := s.LineMissLatencyFor(p, addr)
+		s.St.WriteMissLatencySum += lat
+		return lat
 	}
 	return 0
 }
@@ -203,6 +210,9 @@ func (s *System) reservePointer(e *entry, p int, tag int64, addr prog.Word) {
 				s.Netw.Inject(int64(s.Cfg.LineWords))
 			}
 			line.InvalidateLine()
+		}
+		if s.Probe != nil {
+			s.Probe.Invalidation(p, victim, addr, stats.MissReplace)
 		}
 		e.presence &^= 1 << uint(victim)
 		s.St.PointerEvictions++
@@ -294,6 +304,13 @@ func (s *System) invalidateSharers(e *entry, writer int, tag int64, addr prog.Wo
 		reason := cache.LostInvalFalse
 		if line.Used[w] {
 			reason = cache.LostInvalTrue
+		}
+		if s.Probe != nil {
+			class := stats.MissFalseSharing
+			if reason == cache.LostInvalTrue {
+				class = stats.MissTrueSharing
+			}
+			s.Probe.Invalidation(writer, q, addr, class)
 		}
 		for i := 0; i < cc.LineWords(); i++ {
 			if line.TT[i] != cache.TTInvalid {

@@ -1,0 +1,85 @@
+package exper
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+// ResultsSchemaVersion identifies the experiments JSON schema; bump it on
+// any incompatible change so downstream consumers (BENCH_*.json
+// trajectory tooling, the CI smoke check) can reject what they do not
+// understand.
+const ResultsSchemaVersion = 1
+
+// Results is the machine-readable output of an experiments run: the
+// workload point plus every produced table, verbatim.
+type Results struct {
+	SchemaVersion int          `json:"schemaVersion"`
+	Params        bench.Params `json:"params"`
+	Procs         int          `json:"procs"`
+	Experiments   []*Table     `json:"experiments"`
+}
+
+// jsonTable fixes the Table JSON field names independently of the Go
+// struct (Table predates the JSON output and has no tags).
+type jsonTable struct {
+	ID      string     `json:"id"`
+	Title   string     `json:"title"`
+	Columns []string   `json:"columns"`
+	Rows    [][]string `json:"rows"`
+	Notes   string     `json:"notes,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (t *Table) MarshalJSON() ([]byte, error) {
+	return json.Marshal(jsonTable{ID: t.ID, Title: t.Title, Columns: t.Columns, Rows: t.Rows, Notes: t.Notes})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var jt jsonTable
+	if err := json.Unmarshal(b, &jt); err != nil {
+		return err
+	}
+	*t = Table{ID: jt.ID, Title: jt.Title, Columns: jt.Columns, Rows: jt.Rows, Notes: jt.Notes}
+	return nil
+}
+
+// ValidateResults parses data as a Results document and checks its
+// structural invariants: known schema version, at least one experiment,
+// every table carrying an ID, columns, and rectangular rows. It returns
+// the parsed document on success.
+func ValidateResults(data []byte) (*Results, error) {
+	var r Results
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("exper: results JSON: %w", err)
+	}
+	if r.SchemaVersion != ResultsSchemaVersion {
+		return nil, fmt.Errorf("exper: results schema version %d (want %d)", r.SchemaVersion, ResultsSchemaVersion)
+	}
+	if len(r.Experiments) == 0 {
+		return nil, fmt.Errorf("exper: results contain no experiments")
+	}
+	for i, t := range r.Experiments {
+		if t == nil {
+			return nil, fmt.Errorf("exper: experiment %d is null", i)
+		}
+		if t.ID == "" {
+			return nil, fmt.Errorf("exper: experiment %d has no id", i)
+		}
+		if len(t.Columns) == 0 {
+			return nil, fmt.Errorf("exper: %s has no columns", t.ID)
+		}
+		if len(t.Rows) == 0 {
+			return nil, fmt.Errorf("exper: %s has no rows", t.ID)
+		}
+		for j, row := range t.Rows {
+			if len(row) != len(t.Columns) {
+				return nil, fmt.Errorf("exper: %s row %d has %d cells (want %d)", t.ID, j, len(row), len(t.Columns))
+			}
+		}
+	}
+	return &r, nil
+}

@@ -95,6 +95,27 @@ type Versioned interface {
 	EpochMods(names []string)
 }
 
+// Probe receives coherence-protocol events that happen outside the
+// processor's own reference stream (so the simulator's read/write hooks
+// cannot see them). Calls are rare — per invalidation or per reset phase,
+// never per reference — so implementations may do real work. Schemes hold
+// a nil Probe by default and must guard every call.
+type Probe interface {
+	// Invalidation reports that writer's store to addr invalidated the
+	// copy held by processor victim; class is MissTrueSharing if the
+	// victim had referenced that word, MissFalseSharing otherwise, or
+	// MissReplace for capacity-driven sharer eviction (limited pointers).
+	Invalidation(writer, victim int, addr prog.Word, class stats.MissClass)
+	// TimetagReset reports a timetag reset phase at an epoch boundary
+	// that invalidated words cache words across all processors.
+	TimetagReset(epoch int64, words int64)
+}
+
+// Probed is implemented by schemes that can deliver Probe events.
+type Probed interface {
+	SetProbe(Probe)
+}
+
 // Core bundles the state every scheme implementation shares.
 type Core struct {
 	Cfg    machine.Config
@@ -102,7 +123,13 @@ type Core struct {
 	Netw   network.Net
 	St     stats.Stats
 	Epoch  int64
+
+	// Probe, when non-nil, observes coherence events (see Probe).
+	Probe Probe
 }
+
+// SetProbe implements Probed.
+func (c *Core) SetProbe(p Probe) { c.Probe = p }
 
 // NewCore builds the shared state for a scheme. The memory extent is
 // rounded up to a whole number of cache lines so line fills at the end of

@@ -359,20 +359,22 @@ func (pl *procLowerer) stmt(s pfl.Stmt) (stmtFn, error) {
 				return nil, fmt.Errorf("sim: %s: assignment to non-scalar %q", lhs.Pos, lhs.Name)
 			}
 			addr := sc.Addr
+			ref := int32(lhs.RefID)
 			return func(t *task) {
 				v := rhs(t)
 				t.charge(1)
-				t.r.write(t, addr, v)
+				t.r.write(t, addr, v, ref)
 			}, nil
 		case *pfl.IndexRef:
 			af, err := pl.addrFn(lhs)
 			if err != nil {
 				return nil, err
 			}
+			ref := int32(lhs.RefID)
 			return func(t *task) {
 				v := rhs(t)
 				t.charge(1)
-				t.r.write(t, af(t), v)
+				t.r.write(t, af(t), v, ref)
 			}, nil
 		default:
 			return nil, fmt.Errorf("sim: invalid assignment target %T", st.LHS)
@@ -533,12 +535,13 @@ func (pl *procLowerer) expr(e pfl.Expr) (lexpr, error) {
 		if sc := pl.l.p.Scalars[ex.Name]; sc != nil {
 			addr := sc.Addr
 			kind, window := pl.l.premark(ex.RefID)
+			ref := int32(ex.RefID)
 			return lexpr{fn: func(t *task) float64 {
 				k, w := kind, window
 				if t.inCrit {
 					k, w = memsys.ReadBypass, 0
 				}
-				return t.r.read(t, addr, k, w)
+				return t.r.read(t, addr, k, w, ref)
 			}}, nil
 		}
 		return lexpr{}, fmt.Errorf("sim: %s: unbound name %q", ex.Pos, ex.Name)
@@ -549,13 +552,14 @@ func (pl *procLowerer) expr(e pfl.Expr) (lexpr, error) {
 			return lexpr{}, err
 		}
 		kind, window := pl.l.premark(ex.RefID)
+		ref := int32(ex.RefID)
 		return lexpr{fn: func(t *task) float64 {
 			addr := af(t)
 			k, w := kind, window
 			if t.inCrit {
 				k, w = memsys.ReadBypass, 0
 			}
-			return t.r.read(t, addr, k, w)
+			return t.r.read(t, addr, k, w, ref)
 		}}, nil
 
 	case *pfl.UnExpr:

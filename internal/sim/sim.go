@@ -22,6 +22,7 @@
 package sim
 
 import (
+	"bufio"
 	"fmt"
 	"io"
 	"math"
@@ -30,17 +31,20 @@ import (
 	"repro/internal/machine"
 	"repro/internal/marking"
 	"repro/internal/memsys"
+	"repro/internal/obs"
 	"repro/internal/pfl"
 	"repro/internal/prog"
 	"repro/internal/stats"
 )
 
-// readFunc performs one read reference; selected once per run so the
-// tracing test is not paid per reference.
-type readFunc func(t *task, addr prog.Word, kind memsys.ReadKind, window int) float64
+// readFunc performs one read reference; selected once per run so neither
+// the tracing nor the instrumentation test is paid per reference. ref is
+// the static source-reference ID bound into the lowered closure (-1 for
+// references without one).
+type readFunc func(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64
 
 // writeFunc performs one write reference.
-type writeFunc func(t *task, addr prog.Word, v float64)
+type writeFunc func(t *task, addr prog.Word, v float64, ref int32)
 
 // Runner executes one lowered program on one memory system.
 type Runner struct {
@@ -49,6 +53,8 @@ type Runner struct {
 	sys      memsys.System
 	cfg      machine.Config
 	trace    io.Writer
+	rec      *obs.Recorder
+	st       *stats.Stats // sys.Stats(), cached at Run start for the observed path
 
 	read  readFunc
 	write writeFunc
@@ -104,8 +110,25 @@ func (r *Runner) Run() (st *stats.Stats, err error) {
 		}
 	}()
 	if r.trace != nil {
+		// Buffer the text trace: one Fprintf per memory event straight to
+		// an unbuffered file dominates traced runs otherwise.
+		bw := bufio.NewWriterSize(r.trace, 1<<16)
+		r.trace = bw
+		defer func() {
+			if fe := bw.Flush(); fe != nil && err == nil {
+				st, err = nil, fe
+			}
+		}()
+	}
+	r.st = r.sys.Stats()
+	switch {
+	case r.rec != nil && r.trace != nil:
+		r.read, r.write = readObsTraced, writeObsTraced
+	case r.rec != nil:
+		r.read, r.write = readObs, writeObs
+	case r.trace != nil:
 		r.read, r.write = readTraced, writeTraced
-	} else {
+	default:
 		r.read, r.write = readFast, writeFast
 	}
 	for _, sc := range r.lp.prog.Scalars {
@@ -255,12 +278,23 @@ func loopExit(h *epochg.Node) *epochg.Node {
 
 // SetTrace attaches an event trace writer: one line per epoch boundary
 // and per memory reference (the execution-driven tooling view of a run).
-// Pass nil to disable. Tracing is line-oriented text:
+// Pass nil to disable. The writer is buffered internally and flushed when
+// the run completes. Tracing is line-oriented text; R/W lines carry the
+// current epoch so events are attributable without replaying E markers:
 //
 //	E <epoch>
-//	R <proc> <addr> <kind> <stall>
-//	W <proc> <addr> <crit> <stall>
+//	R <epoch> <proc> <addr> <kind> <stall>
+//	W <epoch> <proc> <addr> <crit> <stall>
+//
+// For the structured binary trace and attributed counters, see SetObserver
+// and package obs.
 func (r *Runner) SetTrace(w io.Writer) { r.trace = w }
+
+// SetObserver attaches an instrumentation recorder (see package obs):
+// every memory reference is classified and attributed, and epoch
+// boundaries are announced with the cumulative cycle count. Pass nil to
+// disable; when disabled the fast path is selected and nothing is paid.
+func (r *Runner) SetObserver(rec *obs.Recorder) { r.rec = rec }
 
 // enterEpoch advances the global epoch counter and applies boundary costs.
 func (r *Runner) enterEpoch() {
@@ -270,6 +304,11 @@ func (r *Runner) enterEpoch() {
 	}
 	if r.epoch > r.maxEpochs {
 		fail("sim: epoch limit exceeded (%d): runaway loop?", r.maxEpochs)
+	}
+	if r.rec != nil {
+		// Announce before the boundary work so reset-phase events land in
+		// the epoch the barrier opens.
+		r.rec.EpochStart(r.epoch, r.cycles)
 	}
 	stall := r.sys.EpochBoundary(r.epoch)
 	if stall > 0 {
@@ -367,35 +406,109 @@ func (r *Runner) runDoall(ld *loweredDoall, t *task) {
 }
 
 // readFast performs a read reference through the memory system.
-func readFast(t *task, addr prog.Word, kind memsys.ReadKind, window int) float64 {
+func readFast(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64 {
 	v, stall := t.r.sys.Read(t.proc, addr, kind, window)
 	t.charge(stall)
 	return v
 }
 
 // readTraced is readFast plus the trace line.
-func readTraced(t *task, addr prog.Word, kind memsys.ReadKind, window int) float64 {
+func readTraced(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64 {
 	v, stall := t.r.sys.Read(t.proc, addr, kind, window)
 	t.charge(stall)
-	fmt.Fprintf(t.r.trace, "R %d %d %s %d\n", t.proc, addr, kind, stall)
+	fmt.Fprintf(t.r.trace, "R %d %d %d %s %d\n", t.r.epoch, t.proc, addr, kind, stall)
+	return v
+}
+
+// readClassified performs the read and recovers its hit/miss class by
+// diffing the scheme's own counters around the call: every scheme
+// increments exactly one of ReadHits or one ReadMisses cell per read, so
+// the diff is exact without widening the memsys.System interface.
+// class -1 means hit.
+func readClassified(t *task, addr prog.Word, kind memsys.ReadKind, window int) (v float64, stall int64, class int8) {
+	st := t.r.st
+	hitsBefore := st.ReadHits
+	missBefore := st.ReadMisses
+	v, stall = t.r.sys.Read(t.proc, addr, kind, window)
+	t.charge(stall)
+	class = -1
+	if st.ReadHits == hitsBefore {
+		for c := range st.ReadMisses {
+			if st.ReadMisses[c] != missBefore[c] {
+				class = int8(c)
+				break
+			}
+		}
+	}
+	return v, stall, class
+}
+
+// readObs is readFast plus attributed-counter recording.
+func readObs(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64 {
+	v, stall, class := readClassified(t, addr, kind, window)
+	t.r.rec.Read(t.proc, addr, ref, uint8(kind), class, stall)
+	return v
+}
+
+// readObsTraced is readObs plus the text trace line.
+func readObsTraced(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64 {
+	v, stall, class := readClassified(t, addr, kind, window)
+	t.r.rec.Read(t.proc, addr, ref, uint8(kind), class, stall)
+	fmt.Fprintf(t.r.trace, "R %d %d %d %s %d\n", t.r.epoch, t.proc, addr, kind, stall)
 	return v
 }
 
 // writeFast performs a write reference through the memory system.
-func writeFast(t *task, addr prog.Word, v float64) {
+func writeFast(t *task, addr prog.Word, v float64, ref int32) {
 	stall := t.r.sys.Write(t.proc, addr, v, t.inCrit)
 	t.charge(1 + stall)
 }
 
 // writeTraced is writeFast plus the trace line.
-func writeTraced(t *task, addr prog.Word, v float64) {
+func writeTraced(t *task, addr prog.Word, v float64, ref int32) {
 	stall := t.r.sys.Write(t.proc, addr, v, t.inCrit)
 	t.charge(1 + stall)
 	crit := 0
 	if t.inCrit {
 		crit = 1
 	}
-	fmt.Fprintf(t.r.trace, "W %d %d %d %d\n", t.proc, addr, crit, stall)
+	fmt.Fprintf(t.r.trace, "W %d %d %d %d %d\n", t.r.epoch, t.proc, addr, crit, stall)
+}
+
+// writeClassified mirrors readClassified for the write-side counters.
+func writeClassified(t *task, addr prog.Word, v float64) (stall int64, class int8) {
+	st := t.r.st
+	hitsBefore := st.WriteHits
+	missBefore := st.WriteMisses
+	stall = t.r.sys.Write(t.proc, addr, v, t.inCrit)
+	t.charge(1 + stall)
+	class = -1
+	if st.WriteHits == hitsBefore {
+		for c := range st.WriteMisses {
+			if st.WriteMisses[c] != missBefore[c] {
+				class = int8(c)
+				break
+			}
+		}
+	}
+	return stall, class
+}
+
+// writeObs is writeFast plus attributed-counter recording.
+func writeObs(t *task, addr prog.Word, v float64, ref int32) {
+	stall, class := writeClassified(t, addr, v)
+	t.r.rec.Write(t.proc, addr, ref, t.inCrit, class, stall)
+}
+
+// writeObsTraced is writeObs plus the text trace line.
+func writeObsTraced(t *task, addr prog.Word, v float64, ref int32) {
+	stall, class := writeClassified(t, addr, v)
+	t.r.rec.Write(t.proc, addr, ref, t.inCrit, class, stall)
+	crit := 0
+	if t.inCrit {
+		crit = 1
+	}
+	fmt.Fprintf(t.r.trace, "W %d %d %d %d %d\n", t.r.epoch, t.proc, addr, crit, stall)
 }
 
 func boolVal(b bool) float64 {

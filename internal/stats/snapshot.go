@@ -1,0 +1,118 @@
+package stats
+
+// ClassCounts is the named (JSON-friendly) form of a per-miss-class
+// counter array, in MissClasses order.
+type ClassCounts struct {
+	Cold         int64 `json:"cold"`
+	Replace      int64 `json:"replace"`
+	TrueSharing  int64 `json:"trueSharing"`
+	FalseSharing int64 `json:"falseSharing"`
+	Conservative int64 `json:"conservative"`
+	Bypass       int64 `json:"bypass"`
+}
+
+// CountsOf converts a per-class counter array to its named form.
+func CountsOf(a [NumMissClasses]int64) ClassCounts {
+	return ClassCounts{
+		Cold:         a[MissCold],
+		Replace:      a[MissReplace],
+		TrueSharing:  a[MissTrueSharing],
+		FalseSharing: a[MissFalseSharing],
+		Conservative: a[MissConservative],
+		Bypass:       a[MissBypass],
+	}
+}
+
+// Array converts the named form back to a per-class counter array.
+func (c ClassCounts) Array() [NumMissClasses]int64 {
+	var a [NumMissClasses]int64
+	a[MissCold] = c.Cold
+	a[MissReplace] = c.Replace
+	a[MissTrueSharing] = c.TrueSharing
+	a[MissFalseSharing] = c.FalseSharing
+	a[MissConservative] = c.Conservative
+	a[MissBypass] = c.Bypass
+	return a
+}
+
+// Total sums all classes.
+func (c ClassCounts) Total() int64 {
+	return c.Cold + c.Replace + c.TrueSharing + c.FalseSharing + c.Conservative + c.Bypass
+}
+
+// Snapshot is the machine-readable form of Stats used by `tpisim -json`
+// and the experiments JSON output. Counter fields mirror Stats; derived
+// rates are precomputed so consumers need no formulas.
+type Snapshot struct {
+	Scheme string `json:"scheme"`
+
+	Reads       int64       `json:"reads"`
+	Writes      int64       `json:"writes"`
+	ReadHits    int64       `json:"readHits"`
+	WriteHits   int64       `json:"writeHits"`
+	ReadMisses  ClassCounts `json:"readMisses"`
+	WriteMisses ClassCounts `json:"writeMisses"`
+
+	MissRate       float64 `json:"missRate"`
+	WriteMissRate  float64 `json:"writeMissRate"`
+	AvgMissLatency float64 `json:"avgMissLatency"`
+
+	ReadTrafficWords      int64 `json:"readTrafficWords"`
+	WriteTrafficWords     int64 `json:"writeTrafficWords"`
+	CoherenceTrafficWords int64 `json:"coherenceTrafficWords"`
+	CoherenceMsgs         int64 `json:"coherenceMsgs"`
+	Invalidations         int64 `json:"invalidations"`
+
+	MissLatencySum      int64 `json:"missLatencySum"`
+	WriteMissLatencySum int64 `json:"writeMissLatencySum"`
+
+	TimetagResets      int64 `json:"timetagResets"`
+	ResetInvalidations int64 `json:"resetInvalidations"`
+	WritesCoalesced    int64 `json:"writesCoalesced"`
+	PointerEvictions   int64 `json:"pointerEvictions"`
+	FlushedWords       int64 `json:"flushedWords"`
+	FlushStallCycles   int64 `json:"flushStallCycles"`
+	PrefetchedLines    int64 `json:"prefetchedLines"`
+
+	Cycles        int64 `json:"cycles"`
+	BarrierCycles int64 `json:"barrierCycles"`
+	Epochs        int64 `json:"epochs"`
+
+	ProcBusy  []int64 `json:"procBusy,omitempty"`
+	Imbalance float64 `json:"imbalance"`
+}
+
+// Snapshot converts the run's counters to the exported JSON schema.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		Scheme:                s.Scheme,
+		Reads:                 s.Reads,
+		Writes:                s.Writes,
+		ReadHits:              s.ReadHits,
+		WriteHits:             s.WriteHits,
+		ReadMisses:            CountsOf(s.ReadMisses),
+		WriteMisses:           CountsOf(s.WriteMisses),
+		MissRate:              s.MissRate(),
+		WriteMissRate:         s.WriteMissRate(),
+		AvgMissLatency:        s.AvgMissLatency(),
+		ReadTrafficWords:      s.ReadTrafficWords,
+		WriteTrafficWords:     s.WriteTrafficWords,
+		CoherenceTrafficWords: s.CoherenceTrafficWords,
+		CoherenceMsgs:         s.CoherenceMsgs,
+		Invalidations:         s.Invalidations,
+		MissLatencySum:        s.MissLatencySum,
+		WriteMissLatencySum:   s.WriteMissLatencySum,
+		TimetagResets:         s.TimetagResets,
+		ResetInvalidations:    s.ResetInvalidations,
+		WritesCoalesced:       s.WritesCoalesced,
+		PointerEvictions:      s.PointerEvictions,
+		FlushedWords:          s.FlushedWords,
+		FlushStallCycles:      s.FlushStallCycles,
+		PrefetchedLines:       s.PrefetchedLines,
+		Cycles:                s.Cycles,
+		BarrierCycles:         s.BarrierCycles,
+		Epochs:                s.Epochs,
+		ProcBusy:              s.ProcBusy,
+		Imbalance:             s.Imbalance(),
+	}
+}

@@ -34,6 +34,10 @@ const (
 	numMissClasses
 )
 
+// NumMissClasses is the number of miss classes, for sizing per-class
+// counter arrays outside this package.
+const NumMissClasses = int(numMissClasses)
+
 func (m MissClass) String() string {
 	switch m {
 	case MissCold:
@@ -67,6 +71,12 @@ type Stats struct {
 	ReadHits   int64
 	ReadMisses [numMissClasses]int64
 
+	// Write-reference decomposition, mirroring the read side: a write hit
+	// finds the word valid in the cache; a write miss is classified by the
+	// same tracker history (uncached/critical stores count as MissBypass).
+	WriteHits   int64
+	WriteMisses [numMissClasses]int64
+
 	// Traffic in words moved through the network.
 	ReadTrafficWords      int64
 	WriteTrafficWords     int64
@@ -76,6 +86,10 @@ type Stats struct {
 
 	// Latency: sum of read miss latencies in cycles (for avg miss latency).
 	MissLatencySum int64
+
+	// WriteMissLatencySum sums write stalls charged at write misses (zero
+	// under weak consistency, where stores are buffered).
+	WriteMissLatencySum int64
 
 	// TPI-specific.
 	TimetagResets      int64 // two-phase reset events
@@ -140,6 +154,32 @@ func (s *Stats) MissRate() float64 {
 	return float64(s.TotalReadMisses()) / float64(s.Reads)
 }
 
+// TotalWriteMisses sums all write-miss classes.
+func (s *Stats) TotalWriteMisses() int64 {
+	var t int64
+	for _, v := range s.WriteMisses {
+		t += v
+	}
+	return t
+}
+
+// WriteMissRate is write misses over all writes.
+func (s *Stats) WriteMissRate() float64 {
+	if s.Writes == 0 {
+		return 0
+	}
+	return float64(s.TotalWriteMisses()) / float64(s.Writes)
+}
+
+// AvgWriteMissLatency is the mean write-miss stall in cycles.
+func (s *Stats) AvgWriteMissLatency() float64 {
+	n := s.TotalWriteMisses()
+	if n == 0 {
+		return 0
+	}
+	return float64(s.WriteMissLatencySum) / float64(n)
+}
+
 // AvgMissLatency is the mean read-miss latency in cycles.
 func (s *Stats) AvgMissLatency() float64 {
 	n := s.TotalReadMisses()
@@ -169,6 +209,14 @@ func (s *Stats) String() string {
 	for _, c := range MissClasses {
 		if s.ReadMisses[c] > 0 {
 			fmt.Fprintf(&b, " %s=%d", c, s.ReadMisses[c])
+		}
+	}
+	if s.TotalWriteMisses() > 0 {
+		fmt.Fprintf(&b, "\n      wmisses:")
+		for _, c := range MissClasses {
+			if s.WriteMisses[c] > 0 {
+				fmt.Fprintf(&b, " %s=%d", c, s.WriteMisses[c])
+			}
 		}
 	}
 	fmt.Fprintf(&b, "\n      traffic: read=%d write=%d coherence=%d words (coalesced %d writes)",

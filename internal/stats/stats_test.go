@@ -60,6 +60,83 @@ func TestStringIncludesClasses(t *testing.T) {
 	}
 }
 
+func TestWriteMissDecomposition(t *testing.T) {
+	var s Stats
+	s.Writes = 50
+	s.WriteHits = 40
+	s.WriteMisses[MissCold] = 6
+	s.WriteMisses[MissTrueSharing] = 3
+	s.WriteMisses[MissBypass] = 1
+	if s.TotalWriteMisses() != 10 {
+		t.Fatalf("total write misses = %d", s.TotalWriteMisses())
+	}
+	if s.WriteMissRate() != 0.20 {
+		t.Fatalf("write miss rate = %f", s.WriteMissRate())
+	}
+	s.WriteMissLatencySum = 500
+	if s.AvgWriteMissLatency() != 50 {
+		t.Fatalf("avg write miss latency = %f", s.AvgWriteMissLatency())
+	}
+	out := s.String()
+	for _, want := range []string{"wmisses:", "cold=6", "bypass=1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() missing %q:\n%s", want, out)
+		}
+	}
+	// Zero-division safety and silence when there are no write misses.
+	var z Stats
+	if z.WriteMissRate() != 0 || z.AvgWriteMissLatency() != 0 {
+		t.Fatal("empty stats must not divide by zero")
+	}
+	if strings.Contains(z.String(), "wmisses:") {
+		t.Error("String() should omit the wmisses line when there are none")
+	}
+}
+
+func TestClassCountsRoundTrip(t *testing.T) {
+	var a [NumMissClasses]int64
+	a[MissCold] = 1
+	a[MissReplace] = 2
+	a[MissTrueSharing] = 3
+	a[MissFalseSharing] = 4
+	a[MissConservative] = 5
+	a[MissBypass] = 6
+	c := CountsOf(a)
+	if c.Array() != a {
+		t.Fatalf("Array() round-trip: %+v -> %+v", a, c.Array())
+	}
+	if c.Total() != 21 {
+		t.Fatalf("Total() = %d", c.Total())
+	}
+}
+
+func TestSnapshotMirrorsStats(t *testing.T) {
+	var s Stats
+	s.Scheme = "TPI"
+	s.Reads = 100
+	s.ReadHits = 90
+	s.ReadMisses[MissConservative] = 10
+	s.Writes = 40
+	s.WriteHits = 30
+	s.WriteMisses[MissCold] = 10
+	s.MissLatencySum = 700
+	s.Cycles = 12345
+	s.ProcBusy = []int64{10, 20}
+	snap := s.Snapshot()
+	if snap.Scheme != "TPI" || snap.Reads != 100 || snap.Writes != 40 {
+		t.Fatalf("snapshot basics: %+v", snap)
+	}
+	if snap.ReadMisses.Array() != s.ReadMisses || snap.WriteMisses.Array() != s.WriteMisses {
+		t.Fatal("snapshot miss decomposition differs from stats")
+	}
+	if snap.MissRate != s.MissRate() || snap.WriteMissRate != s.WriteMissRate() {
+		t.Fatal("snapshot rates differ from stats")
+	}
+	if snap.Cycles != 12345 || len(snap.ProcBusy) != 2 {
+		t.Fatalf("snapshot timing: %+v", snap)
+	}
+}
+
 func TestMissClassStrings(t *testing.T) {
 	want := map[MissClass]string{
 		MissCold:         "cold",

@@ -46,11 +46,14 @@ func (s *Base) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (fl
 // write buffer hides the latency.
 func (s *Base) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	s.St.Writes++
+	s.St.WriteMisses[stats.MissBypass]++
 	s.Memory.Write(addr, val, p, s.Epoch)
 	s.St.WriteTrafficWords++
 	s.Netw.Inject(1)
 	if s.Cfg.SeqConsistency {
-		return s.WordMissLatencyFor(p, addr)
+		lat := s.WordMissLatencyFor(p, addr)
+		s.St.WriteMissLatencySum += lat
+		return lat
 	}
 	return 0
 }
@@ -127,6 +130,7 @@ func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	s.Memory.Write(addr, val, p, s.Epoch)
 	cc, tr := s.caches[p], s.trackers[p]
 	if crit {
+		s.St.WriteMisses[stats.MissBypass]++
 		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 			tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
 			line.InvalidateWord(w)
@@ -135,7 +139,15 @@ func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		s.Netw.Inject(1)
 		return 0
 	}
-	if line, w, ok := cc.Lookup(addr); ok {
+	line, w, ok := cc.Lookup(addr)
+	hit := ok && line.ValidWord(w)
+	if hit {
+		s.St.WriteHits++
+	} else {
+		// Classify before the tracker below records the new residency.
+		s.St.WriteMisses[s.ClassifyMiss(tr, addr)]++
+	}
+	if ok {
 		line.Vals[w] = val
 		line.TT[w] = s.Epoch
 		line.Used[w] = true
@@ -168,7 +180,11 @@ func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		s.St.WritesCoalesced++
 	}
 	if s.Cfg.SeqConsistency {
-		return s.WordMissLatencyFor(p, addr)
+		lat := s.WordMissLatencyFor(p, addr)
+		if !hit {
+			s.St.WriteMissLatencySum += lat
+		}
+		return lat
 	}
 	return 0
 }

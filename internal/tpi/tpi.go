@@ -212,7 +212,15 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		// written value is usable via the ordinary validity rules only.
 		wtt = s.Epoch - 1
 	}
-	if line, w, ok := cc.Lookup(addr); ok {
+	line, w, ok := cc.Lookup(addr)
+	hit := ok && line.ValidWord(w)
+	if hit {
+		s.St.WriteHits++
+	} else {
+		// Classify before the tracker below records the new residency.
+		s.St.WriteMisses[s.ClassifyMiss(tr, addr)]++
+	}
+	if ok {
 		line.Vals[w] = val
 		if line.TT[w] < wtt || line.TT[w] == cache.TTInvalid {
 			line.TT[w] = wtt
@@ -254,13 +262,18 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	if s.Cfg.SeqConsistency {
 		// write-through must be globally performed before the processor
 		// proceeds: the whole remote store latency is exposed.
-		return s.WordMissLatencyFor(p, addr)
+		lat := s.WordMissLatencyFor(p, addr)
+		if !hit {
+			s.St.WriteMissLatencySum += lat
+		}
+		return lat
 	}
 	return 0
 }
 
 func (s *System) writeCritical(p int, addr prog.Word, val float64) int64 {
 	s.St.Writes++
+	s.St.WriteMisses[stats.MissBypass]++
 	s.Memory.Write(addr, val, p, s.Epoch)
 	cc, tr := s.caches[p], s.trackers[p]
 	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
@@ -304,19 +317,27 @@ func (s *System) EpochBoundary(epoch int64) int64 {
 	case s.Cfg.FlashReset:
 		if epoch > 0 && epoch%(2*s.phase) == 0 {
 			s.St.TimetagResets++
+			before := s.St.ResetInvalidations
 			for p := 0; p < s.Cfg.Procs; p++ {
 				s.flashInvalidate(p)
 			}
 			stall += s.Cfg.ResetCycles
+			if s.Probe != nil {
+				s.Probe.TimetagReset(epoch, s.St.ResetInvalidations-before)
+			}
 		}
 	default:
 		if epoch > 0 && epoch%s.phase == 0 {
 			s.St.TimetagResets++
+			before := s.St.ResetInvalidations
 			cut := epoch - s.phase
 			for p := 0; p < s.Cfg.Procs; p++ {
 				s.resetOutOfPhase(p, cut)
 			}
 			stall += s.Cfg.ResetCycles
+			if s.Probe != nil {
+				s.Probe.TimetagReset(epoch, s.St.ResetInvalidations-before)
+			}
 		}
 	}
 	return stall

@@ -196,6 +196,7 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	s.Memory.Write(addr, val, p, s.Epoch)
 	cc, tr := s.caches[p], s.trackers[p]
 	if crit {
+		s.St.WriteMisses[stats.MissBypass]++
 		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 			tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
 			line.InvalidateWord(w)
@@ -205,7 +206,15 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		return 0
 	}
 	bvn := s.cvnAt(addr) + 1
-	if line, w, ok := cc.Lookup(addr); ok {
+	line, w, ok := cc.Lookup(addr)
+	hit := ok && line.ValidWord(w)
+	if hit {
+		s.St.WriteHits++
+	} else {
+		// Classify before the tracker below records the new residency.
+		s.St.WriteMisses[s.ClassifyMiss(tr, addr)]++
+	}
+	if ok {
 		line.Vals[w] = val
 		line.TT[w] = bvn
 		line.Used[w] = true
@@ -238,7 +247,11 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		s.St.WritesCoalesced++
 	}
 	if s.Cfg.SeqConsistency {
-		return s.WordMissLatencyFor(p, addr)
+		lat := s.WordMissLatencyFor(p, addr)
+		if !hit {
+			s.St.WriteMissLatencySum += lat
+		}
+		return lat
 	}
 	return 0
 }
