@@ -8,6 +8,7 @@ package repro
 // paper workload size.
 
 import (
+	"fmt"
 	"io"
 	"strconv"
 	"strings"
@@ -291,6 +292,44 @@ func BenchmarkSimHotLoop(b *testing.B) {
 			}
 			b.ReportMetric(float64(refs), "refs/run")
 		})
+	}
+}
+
+// BenchmarkHostParallel measures the host-parallel epoch execution mode
+// on 16- and 64-processor TPI ocean runs at host worker counts 1/2/4/8.
+// hostpar=1 is the sequential path (the mode only engages above one
+// worker); every variant produces bit-identical stats, so ns/op is the
+// only thing that may change. Wall-clock speedup requires host cores:
+// on a single-core host (GOMAXPROCS=1) the sharded variants measure
+// pure overhead, not speedup.
+func BenchmarkHostParallel(b *testing.B) {
+	k, err := bench.Get("ocean", bench.Params{N: 32, Steps: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, procs := range []int{16, 64} {
+		for _, hp := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("procs=%d/hostpar=%d", procs, hp), func(b *testing.B) {
+				cfg := machine.Default(machine.SchemeTPI)
+				cfg.Procs = procs
+				cfg.HostParallel = hp
+				var refs int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := core.Run(c, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					refs = st.Reads + st.Writes
+				}
+				b.ReportMetric(float64(refs), "refs/run")
+			})
+		}
 	}
 }
 

@@ -33,6 +33,7 @@ func main() {
 	flag.Var(&selected, "exp", "experiment id to run (repeatable), e.g. E3; default all")
 	quick := flag.Bool("quick", false, "small workload for a fast smoke run")
 	procs := flag.Int("procs", 16, "number of processors")
+	hostpar := flag.Int("hostpar", 0, "host goroutines per DOALL epoch inside each run (0/1 = sequential; results are bit-identical)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	jsonOut := flag.Bool("json", false, "emit the results as schema-versioned JSON (see exper.Results)")
 	validate := flag.String("validate", "", "validate a results JSON file against the schema and exit")
@@ -91,6 +92,7 @@ func main() {
 		p = bench.DefaultParams()
 	}
 	s := exper.NewSuite(p, *procs)
+	s.HostPar = *hostpar
 
 	type entry struct {
 		id  string

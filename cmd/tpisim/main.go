@@ -37,6 +37,7 @@ func main() {
 	migrate := flag.Bool("migrate", false, "rotate serial tasks across processors")
 	seqc := flag.Bool("seqconsistency", false, "sequential instead of weak consistency")
 	dyn := flag.Bool("dynamic", false, "self-schedule DOALL iterations")
+	hostpar := flag.Int("hostpar", 0, "host goroutines per DOALL epoch (0/1 = sequential; results are bit-identical)")
 	dirPtrs := flag.Int("dirpointers", 0, "limited-pointer directory DIR_NB(i); 0 = full map")
 	writeBack := flag.Bool("writeback", false, "TPI write-back-at-boundary instead of write-through")
 	l1KB := flag.Int64("l1", 0, "on-chip L1 size in KB for the two-level TPI implementation (0 = integrated)")
@@ -134,6 +135,7 @@ func main() {
 		cfg.MigrateSerial = *migrate
 		cfg.SeqConsistency = *seqc
 		cfg.DynamicSched = *dyn
+		cfg.HostParallel = *hostpar
 		cfg.DirPointers = *dirPtrs
 		cfg.TPIWriteBack = *writeBack
 		cfg.L1Words = *l1KB * 1024 / 4

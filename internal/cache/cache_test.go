@@ -163,6 +163,56 @@ func TestWriteBufferCoalescing(t *testing.T) {
 	}
 }
 
+// TestWriteBufferGrowth drives the pending set far past its initial
+// capacity and cross-checks every traffic decision against a model map:
+// a write is traffic exactly when its word is not already pending this
+// epoch, through any number of grow/rehash steps.
+func TestWriteBufferGrowth(t *testing.T) {
+	wb := NewWriteBuffer(true)
+	model := map[prog.Word]bool{}
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 5000; i++ {
+		addr := prog.Word(r.Intn(2048))
+		if traffic := wb.Write(addr); traffic == model[addr] {
+			t.Fatalf("write %d of word %d: traffic = %v with pending = %v", i, addr, traffic, model[addr])
+		}
+		model[addr] = true
+		if wb.Pending() != len(model) {
+			t.Fatalf("Pending = %d, model holds %d", wb.Pending(), len(model))
+		}
+	}
+	wb.Flush()
+	if wb.Pending() != 0 {
+		t.Fatalf("Pending = %d after Flush", wb.Pending())
+	}
+	for addr := range model {
+		if !wb.Write(addr) {
+			t.Fatalf("word %d still coalesces after Flush", addr)
+		}
+	}
+}
+
+// TestWriteBufferGenerationWraparound: when the epoch generation counter
+// wraps, the stamp array must be reset so pre-wrap entries cannot alias
+// the restarted counter and falsely coalesce.
+func TestWriteBufferGenerationWraparound(t *testing.T) {
+	wb := NewWriteBuffer(true)
+	wb.gen = ^uint32(0)
+	if !wb.Write(7) {
+		t.Fatal("first write at max generation is traffic")
+	}
+	if wb.Write(7) {
+		t.Fatal("repeat write at max generation must coalesce")
+	}
+	wb.Flush() // wraps: stamps cleared, generation restarts at 1
+	if wb.gen != 1 {
+		t.Fatalf("generation = %d after wraparound, want 1", wb.gen)
+	}
+	if !wb.Write(7) {
+		t.Fatal("pre-wrap entry must not survive the wraparound flush")
+	}
+}
+
 // Property: after filling an address, Lookup finds it with the value; after
 // eviction of its line, it misses — random fill sequence consistency vs a
 // model map.

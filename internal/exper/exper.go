@@ -67,6 +67,7 @@ func (t *Table) String() string {
 type Suite struct {
 	Params  bench.Params
 	Procs   int
+	HostPar int // host goroutines per DOALL epoch; 0/1 = sequential
 	mu      sync.Mutex
 	kernels map[string]*core.Compiled // cache, keyed by name+options
 }
@@ -140,6 +141,7 @@ func forEach[T any](items []T, fn func(T) ([][]string, error)) ([][]string, erro
 func (s *Suite) cfg(scheme machine.Scheme) machine.Config {
 	c := machine.Default(scheme)
 	c.Procs = s.Procs
+	c.HostParallel = s.HostPar
 	return c
 }
 

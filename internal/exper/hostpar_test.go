@@ -1,0 +1,174 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// hostParSchemes are the coherence schemes that shard across host
+// goroutines; HW is included to cover the transparent fallback.
+var hostParSchemes = []machine.Scheme{
+	machine.SchemeBase, machine.SchemeSC, machine.SchemeTPI, machine.SchemeHW,
+}
+
+// TestHostParallelEquivalence is the tentpole's oracle: for every kernel
+// x scheme x simulated-processor count x scheduling, a host-parallel run
+// must produce a byte-identical stats.Snapshot JSON and an identical
+// final memory image to the sequential run.
+func TestHostParallelEquivalence(t *testing.T) {
+	type point struct {
+		kernel string
+		scheme machine.Scheme
+		procs  int
+		cyclic bool
+	}
+	var points []point
+	for _, name := range bench.Names {
+		for _, sch := range hostParSchemes {
+			for _, procs := range []int{16, 64} {
+				for _, cyclic := range []bool{false, true} {
+					points = append(points, point{name, sch, procs, cyclic})
+				}
+			}
+		}
+	}
+	s := smallSuite()
+	_, err := forEach(points, func(pt point) ([][]string, error) {
+		label := fmt.Sprintf("%s/%s/p%d/cyclic=%v", pt.kernel, pt.scheme, pt.procs, pt.cyclic)
+		cfg := s.cfg(pt.scheme)
+		cfg.Procs = pt.procs
+		cfg.CyclicSched = pt.cyclic
+		c, err := s.compile(pt.kernel, core.CompileOptions{
+			Interproc:      cfg.Interproc,
+			FirstReadReuse: cfg.FirstReadReuse,
+			AlignWords:     int64(cfg.LineWords),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		seqSt, seqMem, err := core.RunWithMemory(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: sequential: %w", label, err)
+		}
+		cfg.HostParallel = 4
+		parSt, parMem, err := core.RunWithMemory(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: hostpar: %w", label, err)
+		}
+		seqJSON, err := json.Marshal(seqSt.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		parJSON, err := json.Marshal(parSt.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(seqJSON, parJSON) {
+			return nil, fmt.Errorf("%s: snapshots diverge:\nseq %s\npar %s", label, seqJSON, parJSON)
+		}
+		if !reflect.DeepEqual(seqMem, parMem) {
+			return nil, fmt.Errorf("%s: final memory images diverge", label)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHostParallelObservedEquivalence: with the instrumentation layer
+// on, the attributed report must be identical between sequential and
+// host-parallel runs, and a binary trace written at -hostpar 4 must
+// replay to the identical live report (the shard merge preserves the
+// trace contract).
+func TestHostParallelObservedEquivalence(t *testing.T) {
+	s := smallSuite()
+	for _, kernel := range []string{"ocean", "trfd"} {
+		for _, cyclic := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/cyclic=%v", kernel, cyclic), func(t *testing.T) {
+				cfg := s.cfg(machine.SchemeTPI)
+				cfg.Procs = 16
+				cfg.CyclicSched = cyclic
+				c, err := s.compile(kernel, core.CompileOptions{
+					Interproc:      cfg.Interproc,
+					FirstReadReuse: cfg.FirstReadReuse,
+					AlignWords:     int64(cfg.LineWords),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				seqSt, seqRep, err := core.RunObserved(c, cfg, obs.LevelCounters, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.HostParallel = 4
+				var buf bytes.Buffer
+				parSt, parRep, err := core.RunObserved(c, cfg, obs.LevelTrace, &buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(seqSt.Snapshot(), parSt.Snapshot()) {
+					t.Errorf("stats diverge:\nseq %+v\npar %+v", seqSt.Snapshot(), parSt.Snapshot())
+				}
+				if !reflect.DeepEqual(seqRep, parRep) {
+					t.Errorf("attributed reports diverge")
+				}
+				replayed, err := obs.Replay(bytes.NewReader(buf.Bytes()))
+				if err != nil {
+					t.Fatalf("Replay: %v", err)
+				}
+				if !reflect.DeepEqual(replayed, parRep) {
+					t.Errorf("replayed report differs from live host-parallel report")
+				}
+			})
+		}
+	}
+}
+
+// TestHostParallelTraceDeterminism pins the text-trace merge contract:
+// under static scheduling the host-parallel byte stream equals the
+// sequential one (static iteration order is already processor-major);
+// under cyclic scheduling the stream is reordered processor-major but
+// must be identical from run to run at any worker count.
+func TestHostParallelTraceDeterminism(t *testing.T) {
+	s := smallSuite()
+	cfg := s.cfg(machine.SchemeTPI)
+	cfg.Procs = 16
+	c, err := s.compile("ocean", core.CompileOptions{
+		Interproc:      cfg.Interproc,
+		FirstReadReuse: cfg.FirstReadReuse,
+		AlignWords:     int64(cfg.LineWords),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := func(cfg machine.Config) []byte {
+		t.Helper()
+		var buf bytes.Buffer
+		if _, err := core.RunTraced(c, cfg, &buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	seq := trace(cfg)
+	cfg.HostParallel = 4
+	if par := trace(cfg); !bytes.Equal(seq, par) {
+		t.Errorf("static scheduling: host-parallel trace differs from sequential (%d vs %d bytes)", len(seq), len(par))
+	}
+
+	cfg.CyclicSched = true
+	first := trace(cfg)
+	cfg.HostParallel = 8
+	if again := trace(cfg); !bytes.Equal(first, again) {
+		t.Errorf("cyclic scheduling: trace not deterministic across worker counts (%d vs %d bytes)", len(first), len(again))
+	}
+}

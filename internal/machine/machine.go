@@ -166,6 +166,14 @@ type Config struct {
 	// BarrierCycles is the cost of the epoch-boundary barrier.
 	BarrierCycles int64
 
+	// HostParallel shards the simulated processors of each DOALL epoch
+	// across up to this many host goroutines with a deterministic barrier
+	// merge (results are bit-identical to sequential execution). 0 or 1
+	// keeps the sequential runner. Only schemes whose reference paths are
+	// processor-local shard (BASE, SC, TPI); other schemes and
+	// DynamicSched fall back to sequential execution transparently.
+	HostParallel int
+
 	// Interproc and FirstReadReuse gate the compiler analyses (ablations).
 	Interproc      bool
 	FirstReadReuse bool
@@ -212,6 +220,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: SwitchArity must be >= 2, got %d", c.SwitchArity)
 	case c.Topology != "" && c.Topology != "multistage" && c.Topology != "torus":
 		return fmt.Errorf("machine: unknown topology %q", c.Topology)
+	case c.HostParallel < 0:
+		return fmt.Errorf("machine: HostParallel must be >= 0, got %d", c.HostParallel)
 	}
 	lines := c.CacheWords / int64(c.LineWords)
 	if lines%int64(c.Assoc) != 0 {

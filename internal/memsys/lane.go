@@ -1,0 +1,222 @@
+package memsys
+
+// Host-parallel epoch execution support.
+//
+// A DOALL epoch has no cross-iteration dependences, writes drain at the
+// epoch boundary, and the coherence decisions of the shardable schemes
+// (BASE, SC, TPI) are purely processor-local: timetags and bypass bits
+// involve no mid-epoch cross-processor messages. That property makes the
+// *simulation* of one epoch parallelizable across host goroutines without
+// changing a single simulated cycle — work inside an epoch may be
+// reordered freely as long as it re-serializes at the barrier.
+//
+// A Lane is one simulated processor's view of the state that is otherwise
+// shared between processors: the stats counters, the network-injection
+// accounting, and the authoritative memory. In sequential execution every
+// processor uses the single pass-through lane, which writes straight
+// through to the shared state — the pre-lane behavior, bit for bit. Inside
+// a host-parallel epoch each processor gets a private buffered lane:
+//
+//   - counters accumulate into a private stats.Stats shard, summed into
+//     the shared Stats at the barrier (integer sums are order-free, so
+//     the totals are bit-identical to sequential execution);
+//   - network injections accumulate into a private word counter, injected
+//     into the shared model once at the barrier — the Kruskal–Snir EWMA
+//     only advances at AdvanceTo, so mid-epoch delay lookups are
+//     read-only and identical in both modes;
+//   - stores append to a private write log and are applied to memory at
+//     the barrier in (processor, sequence) order. DOALL independence
+//     guarantees per-epoch write-sets are pairwise disjoint across
+//     processors (asserted by TestDoallWriteSetsDisjoint), so the final
+//     memory image is the sequential one. Reads forward from the lane's
+//     own log first (store-buffer forwarding), so a processor always sees
+//     its own same-epoch writes even after a conflict eviction.
+//
+// Schemes opt in by implementing HostShardable and routing every
+// reference-path access to shared state through LaneFor(p). Schemes with
+// genuine mid-epoch cross-processor state (the HW directory, the
+// version-control scheme, the two-level TPI's shared L1 counters) simply
+// do not opt in and the simulator falls back to sequential execution.
+
+import (
+	"fmt"
+
+	"repro/internal/memory"
+	"repro/internal/network"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// laneWrite is one buffered store of a host-parallel epoch.
+type laneWrite struct {
+	addr prog.Word
+	val  float64
+}
+
+// Lane is a per-processor view of the cross-processor run state. The
+// reference paths of shardable schemes go through a lane for every
+// counter update, network injection, and memory access.
+type Lane struct {
+	// St receives the scheme's reference counters: the shared run Stats
+	// in pass-through mode, a private shard inside a parallel epoch.
+	St *stats.Stats
+
+	mem      *memory.Memory
+	net      network.Net // pass-through target; nil when buffered
+	buffered bool
+	proc     int
+	epoch    int64
+	inj      int64
+	writes   []laneWrite
+	overlay  map[prog.Word]int32 // addr -> index of latest entry in writes
+	stShard  stats.Stats         // backing store for St in buffered mode
+}
+
+// Inject records words entering the network: straight to the model in
+// pass-through mode, batched until the barrier in buffered mode.
+func (l *Lane) Inject(words int64) {
+	if l.buffered {
+		l.inj += words
+		return
+	}
+	l.net.Inject(words)
+}
+
+// Value returns the current value of a word as this processor must see
+// it: its own buffered same-epoch store if one exists, else memory.
+func (l *Lane) Value(addr prog.Word) float64 {
+	if l.buffered {
+		if i, ok := l.overlay[addr]; ok {
+			return l.writes[i].val
+		}
+	}
+	return l.mem.Read(addr)
+}
+
+// LastWriteEpoch mirrors memory.LastWriteEpoch through the write buffer.
+func (l *Lane) LastWriteEpoch(addr prog.Word) int64 {
+	if l.buffered {
+		if _, ok := l.overlay[addr]; ok {
+			return l.epoch
+		}
+	}
+	return l.mem.LastWriteEpoch(addr)
+}
+
+// Write performs a store: straight through in pass-through mode, logged
+// for the barrier in buffered mode (with forwarding for later reads).
+func (l *Lane) Write(addr prog.Word, val float64, proc int, epoch int64) {
+	if !l.buffered {
+		l.mem.Write(addr, val, proc, epoch)
+		return
+	}
+	l.epoch = epoch
+	if i, ok := l.overlay[addr]; ok {
+		// Same-word rewrite: keep one log entry per word (the barrier
+		// applies the last value; intermediate values are unobservable
+		// because only this processor may touch the word this epoch).
+		l.writes[i].val = val
+		return
+	}
+	l.overlay[addr] = int32(len(l.writes))
+	l.writes = append(l.writes, laneWrite{addr: addr, val: val})
+}
+
+// CheckFresh is the staleness oracle through the lane: a hit on a word
+// this processor wrote this epoch must match the buffered value; any
+// other hit must match authoritative memory.
+func (l *Lane) CheckFresh(addr prog.Word, got float64, proc int, context string) {
+	if l.buffered {
+		if i, ok := l.overlay[addr]; ok {
+			if got != l.writes[i].val {
+				panic(fmt.Sprintf("memory: STALE READ by P%d at word %d: got %v, want %v (%s; unretired write by P%d at epoch %d)",
+					proc, addr, got, l.writes[i].val, context, l.proc, l.epoch))
+			}
+			return
+		}
+	}
+	l.mem.CheckFresh(addr, got, proc, context)
+}
+
+// Sharded is the host-parallel contract: a scheme that implements it
+// with HostShardable() == true promises that, between BeginParallelEpoch
+// and EndParallelEpoch, concurrent Read/Write calls for distinct
+// processors touch only per-processor state (caches, trackers, write
+// buffers) plus that processor's Lane. Begin/End and LaneStats come from
+// Core; HostShardable is the explicit per-scheme opt-in so schemes that
+// merely embed Core (HW directory, VC) stay sequential.
+type Sharded interface {
+	System
+	// HostShardable reports that the reference paths are lane-routed.
+	HostShardable() bool
+	// BeginParallelEpoch switches LaneFor to per-processor buffered
+	// lanes for the epoch being entered.
+	BeginParallelEpoch(epoch int64)
+	// EndParallelEpoch performs the barrier merge: buffered writes apply
+	// to memory in (processor, sequence) order, stats shards sum into
+	// the shared Stats, and batched traffic injects into the network.
+	EndParallelEpoch()
+	// LaneStats exposes processor p's active counter sink (the shard
+	// between Begin/End, the shared Stats otherwise).
+	LaneStats(p int) *stats.Stats
+}
+
+// LaneFor returns the lane processor p must route its references
+// through: the shared pass-through lane in sequential execution, the
+// processor's private buffered lane inside a host-parallel epoch.
+func (c *Core) LaneFor(p int) *Lane {
+	if c.par {
+		return c.lanes[p]
+	}
+	return &c.seqLane
+}
+
+// BeginParallelEpoch implements Sharded.
+func (c *Core) BeginParallelEpoch(epoch int64) {
+	if c.lanes == nil {
+		c.lanes = make([]*Lane, c.Cfg.Procs)
+		for p := range c.lanes {
+			l := &Lane{
+				mem:      c.Memory,
+				buffered: true,
+				proc:     p,
+				overlay:  make(map[prog.Word]int32),
+			}
+			l.St = &l.stShard
+			c.lanes[p] = l
+		}
+	}
+	for _, l := range c.lanes {
+		l.epoch = epoch
+	}
+	c.par = true
+}
+
+// EndParallelEpoch implements Sharded. Applying each processor's write
+// log in processor order is the deterministic serialization of the
+// epoch; write-set disjointness makes it equal to the sequential
+// interleaving.
+func (c *Core) EndParallelEpoch() {
+	c.par = false
+	for p, l := range c.lanes {
+		for _, w := range l.writes {
+			c.Memory.Write(w.addr, w.val, p, l.epoch)
+		}
+		l.writes = l.writes[:0]
+		clear(l.overlay)
+		c.St.Add(&l.stShard)
+		l.stShard = stats.Stats{}
+		if l.inj != 0 {
+			c.Netw.Inject(l.inj)
+			l.inj = 0
+		}
+	}
+}
+
+// LaneStats implements Sharded.
+func (c *Core) LaneStats(p int) *stats.Stats {
+	if c.par {
+		return c.lanes[p].St
+	}
+	return &c.St
+}

@@ -126,6 +126,15 @@ type Core struct {
 
 	// Probe, when non-nil, observes coherence events (see Probe).
 	Probe Probe
+
+	// Host-parallel lane state (see lane.go). seqLane passes through to
+	// the shared state above; lanes holds the per-processor buffered
+	// lanes, allocated lazily on the first parallel epoch. par flips only
+	// while the simulator is single-threaded (before goroutine spawn /
+	// after join), so LaneFor needs no synchronization.
+	seqLane Lane
+	lanes   []*Lane
+	par     bool
 }
 
 // SetProbe implements Probed.
@@ -149,6 +158,7 @@ func NewCore(cfg machine.Config, memWords int64) *Core {
 		c.Netw = network.New(cfg.Procs, cfg.SwitchArity)
 	}
 	c.St.Scheme = cfg.Scheme.String()
+	c.seqLane = Lane{St: &c.St, mem: c.Memory, net: c.Netw}
 	return c
 }
 
@@ -171,6 +181,13 @@ func (c *Core) HomeOf(addr prog.Word) int {
 // processor p's cache, using the per-word tracker history and, for words
 // lost to resets, whether the data actually changed since.
 func (c *Core) ClassifyMiss(tr *cache.Tracker, addr prog.Word) stats.MissClass {
+	return c.ClassifyMissLane(&c.seqLane, tr, addr)
+}
+
+// ClassifyMissLane is ClassifyMiss through a lane: write-epoch provenance
+// for reset losses must see the processor's own buffered same-epoch
+// stores.
+func (c *Core) ClassifyMissLane(ln *Lane, tr *cache.Tracker, addr prog.Word) stats.MissClass {
 	if !tr.Seen(addr) {
 		return stats.MissCold
 	}
@@ -185,7 +202,7 @@ func (c *Core) ClassifyMiss(tr *cache.Tracker, addr prog.Word) stats.MissClass {
 	case cache.LostReset:
 		// A reset dropped the word; if nobody wrote it since the copy was
 		// made, the re-fetch is a pure artifact of the small timetag.
-		if c.Memory.LastWriteEpoch(addr) > lostTT {
+		if ln.LastWriteEpoch(addr) > lostTT {
 			return stats.MissTrueSharing
 		}
 		return stats.MissConservative
@@ -202,6 +219,13 @@ func (c *Core) ClassifyMiss(tr *cache.Tracker, addr prog.Word) stats.MissClass {
 // ttNeighbour (the TPI fill rule; write-through schemes pass the epoch for
 // both). The tracker records eviction losses and the new residency.
 func (c *Core) MissFill(cc *cache.Cache, tr *cache.Tracker, addr prog.Word, ttAccessed, ttNeighbour int64) (*cache.Line, int) {
+	return c.FillLane(&c.seqLane, cc, tr, addr, ttAccessed, ttNeighbour)
+}
+
+// FillLane is MissFill through a lane: fill data comes from the lane so a
+// processor refetching a line it stored to this epoch (write-validate
+// eviction followed by a read) sees its own buffered values.
+func (c *Core) FillLane(ln *Lane, cc *cache.Cache, tr *cache.Tracker, addr prog.Word, ttAccessed, ttNeighbour int64) (*cache.Line, int) {
 	v := cc.Victim(addr)
 	if v.State != cache.Invalid {
 		c.evict(cc, tr, v)
@@ -213,7 +237,7 @@ func (c *Core) MissFill(cc *cache.Cache, tr *cache.Tracker, addr prog.Word, ttAc
 	v.Dirty = false
 	for i := 0; i < cc.LineWords(); i++ {
 		a := base + prog.Word(i)
-		v.Vals[i] = c.Memory.Read(a)
+		v.Vals[i] = ln.Value(a)
 		if i == w {
 			v.TT[i] = ttAccessed
 		} else {

@@ -1,0 +1,183 @@
+// Host-parallel DOALL execution: shard the simulated processors of one
+// epoch across host goroutines, then re-serialize deterministically at
+// the barrier.
+//
+// Why this is sound: a DOALL epoch has no cross-iteration dependences
+// and the shardable schemes' coherence decisions are processor-local
+// (memsys.Sharded), so per-processor simulation state — cache, tracker,
+// write buffer, and the per-processor Lane (stats shard, buffered write
+// log, injection counter) plus the obs/trace shards here — is touched by
+// exactly one goroutine, and shared state (memory, network, epoch
+// counter) is only read. The barrier merge fixes one serialization:
+// everything folds in (processor, sequence) order, which under static
+// block scheduling is exactly ascending-iteration order, i.e. the
+// sequential runner's order. Counters are integer sums (order-free), so
+// stats and obs reports are bit-identical to sequential execution under
+// BOTH schedulings; the trace byte stream is identical under static
+// scheduling and deterministically processor-major under cyclic.
+//
+// Fallbacks (the sequential path runs instead, transparently):
+//   - schemes that are not memsys.Sharded (HW directory, VC, oracle) or
+//     opt out (two-level TPI's shared L1 counters);
+//   - DynamicSched: the least-loaded argmin serializes scheduling;
+//   - doalls whose body contains critical/ordered sections (seqOnly):
+//     those communicate between iterations mid-epoch.
+package sim
+
+import (
+	"bytes"
+	"sync"
+
+	"repro/internal/memsys"
+	"repro/internal/obs"
+)
+
+// hostPar is the per-run host-parallel execution state.
+type hostPar struct {
+	r       *Runner
+	sys     memsys.Sharded
+	workers int
+
+	tasks     []*task              // one reusable task per worker
+	obsShards []*obs.ShardRecorder // per simulated processor; nil when no recorder
+	traceBufs []*bytes.Buffer      // per simulated processor; nil when no trace
+
+	panics []panicked // one slot per worker
+}
+
+// panicked records a worker goroutine's recovered panic.
+type panicked struct {
+	proc int
+	val  any
+}
+
+// setupHostParallel decides once per Run whether DOALL epochs may shard,
+// and builds the worker state if so.
+func (r *Runner) setupHostParallel() {
+	r.hostpar = nil
+	if r.cfg.HostParallel <= 1 || r.cfg.Procs <= 1 || r.cfg.DynamicSched {
+		return
+	}
+	ss, ok := r.sys.(memsys.Sharded)
+	if !ok || !ss.HostShardable() {
+		return
+	}
+	w := r.cfg.HostParallel
+	if w > r.cfg.Procs {
+		w = r.cfg.Procs
+	}
+	hp := &hostPar{r: r, sys: ss, workers: w, panics: make([]panicked, w)}
+	hp.tasks = make([]*task, w)
+	for i := range hp.tasks {
+		hp.tasks[i] = &task{r: r}
+	}
+	if r.rec != nil {
+		hp.obsShards = make([]*obs.ShardRecorder, r.cfg.Procs)
+		for p := range hp.obsShards {
+			hp.obsShards[p] = &obs.ShardRecorder{}
+		}
+	}
+	if r.trace != nil {
+		hp.traceBufs = make([]*bytes.Buffer, r.cfg.Procs)
+		for p := range hp.traceBufs {
+			hp.traceBufs[p] = &bytes.Buffer{}
+		}
+	}
+	r.hostpar = hp
+}
+
+// run executes one DOALL epoch's iterations across the host workers and
+// performs the deterministic barrier merge. t is the scheduling task
+// (bounds already evaluated, dispatch already charged).
+func (hp *hostPar) run(ld *loweredDoall, t *task, lo, hi int64) {
+	r := hp.r
+	procs := int64(r.cfg.Procs)
+	chunk := (hi - lo + 1 + procs - 1) / procs
+	cyclic := r.cfg.CyclicSched
+
+	hp.sys.BeginParallelEpoch(r.epoch)
+	var wg sync.WaitGroup
+	for w := 0; w < hp.workers; w++ {
+		wt := hp.tasks[w]
+		// Fresh frame per epoch: the workers read enclosing loop-variable
+		// slots, so each needs its own copy of the scheduler's frame.
+		wt.slots = append(wt.slots[:0], t.slots...)
+		wt.arrays = t.arrays
+		wt.inCrit = false
+		wg.Add(1)
+		go func(w int, wt *task) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					hp.panics[w] = panicked{proc: wt.proc, val: v}
+				}
+			}()
+			// Worker w simulates processors w, w+W, w+2W, ... Each
+			// processor's slice of the iteration space matches the
+			// sequential scheduler exactly.
+			for p := int64(w); p < procs; p += int64(hp.workers) {
+				wt.proc = int(p)
+				wt.st = hp.sys.LaneStats(int(p))
+				if hp.obsShards != nil {
+					wt.rec = hp.obsShards[p]
+				}
+				if hp.traceBufs != nil {
+					wt.trace = hp.traceBufs[p]
+				}
+				it, step, last := lo+p*chunk, int64(1), lo+(p+1)*chunk-1
+				if cyclic {
+					it, step, last = lo+p, procs, hi
+				} else if last > hi {
+					last = hi
+				}
+				for ; it <= last; it += step {
+					wt.slots[ld.varSlot] = it
+					wt.charge(2) // per-task scheduling overhead
+					for _, s := range ld.body {
+						s(wt)
+					}
+				}
+			}
+		}(w, wt)
+	}
+	wg.Wait()
+
+	// Re-raise one panic deterministically: the lowest simulated
+	// processor wins, so a failing run fails identically at any worker
+	// count. Merge first — runError recovery in Run still reports stats
+	// consistent with the work that completed.
+	hp.sys.EndParallelEpoch()
+	if hp.obsShards != nil {
+		rec := r.rec
+		for _, sh := range hp.obsShards {
+			rec.Drain(sh)
+		}
+	}
+	if hp.traceBufs != nil {
+		for _, buf := range hp.traceBufs {
+			if buf.Len() > 0 {
+				if _, err := r.trace.Write(buf.Bytes()); err != nil {
+					fail("sim: trace write: %v", err)
+				}
+				buf.Reset()
+			}
+		}
+	}
+	var pk *panicked
+	for i := range hp.panics {
+		pv := &hp.panics[i]
+		if pv.val == nil {
+			continue
+		}
+		if pk == nil || pv.proc < pk.proc {
+			pk = pv
+		}
+	}
+	if pk != nil {
+		val := pk.val
+		for i := range hp.panics {
+			hp.panics[i] = panicked{}
+		}
+		panic(val)
+	}
+}

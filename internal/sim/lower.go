@@ -94,6 +94,12 @@ type loweredDoall struct {
 	varSlot int
 	lo, hi  evalFn
 	body    []stmtFn
+
+	// seqOnly forces sequential execution under host parallelism: the
+	// body contains a critical or ordered section, whose stores must be
+	// visible to other iterations' bypass reads mid-epoch (and whose
+	// lock/ordering semantics assume one iteration at a time).
+	seqOnly bool
 }
 
 // loweredNode is the executable payload of one EFG node.
@@ -205,6 +211,35 @@ func (l *lowerer) proc(name string) (*loweredProc, error) {
 	return lp, nil
 }
 
+// blockNeedsSequential reports whether a DOALL body contains a critical
+// or ordered section anywhere inside it. Such sections communicate
+// between iterations mid-epoch (bypass reads must see other iterations'
+// eager stores), so the doall cannot shard across host goroutines.
+func blockNeedsSequential(b *pfl.Block) bool {
+	for _, s := range b.Stmts {
+		switch st := s.(type) {
+		case *pfl.CriticalStmt, *pfl.OrderedStmt:
+			return true
+		case *pfl.ForStmt:
+			if blockNeedsSequential(st.Body) {
+				return true
+			}
+		case *pfl.IfStmt:
+			if blockNeedsSequential(st.Then) {
+				return true
+			}
+			if st.Else != nil && blockNeedsSequential(st.Else) {
+				return true
+			}
+		case *pfl.DoallStmt:
+			if blockNeedsSequential(st.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 // collectLoopVars visits every loop binder in a block, outermost first.
 func collectLoopVars(b *pfl.Block, add func(string)) {
 	for _, s := range b.Stmts {
@@ -276,7 +311,7 @@ func (pl *procLowerer) node(n *epochg.Node, ln *loweredNode, summary *sections.N
 
 	case epochg.KindDoall:
 		d := n.Doall
-		ld := &loweredDoall{varSlot: pl.slots[d.Var]}
+		ld := &loweredDoall{varSlot: pl.slots[d.Var], seqOnly: blockNeedsSequential(d.Body)}
 		if ld.lo, err = pl.evalFn(d.Lo); err != nil {
 			return err
 		}

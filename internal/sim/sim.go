@@ -65,6 +65,14 @@ type Runner struct {
 	procBusy   []int64 // lifetime busy cycles per processor
 	serialNext int     // rotation state for MigrateSerial
 	maxEpochs  int64
+
+	// hostpar, when non-nil, executes eligible DOALL epochs across host
+	// goroutines (see hostpar.go). Set up once per Run.
+	hostpar *hostPar
+
+	// dynHeap is the DynamicSched least-loaded heap, reused across
+	// doalls (see runDoallDynamic).
+	dynHeap []int32
 }
 
 // New builds a runner, lowering the program first. The marking must
@@ -131,6 +139,7 @@ func (r *Runner) Run() (st *stats.Stats, err error) {
 	default:
 		r.read, r.write = readFast, writeFast
 	}
+	r.setupHostParallel()
 	for _, sc := range r.lp.prog.Scalars {
 		r.sys.Mem().InitWord(sc.Addr, sc.Init)
 	}
@@ -153,6 +162,14 @@ type task struct {
 	inCrit bool
 	slots  []int64
 	arrays []*prog.ArrayInfo
+
+	// Per-task event sinks. Sequential execution points them at the
+	// runner's own stats/recorder/trace; inside a host-parallel epoch each
+	// worker task points at its current processor's shard, so the lowered
+	// closures never touch shared state from a goroutine.
+	st    *stats.Stats
+	rec   obs.Sink
+	trace io.Writer
 }
 
 // charge adds processor cycles to the task's processor.
@@ -167,7 +184,10 @@ type loopState struct {
 // runProc walks a procedure's epoch flow graph over its lowered nodes.
 func (r *Runner) runProc(lp *loweredProc, arrays []*prog.ArrayInfo) {
 	loops := make([]loopState, len(lp.nodes))
-	t := task{r: r, slots: make([]int64, lp.numSlots), arrays: arrays}
+	t := task{r: r, slots: make([]int64, lp.numSlots), arrays: arrays, st: r.st, trace: r.trace}
+	if r.rec != nil {
+		t.rec = r.rec
+	}
 
 	n := lp.graph.Entry
 	for n != nil {
@@ -376,24 +396,23 @@ func (r *Runner) runDoall(ld *loweredDoall, t *task) {
 	if hi < lo {
 		return
 	}
+	if r.cfg.DynamicSched {
+		r.runDoallDynamic(ld, t, lo, hi)
+		return
+	}
+	if r.hostpar != nil && !ld.seqOnly {
+		r.hostpar.run(ld, t, lo, hi)
+		return
+	}
 	n := hi - lo + 1
 	procs := int64(r.cfg.Procs)
 	chunk := (n + procs - 1) / procs
 
 	for it := lo; it <= hi; it++ {
 		var p int64
-		switch {
-		case r.cfg.DynamicSched:
-			// self-scheduling: next task goes to the least-loaded processor
-			p = 0
-			for q := 1; q < r.cfg.Procs; q++ {
-				if r.procWork[q] < r.procWork[p] {
-					p = int64(q)
-				}
-			}
-		case r.cfg.CyclicSched:
+		if r.cfg.CyclicSched {
 			p = (it - lo) % procs
-		default:
+		} else {
 			p = (it - lo) / chunk
 		}
 		t.proc = int(p)
@@ -402,6 +421,59 @@ func (r *Runner) runDoall(ld *loweredDoall, t *task) {
 		for _, s := range ld.body {
 			s(t)
 		}
+	}
+}
+
+// runDoallDynamic self-schedules iterations onto the least-loaded
+// processor. The argmin lives in a binary min-heap over (procWork, proc)
+// — lexicographic, so ties break to the lowest processor index, exactly
+// like the linear scan it replaces. Only the processor that just ran an
+// iteration gains work between selections, so one sift-down of the root
+// per iteration maintains the heap: O(log P) instead of O(P).
+func (r *Runner) runDoallDynamic(ld *loweredDoall, t *task, lo, hi int64) {
+	h := r.dynHeap[:0]
+	for p := 0; p < r.cfg.Procs; p++ {
+		h = append(h, int32(p))
+	}
+	r.dynHeap = h
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		r.dynSiftDown(i)
+	}
+	for it := lo; it <= hi; it++ {
+		t.proc = int(h[0])
+		t.slots[ld.varSlot] = it
+		t.charge(2) // per-task scheduling overhead
+		for _, s := range ld.body {
+			s(t)
+		}
+		r.dynSiftDown(0) // only the root's load grew
+	}
+}
+
+// dynLess orders heap entries by (current epoch work, processor index).
+func (r *Runner) dynLess(a, b int32) bool {
+	wa, wb := r.procWork[a], r.procWork[b]
+	return wa < wb || (wa == wb && a < b)
+}
+
+// dynSiftDown restores the heap property below index i.
+func (r *Runner) dynSiftDown(i int) {
+	h := r.dynHeap
+	n := len(h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		m := l
+		if rc := l + 1; rc < n && r.dynLess(h[rc], h[l]) {
+			m = rc
+		}
+		if !r.dynLess(h[m], h[i]) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
 	}
 }
 
@@ -416,17 +488,18 @@ func readFast(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int
 func readTraced(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64 {
 	v, stall := t.r.sys.Read(t.proc, addr, kind, window)
 	t.charge(stall)
-	fmt.Fprintf(t.r.trace, "R %d %d %d %s %d\n", t.r.epoch, t.proc, addr, kind, stall)
+	fmt.Fprintf(t.trace, "R %d %d %d %s %d\n", t.r.epoch, t.proc, addr, kind, stall)
 	return v
 }
 
 // readClassified performs the read and recovers its hit/miss class by
 // diffing the scheme's own counters around the call: every scheme
 // increments exactly one of ReadHits or one ReadMisses cell per read, so
-// the diff is exact without widening the memsys.System interface.
-// class -1 means hit.
+// the diff is exact without widening the memsys.System interface. The
+// diff base is the task's counter sink (the processor's stats shard in a
+// host-parallel epoch). class -1 means hit.
 func readClassified(t *task, addr prog.Word, kind memsys.ReadKind, window int) (v float64, stall int64, class int8) {
-	st := t.r.st
+	st := t.st
 	hitsBefore := st.ReadHits
 	missBefore := st.ReadMisses
 	v, stall = t.r.sys.Read(t.proc, addr, kind, window)
@@ -446,15 +519,15 @@ func readClassified(t *task, addr prog.Word, kind memsys.ReadKind, window int) (
 // readObs is readFast plus attributed-counter recording.
 func readObs(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64 {
 	v, stall, class := readClassified(t, addr, kind, window)
-	t.r.rec.Read(t.proc, addr, ref, uint8(kind), class, stall)
+	t.rec.Read(t.proc, addr, ref, uint8(kind), class, stall)
 	return v
 }
 
 // readObsTraced is readObs plus the text trace line.
 func readObsTraced(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref int32) float64 {
 	v, stall, class := readClassified(t, addr, kind, window)
-	t.r.rec.Read(t.proc, addr, ref, uint8(kind), class, stall)
-	fmt.Fprintf(t.r.trace, "R %d %d %d %s %d\n", t.r.epoch, t.proc, addr, kind, stall)
+	t.rec.Read(t.proc, addr, ref, uint8(kind), class, stall)
+	fmt.Fprintf(t.trace, "R %d %d %d %s %d\n", t.r.epoch, t.proc, addr, kind, stall)
 	return v
 }
 
@@ -472,12 +545,12 @@ func writeTraced(t *task, addr prog.Word, v float64, ref int32) {
 	if t.inCrit {
 		crit = 1
 	}
-	fmt.Fprintf(t.r.trace, "W %d %d %d %d %d\n", t.r.epoch, t.proc, addr, crit, stall)
+	fmt.Fprintf(t.trace, "W %d %d %d %d %d\n", t.r.epoch, t.proc, addr, crit, stall)
 }
 
 // writeClassified mirrors readClassified for the write-side counters.
 func writeClassified(t *task, addr prog.Word, v float64) (stall int64, class int8) {
-	st := t.r.st
+	st := t.st
 	hitsBefore := st.WriteHits
 	missBefore := st.WriteMisses
 	stall = t.r.sys.Write(t.proc, addr, v, t.inCrit)
@@ -497,18 +570,18 @@ func writeClassified(t *task, addr prog.Word, v float64) (stall int64, class int
 // writeObs is writeFast plus attributed-counter recording.
 func writeObs(t *task, addr prog.Word, v float64, ref int32) {
 	stall, class := writeClassified(t, addr, v)
-	t.r.rec.Write(t.proc, addr, ref, t.inCrit, class, stall)
+	t.rec.Write(t.proc, addr, ref, t.inCrit, class, stall)
 }
 
 // writeObsTraced is writeObs plus the text trace line.
 func writeObsTraced(t *task, addr prog.Word, v float64, ref int32) {
 	stall, class := writeClassified(t, addr, v)
-	t.r.rec.Write(t.proc, addr, ref, t.inCrit, class, stall)
+	t.rec.Write(t.proc, addr, ref, t.inCrit, class, stall)
 	crit := 0
 	if t.inCrit {
 		crit = 1
 	}
-	fmt.Fprintf(t.r.trace, "W %d %d %d %d %d\n", t.r.epoch, t.proc, addr, crit, stall)
+	fmt.Fprintf(t.trace, "W %d %d %d %d %d\n", t.r.epoch, t.proc, addr, crit, stall)
 }
 
 func boolVal(b bool) float64 {

@@ -117,6 +117,41 @@ type Stats struct {
 	ProcBusy []int64
 }
 
+// Add accumulates another run fragment's counters into s. It is the
+// host-parallel barrier merge: every field is an integer sum, so folding
+// per-processor shards in any order reproduces the sequential totals bit
+// for bit. Scheme and ProcBusy are identity fields owned by the enclosing
+// run, not counters, and are left untouched.
+func (s *Stats) Add(o *Stats) {
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.ReadHits += o.ReadHits
+	for i := range s.ReadMisses {
+		s.ReadMisses[i] += o.ReadMisses[i]
+	}
+	s.WriteHits += o.WriteHits
+	for i := range s.WriteMisses {
+		s.WriteMisses[i] += o.WriteMisses[i]
+	}
+	s.ReadTrafficWords += o.ReadTrafficWords
+	s.WriteTrafficWords += o.WriteTrafficWords
+	s.CoherenceTrafficWords += o.CoherenceTrafficWords
+	s.CoherenceMsgs += o.CoherenceMsgs
+	s.Invalidations += o.Invalidations
+	s.MissLatencySum += o.MissLatencySum
+	s.WriteMissLatencySum += o.WriteMissLatencySum
+	s.TimetagResets += o.TimetagResets
+	s.ResetInvalidations += o.ResetInvalidations
+	s.WritesCoalesced += o.WritesCoalesced
+	s.PointerEvictions += o.PointerEvictions
+	s.FlushedWords += o.FlushedWords
+	s.FlushStallCycles += o.FlushStallCycles
+	s.PrefetchedLines += o.PrefetchedLines
+	s.Cycles += o.Cycles
+	s.BarrierCycles += o.BarrierCycles
+	s.Epochs += o.Epochs
+}
+
 // Imbalance is max/mean of the per-processor busy cycles (1.0 =
 // perfectly balanced; undefined without ProcBusy data).
 func (s *Stats) Imbalance() float64 {

@@ -31,28 +31,34 @@ func NewBase(cfg machine.Config, memWords int64) *Base {
 // Name implements memsys.System.
 func (s *Base) Name() string { return "BASE" }
 
+// HostShardable implements memsys.Sharded: BASE keeps no per-reference
+// cross-processor state at all, so the reference paths shard trivially.
+func (s *Base) HostShardable() bool { return true }
+
 // Read implements memsys.System: every read is a remote word fetch.
 func (s *Base) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
-	s.St.Reads++
-	s.St.ReadMisses[stats.MissBypass]++
-	s.St.ReadTrafficWords++
-	s.Netw.Inject(2)
+	ln := s.LaneFor(p)
+	ln.St.Reads++
+	ln.St.ReadMisses[stats.MissBypass]++
+	ln.St.ReadTrafficWords++
+	ln.Inject(2)
 	lat := s.WordMissLatencyFor(p, addr)
-	s.St.MissLatencySum += lat
-	return s.Memory.Read(addr), lat
+	ln.St.MissLatencySum += lat
+	return ln.Value(addr), lat
 }
 
 // Write implements memsys.System: every write is a remote word store; the
 // write buffer hides the latency.
 func (s *Base) Write(p int, addr prog.Word, val float64, crit bool) int64 {
-	s.St.Writes++
-	s.St.WriteMisses[stats.MissBypass]++
-	s.Memory.Write(addr, val, p, s.Epoch)
-	s.St.WriteTrafficWords++
-	s.Netw.Inject(1)
+	ln := s.LaneFor(p)
+	ln.St.Writes++
+	ln.St.WriteMisses[stats.MissBypass]++
+	ln.Write(addr, val, p, s.Epoch)
+	ln.St.WriteTrafficWords++
+	ln.Inject(1)
 	if s.Cfg.SeqConsistency {
 		lat := s.WordMissLatencyFor(p, addr)
-		s.St.WriteMissLatencySum += lat
+		ln.St.WriteMissLatencySum += lat
 		return lat
 	}
 	return 0
@@ -86,66 +92,73 @@ func NewSC(cfg machine.Config, memWords int64) *SC {
 // Name implements memsys.System.
 func (s *SC) Name() string { return "SC" }
 
+// HostShardable implements memsys.Sharded: SC's caches, trackers, and
+// write buffers are strictly per-processor; everything shared flows
+// through the lane.
+func (s *SC) HostShardable() bool { return true }
+
 // Read implements memsys.System. Potentially-stale reads (Time-Read or
 // bypass marks) fetch the word from memory without validating the cache;
 // a present copy is refreshed in place so later covered reads of the same
 // task stay correct. Regular reads cache normally.
 func (s *SC) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
-	s.St.Reads++
+	ln := s.LaneFor(p)
+	ln.St.Reads++
 	cc, tr := s.caches[p], s.trackers[p]
 
 	if kind != memsys.ReadRegular {
-		v := s.Memory.Read(addr)
+		v := ln.Value(addr)
 		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 			line.Vals[w] = v
 		}
-		s.St.ReadMisses[stats.MissBypass]++
-		s.St.ReadTrafficWords++
-		s.Netw.Inject(2)
+		ln.St.ReadMisses[stats.MissBypass]++
+		ln.St.ReadTrafficWords++
+		ln.Inject(2)
 		lat := s.WordMissLatencyFor(p, addr)
-		s.St.MissLatencySum += lat
+		ln.St.MissLatencySum += lat
 		return v, lat
 	}
 
 	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
-		s.St.ReadHits++
+		ln.St.ReadHits++
 		line.Used[w] = true
 		cc.Touch(line)
-		s.Memory.CheckFresh(addr, line.Vals[w], p, "sc regular hit")
+		ln.CheckFresh(addr, line.Vals[w], p, "sc regular hit")
 		return line.Vals[w], s.Cfg.HitCycles
 	}
-	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
-	nl, nw := s.MissFill(cc, tr, addr, s.Epoch, s.Epoch)
-	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
-	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	ln.St.ReadMisses[s.ClassifyMissLane(ln, tr, addr)]++
+	nl, nw := s.FillLane(ln, cc, tr, addr, s.Epoch, s.Epoch)
+	ln.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	ln.Inject(int64(s.Cfg.LineWords) + 1)
 	lat := s.LineMissLatencyFor(p, addr)
-	s.St.MissLatencySum += lat
+	ln.St.MissLatencySum += lat
 	return nl.Vals[nw], lat
 }
 
 // Write implements memsys.System: write-through, write-validate allocate.
 // Critical stores self-invalidate like TPI's.
 func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
-	s.St.Writes++
-	s.Memory.Write(addr, val, p, s.Epoch)
+	ln := s.LaneFor(p)
+	ln.St.Writes++
+	ln.Write(addr, val, p, s.Epoch)
 	cc, tr := s.caches[p], s.trackers[p]
 	if crit {
-		s.St.WriteMisses[stats.MissBypass]++
+		ln.St.WriteMisses[stats.MissBypass]++
 		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 			tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
 			line.InvalidateWord(w)
 		}
-		s.St.WriteTrafficWords++
-		s.Netw.Inject(1)
+		ln.St.WriteTrafficWords++
+		ln.Inject(1)
 		return 0
 	}
 	line, w, ok := cc.Lookup(addr)
 	hit := ok && line.ValidWord(w)
 	if hit {
-		s.St.WriteHits++
+		ln.St.WriteHits++
 	} else {
 		// Classify before the tracker below records the new residency.
-		s.St.WriteMisses[s.ClassifyMiss(tr, addr)]++
+		ln.St.WriteMisses[s.ClassifyMissLane(ln, tr, addr)]++
 	}
 	if ok {
 		line.Vals[w] = val
@@ -174,15 +187,15 @@ func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		tr.NoteCached(addr)
 	}
 	if s.wbufs[p].Write(addr) {
-		s.St.WriteTrafficWords++
-		s.Netw.Inject(1)
+		ln.St.WriteTrafficWords++
+		ln.Inject(1)
 	} else {
-		s.St.WritesCoalesced++
+		ln.St.WritesCoalesced++
 	}
 	if s.Cfg.SeqConsistency {
 		lat := s.WordMissLatencyFor(p, addr)
 		if !hit {
-			s.St.WriteMissLatencySum += lat
+			ln.St.WriteMissLatencySum += lat
 		}
 		return lat
 	}

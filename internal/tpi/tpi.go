@@ -56,6 +56,13 @@ func New(cfg machine.Config, memWords int64) *System {
 // Name implements memsys.System.
 func (s *System) Name() string { return "TPI" }
 
+// HostShardable implements memsys.Sharded: TPI's coherence decisions are
+// processor-local (timetags against the global epoch counter, which only
+// changes at barriers), so the reference paths shard per processor. The
+// two-phase reset machinery runs only at EpochBoundary, outside any
+// parallel region.
+func (s *System) HostShardable() bool { return true }
+
 // effWindow caps a compiler window at what the timetag width supports.
 func (s *System) effWindow(w int) int64 {
 	max := s.Cfg.MaxWindow()
@@ -67,11 +74,12 @@ func (s *System) effWindow(w int) int64 {
 
 // Read implements memsys.System.
 func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
-	s.St.Reads++
+	ln := s.LaneFor(p)
+	ln.St.Reads++
 	cc, tr := s.caches[p], s.trackers[p]
 
 	if kind == memsys.ReadBypass {
-		return s.bypassRead(p, addr)
+		return s.bypassRead(ln, p, addr)
 	}
 
 	line, w, present := cc.Lookup(addr)
@@ -81,7 +89,7 @@ func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (
 			ok = false
 		}
 		if ok {
-			s.St.ReadHits++
+			ln.St.ReadHits++
 			if !s.Cfg.LineTimetags {
 				// Per-word tags may be promoted on a validated hit; a
 				// line-granular tag may not (its other words could have
@@ -90,45 +98,45 @@ func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (
 			}
 			line.Used[w] = true
 			cc.Touch(line)
-			s.Memory.CheckFresh(addr, line.Vals[w], p, kind.HitContext())
+			ln.CheckFresh(addr, line.Vals[w], p, kind.HitContext())
 			return line.Vals[w], s.Cfg.HitCycles
 		}
 		// Window failure on a present word: necessary (data really
 		// changed) or conservative (compiler/window artifact)?
-		if s.Memory.LastWriteEpoch(addr) > line.TT[w] {
-			s.St.ReadMisses[stats.MissTrueSharing]++
+		if ln.LastWriteEpoch(addr) > line.TT[w] {
+			ln.St.ReadMisses[stats.MissTrueSharing]++
 		} else {
-			s.St.ReadMisses[stats.MissConservative]++
+			ln.St.ReadMisses[stats.MissConservative]++
 		}
-		s.refreshLine(line, w, addr, cc, tr)
-		lat := s.chargeLineMiss(p, addr)
+		s.refreshLine(ln, line, w, addr, cc, tr)
+		lat := s.chargeLineMiss(ln, p, addr)
 		return line.Vals[w], lat
 	}
 
 	// Word absent (whole line, or a word-grain hole).
-	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
+	ln.St.ReadMisses[s.ClassifyMissLane(ln, tr, addr)]++
 	if present {
-		s.refreshLine(line, w, addr, cc, tr)
-		lat := s.chargeLineMiss(p, addr)
+		s.refreshLine(ln, line, w, addr, cc, tr)
+		lat := s.chargeLineMiss(ln, p, addr)
 		return line.Vals[w], lat
 	}
 	if v := cc.Victim(addr); v.State != cache.Invalid {
-		s.evictFor(p, v) // accounts write-back of dirty words
+		s.evictFor(ln, p, v) // accounts write-back of dirty words
 	}
 	accessedTT := s.Epoch
 	if s.Cfg.LineTimetags {
 		accessedTT = s.Epoch - 1 // the line tag claims only fill freshness
 	}
-	nl, nw := s.MissFill(cc, tr, addr, accessedTT, s.Epoch-1)
-	lat := s.chargeLineMiss(p, addr)
-	s.maybePrefetch(p, addr)
+	nl, nw := s.FillLane(ln, cc, tr, addr, accessedTT, s.Epoch-1)
+	lat := s.chargeLineMiss(ln, p, addr)
+	s.maybePrefetch(ln, p, addr)
 	return nl.Vals[nw], lat
 }
 
 // maybePrefetch fetches the sequentially-next line after a demand miss
 // (one-block lookahead). The prefetched words carry neighbour-rule
 // timetags (E-1): they are data prefetches, not freshness claims.
-func (s *System) maybePrefetch(p int, addr prog.Word) {
+func (s *System) maybePrefetch(ln *memsys.Lane, p int, addr prog.Word) {
 	if !s.Cfg.Prefetch {
 		return
 	}
@@ -141,21 +149,21 @@ func (s *System) maybePrefetch(p int, addr prog.Word) {
 		return // already resident
 	}
 	if v := cc.Victim(next); v.State != cache.Invalid {
-		s.evictFor(p, v)
+		s.evictFor(ln, p, v)
 	}
-	s.MissFill(cc, tr, next, s.Epoch-1, s.Epoch-1)
-	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
-	s.St.PrefetchedLines++
-	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	s.FillLane(ln, cc, tr, next, s.Epoch-1, s.Epoch-1)
+	ln.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	ln.St.PrefetchedLines++
+	ln.Inject(int64(s.Cfg.LineWords) + 1)
 	// No processor stall: the prefetch overlaps with computation.
 }
 
 // refreshLine refetches a present line's data from memory, promoting the
 // accessed word to the current epoch and its neighbours to at least E-1.
-func (s *System) refreshLine(line *cache.Line, w int, addr prog.Word, cc *cache.Cache, tr *cache.Tracker) {
+func (s *System) refreshLine(ln *memsys.Lane, line *cache.Line, w int, addr prog.Word, cc *cache.Cache, tr *cache.Tracker) {
 	base := cc.LineBase(addr)
 	for i := 0; i < cc.LineWords(); i++ {
-		line.Vals[i] = s.Memory.Read(base + prog.Word(i))
+		line.Vals[i] = ln.Value(base + prog.Word(i))
 		if nt := s.Epoch - 1; line.TT[i] == cache.TTInvalid || line.TT[i] < nt {
 			line.TT[i] = nt
 		}
@@ -170,28 +178,28 @@ func (s *System) refreshLine(line *cache.Line, w int, addr prog.Word, cc *cache.
 
 // chargeLineMiss accounts traffic, network load and latency of a line
 // fetch by processor p from addr's home node.
-func (s *System) chargeLineMiss(p int, addr prog.Word) int64 {
-	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
-	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+func (s *System) chargeLineMiss(ln *memsys.Lane, p int, addr prog.Word) int64 {
+	ln.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	ln.Inject(int64(s.Cfg.LineWords) + 1)
 	lat := s.LineMissLatencyFor(p, addr)
-	s.St.MissLatencySum += lat
+	ln.St.MissLatencySum += lat
 	return lat
 }
 
 // bypassRead fetches one word from memory without validating the cache.
 // Any cached copy of the word is refreshed in place (value only) so that
 // later covered reads of the same task see current data.
-func (s *System) bypassRead(p int, addr prog.Word) (float64, int64) {
-	v := s.Memory.Read(addr)
+func (s *System) bypassRead(ln *memsys.Lane, p int, addr prog.Word) (float64, int64) {
+	v := ln.Value(addr)
 	cc := s.caches[p]
 	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 		line.Vals[w] = v
 	}
-	s.St.ReadMisses[stats.MissBypass]++
-	s.St.ReadTrafficWords++
-	s.Netw.Inject(2)
+	ln.St.ReadMisses[stats.MissBypass]++
+	ln.St.ReadTrafficWords++
+	ln.Inject(2)
 	lat := s.WordMissLatencyFor(p, addr)
-	s.St.MissLatencySum += lat
+	ln.St.MissLatencySum += lat
 	return v, lat
 }
 
@@ -200,11 +208,12 @@ func (s *System) bypassRead(p int, addr prog.Word) (float64, int64) {
 // through immediately (no coalescing) and self-invalidated so no cache
 // holds a copy that claims epoch-freshness for lock-protected data.
 func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	ln := s.LaneFor(p)
 	if crit {
-		return s.writeCritical(p, addr, val)
+		return s.writeCritical(ln, p, addr, val)
 	}
-	s.St.Writes++
-	s.Memory.Write(addr, val, p, s.Epoch)
+	ln.St.Writes++
+	ln.Write(addr, val, p, s.Epoch)
 	cc, tr := s.caches[p], s.trackers[p]
 	wtt := s.Epoch
 	if s.Cfg.LineTimetags {
@@ -215,10 +224,10 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	line, w, ok := cc.Lookup(addr)
 	hit := ok && line.ValidWord(w)
 	if hit {
-		s.St.WriteHits++
+		ln.St.WriteHits++
 	} else {
 		// Classify before the tracker below records the new residency.
-		s.St.WriteMisses[s.ClassifyMiss(tr, addr)]++
+		ln.St.WriteMisses[s.ClassifyMissLane(ln, tr, addr)]++
 	}
 	if ok {
 		line.Vals[w] = val
@@ -233,7 +242,7 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		// written word (no fetch-on-write).
 		v := cc.Victim(addr)
 		if v.State != cache.Invalid {
-			s.evictFor(p, v)
+			s.evictFor(ln, p, v)
 		}
 		tag, w := cc.Split(addr)
 		v.Tag = tag
@@ -254,38 +263,38 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		return 0
 	}
 	if s.wbufs[p].Write(addr) {
-		s.St.WriteTrafficWords++
-		s.Netw.Inject(1)
+		ln.St.WriteTrafficWords++
+		ln.Inject(1)
 	} else {
-		s.St.WritesCoalesced++
+		ln.St.WritesCoalesced++
 	}
 	if s.Cfg.SeqConsistency {
 		// write-through must be globally performed before the processor
 		// proceeds: the whole remote store latency is exposed.
 		lat := s.WordMissLatencyFor(p, addr)
 		if !hit {
-			s.St.WriteMissLatencySum += lat
+			ln.St.WriteMissLatencySum += lat
 		}
 		return lat
 	}
 	return 0
 }
 
-func (s *System) writeCritical(p int, addr prog.Word, val float64) int64 {
-	s.St.Writes++
-	s.St.WriteMisses[stats.MissBypass]++
-	s.Memory.Write(addr, val, p, s.Epoch)
+func (s *System) writeCritical(ln *memsys.Lane, p int, addr prog.Word, val float64) int64 {
+	ln.St.Writes++
+	ln.St.WriteMisses[stats.MissBypass]++
+	ln.Write(addr, val, p, s.Epoch)
 	cc, tr := s.caches[p], s.trackers[p]
 	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 		tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
 		line.InvalidateWord(w)
 	}
-	s.St.WriteTrafficWords++
-	s.Netw.Inject(1)
+	ln.St.WriteTrafficWords++
+	ln.Inject(1)
 	return 0
 }
 
-func (s *System) evictFor(p int, v *cache.Line) {
+func (s *System) evictFor(ln *memsys.Lane, p int, v *cache.Line) {
 	cc, tr := s.caches[p], s.trackers[p]
 	base := prog.Word(v.Tag * int64(cc.LineWords()))
 	for i := 0; i < cc.LineWords(); i++ {
@@ -293,8 +302,8 @@ func (s *System) evictFor(p int, v *cache.Line) {
 			tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
 		}
 		if v.DirtyW[i] {
-			s.St.WriteTrafficWords++
-			s.Netw.Inject(1)
+			ln.St.WriteTrafficWords++
+			ln.Inject(1)
 		}
 	}
 	v.InvalidateLine()

@@ -52,6 +52,12 @@ func NewTwoLevel(cfg machine.Config, memWords int64) *TwoLevel {
 // Name implements memsys.System.
 func (t *TwoLevel) Name() string { return "TPI2L" }
 
+// HostShardable overrides the embedded TPI opt-in: the two-level model
+// accumulates L1 counters (L1Hits, L1Misses, TimeReadL1Invalidations)
+// directly on the system from every processor's reference path, so
+// concurrent execution would race on them. TPI2L runs sequentially.
+func (t *TwoLevel) HostShardable() bool { return false }
+
 // Read implements memsys.System.
 func (t *TwoLevel) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
 	l1 := t.l1[p]
