@@ -295,6 +295,57 @@ func BenchmarkSimHotLoop(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamFastPath measures the affine reference-stream fast
+// path: fastpath on/off across the Streamer-capable schemes (BASE, SC,
+// TPI) at 16 and 64 simulated processors, on two workload shapes —
+// ocean (mixed: stencil sweeps plus critical-section reductions, so a
+// fraction of references never streams) and trfd (stream-dominated: the
+// n-cubed matmul inner loops put nearly every reference on the fast
+// path). Both arms produce bit-identical statistics (guarded by the
+// exper equivalence tests); only ns/op may change. docs/results.md
+// records the measured deltas.
+func BenchmarkStreamFastPath(b *testing.B) {
+	schemes := map[string]machine.Scheme{
+		"BASE": machine.SchemeBase, "SC": machine.SchemeSC, "TPI": machine.SchemeTPI,
+	}
+	for _, kn := range []string{"ocean", "trfd"} {
+		k, err := bench.Get(kn, bench.Params{N: 48, Steps: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range []string{"BASE", "SC", "TPI"} {
+			for _, procs := range []int{16, 64} {
+				for _, fast := range []bool{false, true} {
+					mode := "scalar"
+					if fast {
+						mode = "stream"
+					}
+					b.Run(fmt.Sprintf("%s/%s/procs=%d/%s", kn, name, procs, mode), func(b *testing.B) {
+						cfg := machine.Default(schemes[name])
+						cfg.Procs = procs
+						cfg.FastPath = fast
+						var refs int64
+						b.ReportAllocs()
+						b.ResetTimer()
+						for i := 0; i < b.N; i++ {
+							st, err := core.Run(c, cfg)
+							if err != nil {
+								b.Fatal(err)
+							}
+							refs = st.Reads + st.Writes
+						}
+						b.ReportMetric(float64(refs), "refs/run")
+					})
+				}
+			}
+		}
+	}
+}
+
 // BenchmarkHostParallel measures the host-parallel epoch execution mode
 // on 16- and 64-processor TPI ocean runs at host worker counts 1/2/4/8.
 // hostpar=1 is the sequential path (the mode only engages above one

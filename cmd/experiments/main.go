@@ -34,6 +34,7 @@ func main() {
 	quick := flag.Bool("quick", false, "small workload for a fast smoke run")
 	procs := flag.Int("procs", 16, "number of processors")
 	hostpar := flag.Int("hostpar", 0, "host goroutines per DOALL epoch inside each run (0/1 = sequential; results are bit-identical)")
+	fastpath := flag.Bool("fastpath", true, "batch affine innermost loops through the coherence schemes (results are bit-identical; -fastpath=false is the kill switch)")
 	markdown := flag.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	jsonOut := flag.Bool("json", false, "emit the results as schema-versioned JSON (see exper.Results)")
 	validate := flag.String("validate", "", "validate a results JSON file against the schema and exit")
@@ -93,6 +94,7 @@ func main() {
 	}
 	s := exper.NewSuite(p, *procs)
 	s.HostPar = *hostpar
+	s.NoFastPath = !*fastpath
 
 	type entry struct {
 		id  string

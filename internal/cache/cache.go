@@ -11,6 +11,9 @@
 package cache
 
 import (
+	"math/bits"
+	"sync"
+
 	"repro/internal/prog"
 )
 
@@ -71,18 +74,84 @@ func (l *Line) InvalidateLine() {
 // Cache is one processor's data cache.
 type Cache struct {
 	lineWords int
-	sets      int
-	assoc     int
-	lines     []Line // sets * assoc, set-major
-	clock     int64
+	// Power-of-two line sizes (the common case; machine.Validate enforces
+	// it for simulated configurations) split addresses with a shift and a
+	// mask instead of div/mod. pow2 selects the fast path; the general
+	// path stays for arbitrary line sizes.
+	pow2  bool
+	shift uint
+	mask  int64
+	sets  int
+	assoc int
+	lines []Line // sets * assoc, set-major
+	clock int64
+	// Flat backing arrays behind the per-line subslices (one allocation
+	// each; see New). Kept here so a pooled reset can sweep them flat.
+	vals   []float64
+	tt     []int64
+	used   []bool
+	dirtyW []bool
+}
+
+// Caches are the largest allocations a simulated run makes (megabytes of
+// line frames and word arrays per processor), and systems are built per
+// run, so construction cost — allocation, zeroing, and the GC pressure of
+// the line slice headers — dominates short end-to-end runs. New therefore
+// draws from a per-geometry pool of released caches and resets them
+// instead of allocating. A reset cache is indistinguishable from a fresh
+// one: every line is invalidated (Tag -1, State Invalid, LRU and clock
+// zeroed) and every word timetag is TTInvalid. Vals is intentionally left
+// stale — no scheme reads a word value without first passing a validity
+// check (ValidWord / a timetag hit predicate), and every fill overwrites
+// Vals before validating the words.
+type poolKey struct {
+	capacityWords int64
+	lineWords     int
+	assoc         int
+}
+
+var pools sync.Map // poolKey -> *sync.Pool of *Cache
+
+// Release returns a cache to the construction pool. The caller must not
+// use it afterwards (core releases a run's system only after the last
+// snapshot has been taken).
+func Release(c *Cache) {
+	key := poolKey{int64(len(c.vals)), c.lineWords, c.assoc}
+	p, _ := pools.LoadOrStore(key, &sync.Pool{})
+	p.(*sync.Pool).Put(c)
+}
+
+// reset restores a pooled cache to the fresh-construction state (except
+// for the never-read-before-validated Vals contents).
+func (c *Cache) reset() {
+	c.clock = 0
+	for i := range c.lines {
+		l := &c.lines[i]
+		l.Tag = -1
+		l.State = Invalid
+		l.Dirty = false
+		l.lru = 0
+	}
+	for i := range c.tt {
+		c.tt[i] = TTInvalid
+	}
+	clear(c.used)
+	clear(c.dirtyW)
 }
 
 // New builds a cache of capacityWords with the given line size (words)
 // and associativity. capacityWords must be a multiple of lineWords*assoc.
 // The per-line word arrays are carved out of four shared backing slices,
 // so construction costs a handful of allocations rather than four per
-// line (systems are built per simulated run).
+// line; a released cache of the same geometry is reused instead of
+// allocating at all (systems are built per simulated run).
 func New(capacityWords int64, lineWords, assoc int) *Cache {
+	if p, ok := pools.Load(poolKey{capacityWords, lineWords, assoc}); ok {
+		if c, ok := p.(*sync.Pool).Get().(*Cache); ok {
+			c.reset()
+			return c
+		}
+	}
 	numLines := int(capacityWords) / lineWords
 	sets := numLines / assoc
 	c := &Cache{
@@ -90,6 +159,11 @@ func New(capacityWords int64, lineWords, assoc int) *Cache {
 		sets:      sets,
 		assoc:     assoc,
 		lines:     make([]Line, numLines),
+	}
+	if lineWords&(lineWords-1) == 0 {
+		c.pow2 = true
+		c.shift = uint(bits.TrailingZeros(uint(lineWords)))
+		c.mask = int64(lineWords - 1)
 	}
 	words := numLines * lineWords
 	vals := make([]float64, words)
@@ -99,6 +173,7 @@ func New(capacityWords int64, lineWords, assoc int) *Cache {
 	for i := range tt {
 		tt[i] = TTInvalid
 	}
+	c.vals, c.tt, c.used, c.dirtyW = vals, tt, used, dirtyW
 	for i := range c.lines {
 		l := &c.lines[i]
 		l.Tag = -1
@@ -116,11 +191,17 @@ func (c *Cache) LineWords() int { return c.lineWords }
 
 // Split decomposes a word address into (line tag, word-in-line).
 func (c *Cache) Split(addr prog.Word) (tag int64, word int) {
+	if c.pow2 {
+		return int64(addr) >> c.shift, int(int64(addr) & c.mask)
+	}
 	return int64(addr) / int64(c.lineWords), int(int64(addr) % int64(c.lineWords))
 }
 
 // LineBase returns the first word address of the line containing addr.
 func (c *Cache) LineBase(addr prog.Word) prog.Word {
+	if c.pow2 {
+		return addr &^ prog.Word(c.mask)
+	}
 	return addr - prog.Word(int(int64(addr))%c.lineWords)
 }
 
@@ -134,8 +215,9 @@ func (c *Cache) set(tag int64) []Line {
 // the word itself may still be invalid (check ValidWord).
 func (c *Cache) Lookup(addr prog.Word) (*Line, int, bool) {
 	tag, w := c.Split(addr)
-	for i := range c.set(tag) {
-		l := &c.set(tag)[i]
+	set := c.set(tag)
+	for i := range set {
+		l := &set[i]
 		if l.State != Invalid && l.Tag == tag {
 			return l, w, true
 		}
@@ -143,8 +225,13 @@ func (c *Cache) Lookup(addr prog.Word) (*Line, int, bool) {
 	return nil, w, false
 }
 
-// Touch refreshes the line's LRU position.
+// Touch refreshes the line's LRU position. Direct-mapped caches (the
+// default configuration) skip the bookkeeping: Victim ignores LRU order
+// when the set has a single way, so the clock is unobservable.
 func (c *Cache) Touch(l *Line) {
+	if c.assoc == 1 {
+		return
+	}
 	c.clock++
 	l.lru = c.clock
 }
@@ -217,37 +304,60 @@ const (
 
 // Tracker records per-word history for one processor: whether the word
 // was ever cached, and how it was last lost, for miss classification.
+// The seen set is a bitset over the memory extent (one bit per word,
+// allocated once), an eighth of the []bool it replaces per processor.
 type Tracker struct {
-	seen   []bool
+	seen   []uint64
 	reason []LostReason
 	lostTT []int64
 }
 
-// NewTracker sizes the tracker for the memory extent.
+var trackerPools sync.Map // memWords (int64) -> *sync.Pool of *Tracker
+
+// NewTracker sizes the tracker for the memory extent, reusing a released
+// tracker of the same extent when one is pooled. Reset is just clearing
+// the seen bitset: reason and lostTT are only ever read for words whose
+// seen bit is set (ClassifyMiss checks Seen first), and NoteCached
+// rewrites reason before setting the bit.
 func NewTracker(memWords int64) *Tracker {
+	if p, ok := trackerPools.Load(memWords); ok {
+		if t, ok := p.(*sync.Pool).Get().(*Tracker); ok {
+			clear(t.seen)
+			return t
+		}
+	}
 	return &Tracker{
-		seen:   make([]bool, memWords),
+		seen:   make([]uint64, (memWords+63)/64),
 		reason: make([]LostReason, memWords),
 		lostTT: make([]int64, memWords),
 	}
 }
 
+// ReleaseTracker returns a tracker to the construction pool; the caller
+// must not use it afterwards.
+func ReleaseTracker(t *Tracker) {
+	p, _ := trackerPools.LoadOrStore(int64(len(t.reason)), &sync.Pool{})
+	p.(*sync.Pool).Put(t)
+}
+
 // NoteCached records that the processor now caches addr.
 func (t *Tracker) NoteCached(addr prog.Word) {
-	t.seen[addr] = true
+	t.seen[addr>>6] |= 1 << (uint(addr) & 63)
 	t.reason[addr] = LostNone
 }
 
 // NoteLost records losing a word with a reason and the timetag it had.
 func (t *Tracker) NoteLost(addr prog.Word, r LostReason, tt int64) {
-	if t.seen[addr] {
+	if t.Seen(addr) {
 		t.reason[addr] = r
 		t.lostTT[addr] = tt
 	}
 }
 
 // Seen reports whether the processor ever cached addr.
-func (t *Tracker) Seen(addr prog.Word) bool { return t.seen[addr] }
+func (t *Tracker) Seen(addr prog.Word) bool {
+	return t.seen[addr>>6]&(1<<(uint(addr)&63)) != 0
+}
 
 // Lost returns how addr was last lost and the timetag it had then.
 func (t *Tracker) Lost(addr prog.Word) (LostReason, int64) {

@@ -328,3 +328,156 @@ func TestWordValidityAndDirtyBits(t *testing.T) {
 		t.Fatal("InvalidateLine must clear dirty bits")
 	}
 }
+
+// TestSplitCrossCheck verifies the power-of-two shift/mask Split and
+// LineBase against the general div/mod path for both power-of-two and
+// non-power-of-two line sizes.
+func TestSplitCrossCheck(t *testing.T) {
+	refSplit := func(addr prog.Word, lw int) (int64, int) {
+		return int64(addr) / int64(lw), int(int64(addr) % int64(lw))
+	}
+	refBase := func(addr prog.Word, lw int) prog.Word {
+		return addr - prog.Word(int(int64(addr))%lw)
+	}
+	for _, lw := range []int{1, 2, 4, 8, 16, 3, 5, 6, 12} {
+		c := New(int64(lw*16), lw, 1)
+		pow2 := lw&(lw-1) == 0
+		if c.pow2 != pow2 {
+			t.Fatalf("lineWords=%d: pow2 flag = %v, want %v", lw, c.pow2, pow2)
+		}
+		for _, addr := range []prog.Word{0, 1, prog.Word(lw - 1), prog.Word(lw), prog.Word(lw + 1), 63, 64, 1023, 1 << 30} {
+			wantTag, wantW := refSplit(addr, lw)
+			tag, w := c.Split(addr)
+			if tag != wantTag || w != wantW {
+				t.Fatalf("lineWords=%d Split(%d) = (%d,%d), want (%d,%d)", lw, addr, tag, w, wantTag, wantW)
+			}
+			if got, want := c.LineBase(addr), refBase(addr, lw); got != want {
+				t.Fatalf("lineWords=%d LineBase(%d) = %d, want %d", lw, addr, got, want)
+			}
+		}
+		rnd := rand.New(rand.NewSource(int64(lw)))
+		for i := 0; i < 1000; i++ {
+			addr := prog.Word(rnd.Int63n(1 << 40))
+			wantTag, wantW := refSplit(addr, lw)
+			if tag, w := c.Split(addr); tag != wantTag || w != wantW {
+				t.Fatalf("lineWords=%d Split(%d) = (%d,%d), want (%d,%d)", lw, addr, tag, w, wantTag, wantW)
+			}
+			if got, want := c.LineBase(addr), refBase(addr, lw); got != want {
+				t.Fatalf("lineWords=%d LineBase(%d) = %d, want %d", lw, addr, got, want)
+			}
+		}
+	}
+}
+
+// TestTrackerBitset exercises the bitset-backed seen set across word
+// boundaries and against a reference map implementation.
+func TestTrackerBitset(t *testing.T) {
+	const memWords = 200 // deliberately not a multiple of 64
+	tr := NewTracker(memWords)
+	if got, want := len(tr.seen), (memWords+63)/64; got != want {
+		t.Fatalf("bitset words = %d, want %d", got, want)
+	}
+	ref := map[prog.Word]bool{}
+	for _, addr := range []prog.Word{0, 1, 62, 63, 64, 65, 127, 128, memWords - 1} {
+		if tr.Seen(addr) {
+			t.Fatalf("Seen(%d) true before NoteCached", addr)
+		}
+		tr.NoteCached(addr)
+		ref[addr] = true
+	}
+	for addr := prog.Word(0); addr < memWords; addr++ {
+		if tr.Seen(addr) != ref[addr] {
+			t.Fatalf("Seen(%d) = %v, want %v", addr, tr.Seen(addr), ref[addr])
+		}
+	}
+	// NoteLost on a seen word records reason+tt; on an unseen word it is
+	// a no-op (cold words classify as cold, not replaced).
+	tr.NoteLost(63, LostReplaced, 7)
+	if r, tt := tr.Lost(63); r != LostReplaced || tt != 7 {
+		t.Fatalf("Lost(63) = (%v,%d), want (LostReplaced,7)", r, tt)
+	}
+	tr.NoteLost(100, LostReplaced, 9)
+	if tr.Seen(100) {
+		t.Fatal("NoteLost must not mark unseen words as seen")
+	}
+	if r, _ := tr.Lost(100); r != LostNone {
+		t.Fatalf("Lost(100) = %v on never-cached word, want LostNone", r)
+	}
+	// Re-caching resets the loss reason.
+	tr.NoteCached(63)
+	if r, _ := tr.Lost(63); r != LostNone {
+		t.Fatalf("Lost(63) after recache = %v, want LostNone", r)
+	}
+}
+
+// TestPooledReuseIsFresh: a cache released back to the construction pool
+// and re-obtained with the same geometry must be observationally
+// identical to a fresh one — every line invalid, every word timetag
+// TTInvalid, LRU state reset — even after heavy dirtying. (Vals may keep
+// stale data: it is never readable without a validity check.)
+func TestPooledReuseIsFresh(t *testing.T) {
+	const capacity, lineWords, assoc = 256, 4, 2
+	c := New(capacity, lineWords, assoc)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		addr := prog.Word(rng.Intn(4096))
+		v := c.Victim(addr)
+		tag, w := c.Split(addr)
+		v.Tag = tag
+		v.State = Exclusive
+		v.Dirty = true
+		v.TT[w] = int64(i)
+		v.Used[w] = true
+		v.DirtyW[w] = true
+		v.Vals[w] = float64(i)
+		c.Touch(v)
+	}
+	Release(c)
+	r := New(capacity, lineWords, assoc)
+	if r != c {
+		t.Skip("pool did not return the released cache (GC-cleared pool)")
+	}
+	if r.clock != 0 {
+		t.Errorf("pooled cache clock = %d, want 0", r.clock)
+	}
+	for i := range r.lines {
+		l := &r.lines[i]
+		if l.Tag != -1 || l.State != Invalid || l.Dirty || l.lru != 0 {
+			t.Fatalf("line %d not reset: %+v", i, l)
+		}
+		for w := range l.TT {
+			if l.TT[w] != TTInvalid || l.Used[w] || l.DirtyW[w] {
+				t.Fatalf("line %d word %d not reset: tt=%d used=%v dirtyW=%v",
+					i, w, l.TT[w], l.Used[w], l.DirtyW[w])
+			}
+			if l.ValidWord(w) {
+				t.Fatalf("line %d word %d valid in reset cache", i, w)
+			}
+		}
+	}
+	for addr := prog.Word(0); addr < 4096; addr += 3 {
+		if _, _, ok := r.Lookup(addr); ok {
+			t.Fatalf("pooled cache hits addr %d before any fill", addr)
+		}
+	}
+}
+
+// TestPooledTrackerIsFresh: a released tracker re-obtained for the same
+// memory extent must report no word as seen.
+func TestPooledTrackerIsFresh(t *testing.T) {
+	tr := NewTracker(512)
+	for a := prog.Word(0); a < 512; a += 2 {
+		tr.NoteCached(a)
+		tr.NoteLost(a, LostReset, 3)
+	}
+	ReleaseTracker(tr)
+	r := NewTracker(512)
+	if r != tr {
+		t.Skip("pool did not return the released tracker (GC-cleared pool)")
+	}
+	for a := prog.Word(0); a < 512; a++ {
+		if r.Seen(a) {
+			t.Fatalf("pooled tracker has word %d seen", a)
+		}
+	}
+}

@@ -1,6 +1,10 @@
 package cache
 
-import "repro/internal/prog"
+import (
+	"sync"
+
+	"repro/internal/prog"
+)
 
 // WriteBuffer models the infinite write buffer of a write-through cache.
 // When organized as a cache (DEC Alpha 21164 style, the paper's
@@ -28,15 +32,36 @@ type WriteBuffer struct {
 
 const wbMinSlots = 64 // power of two; tiny tables grow rarely
 
+// Coalescing buffers grow their table during a run; pooling released
+// buffers keeps the grown table across runs, so steady-state simulation
+// neither reallocates nor rehashes. A generation bump (Flush) makes every
+// slot stale, which is exactly the fresh-buffer state; table capacity is
+// not observable (Write's coalescing decision is pure membership).
+var wbPool sync.Pool
+
 // NewWriteBuffer creates a buffer; coalesce selects the
 // write-buffer-as-cache organization.
 func NewWriteBuffer(coalesce bool) *WriteBuffer {
+	if coalesce {
+		if wb, ok := wbPool.Get().(*WriteBuffer); ok {
+			wb.Flush()
+			return wb
+		}
+	}
 	wb := &WriteBuffer{coalesce: coalesce, gen: 1}
 	if coalesce {
 		wb.keys = make([]prog.Word, wbMinSlots)
 		wb.gens = make([]uint32, wbMinSlots)
 	}
 	return wb
+}
+
+// ReleaseWriteBuffer returns a buffer to the construction pool; the
+// caller must not use it afterwards.
+func ReleaseWriteBuffer(wb *WriteBuffer) {
+	if wb.coalesce {
+		wbPool.Put(wb)
+	}
 }
 
 // slot probes for addr and returns its slot index: either the slot that

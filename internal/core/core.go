@@ -134,14 +134,32 @@ func NewSystem(cfg machine.Config, p *prog.Prog) (memsys.System, error) {
 }
 
 // Run simulates the compiled program on a fresh memory system for cfg and
-// returns the run statistics.
+// returns the run statistics. Unlike RunWithMemory, no memory snapshot is
+// taken (the sweep executors and benchmarks discard it).
 func Run(c *Compiled, cfg machine.Config) (*stats.Stats, error) {
-	st, _, err := RunWithMemory(c, cfg)
-	return st, err
+	st, sys, err := runSystem(c, cfg)
+	if err != nil {
+		return nil, err
+	}
+	releaseSystem(sys)
+	return st, nil
 }
 
 // RunWithMemory is Run plus the final memory image (for result checks).
 func RunWithMemory(c *Compiled, cfg machine.Config) (*stats.Stats, []float64, error) {
+	st, sys, err := runSystem(c, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	mem := sys.Mem().Snapshot()
+	releaseSystem(sys)
+	return st, mem, nil
+}
+
+// runSystem builds the memory system, runs the simulation, and checks
+// the directory invariants. The caller extracts what it needs from the
+// returned system and then releases it.
+func runSystem(c *Compiled, cfg machine.Config) (*stats.Stats, memsys.System, error) {
 	lp, err := c.Lowered()
 	if err != nil {
 		return nil, nil, err
@@ -160,7 +178,16 @@ func RunWithMemory(c *Compiled, cfg machine.Config) (*stats.Stats, []float64, er
 			return nil, nil, err
 		}
 	}
-	return st, sys.Mem().Snapshot(), nil
+	return st, sys, nil
+}
+
+// releaseSystem returns a run's per-processor cache structures to their
+// construction pools. Call only after everything the caller needs —
+// stats, memory snapshot, invariant checks — has been extracted.
+func releaseSystem(sys memsys.System) {
+	if r, ok := sys.(memsys.Releaser); ok {
+		r.ReleaseCaches()
+	}
 }
 
 // RunTraced is Run with a memory-event trace written to w (see
@@ -176,7 +203,12 @@ func RunTraced(c *Compiled, cfg machine.Config, w io.Writer) (*stats.Stats, erro
 	}
 	r := sim.NewLowered(lp, sys, cfg)
 	r.SetTrace(w)
-	return r.Run()
+	st, err := r.Run()
+	if err != nil {
+		return nil, err
+	}
+	releaseSystem(sys)
+	return st, nil
 }
 
 // RunOracle executes the program with the sequential reference semantics

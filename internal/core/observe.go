@@ -90,6 +90,7 @@ func RunObserved(c *Compiled, cfg machine.Config, level obs.Level, traceW io.Wri
 	if err != nil {
 		return st, rep, err
 	}
+	releaseSystem(sys)
 	return st, rep, nil
 }
 

@@ -63,6 +63,16 @@ func New(cfg machine.Config, memWords int64) *System {
 // Name implements memsys.System.
 func (s *System) Name() string { return "HW" }
 
+// ReleaseCaches implements memsys.Releaser. The fields are nilled so any
+// use after release fails loudly instead of corrupting a pooled cache.
+func (s *System) ReleaseCaches() {
+	for p, cc := range s.caches {
+		cache.Release(cc)
+		cache.ReleaseTracker(s.trackers[p])
+	}
+	s.caches, s.trackers = nil, nil
+}
+
 // Read implements memsys.System. The compiler marking is ignored: the
 // hardware enforces coherence by itself.
 func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {

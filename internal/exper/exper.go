@@ -68,8 +68,13 @@ type Suite struct {
 	Params  bench.Params
 	Procs   int
 	HostPar int // host goroutines per DOALL epoch; 0/1 = sequential
-	mu      sync.Mutex
-	kernels map[string]*core.Compiled // cache, keyed by name+options
+	// NoFastPath disables the affine reference-stream fast path
+	// (machine.Config.FastPath) for every run of the suite. Results are
+	// bit-identical either way; this is the experiments-level kill
+	// switch and the off-arm of the CI equivalence check.
+	NoFastPath bool
+	mu         sync.Mutex
+	kernels    map[string]*core.Compiled // cache, keyed by name+options
 }
 
 // NewSuite builds a suite; procs <= 0 selects the paper default (16).
@@ -142,6 +147,7 @@ func (s *Suite) cfg(scheme machine.Scheme) machine.Config {
 	c := machine.Default(scheme)
 	c.Procs = s.Procs
 	c.HostParallel = s.HostPar
+	c.FastPath = !s.NoFastPath
 	return c
 }
 

@@ -1,0 +1,173 @@
+package exper
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+// fastPathSchemes covers the Streamer opt-ins (BASE, SC, TPI) plus HW,
+// which exercises the transparent non-capable fallback.
+var fastPathSchemes = []machine.Scheme{
+	machine.SchemeBase, machine.SchemeSC, machine.SchemeTPI, machine.SchemeHW,
+}
+
+// TestFastPathEquivalence is the tentpole's oracle: for every kernel x
+// scheme x simulated-processor count x scheduling x host parallelism,
+// the affine stream fast path must produce a byte-identical
+// stats.Snapshot JSON and an identical final memory image to the
+// scalar path.
+func TestFastPathEquivalence(t *testing.T) {
+	type point struct {
+		kernel  string
+		scheme  machine.Scheme
+		procs   int
+		cyclic  bool
+		hostpar int
+	}
+	var points []point
+	for _, name := range bench.Names {
+		for _, sch := range fastPathSchemes {
+			for _, procs := range []int{16, 64} {
+				for _, cyclic := range []bool{false, true} {
+					for _, hp := range []int{1, 4} {
+						points = append(points, point{name, sch, procs, cyclic, hp})
+					}
+				}
+			}
+		}
+	}
+	s := smallSuite()
+	_, err := forEach(points, func(pt point) ([][]string, error) {
+		label := fmt.Sprintf("%s/%s/p%d/cyclic=%v/hostpar=%d",
+			pt.kernel, pt.scheme, pt.procs, pt.cyclic, pt.hostpar)
+		cfg := s.cfg(pt.scheme)
+		cfg.Procs = pt.procs
+		cfg.CyclicSched = pt.cyclic
+		cfg.HostParallel = pt.hostpar
+		c, err := s.compile(pt.kernel, core.CompileOptions{
+			Interproc:      cfg.Interproc,
+			FirstReadReuse: cfg.FirstReadReuse,
+			AlignWords:     int64(cfg.LineWords),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		cfg.FastPath = true
+		onSt, onMem, err := core.RunWithMemory(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: fastpath: %w", label, err)
+		}
+		cfg.FastPath = false
+		offSt, offMem, err := core.RunWithMemory(c, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: scalar: %w", label, err)
+		}
+		onJSON, err := json.Marshal(onSt.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		offJSON, err := json.Marshal(offSt.Snapshot())
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(onJSON, offJSON) {
+			return nil, fmt.Errorf("%s: snapshots diverge:\nfast   %s\nscalar %s", label, onJSON, offJSON)
+		}
+		if !reflect.DeepEqual(onMem, offMem) {
+			return nil, fmt.Errorf("%s: final memory images diverge", label)
+		}
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFastPathObservedEquivalence: at the counters observation level the
+// stream driver still emits per-reference events, so the attributed
+// report must be identical to the scalar path's; at the trace level the
+// fast path must disengage entirely, leaving the binary event stream
+// byte-compatible (same replayed report).
+func TestFastPathObservedEquivalence(t *testing.T) {
+	s := smallSuite()
+	for _, kernel := range []string{"ocean", "trfd"} {
+		for _, sch := range []machine.Scheme{machine.SchemeSC, machine.SchemeTPI} {
+			t.Run(fmt.Sprintf("%s/%s", kernel, sch), func(t *testing.T) {
+				cfg := s.cfg(sch)
+				cfg.Procs = 16
+				c, err := s.compile(kernel, core.CompileOptions{
+					Interproc:      cfg.Interproc,
+					FirstReadReuse: cfg.FirstReadReuse,
+					AlignWords:     int64(cfg.LineWords),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.FastPath = false
+				offSt, offRep, err := core.RunObserved(c, cfg, obs.LevelCounters, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.FastPath = true
+				onSt, onRep, err := core.RunObserved(c, cfg, obs.LevelCounters, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(offSt.Snapshot(), onSt.Snapshot()) {
+					t.Errorf("stats diverge:\nscalar %+v\nfast   %+v", offSt.Snapshot(), onSt.Snapshot())
+				}
+				if !reflect.DeepEqual(offRep, onRep) {
+					t.Errorf("attributed reports diverge")
+				}
+
+				var offBuf, onBuf bytes.Buffer
+				cfg.FastPath = false
+				if _, _, err := core.RunObserved(c, cfg, obs.LevelTrace, &offBuf); err != nil {
+					t.Fatal(err)
+				}
+				cfg.FastPath = true
+				if _, _, err := core.RunObserved(c, cfg, obs.LevelTrace, &onBuf); err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(offBuf.Bytes(), onBuf.Bytes()) {
+					t.Errorf("trace-level binary streams diverge (%d vs %d bytes): fast path must disengage under LevelTrace",
+						offBuf.Len(), onBuf.Len())
+				}
+			})
+		}
+	}
+}
+
+// TestFastPathExperimentsJSON: a whole experiment table rendered by the
+// harness must be byte-identical with the fast path on and off (the
+// experiments-level form of the equivalence contract, mirrored in CI
+// over the full suite).
+func TestFastPathExperimentsJSON(t *testing.T) {
+	render := func(noFast bool) []byte {
+		t.Helper()
+		s := smallSuite()
+		s.NoFastPath = noFast
+		tab, err := s.E3MissRates()
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(tab)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	on := render(false)
+	off := render(true)
+	if !bytes.Equal(on, off) {
+		t.Errorf("E3 JSON diverges:\nfast   %s\nscalar %s", on, off)
+	}
+}

@@ -166,6 +166,16 @@ type Config struct {
 	// BarrierCycles is the cost of the epoch-boundary barrier.
 	BarrierCycles int64
 
+	// FastPath enables the affine reference-stream fast path: innermost
+	// serial loops recognized at lower time as straight-line affine
+	// stream loops execute through batched per-scheme stream cursors
+	// instead of per-reference closure dispatch. Results are bit-identical
+	// to the scalar path; the flag exists as a kill-switch and for
+	// measuring the speedup. Schemes without stream support (HW, VC,
+	// two-level TPI) and trace-level instrumentation fall back to the
+	// scalar path transparently.
+	FastPath bool
+
 	// HostParallel shards the simulated processors of each DOALL epoch
 	// across up to this many host goroutines with a deterministic barrier
 	// merge (results are bit-identical to sequential execution). 0 or 1
@@ -198,6 +208,7 @@ func Default(s Scheme) Config {
 		L2HitCycles:      6,
 		BarrierCycles:    20,
 		LockCycles:       40,
+		FastPath:         true,
 		Interproc:        true,
 		FirstReadReuse:   true,
 	}

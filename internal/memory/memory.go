@@ -39,6 +39,11 @@ func (m *Memory) Read(addr prog.Word) float64 {
 	return m.words[addr]
 }
 
+// Words exposes the authoritative word store, read-only by contract. The
+// stream cursors use it to inline the staleness-oracle compare on cache
+// hits (CheckFresh stays the panic path, with the full diagnostic).
+func (m *Memory) Words() []float64 { return m.words }
+
 // Write stores a value with provenance.
 func (m *Memory) Write(addr prog.Word, v float64, proc int, epoch int64) {
 	m.words[addr] = v

@@ -82,6 +82,17 @@ func (l *Lane) Inject(words int64) {
 	l.net.Inject(words)
 }
 
+// FreshWords returns the authoritative word store for inlining the
+// staleness-oracle compare, or nil when the lane is buffered (a buffered
+// lane must consult its own write log first, so callers fall back to
+// CheckFresh). Read-only by contract.
+func (l *Lane) FreshWords() []float64 {
+	if l.buffered {
+		return nil
+	}
+	return l.mem.Words()
+}
+
 // Value returns the current value of a word as this processor must see
 // it: its own buffered same-epoch store if one exists, else memory.
 func (l *Lane) Value(addr prog.Word) float64 {

@@ -84,6 +84,16 @@ type System interface {
 	Net() network.Net
 }
 
+// Releaser is implemented by systems whose per-processor cache
+// structures can be returned to their construction pools once a run's
+// results have been fully extracted (stats, memory snapshot, invariant
+// checks). core calls it at the end of each Run*; a released system must
+// not be used again.
+type Releaser interface {
+	// ReleaseCaches returns the caches and trackers to their pools.
+	ReleaseCaches()
+}
+
 // Versioned is implemented by schemes that track per-variable version
 // numbers (the Cheong–Veidenbaum version-control scheme): the simulator
 // reports, at each epoch boundary, which variables the finished epoch may

@@ -1,0 +1,321 @@
+package memsys
+
+// Stream cursors: the memory-system half of the affine reference-stream
+// fast path (the simulator half lives in internal/sim/stream.go).
+//
+// The simulator recognizes innermost serial loops whose bodies are
+// straight-line assignments over affine array references and executes
+// them as precomputed (base, stride, count) streams. Each stream drives
+// one cursor, initialized once per loop entry by the scheme
+// (InitReadCursor / InitWriteCursor) and then invoked once per element
+// with a precomputed address. A cursor inlines the scheme's common case
+// — the cache hit for SC/TPI regular and Time-Reads, the uncached word
+// fetch for BASE — and delegates everything else (fills, refreshes,
+// evictions, prefetch, bypass reads) to the scheme's own scalar
+// Read/Write, so every counter, timetag transition, latency charge, and
+// traffic injection is bit-identical to the scalar path by construction.
+//
+// Soundness of the inlined hit: the cursor caches the line pointer of
+// the previously-touched line and revalidates it on every access
+// (tag match + not Invalid) — exactly the condition cache.Lookup uses —
+// so any eviction, refill, or invalidation between two accesses is
+// observed. The hit predicate (word valid, timetag within the Time-Read
+// window cut) is the scalar hit predicate verbatim; when it fails the
+// cursor falls back to the scheme's scalar path, which re-runs the full
+// decision from scratch. Coherence state only changes at epoch
+// boundaries, and cursors never outlive the loop entry that initialized
+// them, so the captured Lane/Epoch/window-cut stay valid for the
+// cursor's whole life (loops execute inside one task of one epoch).
+
+import (
+	"repro/internal/cache"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// StreamMode selects how a cursor performs each reference.
+type StreamMode uint8
+
+const (
+	// StreamCached inlines the cache-hit path and falls back to the
+	// scheme's scalar Read/Write on anything else (SC/TPI).
+	StreamCached StreamMode = iota
+	// StreamUncached routes every reference through the scheme's scalar
+	// path (SC/TPI bypass reads); the miss class is the bypass class.
+	StreamUncached
+	// StreamBase inlines BASE's uncached remote word access.
+	StreamBase
+)
+
+// Streamer is implemented by schemes that can batch affine reference
+// streams. Cursors are valid for one loop entry within one epoch: they
+// capture the processor's current Lane, so they must be re-initialized
+// after any epoch boundary or Begin/EndParallelEpoch transition (the
+// simulator initializes them at stream-loop entry, which satisfies
+// both).
+type Streamer interface {
+	System
+	// StreamCapable reports whether this instance batches streams. A
+	// scheme embedding a capable one (e.g. two-level TPI) overrides it
+	// to opt out.
+	StreamCapable() bool
+	// InitReadCursor prepares c to perform processor p's reads of the
+	// given compiler mark.
+	InitReadCursor(c *ReadCursor, p int, kind ReadKind, window int)
+	// InitWriteCursor prepares c to perform processor p's non-critical
+	// writes.
+	InitWriteCursor(c *WriteCursor, p int)
+}
+
+// ReadCursor performs one read stream's references.
+type ReadCursor struct {
+	Mode StreamMode
+	Sys  System // scalar fallback target
+	Core *Core
+	Ln   *Lane
+	CC   *cache.Cache
+	Proc int
+	Kind ReadKind
+	// Window is the Time-Read window (passed through to the fallback).
+	Window int
+	// Cut is the minimum timetag a cached word needs to hit: the
+	// Time-Read window bound E-min(w,maxW) for Time-Reads, math.MinInt64
+	// for regular reads (any valid word hits).
+	Cut int64
+	// PromoteTT: a validated hit promotes the word timetag to the epoch
+	// (per-word tags only; line-granular tags may not be promoted).
+	PromoteTT bool
+	Epoch     int64
+	HitCycles int64
+	HitCtx    string // staleness-oracle context label for hits
+	// Fresh is the lane's FreshWords view: non-nil for pass-through
+	// lanes, letting the hit path inline the staleness-oracle compare
+	// (CheckFresh remains the mismatch/buffered path).
+	Fresh []float64
+
+	line *cache.Line // last-touched line; revalidated on every access
+
+	// Batched counters, applied by Flush at stream-loop exit. Stats and
+	// network load are only observed at epoch boundaries (the network
+	// clock advances at AdvanceTo, between epochs), so deferring the
+	// increments is unobservable. The scalar-fallback delegate still
+	// updates the lane stats directly, which keeps its counter-diff
+	// class recovery self-consistent.
+	hits   int64 // StreamCached: pending Reads/ReadHits
+	n      int64 // StreamBase: pending Reads/ReadMisses/traffic
+	latSum int64 // StreamBase: pending MissLatencySum
+}
+
+// Flush applies the cursor's batched counters to the lane. runStream
+// calls it once per stream loop, after the last reference.
+func (c *ReadCursor) Flush() {
+	switch c.Mode {
+	case StreamCached:
+		st := c.Ln.St
+		st.Reads += c.hits
+		st.ReadHits += c.hits
+		c.hits = 0
+	case StreamBase:
+		st := c.Ln.St
+		st.Reads += c.n
+		st.ReadMisses[stats.MissBypass] += c.n
+		st.ReadTrafficWords += c.n
+		st.MissLatencySum += c.latSum
+		c.Ln.Inject(2 * c.n)
+		c.n, c.latSum = 0, 0
+	}
+}
+
+// Read performs one read at addr. It returns the value, the processor
+// stall, and the miss class (-1 for a hit), mirroring what the
+// simulator's counter-diff recovery would report for the scalar path.
+func (c *ReadCursor) Read(addr prog.Word) (float64, int64, int8) {
+	switch c.Mode {
+	case StreamCached:
+		tag, w := c.CC.Split(addr)
+		l := c.line
+		if l == nil || l.Tag != tag || l.State == cache.Invalid {
+			l, _, _ = c.CC.Lookup(addr)
+			c.line = l
+		}
+		if l != nil && l.TT[w] != cache.TTInvalid && l.TT[w] >= c.Cut {
+			c.hits++
+			if c.PromoteTT {
+				l.TT[w] = c.Epoch
+			}
+			l.Used[w] = true
+			c.CC.Touch(l)
+			v := l.Vals[w]
+			if c.Fresh == nil || v != c.Fresh[addr] {
+				// Buffered lane, or a genuine staleness-oracle failure:
+				// CheckFresh re-runs the compare against the value this
+				// processor must see and panics with the full diagnostic.
+				c.Ln.CheckFresh(addr, v, c.Proc, c.HitCtx)
+			}
+			return v, c.HitCycles, -1
+		}
+		// Anything but a clean hit — absent line, word-grain hole,
+		// window failure — takes the scheme's full scalar path (refresh,
+		// fill, eviction, prefetch, classification). The class is
+		// recovered by diffing the lane counters, exactly like
+		// sim.readClassified.
+		st := c.Ln.St
+		hitsBefore := st.ReadHits
+		missBefore := st.ReadMisses
+		v, stall := c.Sys.Read(c.Proc, addr, c.Kind, c.Window)
+		class := int8(-1)
+		if st.ReadHits == hitsBefore {
+			for i := range st.ReadMisses {
+				if st.ReadMisses[i] != missBefore[i] {
+					class = int8(i)
+					break
+				}
+			}
+		}
+		c.line = nil // the fill may have replaced or moved the line
+		return v, stall, class
+
+	case StreamBase:
+		c.n++
+		lat := c.Core.WordMissLatencyFor(c.Proc, addr)
+		c.latSum += lat
+		return c.Ln.Value(addr), lat, int8(stats.MissBypass)
+
+	default: // StreamUncached
+		v, stall := c.Sys.Read(c.Proc, addr, c.Kind, c.Window)
+		return v, stall, int8(stats.MissBypass)
+	}
+}
+
+// WriteCursor performs one write stream's references.
+type WriteCursor struct {
+	Mode StreamMode
+	Sys  System
+	Core *Core
+	Ln   *Lane
+	CC   *cache.Cache
+	Tr   *cache.Tracker
+	WB   *cache.WriteBuffer
+	Proc int
+	// Epoch stamps the memory write; WTT stamps the cache word timetag
+	// (the epoch, or epoch-1 under line-granular timetags).
+	Epoch, WTT int64
+	// PromoteTT selects TPI's promote-if-older tag rule; false is SC's
+	// unconditional assignment.
+	PromoteTT bool
+	// WriteBack marks dirty instead of writing through (TPIWriteBack).
+	WriteBack bool
+	// SeqC exposes the store latency (sequential consistency).
+	SeqC bool
+
+	line *cache.Line
+
+	// Batched counters, applied by Flush at stream-loop exit (same
+	// argument as ReadCursor's: stats and network load are only observed
+	// at epoch boundaries). Miss classification and latency stay
+	// per-reference.
+	n          int64 // pending Writes
+	hits       int64 // StreamCached: pending WriteHits
+	traffic    int64 // pending WriteTrafficWords (and Inject words)
+	coalesced  int64 // StreamCached: pending WritesCoalesced
+	missLatSum int64 // pending WriteMissLatencySum
+}
+
+// Flush applies the cursor's batched counters to the lane.
+func (c *WriteCursor) Flush() {
+	st := c.Ln.St
+	st.Writes += c.n
+	if c.Mode == StreamBase {
+		st.WriteMisses[stats.MissBypass] += c.n
+	}
+	st.WriteHits += c.hits
+	st.WriteTrafficWords += c.traffic
+	st.WritesCoalesced += c.coalesced
+	st.WriteMissLatencySum += c.missLatSum
+	c.Ln.Inject(c.traffic)
+	c.n, c.hits, c.traffic, c.coalesced, c.missLatSum = 0, 0, 0, 0, 0
+}
+
+// Write performs one non-critical write of val to addr. It returns the
+// processor stall and the miss class (-1 for a write hit).
+func (c *WriteCursor) Write(addr prog.Word, val float64) (int64, int8) {
+	if c.Mode == StreamBase {
+		c.n++
+		c.traffic++
+		c.Ln.Write(addr, val, c.Proc, c.Epoch)
+		if c.SeqC {
+			lat := c.Core.WordMissLatencyFor(c.Proc, addr)
+			c.missLatSum += lat
+			return lat, int8(stats.MissBypass)
+		}
+		return 0, int8(stats.MissBypass)
+	}
+
+	// StreamCached: inline the present-line write (hit or word-grain
+	// allocate); an absent line needs the scheme's write-validate frame
+	// allocation and eviction accounting, so it takes the scalar path.
+	tag, w := c.CC.Split(addr)
+	l := c.line
+	if l == nil || l.Tag != tag || l.State == cache.Invalid {
+		l, _, _ = c.CC.Lookup(addr)
+		c.line = l
+	}
+	if l == nil {
+		st := c.Ln.St
+		hitsBefore := st.WriteHits
+		missBefore := st.WriteMisses
+		stall := c.Sys.Write(c.Proc, addr, val, false)
+		class := int8(-1)
+		if st.WriteHits == hitsBefore {
+			for i := range st.WriteMisses {
+				if st.WriteMisses[i] != missBefore[i] {
+					class = int8(i)
+					break
+				}
+			}
+		}
+		// The allocation just installed a line; find it on the next access.
+		return stall, class
+	}
+	ln := c.Ln
+	c.n++
+	ln.Write(addr, val, c.Proc, c.Epoch)
+	hit := l.TT[w] != cache.TTInvalid
+	class := int8(-1)
+	if hit {
+		c.hits++
+	} else {
+		// Classify before the tracker below records the new residency.
+		cls := c.Core.ClassifyMissLane(ln, c.Tr, addr)
+		ln.St.WriteMisses[cls]++
+		class = int8(cls)
+	}
+	l.Vals[w] = val
+	if c.PromoteTT {
+		if l.TT[w] < c.WTT || l.TT[w] == cache.TTInvalid {
+			l.TT[w] = c.WTT
+		}
+	} else {
+		l.TT[w] = c.WTT
+	}
+	l.Used[w] = true
+	c.CC.Touch(l)
+	c.Tr.NoteCached(addr)
+	if c.WriteBack {
+		l.DirtyW[w] = true
+		return 0, class
+	}
+	if c.WB.Write(addr) {
+		c.traffic++
+	} else {
+		c.coalesced++
+	}
+	if c.SeqC {
+		lat := c.Core.WordMissLatencyFor(c.Proc, addr)
+		if !hit {
+			c.missLatSum += lat
+		}
+		return lat, class
+	}
+	return 0, class
+}

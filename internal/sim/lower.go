@@ -48,13 +48,20 @@ import (
 // executed any number of times (it is immutable after Lower and safe
 // for concurrent Runners).
 type Program struct {
-	prog  *prog.Prog
-	marks *marking.Result
-	procs map[string]*loweredProc
+	prog        *prog.Prog
+	marks       *marking.Result
+	procs       map[string]*loweredProc
+	streamDiags []StreamDiag
 }
 
 // Prog exposes the underlying program model (memory layout, scalars).
 func (lp *Program) Prog() *prog.Prog { return lp.prog }
+
+// StreamDiags reports every innermost-loop fast-path recognition
+// decision, in lowering order (procedures sorted by name). Recognition
+// is config-independent; whether a recognized loop actually streams at
+// run time depends on the scheme and observation level (see Runner.Run).
+func (lp *Program) StreamDiags() []StreamDiag { return lp.streamDiags }
 
 // evalFn evaluates an expression in a task context, charging operator
 // cycles and driving memory references through the coherence scheme.
@@ -152,13 +159,14 @@ func Lower(p *prog.Prog, marks *marking.Result) (*Program, error) {
 	if l.procs["main"] == nil {
 		return nil, fmt.Errorf("sim: no analysis for proc %q", "main")
 	}
-	return &Program{prog: p, marks: marks, procs: l.procs}, nil
+	return &Program{prog: p, marks: marks, procs: l.procs, streamDiags: l.streamDiags}, nil
 }
 
 type lowerer struct {
-	p     *prog.Prog
-	marks *marking.Result
-	procs map[string]*loweredProc
+	p           *prog.Prog
+	marks       *marking.Result
+	procs       map[string]*loweredProc
+	streamDiags []StreamDiag
 }
 
 // premark resolves a reference's compiler mark to the memory-system
@@ -188,7 +196,7 @@ func (l *lowerer) proc(name string) (*loweredProc, error) {
 	lp := &loweredProc{name: name, graph: ps.Graph}
 	l.procs[name] = lp
 
-	pl := &procLowerer{l: l, slots: map[string]int{}, formals: map[string]int{}}
+	pl := &procLowerer{l: l, procName: name, slots: map[string]int{}, formals: map[string]int{}}
 	for i, f := range ast.Formals {
 		pl.formals[f.Name] = i
 	}
@@ -265,9 +273,10 @@ func collectLoopVars(b *pfl.Block, add func(string)) {
 
 // procLowerer lowers statements and expressions of one procedure.
 type procLowerer struct {
-	l       *lowerer
-	slots   map[string]int // loop-variable name -> frame slot
-	formals map[string]int // formal array name -> binding index
+	l        *lowerer
+	procName string
+	slots    map[string]int // loop-variable name -> frame slot
+	formals  map[string]int // formal array name -> binding index
 }
 
 // node lowers one EFG node's payload. Epoch-mod lists are precomputed
@@ -441,6 +450,20 @@ func (pl *procLowerer) stmt(s pfl.Stmt) (stmtFn, error) {
 			return nil, err
 		}
 		pos := st.Pos
+		// Stream recognition (see stream.go). Recognition is static and
+		// config-independent: whether a recognized loop actually streams is
+		// decided per run (scheme capability, observation level) and per
+		// entry (affine guards), with runScalarIters as the always-correct
+		// fallback.
+		sl, blk := pl.tryStream(st, slot, body)
+		diag := StreamDiag{Proc: pl.procName, Pos: st.Pos, Var: st.Var}
+		if sl != nil {
+			diag.OK = true
+			diag.Reads, diag.Writes = len(sl.reads), len(sl.writes)
+		} else {
+			diag.Reason, diag.ReasonPos = blk.reason, blk.pos
+		}
+		pl.l.streamDiags = append(pl.l.streamDiags, diag)
 		return func(t *task) {
 			lo, hi := int64(lo(t)), int64(hi(t))
 			s := int64(1)
@@ -450,13 +473,12 @@ func (pl *procLowerer) stmt(s pfl.Stmt) (stmtFn, error) {
 					fail("sim: %s: loop step is zero", pos)
 				}
 			}
-			for v := lo; (s > 0 && v <= hi) || (s < 0 && v >= hi); v += s {
-				t.slots[slot] = v
-				t.charge(2)
-				for _, b := range body {
-					b(t)
+			if sl != nil && !t.inCrit {
+				if ss := t.r.streamSys; ss != nil && runStream(t, ss, sl, lo, hi, s) {
+					return
 				}
 			}
+			runScalarIters(t, slot, body, lo, hi, s)
 		}, nil
 
 	case *pfl.IfStmt:

@@ -59,6 +59,12 @@ type Runner struct {
 	read  readFunc
 	write writeFunc
 
+	// streamSys is the stream-capable view of sys when the affine
+	// fast path is engaged for this run (cfg.FastPath, a Streamer
+	// scheme, and no per-reference observation that needs the scalar
+	// event order); nil otherwise. See stream.go.
+	streamSys memsys.Streamer
+
 	epoch      int64
 	cycles     int64
 	procWork   []int64 // cycles consumed by each processor in the current epoch
@@ -139,6 +145,17 @@ func (r *Runner) Run() (st *stats.Stats, err error) {
 	default:
 		r.read, r.write = readFast, writeFast
 	}
+	// The affine stream fast path engages only where it is provably
+	// equivalent: never under the text trace (per-reference lines), and
+	// under observation only at the counters level (order-free sums; the
+	// driver still emits per-reference events in scalar order). Schemes
+	// opt in via memsys.Streamer; everything else runs scalar.
+	r.streamSys = nil
+	if r.cfg.FastPath && r.trace == nil && (r.rec == nil || r.rec.Level() <= obs.LevelCounters) {
+		if ssys, ok := r.sys.(memsys.Streamer); ok && ssys.StreamCapable() {
+			r.streamSys = ssys
+		}
+	}
 	r.setupHostParallel()
 	for _, sc := range r.lp.prog.Scalars {
 		r.sys.Mem().InitWord(sc.Addr, sc.Init)
@@ -170,6 +187,10 @@ type task struct {
 	st    *stats.Stats
 	rec   obs.Sink
 	trace io.Writer
+
+	// ss is the task's lazily-allocated stream-execution scratch
+	// (cursors, address walkers, value stack); see stream.go.
+	ss *streamScratch
 }
 
 // charge adds processor cycles to the task's processor.

@@ -11,6 +11,8 @@
 package swschemes
 
 import (
+	"math"
+
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/memsys"
@@ -70,6 +72,23 @@ func (s *Base) EpochBoundary(epoch int64) int64 {
 	return 0
 }
 
+// StreamCapable implements memsys.Streamer.
+func (s *Base) StreamCapable() bool { return true }
+
+// InitReadCursor implements memsys.Streamer: every BASE read is the
+// inlined uncached remote word fetch.
+func (s *Base) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int) {
+	*c = memsys.ReadCursor{Mode: memsys.StreamBase, Core: s.Core, Ln: s.LaneFor(p), Proc: p}
+}
+
+// InitWriteCursor implements memsys.Streamer.
+func (s *Base) InitWriteCursor(c *memsys.WriteCursor, p int) {
+	*c = memsys.WriteCursor{
+		Mode: memsys.StreamBase, Core: s.Core, Ln: s.LaneFor(p),
+		Proc: p, Epoch: s.Epoch, SeqC: s.Cfg.SeqConsistency,
+	}
+}
+
 // SC is the software cache-bypass scheme.
 type SC struct {
 	*memsys.Core
@@ -91,6 +110,17 @@ func NewSC(cfg machine.Config, memWords int64) *SC {
 
 // Name implements memsys.System.
 func (s *SC) Name() string { return "SC" }
+
+// ReleaseCaches implements memsys.Releaser. The fields are nilled so any
+// use after release fails loudly instead of corrupting a pooled cache.
+func (s *SC) ReleaseCaches() {
+	for p, cc := range s.caches {
+		cache.Release(cc)
+		cache.ReleaseTracker(s.trackers[p])
+		cache.ReleaseWriteBuffer(s.wbufs[p])
+	}
+	s.caches, s.trackers, s.wbufs = nil, nil, nil
+}
 
 // HostShardable implements memsys.Sharded: SC's caches, trackers, and
 // write buffers are strictly per-processor; everything shared flows
@@ -209,4 +239,35 @@ func (s *SC) EpochBoundary(epoch int64) int64 {
 		wb.Flush()
 	}
 	return 0
+}
+
+// StreamCapable implements memsys.Streamer.
+func (s *SC) StreamCapable() bool { return true }
+
+// InitReadCursor implements memsys.Streamer: regular reads inline the
+// cache hit (any valid word hits, so the cut is the minimum timetag);
+// marked reads always take SC's bypass path.
+func (s *SC) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int) {
+	if kind != memsys.ReadRegular {
+		*c = memsys.ReadCursor{Mode: memsys.StreamUncached, Sys: s, Proc: p, Kind: kind, Window: window}
+		return
+	}
+	ln := s.LaneFor(p)
+	*c = memsys.ReadCursor{
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: s.caches[p],
+		Proc: p, Kind: kind, Window: window, Cut: math.MinInt64,
+		Epoch: s.Epoch, HitCycles: s.Cfg.HitCycles, HitCtx: "sc regular hit",
+		Fresh: ln.FreshWords(),
+	}
+}
+
+// InitWriteCursor implements memsys.Streamer: write-through with the
+// unconditional tag assignment (PromoteTT false).
+func (s *SC) InitWriteCursor(c *memsys.WriteCursor, p int) {
+	*c = memsys.WriteCursor{
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: s.LaneFor(p),
+		CC: s.caches[p], Tr: s.trackers[p], WB: s.wbufs[p],
+		Proc: p, Epoch: s.Epoch, WTT: s.Epoch,
+		SeqC: s.Cfg.SeqConsistency,
+	}
 }

@@ -20,6 +20,8 @@
 package tpi
 
 import (
+	"math"
+
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/memsys"
@@ -55,6 +57,17 @@ func New(cfg machine.Config, memWords int64) *System {
 
 // Name implements memsys.System.
 func (s *System) Name() string { return "TPI" }
+
+// ReleaseCaches implements memsys.Releaser. The fields are nilled so any
+// use after release fails loudly instead of corrupting a pooled cache.
+func (s *System) ReleaseCaches() {
+	for p, cc := range s.caches {
+		cache.Release(cc)
+		cache.ReleaseTracker(s.trackers[p])
+		cache.ReleaseWriteBuffer(s.wbufs[p])
+	}
+	s.caches, s.trackers, s.wbufs = nil, nil, nil
+}
 
 // HostShardable implements memsys.Sharded: TPI's coherence decisions are
 // processor-local (timetags against the global epoch counter, which only
@@ -426,3 +439,43 @@ func (s *System) flashInvalidate(p int) {
 
 // Caches exposes the per-processor caches for white-box tests.
 func (s *System) Caches() []*cache.Cache { return s.caches }
+
+// StreamCapable implements memsys.Streamer.
+func (s *System) StreamCapable() bool { return true }
+
+// InitReadCursor implements memsys.Streamer: regular and Time-Reads
+// inline the timetag hit check (the Time-Read cut is E - min(w, maxW),
+// the regular cut accepts any valid word); bypass reads always take the
+// scalar bypass path.
+func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int) {
+	if kind == memsys.ReadBypass {
+		*c = memsys.ReadCursor{Mode: memsys.StreamUncached, Sys: s, Proc: p, Kind: kind, Window: window}
+		return
+	}
+	cut := int64(math.MinInt64)
+	if kind == memsys.ReadTime {
+		cut = s.Epoch - s.effWindow(window)
+	}
+	ln := s.LaneFor(p)
+	*c = memsys.ReadCursor{
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: s.caches[p],
+		Proc: p, Kind: kind, Window: window, Cut: cut, PromoteTT: !s.Cfg.LineTimetags,
+		Epoch: s.Epoch, HitCycles: s.Cfg.HitCycles, HitCtx: kind.HitContext(),
+		Fresh: ln.FreshWords(),
+	}
+}
+
+// InitWriteCursor implements memsys.Streamer: write-through (or the
+// write-back-at-boundary policy) with the promote-if-older tag rule.
+func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int) {
+	wtt := s.Epoch
+	if s.Cfg.LineTimetags {
+		wtt = s.Epoch - 1
+	}
+	*c = memsys.WriteCursor{
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: s.LaneFor(p),
+		CC: s.caches[p], Tr: s.trackers[p], WB: s.wbufs[p],
+		Proc: p, Epoch: s.Epoch, WTT: wtt, PromoteTT: true,
+		WriteBack: s.Cfg.TPIWriteBack, SeqC: s.Cfg.SeqConsistency,
+	}
+}

@@ -52,11 +52,26 @@ func NewTwoLevel(cfg machine.Config, memWords int64) *TwoLevel {
 // Name implements memsys.System.
 func (t *TwoLevel) Name() string { return "TPI2L" }
 
+// ReleaseCaches implements memsys.Releaser: the L1s return to the pool
+// along with the embedded TPI system's timetagged caches.
+func (t *TwoLevel) ReleaseCaches() {
+	for _, cc := range t.l1 {
+		cache.Release(cc)
+	}
+	t.l1 = nil
+	t.System.ReleaseCaches()
+}
+
 // HostShardable overrides the embedded TPI opt-in: the two-level model
 // accumulates L1 counters (L1Hits, L1Misses, TimeReadL1Invalidations)
 // directly on the system from every processor's reference path, so
 // concurrent execution would race on them. TPI2L runs sequentially.
 func (t *TwoLevel) HostShardable() bool { return false }
+
+// StreamCapable overrides the embedded TPI opt-in: every reference must
+// go through the L1 filter (and its counters), which the inlined stream
+// cursors would skip. TPI2L takes the scalar path.
+func (t *TwoLevel) StreamCapable() bool { return false }
 
 // Read implements memsys.System.
 func (t *TwoLevel) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {

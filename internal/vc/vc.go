@@ -91,6 +91,17 @@ func New(cfg machine.Config, p *prog.Prog) *System {
 // Name implements memsys.System.
 func (s *System) Name() string { return "VC" }
 
+// ReleaseCaches implements memsys.Releaser. The fields are nilled so any
+// use after release fails loudly instead of corrupting a pooled cache.
+func (s *System) ReleaseCaches() {
+	for p, cc := range s.caches {
+		cache.Release(cc)
+		cache.ReleaseTracker(s.trackers[p])
+		cache.ReleaseWriteBuffer(s.wbufs[p])
+	}
+	s.caches, s.trackers, s.wbufs = nil, nil, nil
+}
+
 // cvnAt returns the current version of the variable holding addr
 // (padding words version 0, never advanced).
 func (s *System) cvnAt(addr prog.Word) int64 {
