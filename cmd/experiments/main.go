@@ -128,9 +128,26 @@ func main() {
 		{"E25", s.E25TimeDecomposition},
 	}
 
+	if *procs <= 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -procs must be positive, got %d\n", *procs)
+		os.Exit(1)
+	}
+	if *hostpar < 0 {
+		fmt.Fprintf(os.Stderr, "experiments: -hostpar must be >= 0, got %d\n", *hostpar)
+		os.Exit(1)
+	}
+	known := map[string]bool{}
+	for _, e := range entries {
+		known[e.id] = true
+	}
 	want := map[string]bool{}
 	for _, id := range selected {
-		want[strings.ToUpper(id)] = true
+		id = strings.ToUpper(id)
+		if !known[id] {
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment id %q (want E1..E%d)\n", id, len(entries))
+			os.Exit(1)
+		}
+		want[id] = true
 	}
 
 	var sink strings.Builder

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMain re-execs the test binary as the experiments command when the
+// marker variable is set, so the exit-code tests exercise the real
+// main() including its os.Exit paths.
+func TestMain(m *testing.M) {
+	if os.Getenv("EXPERIMENTS_BE_EXPERIMENTS") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runExperiments(t *testing.T, args ...string) (exit int, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "EXPERIMENTS_BE_EXPERIMENTS=1")
+	var errBuf strings.Builder
+	cmd.Stderr = &errBuf
+	err := cmd.Run()
+	if err == nil {
+		return 0, errBuf.String()
+	}
+	ee, ok := err.(*exec.ExitError)
+	if !ok {
+		t.Fatalf("run: %v", err)
+	}
+	return ee.ExitCode(), errBuf.String()
+}
+
+// TestExitCodes: malformed selections and inputs fail with a one-line
+// error, never a panic — and an unknown -exp id is an error rather than
+// a silently empty run.
+func TestExitCodes(t *testing.T) {
+	garbage := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(garbage, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		args []string
+		exit int
+		want string
+	}{
+		{"unknown flag", []string{"-no-such-flag"}, 2, "flag provided but not defined"},
+		{"unknown experiment", []string{"-quick", "-exp", "E99"}, 1, "unknown experiment id"},
+		{"bad procs", []string{"-quick", "-procs", "0"}, 1, "-procs"},
+		{"bad hostpar", []string{"-quick", "-hostpar", "-1"}, 1, "-hostpar"},
+		{"validate missing file", []string{"-validate", "/no/such/results.json"}, 1, "no such file"},
+		{"validate garbage", []string{"-validate", garbage}, 1, "results JSON"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			exit, stderr := runExperiments(t, tc.args...)
+			if exit != tc.exit {
+				t.Fatalf("exit %d, want %d\nstderr: %s", exit, tc.exit, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+			// (the re-exec'd binary's usage text includes the -test.*
+			// flag docs, so match the panic banner, not "goroutine")
+			if strings.Contains(stderr, "panic:") {
+				t.Fatalf("stderr shows a panic:\n%s", stderr)
+			}
+		})
+	}
+}
+
+func TestSelectedQuickRunExitsZero(t *testing.T) {
+	exit, stderr := runExperiments(t, "-quick", "-exp", "E2")
+	if exit != 0 {
+		t.Fatalf("exit %d\nstderr: %s", exit, stderr)
+	}
+}

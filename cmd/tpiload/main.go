@@ -1,0 +1,226 @@
+// Command tpiload is the load generator for tpiserved: it fires a mixed
+// batch of run requests (kernels × schemes, with a controlled duplicate
+// fraction to exercise the dedup and cache tiers), validates every
+// response as a structurally sound core.RunResult, and reports latency
+// percentiles plus the server's cache hit rates.
+//
+// Usage:
+//
+//	tpiload -addr http://localhost:8177 -requests 40 -c 8 -dup 0.5
+//
+// It exits non-zero if any request fails validation or the result-cache
+// hit rate falls below -min-hit-rate, which makes it double as the CI
+// smoke check for the service path.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/exper"
+	"repro/internal/svc"
+)
+
+func main() {
+	addr := flag.String("addr", "http://localhost:8177", "tpiserved base URL")
+	requests := flag.Int("requests", 40, "total number of submissions")
+	conc := flag.Int("c", 8, "concurrent client connections")
+	kernels := flag.String("kernels", "ocean,trfd", "comma-separated kernel names")
+	schemes := flag.String("schemes", "BASE,TPI,HW", "comma-separated coherence schemes")
+	n := flag.Int("n", 24, "kernel grid size")
+	steps := flag.Int("steps", 2, "kernel time steps")
+	dup := flag.Float64("dup", 0.5, "fraction of submissions that duplicate an earlier one [0,1)")
+	minHitRate := flag.Float64("min-hit-rate", 0, "fail unless the result-cache hit rate reaches this fraction")
+	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
+	flag.Parse()
+	if err := run(*addr, *requests, *conc, *kernels, *schemes, *n, *steps, *dup, *minHitRate, *wait); err != nil {
+		fmt.Fprintln(os.Stderr, "tpiload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, requests, conc int, kernels, schemes string, n, steps int, dup, minHitRate float64, wait time.Duration) error {
+	if requests < 1 || conc < 1 {
+		return fmt.Errorf("need -requests >= 1 and -c >= 1 (got %d, %d)", requests, conc)
+	}
+	if dup < 0 || dup >= 1 {
+		return fmt.Errorf("-dup %g out of range [0,1)", dup)
+	}
+	if err := waitHealthy(addr, wait); err != nil {
+		return err
+	}
+
+	batch := buildBatch(requests, splitList(kernels), splitList(schemes), n, steps, dup)
+	lat := make([]float64, len(batch))
+	errs := make([]error, len(batch))
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				lat[i], errs[i] = submit(addr, batch[i])
+			}
+		}()
+	}
+	start := time.Now()
+	for i := range batch {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			failed++
+			if failed <= 5 {
+				fmt.Fprintf(os.Stderr, "tpiload: request %d (%s/%s): %v\n",
+					i, batch[i].Kernel, batch[i].Scheme, err)
+			}
+		}
+	}
+
+	sort.Float64s(lat)
+	fmt.Printf("tpiload: %d requests, %d concurrent, %.1f req/s\n",
+		len(batch), conc, float64(len(batch))/elapsed.Seconds())
+	fmt.Printf("  latency ms: p50 %.2f  p95 %.2f  max %.2f\n",
+		lat[len(lat)/2], lat[len(lat)*95/100], lat[len(lat)-1])
+
+	hitRate, err := reportMetrics(addr)
+	if err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d requests failed", failed, len(batch))
+	}
+	if hitRate < minHitRate {
+		return fmt.Errorf("result-cache hit rate %.3f below -min-hit-rate %.3f", hitRate, minHitRate)
+	}
+	return nil
+}
+
+// buildBatch lays out the submission mix: the unique points cycle
+// through kernels × schemes (varying n to mint extra distinct points
+// when needed), and the duplicate tail repeats them in order, so a -dup
+// fraction of the batch is guaranteed to hit the dedup or cache path.
+func buildBatch(requests int, kernels, schemes []string, n, steps int, dup float64) []svc.RunRequest {
+	uniques := requests - int(float64(requests)*dup)
+	if uniques < 1 {
+		uniques = 1
+	}
+	batch := make([]svc.RunRequest, 0, requests)
+	for i := 0; i < uniques; i++ {
+		variant := i / (len(kernels) * len(schemes))
+		batch = append(batch, svc.RunRequest{
+			Kernel: kernels[i%len(kernels)],
+			Scheme: schemes[(i/len(kernels))%len(schemes)],
+			N:      n + 2*variant,
+			Steps:  steps,
+		})
+	}
+	for i := uniques; i < requests; i++ {
+		batch = append(batch, batch[i%uniques])
+	}
+	return batch
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	if len(out) == 0 {
+		out = []string{""}
+	}
+	return out
+}
+
+// submit posts one run and validates the response end to end.
+func submit(addr string, req svc.RunRequest) (ms float64, err error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	resp, err := http.Post(addr+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	ms = float64(time.Since(t0)) / float64(time.Millisecond)
+	var st svc.JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return ms, fmt.Errorf("HTTP %d: %w", resp.StatusCode, err)
+	}
+	if resp.StatusCode != http.StatusOK || st.State != svc.StateDone {
+		return ms, fmt.Errorf("HTTP %d state %s: %s", resp.StatusCode, st.State, st.Error)
+	}
+	r, err := exper.ValidateRunResult(st.Result)
+	if err != nil {
+		return ms, err
+	}
+	if r.Scheme != st.Scheme {
+		return ms, fmt.Errorf("result scheme %s disagrees with job scheme %s", r.Scheme, st.Scheme)
+	}
+	return ms, nil
+}
+
+func waitHealthy(addr string, wait time.Duration) error {
+	deadline := time.Now().Add(wait)
+	for {
+		resp, err := http.Get(addr + "/v1/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			if err != nil {
+				return fmt.Errorf("server not healthy after %v: %w", wait, err)
+			}
+			return fmt.Errorf("server not healthy after %v (HTTP %d)", wait, resp.StatusCode)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// reportMetrics prints the server-side view and returns the result-cache
+// hit rate.
+func reportMetrics(addr string) (float64, error) {
+	resp, err := http.Get(addr + "/v1/metrics")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var m svc.Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return 0, fmt.Errorf("metrics: %w", err)
+	}
+	hitRate := 0.0
+	if total := m.ResultCache.Hits + m.ResultCache.Misses; total > 0 {
+		hitRate = float64(m.ResultCache.Hits) / float64(total)
+	}
+	fmt.Printf("  server: submitted %d  simulated %d  deduped %d  cacheServed %d  failed %d\n",
+		m.Jobs.Submitted, m.Jobs.Simulated, m.Jobs.Deduped, m.Jobs.CacheServed, m.Jobs.Failed)
+	fmt.Printf("  result cache: %.1f%% hit (%d/%d)  compile cache: %d hit / %d miss\n",
+		100*hitRate, m.ResultCache.Hits, m.ResultCache.Hits+m.ResultCache.Misses,
+		m.CompileCache.Hits, m.CompileCache.Misses)
+	for sc, l := range m.RunsByScheme {
+		fmt.Printf("  %s: %d runs, mean %.2f ms, max %.2f ms\n", sc, l.Count, l.TotalMS/float64(l.Count), l.MaxMS)
+	}
+	return hitRate, nil
+}

@@ -1,0 +1,87 @@
+// Command tpiserved is the simulation-as-a-service daemon: it serves the
+// internal/svc HTTP JSON API (POST /v1/runs, GET/DELETE /v1/runs/{id},
+// GET /v1/healthz, GET /v1/metrics) over a bounded worker pool with
+// content-addressed compile and result caches.
+//
+// Usage:
+//
+//	tpiserved -addr :8177 -workers 4
+//
+// SIGTERM or SIGINT drains gracefully: new submissions are rejected with
+// 503 while in-flight and queued jobs run to completion (bounded by
+// -drain-timeout, after which stragglers are cancelled at their next
+// epoch barrier). See docs/SERVICE.md for the API reference.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/svc"
+)
+
+func main() {
+	addr := flag.String("addr", ":8177", "listen address")
+	workers := flag.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 256, "submission queue depth (full queue rejects with 429)")
+	compileCache := flag.Int("compile-cache", 128, "compile cache entries")
+	resultCache := flag.Int("result-cache", 4096, "result cache entries")
+	jobTimeout := flag.Duration("job-timeout", 5*time.Minute, "default per-job deadline for requests without timeoutMs")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "how long a SIGTERM drain waits before cancelling in-flight jobs")
+	maxBody := flag.Int64("max-body", 8<<20, "request body size limit in bytes")
+	flag.Parse()
+	if flag.NArg() != 0 {
+		fmt.Fprintf(os.Stderr, "tpiserved: unexpected argument %q\n", flag.Arg(0))
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	s := svc.New(svc.Options{
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		CompileCacheEntries: *compileCache,
+		ResultCacheEntries:  *resultCache,
+		DefaultTimeout:      *jobTimeout,
+		MaxBodyBytes:        *maxBody,
+	})
+	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := hs.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	log.Printf("tpiserved: serving on %s", *addr)
+
+	select {
+	case err := <-errc:
+		fmt.Fprintln(os.Stderr, "tpiserved:", err)
+		os.Exit(1)
+	case sig := <-sigc:
+		log.Printf("tpiserved: %v: draining (up to %v)", sig, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(ctx)
+	if err := hs.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "tpiserved:", err)
+		os.Exit(1)
+	}
+	if drainErr != nil {
+		fmt.Fprintln(os.Stderr, "tpiserved:", drainErr)
+		os.Exit(1)
+	}
+	log.Printf("tpiserved: drained cleanly")
+}

@@ -87,6 +87,19 @@ func main() {
 		}()
 	}
 
+	switch {
+	case *procs <= 0:
+		fatal(fmt.Errorf("-procs must be positive, got %d", *procs))
+	case *cacheKB <= 0:
+		fatal(fmt.Errorf("-cache must be positive, got %d", *cacheKB))
+	case *lineWords <= 0:
+		fatal(fmt.Errorf("-line must be positive, got %d", *lineWords))
+	case *benchName != "" && (*n < 2 || *steps < 1):
+		fatal(fmt.Errorf("benchmark size out of range: -n %d -steps %d (want n >= 2, steps >= 1)", *n, *steps))
+	case *hostpar < 0:
+		fatal(fmt.Errorf("-hostpar must be >= 0, got %d", *hostpar))
+	}
+
 	var src, program string
 	switch {
 	case *benchName != "":
@@ -113,7 +126,7 @@ func main() {
 	if strings.EqualFold(*schemeName, "all") {
 		schemes = machine.AllSchemes
 	} else {
-		s, err := parseScheme(*schemeName)
+		s, err := machine.ParseScheme(*schemeName)
 		if err != nil {
 			fatal(err)
 		}
@@ -262,15 +275,6 @@ func explainFastPath(program string, diags []sim.StreamDiag) {
 	}
 	fmt.Printf("  %d/%d loops stream; recognized loops still run scalar under HW/VC/two-level TPI, "+
 		"trace-level observation, or when an entry guard fails\n", streamed, len(diags))
-}
-
-func parseScheme(s string) (machine.Scheme, error) {
-	for _, sc := range machine.AllSchemes {
-		if strings.EqualFold(sc.String(), s) {
-			return sc, nil
-		}
-	}
-	return 0, fmt.Errorf("unknown scheme %q (want BASE, SC, TPI, HW, VC, or all)", s)
 }
 
 func fatal(err error) {

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// TestConcurrentRun is the safety contract the svc compile cache depends
+// on: one Compiled shared by many goroutines (each running its own
+// simulation, across every scheme) must produce bit-identical statistics
+// — Compiled is immutable after Compile, and all mutable run state is
+// per-Run. Run under -race in CI.
+func TestConcurrentRun(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	const goroutines = 8
+	for _, s := range machine.AllSchemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel() // schemes also overlap, sharing the same Compiled
+			cfg := machine.Default(s)
+			cfg.Procs = 8
+
+			snaps := make([][]byte, goroutines)
+			errs := make([]error, goroutines)
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					st, err := Run(c, cfg)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					snaps[g], errs[g] = json.Marshal(st.Snapshot())
+				}(g)
+			}
+			wg.Wait()
+			for g := 0; g < goroutines; g++ {
+				if errs[g] != nil {
+					t.Fatalf("goroutine %d: %v", g, errs[g])
+				}
+				if string(snaps[g]) != string(snaps[0]) {
+					t.Fatalf("goroutine %d snapshot diverges:\n%s\nvs\n%s", g, snaps[g], snaps[0])
+				}
+			}
+		})
+	}
+}

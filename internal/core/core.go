@@ -13,6 +13,9 @@
 package core
 
 import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"io"
 	"sync"
@@ -52,6 +55,13 @@ func DefaultCompileOptions() CompileOptions {
 }
 
 // Compiled is a fully analyzed, executable program.
+//
+// A Compiled is immutable after Compile returns: every field is written
+// once by the pipeline and only read afterwards, and the lazily-lowered
+// closure IR is guarded by a sync.Once. One Compiled may therefore be
+// shared freely across concurrent Run*/RunObserved* calls — the contract
+// the exper sweep executor and the svc compile cache depend on (see
+// TestConcurrentRun).
 type Compiled struct {
 	Source   string
 	AST      *pfl.Program
@@ -60,9 +70,30 @@ type Compiled struct {
 	Analysis *sections.Analysis
 	Marks    *marking.Result
 
+	// Key is the content address of this compilation: hex
+	// sha256(source, canonical CompileOptions), set by Compile. Equal
+	// keys mean byte-equal source compiled under equivalent options, so
+	// Key is a safe cache/dedup identity for the compile artifact.
+	Key string
+
 	lowerOnce sync.Once
 	lowered   *sim.Program
 	lowerErr  error
+}
+
+// CompileKey is the content address Compile assigns to (src, opts)
+// without running the pipeline: cache lookups hash first and compile
+// only on miss. Options are canonicalized (AlignWords <= 0 means 4, as
+// Compile applies) so equivalent spellings collide.
+func CompileKey(src string, opts CompileOptions) string {
+	if opts.AlignWords <= 0 {
+		opts.AlignWords = 4
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "interproc=%t firstread=%t align=%d pad=%t\n%d\n",
+		opts.Interproc, opts.FirstReadReuse, opts.AlignWords, opts.PadScalars, len(src))
+	io.WriteString(h, src)
+	return hex.EncodeToString(h.Sum(nil))
 }
 
 // Lowered returns the program's slot-addressed closure IR, lowering on
@@ -95,7 +126,8 @@ func Compile(src string, opts CompileOptions) (*Compiled, error) {
 	}
 	a := sections.Analyze(p, sections.Options{Interproc: opts.Interproc})
 	m := marking.Compute(a, marking.Options{FirstReadReuse: opts.FirstReadReuse})
-	return &Compiled{Source: src, AST: ast, Info: info, Prog: p, Analysis: a, Marks: m}, nil
+	return &Compiled{Source: src, AST: ast, Info: info, Prog: p, Analysis: a, Marks: m,
+		Key: CompileKey(src, opts)}, nil
 }
 
 // CompileForConfig compiles with the analysis toggles and alignment that
@@ -133,11 +165,28 @@ func NewSystem(cfg machine.Config, p *prog.Prog) (memsys.System, error) {
 	}
 }
 
+// RunOptions carries the optional per-run controls shared by the Run*
+// variants. The zero value reproduces the plain Run behavior.
+type RunOptions struct {
+	// Ctx, when non-nil, aborts the run at the next epoch barrier once
+	// the context is cancelled or past its deadline: the run returns an
+	// error wrapping ctx.Err() (errors.Is-able against context.Canceled
+	// and context.DeadlineExceeded) and the system's pooled caches are
+	// still released. Epoch barriers are the natural abort point — no
+	// task is mid-reference, so the memory system is consistent.
+	Ctx context.Context
+}
+
 // Run simulates the compiled program on a fresh memory system for cfg and
 // returns the run statistics. Unlike RunWithMemory, no memory snapshot is
 // taken (the sweep executors and benchmarks discard it).
 func Run(c *Compiled, cfg machine.Config) (*stats.Stats, error) {
-	st, sys, err := runSystem(c, cfg)
+	return RunWithOptions(c, cfg, RunOptions{})
+}
+
+// RunWithOptions is Run with per-run controls (cancellation).
+func RunWithOptions(c *Compiled, cfg machine.Config, opts RunOptions) (*stats.Stats, error) {
+	st, sys, err := runSystem(c, cfg, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -147,7 +196,7 @@ func Run(c *Compiled, cfg machine.Config) (*stats.Stats, error) {
 
 // RunWithMemory is Run plus the final memory image (for result checks).
 func RunWithMemory(c *Compiled, cfg machine.Config) (*stats.Stats, []float64, error) {
-	st, sys, err := runSystem(c, cfg)
+	st, sys, err := runSystem(c, cfg, RunOptions{})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -158,8 +207,13 @@ func RunWithMemory(c *Compiled, cfg machine.Config) (*stats.Stats, []float64, er
 
 // runSystem builds the memory system, runs the simulation, and checks
 // the directory invariants. The caller extracts what it needs from the
-// returned system and then releases it.
-func runSystem(c *Compiled, cfg machine.Config) (*stats.Stats, memsys.System, error) {
+// returned system and then releases it. On error the system has already
+// been released: every failure path — lowering, a runtime fault inside
+// the simulation, a cancelled context, a failed invariant check —
+// returns its pooled caches, so an aborted run never leaks pool
+// capacity (and never poisons it: pooled structures are reset to the
+// fresh-construction state on reacquire).
+func runSystem(c *Compiled, cfg machine.Config, opts RunOptions) (*stats.Stats, memsys.System, error) {
 	lp, err := c.Lowered()
 	if err != nil {
 		return nil, nil, err
@@ -169,12 +223,17 @@ func runSystem(c *Compiled, cfg machine.Config) (*stats.Stats, memsys.System, er
 		return nil, nil, err
 	}
 	r := sim.NewLowered(lp, sys, cfg)
+	if opts.Ctx != nil {
+		r.SetContext(opts.Ctx)
+	}
 	st, err := r.Run()
 	if err != nil {
+		releaseSystem(sys)
 		return nil, nil, err
 	}
 	if hw, ok := sys.(*hwdir.System); ok {
 		if err := hw.CheckInvariants(); err != nil {
+			releaseSystem(sys)
 			return nil, nil, err
 		}
 	}
@@ -204,10 +263,10 @@ func RunTraced(c *Compiled, cfg machine.Config, w io.Writer) (*stats.Stats, erro
 	r := sim.NewLowered(lp, sys, cfg)
 	r.SetTrace(w)
 	st, err := r.Run()
+	releaseSystem(sys) // on error too: nothing is extracted from sys after this
 	if err != nil {
 		return nil, err
 	}
-	releaseSystem(sys)
 	return st, nil
 }
 

@@ -61,8 +61,15 @@ func BuildObsMeta(c *Compiled, cfg machine.Config) obs.Meta {
 // statistics and the attributed report. With level off and no trace
 // writer it degrades to a plain Run and a nil report.
 func RunObserved(c *Compiled, cfg machine.Config, level obs.Level, traceW io.Writer) (*stats.Stats, *obs.Report, error) {
+	return RunObservedWithOptions(c, cfg, level, traceW, RunOptions{})
+}
+
+// RunObservedWithOptions is RunObserved with per-run controls
+// (cancellation). Like runSystem, every error path releases the
+// system's pooled caches.
+func RunObservedWithOptions(c *Compiled, cfg machine.Config, level obs.Level, traceW io.Writer, opts RunOptions) (*stats.Stats, *obs.Report, error) {
 	if level == obs.LevelOff && traceW == nil {
-		st, err := Run(c, cfg)
+		st, err := RunWithOptions(c, cfg, opts)
 		return st, nil, err
 	}
 	lp, err := c.Lowered()
@@ -75,22 +82,27 @@ func RunObserved(c *Compiled, cfg machine.Config, level obs.Level, traceW io.Wri
 	}
 	rec, err := obs.NewRecorder(level, BuildObsMeta(c, cfg), traceW)
 	if err != nil {
+		releaseSystem(sys)
 		return nil, nil, err
 	}
 	r := sim.NewLowered(lp, sys, cfg)
 	r.SetObserver(rec)
+	if opts.Ctx != nil {
+		r.SetContext(opts.Ctx)
+	}
 	if ps, ok := sys.(memsys.Probed); ok {
 		ps.SetProbe(rec)
 	}
 	st, err := r.Run()
 	if err != nil {
+		releaseSystem(sys)
 		return nil, nil, err
 	}
 	rep, err := rec.Finish(st)
+	releaseSystem(sys) // stats and report are extracted; error or not, sys is done
 	if err != nil {
 		return st, rep, err
 	}
-	releaseSystem(sys)
 	return st, rep, nil
 }
 

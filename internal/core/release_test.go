@@ -1,0 +1,151 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/machine"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// faultySrc caches plenty of state in its first epoch, then faults
+// mid-run: IDX holds values up to 3*(n-1), so the gather's runtime
+// subscript walks out of X's bounds partway through the second doall.
+const faultySrc = `
+program faulty
+param n = 24
+array IDX[n]
+array X[n]
+proc main() {
+  doall i = 0 to n-1 {
+    IDX[i] = i * 3
+    X[i] = i
+  }
+  doall i = 0 to n-1 {
+    X[i] = X[IDX[i]]
+  }
+}
+`
+
+// TestMidRunFaultReleasesPooledState forces a runtime fault in the middle
+// of a simulation and asserts that (a) the fault surfaces as an error,
+// not a panic, and (b) pooled cache structures handed back by the failed
+// run come back fresh: a subsequent good run over the same cache
+// geometry is bit-identical to the same run before the fault ever
+// happened. This covers the release-on-error paths of Run, RunTraced,
+// and RunObserved.
+func TestMidRunFaultReleasesPooledState(t *testing.T) {
+	good := compileT(t, stencilSrc)
+	bad := compileT(t, faultySrc)
+
+	for _, s := range machine.AllSchemes {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := machine.Default(s)
+			cfg.Procs = 8
+
+			before, err := Run(good, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := before.Snapshot()
+
+			if _, err := Run(bad, cfg); err == nil {
+				t.Fatal("faulty program ran to completion")
+			} else if !strings.Contains(err.Error(), "subscript") && !strings.Contains(err.Error(), "out of range") {
+				t.Fatalf("unexpected fault: %v", err)
+			}
+			if _, _, err := RunObservedWithOptions(bad, cfg, obs.LevelCounters, nil, RunOptions{}); err == nil {
+				t.Fatal("faulty program ran to completion under observation")
+			}
+			if _, err := RunTraced(bad, cfg, discard{}); err == nil {
+				t.Fatal("faulty program ran to completion under tracing")
+			}
+
+			after, err := Run(good, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if snapshotKey(t, after.Snapshot()) != snapshotKey(t, want) {
+				t.Fatalf("pooled state leaked across a failed run:\nbefore %s\nafter  %s",
+					snapshotKey(t, want), snapshotKey(t, after.Snapshot()))
+			}
+		})
+	}
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// snapshotKey is a snapshot's bit-exact identity for equality checks.
+func snapshotKey(t *testing.T, s stats.Snapshot) string {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// TestRunContextCancellation: an already-cancelled context aborts before
+// the first epoch; a deadline mid-run aborts at the next epoch barrier,
+// promptly, with a context-classifiable error, and without poisoning the
+// pools for the next run.
+func TestRunContextCancellation(t *testing.T) {
+	c := compileT(t, stencilSrc)
+	cfg := machine.Default(machine.SchemeTPI)
+	cfg.Procs = 8
+
+	want, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunWithOptions(c, cfg, RunOptions{Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+
+	// A long run (many epochs) against a short deadline: the abort must
+	// land at an epoch barrier within moments of the deadline.
+	long := compileT(t, `
+program longrun
+param n = 16
+array A[n]
+proc main() {
+  doall i = 0 to n-1 { A[i] = i }
+  for t = 0 to 200000 {
+    doall i = 0 to n-1 { A[i] = A[i] + 1.0 }
+  }
+}
+`)
+	const deadline = 50 * time.Millisecond
+	dctx, dcancel := context.WithTimeout(context.Background(), deadline)
+	defer dcancel()
+	start := time.Now()
+	_, err = RunWithOptions(long, cfg, RunOptions{Ctx: dctx})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v (after %v)", err, elapsed)
+	}
+	if elapsed > deadline+100*time.Millisecond {
+		t.Fatalf("deadline abort took %v (deadline %v + 100ms grace)", elapsed, deadline)
+	}
+
+	// The aborted runs released their systems; the pools still serve
+	// fresh state.
+	again, err := Run(c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshotKey(t, again.Snapshot()) != snapshotKey(t, want.Snapshot()) {
+		t.Fatal("run after cancelled runs diverges: pooled state leaked")
+	}
+}

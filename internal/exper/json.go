@@ -5,6 +5,8 @@ import (
 	"fmt"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
 )
 
 // ResultsSchemaVersion identifies the experiments JSON schema; bump it on
@@ -45,6 +47,43 @@ func (t *Table) UnmarshalJSON(b []byte) error {
 	}
 	*t = Table{ID: jt.ID, Title: jt.Title, Columns: jt.Columns, Rows: jt.Rows, Notes: jt.Notes}
 	return nil
+}
+
+// ValidateRunResult parses data as a single-run core.RunResult document
+// (what `tpisim -json` prints and the svc server returns) and checks its
+// structural invariants: a known scheme, positive processor count, a
+// stats block whose scheme agrees, and self-consistent counters (hits
+// plus classified misses account for every reference; cycles and epochs
+// are positive for any run that touched memory). It returns the parsed
+// document on success.
+func ValidateRunResult(data []byte) (*core.RunResult, error) {
+	var r core.RunResult
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("exper: run result JSON: %w", err)
+	}
+	if _, err := machine.ParseScheme(r.Scheme); err != nil {
+		return nil, fmt.Errorf("exper: run result: %w", err)
+	}
+	if r.Procs <= 0 {
+		return nil, fmt.Errorf("exper: run result has procs %d", r.Procs)
+	}
+	s := r.Stats
+	if s.Scheme != r.Scheme {
+		return nil, fmt.Errorf("exper: stats scheme %q disagrees with run scheme %q", s.Scheme, r.Scheme)
+	}
+	if s.Reads < 0 || s.Writes < 0 {
+		return nil, fmt.Errorf("exper: negative reference counts (reads %d writes %d)", s.Reads, s.Writes)
+	}
+	if got, want := s.ReadHits+s.ReadMisses.Total(), s.Reads; got != want {
+		return nil, fmt.Errorf("exper: read hits+misses = %d, want %d reads", got, want)
+	}
+	if got, want := s.WriteHits+s.WriteMisses.Total(), s.Writes; got != want {
+		return nil, fmt.Errorf("exper: write hits+misses = %d, want %d writes", got, want)
+	}
+	if s.Reads+s.Writes > 0 && (s.Cycles <= 0 || s.Epochs <= 0) {
+		return nil, fmt.Errorf("exper: run touched memory but cycles=%d epochs=%d", s.Cycles, s.Epochs)
+	}
+	return &r, nil
 }
 
 // ValidateResults parses data as a Results document and checks its

@@ -7,7 +7,15 @@
 // delays follow the Kruskal–Snir analytic model.
 package machine
 
-import "fmt"
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strconv"
+	"strings"
+)
 
 // Scheme selects the coherence scheme under simulation.
 type Scheme int
@@ -47,6 +55,44 @@ func (s Scheme) String() string {
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
+}
+
+// ParseScheme resolves a scheme name (case-insensitive: "tpi", "HW", ...).
+func ParseScheme(s string) (Scheme, error) {
+	for _, sc := range AllSchemes {
+		if strings.EqualFold(sc.String(), s) {
+			return sc, nil
+		}
+	}
+	return 0, fmt.Errorf("machine: unknown scheme %q (want BASE, SC, TPI, HW, or VC)", s)
+}
+
+// MarshalJSON encodes the scheme by name, so configs serialize as
+// {"Scheme":"TPI",...} rather than an opaque enum ordinal.
+func (s Scheme) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.String())
+}
+
+// UnmarshalJSON accepts either a scheme name or the legacy ordinal.
+func (s *Scheme) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return err
+		}
+		sc, err := ParseScheme(name)
+		if err != nil {
+			return err
+		}
+		*s = sc
+		return nil
+	}
+	n, err := strconv.Atoi(string(bytes.TrimSpace(b)))
+	if err != nil || n < 0 || n > int(SchemeVC) {
+		return fmt.Errorf("machine: invalid scheme %s", b)
+	}
+	*s = Scheme(n)
+	return nil
 }
 
 // Schemes lists the paper's four schemes in its comparison order.
@@ -247,6 +293,74 @@ func (c Config) Validate() error {
 		}
 	}
 	return nil
+}
+
+// DefaultMaxEpochs is the runaway-simulation guard applied when
+// Config.MaxEpochs is zero.
+const DefaultMaxEpochs = 50_000_000
+
+// ParseConfig decodes a Config from JSON, rejecting unknown fields so a
+// typo'd override ("LineWord") fails loudly instead of silently running
+// the default. Field names are the Go struct names; Scheme accepts its
+// string form. The input is merged over base, so callers pass
+// Default(scheme) to get override semantics. The result is validated but
+// NOT canonicalized; cache-key users must call Canonical themselves.
+func ParseConfig(data []byte, base Config) (Config, error) {
+	cfg := base
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return Config{}, fmt.Errorf("machine: config JSON: %w", err)
+	}
+	// A second document in the payload is a client bug, not trailing noise.
+	if dec.More() {
+		return Config{}, fmt.Errorf("machine: config JSON: trailing data after config object")
+	}
+	if err := cfg.Validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// Canonical returns the config with behavior-neutral zero values resolved
+// to the defaults the runtime would apply anyway, so two configs that
+// simulate identically serialize identically:
+//
+//   - Topology ""  → "multistage" (memsys builds the multistage net for both)
+//   - MaxEpochs 0  → DefaultMaxEpochs (the guard sim applies for 0)
+//   - HostParallel 0 → 1 (both select the sequential runner)
+//
+// Fields that change only host-side performance but are contractually
+// bit-identical in results (FastPath, HostParallel > 1) are kept as-is:
+// a kill-switch run must really re-execute.
+func (c Config) Canonical() Config {
+	if c.Topology == "" {
+		c.Topology = "multistage"
+	}
+	if c.MaxEpochs == 0 {
+		c.MaxEpochs = DefaultMaxEpochs
+	}
+	if c.HostParallel == 0 {
+		c.HostParallel = 1
+	}
+	return c
+}
+
+// CanonicalJSON is the deterministic serialization used for cache keys:
+// the canonicalized config marshaled with the fixed struct field order.
+func (c Config) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(c.Canonical())
+}
+
+// Hash is the content address of the canonical config (hex sha256),
+// stable across processes and across equivalent spellings of a config.
+func (c Config) Hash() (string, error) {
+	b, err := c.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // MaxWindow is the widest Time-Read window the timetag width can support:

@@ -23,6 +23,7 @@ package sim
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -52,6 +53,7 @@ type Runner struct {
 	lowerErr error
 	sys      memsys.System
 	cfg      machine.Config
+	ctx      context.Context
 	trace    io.Writer
 	rec      *obs.Recorder
 	st       *stats.Stats // sys.Stats(), cached at Run start for the observed path
@@ -96,7 +98,7 @@ func New(p *prog.Prog, marks *marking.Result, sys memsys.System, cfg machine.Con
 func NewLowered(lp *Program, sys memsys.System, cfg machine.Config) *Runner {
 	maxE := cfg.MaxEpochs
 	if maxE == 0 {
-		maxE = 50_000_000
+		maxE = machine.DefaultMaxEpochs
 	}
 	return &Runner{
 		lp:        lp,
@@ -331,6 +333,19 @@ func loopExit(h *epochg.Node) *epochg.Node {
 // and package obs.
 func (r *Runner) SetTrace(w io.Writer) { r.trace = w }
 
+// SetContext attaches a cancellation context: the runner checks it at
+// every epoch barrier (the natural stopping point — no task is mid-
+// flight, so the memory system is consistent and releasable) and aborts
+// the run with an error wrapping ctx.Err(). Pass nil to disable. The
+// check is one atomic load per epoch, unmeasurable against the barrier's
+// own work.
+func (r *Runner) SetContext(ctx context.Context) {
+	if ctx == context.Background() || ctx == context.TODO() {
+		ctx = nil
+	}
+	r.ctx = ctx
+}
+
 // SetObserver attaches an instrumentation recorder (see package obs):
 // every memory reference is classified and attributed, and epoch
 // boundaries are announced with the cumulative cycle count. Pass nil to
@@ -339,6 +354,11 @@ func (r *Runner) SetObserver(rec *obs.Recorder) { r.rec = rec }
 
 // enterEpoch advances the global epoch counter and applies boundary costs.
 func (r *Runner) enterEpoch() {
+	if r.ctx != nil {
+		if err := r.ctx.Err(); err != nil {
+			panic(runError{fmt.Errorf("sim: run aborted at epoch %d barrier: %w", r.epoch, err)})
+		}
+	}
 	r.epoch++
 	if r.trace != nil {
 		fmt.Fprintf(r.trace, "E %d\n", r.epoch)

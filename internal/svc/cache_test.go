@@ -1,0 +1,124 @@
+package svc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU[int](2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // refresh a; b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for k, want := range map[string]int{"a": 1, "c": 3} {
+		got, ok := c.Get(k)
+		if !ok || got != want {
+			t.Fatalf("%s = %d,%v want %d", k, got, ok, want)
+		}
+	}
+	st := c.Stats()
+	if st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hits %d misses %d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUPutRefreshesExisting(t *testing.T) {
+	c := newLRU[string](2)
+	c.Put("a", "1")
+	c.Put("b", "2")
+	c.Put("a", "1") // refresh, not insert
+	c.Put("c", "3") // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived")
+	}
+	if v, ok := c.Get("a"); !ok || v != "1" {
+		t.Fatalf("a = %q,%v", v, ok)
+	}
+}
+
+func TestLRUConcurrent(t *testing.T) {
+	c := newLRU[int](32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", (g*7+i)%48)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Size > 32 {
+		t.Fatalf("size %d over capacity", st.Size)
+	}
+}
+
+func TestSingleflightCollapses(t *testing.T) {
+	var g flightGroup[int]
+	var calls atomic.Int64
+	gate := make(chan struct{})
+
+	var wg sync.WaitGroup
+	results := make([]int, 8)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do("key", func() (int, error) {
+				calls.Add(1)
+				<-gate
+				return 42, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Let every goroutine reach Do before releasing the one real call.
+	for calls.Load() == 0 {
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+	for i, v := range results {
+		if v != 42 {
+			t.Fatalf("result[%d] = %d", i, v)
+		}
+	}
+
+	// The key is released after completion: a later Do runs fresh.
+	_, _, shared := g.Do("key", func() (int, error) {
+		calls.Add(1)
+		return 7, nil
+	})
+	if shared || calls.Load() != 2 {
+		t.Fatalf("second Do shared=%v calls=%d, want fresh call", shared, calls.Load())
+	}
+}
+
+func TestSingleflightPropagatesError(t *testing.T) {
+	var g flightGroup[int]
+	wantErr := fmt.Errorf("boom")
+	_, err, _ := g.Do("k", func() (int, error) { return 0, wantErr })
+	if err != wantErr {
+		t.Fatalf("err = %v", err)
+	}
+}

@@ -1,0 +1,108 @@
+package svc
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// Handler returns the HTTP API:
+//
+//	POST   /v1/runs       submit a RunRequest; waits for completion
+//	                      unless async, then 202 + job id
+//	GET    /v1/runs/{id}  job status (with result once done)
+//	DELETE /v1/runs/{id}  cancel a queued or running job
+//	GET    /v1/healthz    {"status":"ok"} or 503 {"status":"draining"}
+//	GET    /v1/metrics    Metrics JSON
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error())
+			return
+		}
+		writeError(w, http.StatusBadRequest, "svc: request JSON: "+err.Error())
+		return
+	}
+
+	jb, deduped, apiErr := s.Submit(&req)
+	if apiErr != nil {
+		writeError(w, apiErr.code, apiErr.msg)
+		return
+	}
+	if req.Async {
+		writeStatus(w, jb.status(deduped))
+		return
+	}
+	writeStatus(w, s.Wait(r.Context(), jb, deduped))
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "svc: unknown job "+r.PathValue("id"))
+		return
+	}
+	writeStatus(w, jb.status(false))
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.Cancel(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "svc: unknown job "+r.PathValue("id"))
+		return
+	}
+	writeStatus(w, jb.status(false))
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if draining {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]string{"status": "draining"})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.MetricsSnapshot())
+}
+
+// writeStatus renders a job status: 200 once terminal, 202 while the
+// job is still queued or running (async submissions and polls).
+func writeStatus(w http.ResponseWriter, st JobStatus) {
+	w.Header().Set("Content-Type", "application/json")
+	switch st.State {
+	case StateDone, StateFailed, StateCancelled:
+		w.WriteHeader(http.StatusOK)
+	default:
+		w.WriteHeader(http.StatusAccepted)
+	}
+	json.NewEncoder(w).Encode(st)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

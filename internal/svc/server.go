@@ -1,0 +1,510 @@
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Options sizes the server. Zero values select the defaults noted on
+// each field.
+type Options struct {
+	// Workers is the worker-pool size — the maximum number of
+	// simulations in flight (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the submission queue; a full queue rejects with
+	// 429 rather than buffering unboundedly (default 256).
+	QueueDepth int
+	// CompileCacheEntries bounds the compile tier (default 128).
+	CompileCacheEntries int
+	// ResultCacheEntries bounds the result tier (default 4096).
+	ResultCacheEntries int
+	// DefaultTimeout applies to jobs that carry no timeoutMs, measured
+	// from submission (default 5m; <0 disables).
+	DefaultTimeout time.Duration
+	// MaxBodyBytes bounds POST bodies (default 8 MiB).
+	MaxBodyBytes int64
+	// JobHistory is how many finished jobs stay queryable by id
+	// (default 4096).
+	JobHistory int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 256
+	}
+	if o.CompileCacheEntries <= 0 {
+		o.CompileCacheEntries = 128
+	}
+	if o.ResultCacheEntries <= 0 {
+		o.ResultCacheEntries = 4096
+	}
+	if o.DefaultTimeout == 0 {
+		o.DefaultTimeout = 5 * time.Minute
+	}
+	if o.DefaultTimeout < 0 {
+		o.DefaultTimeout = 0
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	if o.JobHistory <= 0 {
+		o.JobHistory = 4096
+	}
+	return o
+}
+
+// Server is the simulation job server. Build with New, mount Handler on
+// an http.Server, and stop with Drain (graceful) or Close (immediate).
+type Server struct {
+	opts    Options
+	started time.Time
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	queue      chan *job
+	queueOnce  sync.Once // guards close(queue)
+	workerWG   sync.WaitGroup
+	jobWG      sync.WaitGroup // one count per accepted (non-cached) submission
+
+	compiles     flightGroup[*core.Compiled]
+	compileCache *lruCache[*core.Compiled]
+	resultCache  *lruCache[[]byte]
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*job
+	fifo     []string        // registration order, for history pruning
+	inflight map[string]*job // resultKey → live job (singleflight for runs)
+	nextID   int64
+	busy     int
+	counters counters
+	byScheme map[string]*schemeLatency
+}
+
+// counters are the cumulative job-flow counts served by /v1/metrics.
+type counters struct {
+	Submitted   int64 `json:"submitted"`
+	Deduped     int64 `json:"deduped"`
+	CacheServed int64 `json:"cacheServed"`
+	Simulated   int64 `json:"simulated"`
+	Done        int64 `json:"done"`
+	Failed      int64 `json:"failed"`
+	Cancelled   int64 `json:"cancelled"`
+	Rejected    int64 `json:"rejected"`
+}
+
+// schemeLatency aggregates successful run wall time per scheme.
+type schemeLatency struct {
+	Count   int64   `json:"count"`
+	TotalMS float64 `json:"totalMs"`
+	MaxMS   float64 `json:"maxMs"`
+}
+
+// Metrics is the /v1/metrics document (expvar-style flat JSON).
+type Metrics struct {
+	UptimeMS      float64                   `json:"uptimeMs"`
+	Draining      bool                      `json:"draining"`
+	Workers       int                       `json:"workers"`
+	WorkersBusy   int                       `json:"workersBusy"`
+	QueueDepth    int                       `json:"queueDepth"`
+	QueueCapacity int                       `json:"queueCapacity"`
+	Jobs          counters                  `json:"jobs"`
+	CompileCache  CacheStats                `json:"compileCache"`
+	ResultCache   CacheStats                `json:"resultCache"`
+	RunsByScheme  map[string]schemeLatency  `json:"runsByScheme"`
+}
+
+// New builds a server and starts its worker pool.
+func New(opts Options) *Server {
+	opts = opts.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:         opts,
+		started:      time.Now(),
+		baseCtx:      ctx,
+		baseCancel:   cancel,
+		queue:        make(chan *job, opts.QueueDepth),
+		compileCache: newLRU[*core.Compiled](opts.CompileCacheEntries),
+		resultCache:  newLRU[[]byte](opts.ResultCacheEntries),
+		jobs:         make(map[string]*job),
+		inflight:     make(map[string]*job),
+		byScheme:     make(map[string]*schemeLatency),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// apiError carries an HTTP status for request-level failures.
+type apiError struct {
+	code int
+	msg  string
+}
+
+func (e *apiError) Error() string { return e.msg }
+
+func apiErrorf(code int, format string, args ...any) *apiError {
+	return &apiError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// Submit resolves and accepts a run request: a result-cache hit returns
+// an already-done job, an identical in-flight submission is collapsed
+// onto the existing job (deduped=true), and otherwise a new job is
+// registered and enqueued. The returned *apiError carries the HTTP
+// status for rejections (400 bad request, 429 queue full, 503 draining).
+func (s *Server) Submit(req *RunRequest) (jb *job, deduped bool, apiErr *apiError) {
+	res, err := resolve(req)
+	if err != nil {
+		s.mu.Lock()
+		s.counters.Rejected++
+		s.mu.Unlock()
+		return nil, false, apiErrorf(http.StatusBadRequest, "%v", err)
+	}
+
+	if b, ok := s.resultCache.Get(res.resultKey); ok {
+		jb := newJob(s.newID(), res, context.Background(), 0)
+		jb.cached = true
+		jb.finish(StateDone, b, nil)
+		s.mu.Lock()
+		s.counters.Submitted++
+		s.counters.CacheServed++
+		s.counters.Done++
+		s.register(jb)
+		s.mu.Unlock()
+		return jb, false, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.counters.Rejected++
+		s.mu.Unlock()
+		return nil, false, apiErrorf(http.StatusServiceUnavailable, "svc: server is draining")
+	}
+	s.counters.Submitted++
+	if live, ok := s.inflight[res.resultKey]; ok && !live.terminal() {
+		s.counters.Deduped++
+		s.mu.Unlock()
+		return live, true, nil
+	}
+	// Re-check the result cache: runJob publishes the result before it
+	// clears the in-flight entry, so a submission that lost the race
+	// between the first cache probe and this lock still finds it here
+	// instead of queueing a duplicate simulation.
+	if b, ok := s.resultCache.Get(res.resultKey); ok {
+		jb := newJob(s.newIDLocked(), res, context.Background(), 0)
+		jb.cached = true
+		jb.finish(StateDone, b, nil)
+		s.counters.CacheServed++
+		s.counters.Done++
+		s.register(jb)
+		s.mu.Unlock()
+		return jb, false, nil
+	}
+	jb = newJob(s.newIDLocked(), res, s.baseCtx, s.opts.DefaultTimeout)
+	s.register(jb)
+	s.inflight[res.resultKey] = jb
+	s.jobWG.Add(1) // under mu: serialized against Drain's Wait
+	s.mu.Unlock()
+
+	select {
+	case s.queue <- jb:
+	default:
+		s.mu.Lock()
+		s.counters.Rejected++
+		s.counters.Submitted--
+		s.unregister(jb)
+		s.mu.Unlock()
+		jb.cancel()
+		s.jobWG.Done()
+		return nil, false, apiErrorf(http.StatusTooManyRequests,
+			"svc: queue full (%d pending)", s.opts.QueueDepth)
+	}
+
+	// Watchdog: a cancelled or timed-out job reaches its terminal state
+	// within moments of the event even while still queued — the waiter
+	// is released now, and the worker later discovers the job terminal
+	// and skips it (or the running simulation aborts at the next epoch
+	// barrier).
+	go func() {
+		select {
+		case <-jb.ctx.Done():
+			s.finishJob(jb, nil, fmt.Errorf("svc: job %s: %w", jb.id, jb.ctx.Err()))
+		case <-jb.done:
+		}
+	}()
+	return jb, false, nil
+}
+
+// Wait blocks until the job is terminal or ctx is done, then returns its
+// status.
+func (s *Server) Wait(ctx context.Context, jb *job, deduped bool) JobStatus {
+	select {
+	case <-jb.done:
+	case <-ctx.Done():
+	}
+	return jb.status(deduped)
+}
+
+// Job looks up a job by id.
+func (s *Server) Job(id string) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	jb, ok := s.jobs[id]
+	return jb, ok
+}
+
+// Cancel cancels a job by id. Queued and running jobs reach the
+// cancelled state promptly (the simulator aborts at the next epoch
+// barrier, releasing its pooled caches); finished jobs are unaffected.
+func (s *Server) Cancel(id string) (*job, bool) {
+	jb, ok := s.Job(id)
+	if !ok {
+		return nil, false
+	}
+	jb.cancel()
+	return jb, true
+}
+
+// Drain stops accepting submissions and waits for in-flight and queued
+// jobs to finish. If ctx expires first, the remaining jobs are cancelled
+// (they abort at the next epoch barrier) and Drain still waits for them
+// to wind down before stopping the workers. Always returns with the
+// worker pool stopped.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.jobWG.Wait()
+		close(finished)
+	}()
+	var err error
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		err = fmt.Errorf("svc: drain deadline: cancelling in-flight jobs: %w", ctx.Err())
+		s.baseCancel()
+		<-finished // abort-at-barrier makes this prompt
+	}
+	s.queueOnce.Do(func() { close(s.queue) })
+	s.workerWG.Wait()
+	s.baseCancel()
+	return err
+}
+
+// Close shuts down immediately: all jobs are cancelled and the pool is
+// stopped. Equivalent to Drain with an already-expired context.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx) //nolint:errcheck // the deadline error is the expected path
+}
+
+// newID / newIDLocked mint job ids.
+func (s *Server) newID() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.newIDLocked()
+}
+
+func (s *Server) newIDLocked() string {
+	s.nextID++
+	return fmt.Sprintf("r-%06d", s.nextID)
+}
+
+// register adds a job to the queryable set, pruning the oldest finished
+// jobs beyond the history bound. Caller holds s.mu.
+func (s *Server) register(jb *job) {
+	s.jobs[jb.id] = jb
+	s.fifo = append(s.fifo, jb.id)
+	for len(s.jobs) > s.opts.JobHistory && len(s.fifo) > 0 {
+		oldest, ok := s.jobs[s.fifo[0]]
+		if ok && !oldest.terminal() {
+			break // never evict a live job
+		}
+		if ok {
+			delete(s.jobs, oldest.id)
+		}
+		s.fifo = s.fifo[1:]
+	}
+}
+
+// unregister removes a job that never ran (queue-full rejection).
+// Caller holds s.mu.
+func (s *Server) unregister(jb *job) {
+	delete(s.jobs, jb.id)
+	if s.inflight[jb.res.resultKey] == jb {
+		delete(s.inflight, jb.res.resultKey)
+	}
+	for i, id := range s.fifo {
+		if id == jb.id {
+			s.fifo = append(s.fifo[:i], s.fifo[i+1:]...)
+			break
+		}
+	}
+}
+
+// worker consumes the queue until it is closed.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for jb := range s.queue {
+		s.runJob(jb)
+	}
+}
+
+// runJob executes one queued job end to end: compile (through the
+// compile cache and singleflight), simulate under the job context,
+// marshal the RunResult, and populate the result cache.
+func (s *Server) runJob(jb *job) {
+	defer s.jobWG.Done()
+	s.mu.Lock()
+	s.busy++
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.busy--
+		s.mu.Unlock()
+	}()
+
+	if jb.terminal() { // cancelled or timed out while queued
+		s.clearInflight(jb)
+		return
+	}
+	if err := jb.ctx.Err(); err != nil {
+		s.finishJob(jb, nil, fmt.Errorf("svc: job %s: %w", jb.id, err))
+		return
+	}
+	if !jb.start() {
+		s.clearInflight(jb)
+		return
+	}
+
+	c, err := s.compile(jb.res)
+	if err != nil {
+		s.finishJob(jb, nil, err)
+		return
+	}
+	t0 := time.Now()
+	st, rep, err := core.RunObservedWithOptions(c, jb.res.cfg, jb.res.level, nil, core.RunOptions{Ctx: jb.ctx})
+	if err != nil {
+		s.finishJob(jb, nil, err)
+		return
+	}
+	elapsed := time.Since(t0)
+	b, err := json.Marshal(core.NewRunResult(jb.res.program, jb.res.cfg, st, rep))
+	if err != nil {
+		s.finishJob(jb, nil, fmt.Errorf("svc: marshal result: %w", err))
+		return
+	}
+	s.resultCache.Put(jb.res.resultKey, b)
+
+	s.mu.Lock()
+	s.counters.Simulated++
+	sl := s.byScheme[jb.res.cfg.Scheme.String()]
+	if sl == nil {
+		sl = &schemeLatency{}
+		s.byScheme[jb.res.cfg.Scheme.String()] = sl
+	}
+	sl.Count++
+	ms := float64(elapsed) / float64(time.Millisecond)
+	sl.TotalMS += ms
+	if ms > sl.MaxMS {
+		sl.MaxMS = ms
+	}
+	s.mu.Unlock()
+
+	s.finishJob(jb, b, nil)
+}
+
+// compile returns the job's compiled program, from the cache when
+// present; concurrent misses on the same key compile once.
+func (s *Server) compile(res *resolved) (*core.Compiled, error) {
+	if c, ok := s.compileCache.Get(res.compileKey); ok {
+		return c, nil
+	}
+	c, err, _ := s.compiles.Do(res.compileKey, func() (*core.Compiled, error) {
+		c, err := core.Compile(res.src, res.copts)
+		if err != nil {
+			return nil, err
+		}
+		s.compileCache.Put(res.compileKey, c)
+		return c, nil
+	})
+	return c, err
+}
+
+// finishJob moves a job to its terminal state (first caller wins),
+// classifies the outcome for the counters, and clears the in-flight
+// index entry.
+func (s *Server) finishJob(jb *job, result []byte, err error) {
+	state := StateDone
+	switch {
+	case errors.Is(err, context.Canceled):
+		state = StateCancelled
+	case err != nil:
+		state = StateFailed
+	}
+	applied := jb.finish(state, result, err)
+	s.clearInflight(jb)
+	if !applied {
+		return // someone else finished (and counted) it first
+	}
+	s.mu.Lock()
+	switch state {
+	case StateDone:
+		s.counters.Done++
+	case StateFailed:
+		s.counters.Failed++
+	case StateCancelled:
+		s.counters.Cancelled++
+	}
+	s.mu.Unlock()
+}
+
+// clearInflight removes the job's result-key reservation so later
+// identical submissions start fresh (or hit the result cache).
+func (s *Server) clearInflight(jb *job) {
+	s.mu.Lock()
+	if s.inflight[jb.res.resultKey] == jb {
+		delete(s.inflight, jb.res.resultKey)
+	}
+	s.mu.Unlock()
+}
+
+// MetricsSnapshot assembles the /v1/metrics document.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		UptimeMS:      msSince(s.started, time.Now()),
+		Draining:      s.draining,
+		Workers:       s.opts.Workers,
+		WorkersBusy:   s.busy,
+		QueueDepth:    len(s.queue),
+		QueueCapacity: s.opts.QueueDepth,
+		Jobs:          s.counters,
+		RunsByScheme:  make(map[string]schemeLatency, len(s.byScheme)),
+	}
+	for k, v := range s.byScheme {
+		m.RunsByScheme[k] = *v
+	}
+	s.mu.Unlock()
+	m.CompileCache = s.compileCache.Stats()
+	m.ResultCache = s.resultCache.Stats()
+	return m
+}

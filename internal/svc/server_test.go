@@ -1,0 +1,380 @@
+package svc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/obs"
+)
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(opts)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		s.Close()
+	})
+	return s, hs
+}
+
+// postRun submits a request and decodes the response.
+func postRun(t *testing.T, hs *httptest.Server, req RunRequest) (int, JobStatus) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(hs.URL+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("decode response (HTTP %d): %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, st
+}
+
+// longSrc runs a few hundred thousand epochs: long enough that a
+// deadline or cancellation always lands mid-run.
+const longSrc = `
+program longrun
+param n = 16
+array A[n]
+proc main() {
+  doall i = 0 to n-1 { A[i] = i }
+  for t = 0 to 300000 {
+    doall i = 0 to n-1 { A[i] = A[i] + 1.0 }
+  }
+}
+`
+
+// TestServerResultMatchesDirectRun is the fidelity contract: the result
+// JSON the server returns is byte-identical to marshaling the RunResult
+// of a direct in-process run of the same (program, config, obs) — the
+// same bytes `tpisim -json` renders for that run.
+func TestServerResultMatchesDirectRun(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 2})
+	for _, scheme := range []string{"BASE", "TPI", "HW"} {
+		for _, level := range []string{"off", "counters"} {
+			code, st := postRun(t, hs, RunRequest{Kernel: "ocean", Scheme: scheme, Obs: level})
+			if code != http.StatusOK || st.State != StateDone {
+				t.Fatalf("%s/%s: HTTP %d state %s error %q", scheme, level, code, st.State, st.Error)
+			}
+
+			sc, err := machine.ParseScheme(scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := machine.Default(sc).Canonical()
+			k, err := bench.Get("ocean", bench.DefaultParams())
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := core.CompileForConfig(k.Source, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lv := obs.LevelOff
+			if level == "counters" {
+				lv = obs.LevelCounters
+			}
+			stats, rep, err := core.RunObserved(c, cfg, lv, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := json.Marshal(core.NewRunResult("ocean", cfg, stats, rep))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(st.Result, want) {
+				t.Fatalf("%s/%s: server result differs from direct run:\nserver %s\ndirect %s",
+					scheme, level, st.Result, want)
+			}
+		}
+	}
+}
+
+func TestResultCacheHit(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 2})
+	req := RunRequest{Kernel: "trfd", Scheme: "SC"}
+
+	_, first := postRun(t, hs, req)
+	if first.State != StateDone || first.Cached {
+		t.Fatalf("first run: state %s cached %v error %q", first.State, first.Cached, first.Error)
+	}
+	_, second := postRun(t, hs, req)
+	if second.State != StateDone || !second.Cached {
+		t.Fatalf("second run not served from cache: %+v", second)
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cached result differs from the computed one")
+	}
+	m := s.MetricsSnapshot()
+	if m.Jobs.Simulated != 1 {
+		t.Fatalf("Simulated = %d, want 1", m.Jobs.Simulated)
+	}
+	if m.ResultCache.Hits == 0 {
+		t.Fatalf("result cache recorded no hits: %+v", m.ResultCache)
+	}
+}
+
+// TestSingleflightDedup is the thundering-herd contract: concurrent
+// identical submissions cost exactly one underlying simulation.
+func TestSingleflightDedup(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 4})
+	const herd = 8
+	req := RunRequest{Kernel: "ocean", N: 32, Steps: 3, Scheme: "TPI"}
+
+	var wg sync.WaitGroup
+	stats := make([]JobStatus, herd)
+	for i := 0; i < herd; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, stats[i] = postRun(t, hs, req)
+		}(i)
+	}
+	wg.Wait()
+
+	for i, st := range stats {
+		if st.State != StateDone {
+			t.Fatalf("submission %d: state %s error %q", i, st.State, st.Error)
+		}
+		if !bytes.Equal(st.Result, stats[0].Result) {
+			t.Fatalf("submission %d result differs", i)
+		}
+	}
+	m := s.MetricsSnapshot()
+	if m.Jobs.Simulated != 1 {
+		t.Fatalf("herd of %d cost %d simulations, want 1 (metrics %+v)", herd, m.Jobs.Simulated, m.Jobs)
+	}
+	if m.Jobs.Deduped+m.Jobs.CacheServed != herd-1 {
+		t.Fatalf("deduped %d + cacheServed %d, want %d", m.Jobs.Deduped, m.Jobs.CacheServed, herd-1)
+	}
+}
+
+// TestDeadlineJobReturnsPromptly: a job whose deadline expires mid-run
+// reaches its terminal state within 100ms of the deadline (the watchdog
+// releases waiters; the simulation aborts at the next epoch barrier and
+// releases its pooled caches), and the server keeps serving correct
+// results afterwards.
+func TestDeadlineJobReturnsPromptly(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 2})
+	const deadline = 100 * time.Millisecond
+
+	start := time.Now()
+	code, st := postRun(t, hs, RunRequest{Source: longSrc, Scheme: "TPI", TimeoutMS: deadline.Milliseconds()})
+	elapsed := time.Since(start)
+	if code != http.StatusOK || st.State != StateFailed {
+		t.Fatalf("HTTP %d state %s error %q", code, st.State, st.Error)
+	}
+	if !strings.Contains(st.Error, "deadline") {
+		t.Fatalf("error does not name the deadline: %q", st.Error)
+	}
+	if elapsed > deadline+100*time.Millisecond {
+		t.Fatalf("deadline job returned after %v (deadline %v + 100ms)", elapsed, deadline)
+	}
+
+	// Pooled state survived the abort: the next run is correct.
+	code, st = postRun(t, hs, RunRequest{Kernel: "ocean", Scheme: "TPI"})
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("run after aborted job: HTTP %d state %s error %q", code, st.State, st.Error)
+	}
+}
+
+func TestCancelEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 1})
+	_, st := postRun(t, hs, RunRequest{Source: longSrc, Scheme: "TPI", Async: true})
+	if st.State == StateFailed {
+		t.Fatalf("async submit failed: %q", st.Error)
+	}
+
+	req, err := http.NewRequest(http.MethodDelete, hs.URL+"/v1/runs/"+st.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		resp, err := http.Get(hs.URL + "/v1/runs/" + st.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got JobStatus
+		if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if got.State == StateCancelled {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job not cancelled in time; state %s", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainFinishesInFlight: SIGTERM semantics — draining stops new
+// submissions but completes what is already in flight.
+func TestDrainFinishesInFlight(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 2})
+	jb, _, apiErr := s.Submit(&RunRequest{Kernel: "ocean", N: 32, Steps: 3, Scheme: "TPI"})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	if st := jb.status(false); st.State != StateDone {
+		t.Fatalf("in-flight job after drain: state %s error %q", st.State, st.Error)
+	}
+
+	// New submissions are rejected and healthz reports draining.
+	code, _ := postRunCode(t, hs, RunRequest{Kernel: "ocean", Scheme: "TPI", N: 20})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: HTTP %d, want 503", code)
+	}
+	resp, err := http.Get(hs.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: HTTP %d, want 503", resp.StatusCode)
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: when the drain deadline passes,
+// in-flight jobs are cancelled (abort at the next epoch barrier) and
+// Drain still returns with the pool stopped.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	s, _ := newTestServer(t, Options{Workers: 1})
+	jb, _, apiErr := s.Submit(&RunRequest{Source: longSrc, Scheme: "TPI"})
+	if apiErr != nil {
+		t.Fatal(apiErr)
+	}
+	// Let the worker pick it up so the drain really interrupts a run.
+	time.Sleep(20 * time.Millisecond)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := s.Drain(ctx)
+	if err == nil {
+		t.Fatal("drain within 50ms of a multi-second job should report the deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain took %v after its deadline", elapsed)
+	}
+	if st := jb.status(false); st.State != StateCancelled && st.State != StateFailed {
+		t.Fatalf("straggler state %s, want cancelled/failed", st.State)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		req  RunRequest
+		code int
+	}{
+		{"no program", RunRequest{Scheme: "TPI"}, http.StatusBadRequest},
+		{"both programs", RunRequest{Kernel: "ocean", Source: "program x"}, http.StatusBadRequest},
+		{"unknown kernel", RunRequest{Kernel: "nope"}, http.StatusBadRequest},
+		{"unknown scheme", RunRequest{Kernel: "ocean", Scheme: "MESI"}, http.StatusBadRequest},
+		{"unknown config field", RunRequest{Kernel: "ocean", Config: json.RawMessage(`{"LineWord": 8}`)}, http.StatusBadRequest},
+		{"invalid config", RunRequest{Kernel: "ocean", Config: json.RawMessage(`{"Procs": -1}`)}, http.StatusBadRequest},
+		{"scheme in config", RunRequest{Kernel: "ocean", Scheme: "TPI", Config: json.RawMessage(`{"Scheme": "HW"}`)}, http.StatusBadRequest},
+		{"obs trace", RunRequest{Kernel: "ocean", Obs: "trace"}, http.StatusBadRequest},
+		{"bad source", RunRequest{Source: "this is not PFL"}, http.StatusOK}, // compile errors are job failures
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, st := postRun(t, hs, tc.req)
+			if code != tc.code {
+				t.Fatalf("HTTP %d, want %d (status %+v)", code, tc.code, st)
+			}
+			if tc.code == http.StatusOK && st.State != StateFailed {
+				t.Fatalf("compile-error job state %s, want failed", st.State)
+			}
+		})
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/runs/r-999999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestConfigOverridesChangeResults: config overrides reach the
+// simulation and distinct configs get distinct cache entries.
+func TestConfigOverridesChangeResults(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 2})
+	_, def := postRun(t, hs, RunRequest{Kernel: "ocean", Scheme: "TPI"})
+	_, big := postRun(t, hs, RunRequest{Kernel: "ocean", Scheme: "TPI",
+		Config: json.RawMessage(`{"Procs": 32}`)})
+	if def.State != StateDone || big.State != StateDone {
+		t.Fatalf("states %s / %s", def.State, big.State)
+	}
+	if bytes.Equal(def.Result, big.Result) {
+		t.Fatal("Procs override did not change the result")
+	}
+	var rr core.RunResult
+	if err := json.Unmarshal(big.Result, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Procs != 32 {
+		t.Fatalf("result procs %d, want 32", rr.Procs)
+	}
+	if m := s.MetricsSnapshot(); m.Jobs.Simulated != 2 {
+		t.Fatalf("Simulated = %d, want 2", m.Jobs.Simulated)
+	}
+}
+
+// TestCompileCacheSharedAcrossSchemes: the compile tier is keyed by
+// (source, compile options), so the same kernel under BASE/SC/TPI (same
+// line size ⇒ same compile options) compiles once.
+func TestCompileCacheSharedAcrossSchemes(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1})
+	for _, scheme := range []string{"BASE", "SC", "TPI"} {
+		if _, st := postRun(t, hs, RunRequest{Kernel: "flo52", Scheme: scheme}); st.State != StateDone {
+			t.Fatalf("%s: state %s error %q", scheme, st.State, st.Error)
+		}
+	}
+	m := s.MetricsSnapshot()
+	if m.CompileCache.Misses != 1 || m.CompileCache.Hits < 2 {
+		t.Fatalf("compile cache hits %d misses %d, want 1 miss and >= 2 hits",
+			m.CompileCache.Hits, m.CompileCache.Misses)
+	}
+}
+
+func postRunCode(t *testing.T, hs *httptest.Server, req RunRequest) (int, JobStatus) {
+	t.Helper()
+	return postRun(t, hs, req)
+}
