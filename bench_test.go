@@ -296,17 +296,26 @@ func BenchmarkSimHotLoop(b *testing.B) {
 }
 
 // BenchmarkStreamFastPath measures the affine reference-stream fast
-// path: fastpath on/off across the Streamer-capable schemes (BASE, SC,
-// TPI) at 16 and 64 simulated processors, on two workload shapes —
-// ocean (mixed: stencil sweeps plus critical-section reductions, so a
-// fraction of references never streams) and trfd (stream-dominated: the
-// n-cubed matmul inner loops put nearly every reference on the fast
-// path). Both arms produce bit-identical statistics (guarded by the
-// exper equivalence tests); only ns/op may change. docs/results.md
-// records the measured deltas.
+// path: fastpath on/off across every scheme (all five plus two-level
+// TPI implement stream cursors) at 16 and 64 simulated processors, on
+// two workload shapes — ocean (mixed: stencil sweeps plus
+// critical-section reductions, so a fraction of references never
+// streams) and trfd (stream-dominated: the n-cubed matmul inner loops
+// put nearly every reference on the fast path). Both arms produce
+// bit-identical statistics (guarded by the exper equivalence tests);
+// only ns/op may change. docs/results.md records the measured deltas.
 func BenchmarkStreamFastPath(b *testing.B) {
-	schemes := map[string]machine.Scheme{
-		"BASE": machine.SchemeBase, "SC": machine.SchemeSC, "TPI": machine.SchemeTPI,
+	variants := []struct {
+		name    string
+		scheme  machine.Scheme
+		l1Words int64
+	}{
+		{"BASE", machine.SchemeBase, 0},
+		{"SC", machine.SchemeSC, 0},
+		{"TPI", machine.SchemeTPI, 0},
+		{"TPI2L", machine.SchemeTPI, 1024},
+		{"HW", machine.SchemeHW, 0},
+		{"VC", machine.SchemeVC, 0},
 	}
 	for _, kn := range []string{"ocean", "trfd"} {
 		k, err := bench.Get(kn, bench.Params{N: 48, Steps: 2})
@@ -317,15 +326,16 @@ func BenchmarkStreamFastPath(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		for _, name := range []string{"BASE", "SC", "TPI"} {
+		for _, v := range variants {
 			for _, procs := range []int{16, 64} {
 				for _, fast := range []bool{false, true} {
 					mode := "scalar"
 					if fast {
 						mode = "stream"
 					}
-					b.Run(fmt.Sprintf("%s/%s/procs=%d/%s", kn, name, procs, mode), func(b *testing.B) {
-						cfg := machine.Default(schemes[name])
+					b.Run(fmt.Sprintf("%s/%s/procs=%d/%s", kn, v.name, procs, mode), func(b *testing.B) {
+						cfg := machine.Default(v.scheme)
+						cfg.L1Words = v.l1Words
 						cfg.Procs = procs
 						cfg.FastPath = fast
 						var refs int64
@@ -347,12 +357,14 @@ func BenchmarkStreamFastPath(b *testing.B) {
 }
 
 // BenchmarkHostParallel measures the host-parallel epoch execution mode
-// on 16- and 64-processor TPI ocean runs at host worker counts 1/2/4/8.
-// hostpar=1 is the sequential path (the mode only engages above one
-// worker); every variant produces bit-identical stats, so ns/op is the
-// only thing that may change. Wall-clock speedup requires host cores:
-// on a single-core host (GOMAXPROCS=1) the sharded variants measure
-// pure overhead, not speedup.
+// on 16- and 64-processor ocean runs at host worker counts 1/2/4/8,
+// under TPI and the two buffered schemes (HW's barrier-deferred
+// directory and VC's always-buffered lanes shard through per-lane logs
+// merged at the barrier). hostpar=1 is the sequential path (the mode
+// only engages above one worker); every variant produces bit-identical
+// stats, so ns/op is the only thing that may change. Wall-clock speedup
+// requires host cores: on a single-core host (GOMAXPROCS=1) the sharded
+// variants measure pure overhead, not speedup.
 func BenchmarkHostParallel(b *testing.B) {
 	k, err := bench.Get("ocean", bench.Params{N: 32, Steps: 2})
 	if err != nil {
@@ -362,24 +374,27 @@ func BenchmarkHostParallel(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	for _, procs := range []int{16, 64} {
-		for _, hp := range []int{1, 2, 4, 8} {
-			b.Run(fmt.Sprintf("procs=%d/hostpar=%d", procs, hp), func(b *testing.B) {
-				cfg := machine.Default(machine.SchemeTPI)
-				cfg.Procs = procs
-				cfg.HostParallel = hp
-				var refs int64
-				b.ReportAllocs()
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					st, err := core.Run(c, cfg)
-					if err != nil {
-						b.Fatal(err)
+	schemes := []machine.Scheme{machine.SchemeTPI, machine.SchemeHW, machine.SchemeVC}
+	for _, s := range schemes {
+		for _, procs := range []int{16, 64} {
+			for _, hp := range []int{1, 2, 4, 8} {
+				b.Run(fmt.Sprintf("%s/procs=%d/hostpar=%d", s, procs, hp), func(b *testing.B) {
+					cfg := machine.Default(s)
+					cfg.Procs = procs
+					cfg.HostParallel = hp
+					var refs int64
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st, err := core.Run(c, cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						refs = st.Reads + st.Writes
 					}
-					refs = st.Reads + st.Writes
-				}
-				b.ReportMetric(float64(refs), "refs/run")
-			})
+					b.ReportMetric(float64(refs), "refs/run")
+				})
+			}
 		}
 	}
 }

@@ -47,6 +47,7 @@ func main() {
 	padScalars := flag.Bool("padscalars", false, "give every scalar its own cache line")
 	fastpath := flag.Bool("fastpath", true, "batch affine innermost loops through the coherence schemes (results are bit-identical; -fastpath=false is the kill switch)")
 	explainFP := flag.Bool("explain-fastpath", false, "print the per-loop stream fast-path recognition report and exit (no simulation)")
+	requireFP := flag.Bool("require-fastpath", false, "exit non-zero unless every innermost loop streamed and (with -hostpar > 1) every DOALL epoch sharded; prints the per-loop, per-scheme reason for each fallback")
 	verify := flag.Bool("verify", true, "check results against the sequential oracle")
 	traceFile := flag.String("trace", "", "write a text memory-event trace to this file")
 	obsLevel := flag.String("obs", "off", "instrumentation level: off, counters, or trace")
@@ -161,6 +162,7 @@ func main() {
 	}
 
 	var results []core.RunResult
+	fpFallbacks := 0
 	for _, s := range schemes {
 		cfg := machine.Default(s)
 		cfg.FastPath = *fastpath
@@ -187,6 +189,13 @@ func main() {
 			fatal(err)
 		}
 		switch {
+		case *requireFP:
+			st, fps, err := core.RunFastPathAudit(c, cfg)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Println(st)
+			fpFallbacks += reportFastPathStatus(s, fps)
 		case level != obs.LevelOff || *btraceFile != "" || *jsonOut:
 			var btw io.Writer
 			var btf *os.File
@@ -250,6 +259,41 @@ func main() {
 			fatal(err)
 		}
 	}
+	if *requireFP && fpFallbacks > 0 {
+		fatal(fmt.Errorf("-require-fastpath: %d fallback site(s), see the per-scheme report above", fpFallbacks))
+	}
+}
+
+// reportFastPathStatus prints, for one scheme's run, every runtime
+// fast-path miss — a recognized stream loop that ran scalar, or a
+// shardable DOALL epoch that ran sequentially — and returns the count.
+// Structural non-candidates (unrecognized loops, seqOnly doalls) are
+// listed as notes but don't count: they can never take the fast paths
+// under any configuration (-explain-fastpath has the full detail).
+func reportFastPathStatus(s machine.Scheme, fps *core.FastPathStatus) int {
+	streamed := 0
+	for _, d := range fps.StreamDiags {
+		switch {
+		case d.OK:
+			streamed++
+		case d.Outer:
+			// outer loops never stream; their innermost loops have their own diags
+		default:
+			fmt.Printf("      [%s] note: %s: for %s at %s is not a stream candidate — %s (at %s)\n",
+				s, d.Proc, d.Var, d.Pos, d.Reason, d.ReasonPos)
+		}
+	}
+	for _, m := range fps.Misses {
+		if m.Kind == "stream-loop" {
+			fmt.Printf("      [%s] %s: for %s at %s: ran scalar — %s\n", s, m.Proc, m.Var, m.Pos, m.Reason)
+		} else {
+			fmt.Printf("      [%s] doall %s at %s: ran sequentially — %s\n", s, m.Var, m.Pos, m.Reason)
+		}
+	}
+	if len(fps.Misses) == 0 {
+		fmt.Printf("      fast-path coverage: complete (%d stream loops)\n", streamed)
+	}
+	return len(fps.Misses)
 }
 
 // explainFastPath prints the lower-time stream recognition report: one
@@ -273,8 +317,10 @@ func explainFastPath(program string, diags []sim.StreamDiag) {
 				dg.Proc, dg.Var, dg.Pos, dg.Reason, dg.ReasonPos)
 		}
 	}
-	fmt.Printf("  %d/%d loops stream; recognized loops still run scalar under HW/VC/two-level TPI, "+
-		"trace-level observation, or when an entry guard fails\n", streamed, len(diags))
+	fmt.Printf("  %d/%d loops stream; every scheme (BASE, SC, TPI, two-level TPI, HW, VC) runs "+
+		"recognized loops through stream cursors — a recognized loop runs scalar only under the "+
+		"text trace, -fastpath=false, or when an entry guard fails (check with -require-fastpath)\n",
+		streamed, len(diags))
 }
 
 func fatal(err error) {

@@ -249,6 +249,56 @@ func releaseSystem(sys memsys.System) {
 	}
 }
 
+// FastPathStatus reports, for one run, every site that left the fast
+// paths: the static per-loop stream recognition verdicts (scheme- and
+// run-independent) and the deduplicated runtime fallbacks (recognized
+// loops that executed scalar, DOALL epochs that executed sequentially
+// while host parallelism was requested).
+type FastPathStatus struct {
+	StreamDiags []sim.StreamDiag
+	Misses      []sim.FastPathMiss
+}
+
+// Clean reports whether the run stayed on the fast paths everywhere it
+// could: no recognized stream loop fell back to the scalar path at
+// runtime, and no shardable DOALL epoch fell back to sequential
+// dispatch while host parallelism was requested. Structural
+// non-candidates — loops the recognizer rejected (a non-OK StreamDiag)
+// and seqOnly doalls — don't count against cleanliness; they can never
+// take the fast paths under any configuration.
+func (f *FastPathStatus) Clean() bool { return len(f.Misses) == 0 }
+
+// RunFastPathAudit is Run with fast-path fallback tracking enabled: it
+// returns the statistics plus a FastPathStatus describing every site
+// that left the stream or host-parallel fast path and why. Tracking
+// costs one predictable branch per fallback, so the statistics are
+// identical to a plain Run's.
+func RunFastPathAudit(c *Compiled, cfg machine.Config) (*stats.Stats, *FastPathStatus, error) {
+	lp, err := c.Lowered()
+	if err != nil {
+		return nil, nil, err
+	}
+	sys, err := NewSystem(cfg, c.Prog)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := sim.NewLowered(lp, sys, cfg)
+	r.EnableFastPathTracking()
+	st, err := r.Run()
+	if err != nil {
+		releaseSystem(sys)
+		return nil, nil, err
+	}
+	if hw, ok := sys.(*hwdir.System); ok {
+		if err := hw.CheckInvariants(); err != nil {
+			releaseSystem(sys)
+			return nil, nil, err
+		}
+	}
+	releaseSystem(sys)
+	return st, &FastPathStatus{StreamDiags: lp.StreamDiags(), Misses: r.FastPathMisses()}, nil
+}
+
 // RunTraced is Run with a memory-event trace written to w (see
 // sim.Runner.SetTrace for the line format).
 func RunTraced(c *Compiled, cfg machine.Config, w io.Writer) (*stats.Stats, error) {

@@ -79,6 +79,54 @@ func TestMidRunFaultReleasesPooledState(t *testing.T) {
 	}
 }
 
+// TestLanePoolFreshness: the buffered schemes pool their per-processor
+// lane structures (and HW its per-epoch directory action logs) across
+// runs. A run must see fresh pool state regardless of what earlier runs
+// — other schemes, host-parallel workers, a mid-run fault — handed back:
+// back-to-back runs through the pooled path must be bit-identical.
+func TestLanePoolFreshness(t *testing.T) {
+	good := compileT(t, stencilSrc)
+	bad := compileT(t, faultySrc)
+	buffered := []machine.Scheme{machine.SchemeHW, machine.SchemeVC}
+
+	for _, s := range buffered {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			cfg := machine.Default(s)
+			cfg.Procs = 8
+
+			before, err := Run(good, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := snapshotKey(t, before.Snapshot())
+
+			// Churn the pools: host-parallel runs of both buffered schemes
+			// (their workers draw lanes and merge logs), stream fast-path
+			// runs, and a faulting run that releases mid-simulation.
+			for _, churn := range buffered {
+				ccfg := machine.Default(churn)
+				ccfg.Procs = 8
+				ccfg.HostParallel = 4
+				if _, err := Run(good, ccfg); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := Run(bad, ccfg); err == nil {
+					t.Fatal("faulty program ran to completion")
+				}
+			}
+
+			after, err := Run(good, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := snapshotKey(t, after.Snapshot()); got != want {
+				t.Fatalf("pooled lane state leaked across runs:\nbefore %s\nafter  %s", want, got)
+			}
+		})
+	}
+}
+
 type discard struct{}
 
 func (discard) Write(p []byte) (int, error) { return len(p), nil }

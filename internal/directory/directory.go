@@ -8,10 +8,57 @@
 // ownership acquisition, invalidations, and write-backs are charged as
 // network traffic and coherence transactions, and read misses that hit
 // dirty remote copies pay the extra ownership-forwarding latency.
+//
+// # Barrier-deferred coherence
+//
+// The directory itself — sharer lists, owner pointers, line states — is
+// the one piece of genuinely cross-processor mid-epoch state in the
+// simulator. To put HW on the host-parallel and stream fast paths, the
+// protocol is executed in two phases that are identical in sequential
+// and host-parallel runs:
+//
+//   - Mid-epoch, the directory is FROZEN. A reference only touches the
+//     issuing processor's own cache, tracker, and lane; decisions that
+//     need the directory (forwarding latency for a read of a remote
+//     exclusive line, the coherence-transfer charge of a write miss)
+//     read the frozen entry. Every directory mutation a reference would
+//     have made is appended to the processor's private action log:
+//     read fills (actFill / actFillFromOwner), ownership claims — a
+//     shared-hit upgrade or a write-miss fill-exclusive — (actClaim),
+//     and evictions (actEvict).
+//   - At the epoch barrier (FlushEpoch), after the lanes have drained
+//     into memory, the logs replay single-threaded in (processor,
+//     sequence) order. Claims sweep every OTHER processor's cache for
+//     surviving copies of the written line — invalidating, classifying
+//     (true/false sharing via the victim's used bit for the written
+//     word), and charging write-backs and invalidation traffic — then
+//     register the claimant as exclusive owner. Fills and evictions
+//     register/clear presence bits against the processor's cache state
+//     as it stands at the barrier, so a copy filled and later evicted
+//     in the same epoch never leaves a stale presence bit.
+//
+// Replay order is deterministic and mode-independent, so stats, memory,
+// and observation output are bit-identical between sequential and
+// host-parallel execution by construction. Relative to an eager
+// protocol the model shifts invalidation delivery to the barrier —
+// victims keep hitting their copies until the epoch ends, mirroring how
+// a relaxed machine may buffer invalidations until the next
+// synchronization point. Values stay exact: the only copies that can
+// hold words another processor wrote in the same epoch are the claimant
+// itself and readers that filled from a remote exclusive owner, and
+// replay refreshes both from barrier-final memory.
+//
+// Critical-section stores are the one mid-epoch communication channel
+// (same-epoch bypass readers must observe them). Epochs containing them
+// always execute sequentially in every mode, so the crit store applies
+// eagerly: memory via Lane.WriteThrough and an immediate sweep that
+// invalidates every cached copy of the line, including the writer's own.
 package directory
 
 import (
 	"fmt"
+	"math"
+	"sync"
 
 	"repro/internal/cache"
 	"repro/internal/machine"
@@ -36,13 +83,44 @@ type entry struct {
 	owner    int16
 }
 
+// actKind is a deferred directory mutation's type.
+type actKind uint8
+
+const (
+	// actFill registers a read fill of a line the frozen directory held
+	// uncached or shared.
+	actFill actKind = iota
+	// actFillFromOwner registers a read fill that found the frozen
+	// directory exclusive at a remote owner: replay downgrades the owner
+	// and refreshes the filler from barrier-final memory.
+	actFillFromOwner
+	// actClaim registers an ownership claim (shared-hit upgrade or
+	// write-miss fill-exclusive): replay sweeps all other copies.
+	actClaim
+	// actEvict clears the evicting processor's presence bit.
+	actEvict
+)
+
+// action is one deferred directory mutation.
+type action struct {
+	kind actKind
+	tag  int64
+	addr prog.Word // the referenced word (claims classify victims by it)
+}
+
 // System is the full-map directory memory system.
 type System struct {
 	*memsys.Core
 	caches   []*cache.Cache
 	trackers []*cache.Tracker
-	dir      []entry // one per memory line
+	dir      []entry    // one per memory line; frozen mid-epoch
+	logs     [][]action // per-processor deferred mutations
 }
+
+// logsPool recycles the per-processor action-log slices across runs so
+// their grown capacity is reused instead of reallocated (systems are
+// built per simulated run; see memsys.Releaser).
+var logsPool sync.Pool
 
 // New builds an HW directory system.
 func New(cfg machine.Config, memWords int64) *System {
@@ -52,16 +130,41 @@ func New(cfg machine.Config, memWords int64) *System {
 	s := &System{
 		Core: memsys.NewCore(cfg, memWords),
 	}
+	s.EnableAlwaysBuffered()
 	s.dir = make([]entry, s.Memory.Size()/int64(cfg.LineWords))
 	for p := 0; p < cfg.Procs; p++ {
 		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
 		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
+	}
+	if v := logsPool.Get(); v != nil {
+		if ls, ok := v.([][]action); ok && len(ls) >= cfg.Procs {
+			s.logs = ls[:cfg.Procs]
+			for p := range s.logs {
+				s.logs[p] = s.logs[p][:0]
+			}
+		}
+	}
+	if s.logs == nil {
+		s.logs = make([][]action, cfg.Procs)
 	}
 	return s
 }
 
 // Name implements memsys.System.
 func (s *System) Name() string { return "HW" }
+
+// HostShardable implements memsys.Sharded: with the directory frozen
+// mid-epoch, references touch only per-processor state plus the lane,
+// and all cross-processor mutations replay at the barrier.
+func (s *System) HostShardable() bool { return true }
+
+// FlushEpoch implements memsys.Buffered: the lanes drain first so the
+// replay (which refreshes surviving claimant/filler copies and charges
+// dirty write-backs) reads barrier-final memory.
+func (s *System) FlushEpoch() {
+	s.FlushEpochLanes()
+	s.replayEpoch()
+}
 
 // ReleaseCaches implements memsys.Releaser. The fields are nilled so any
 // use after release fails loudly instead of corrupting a pooled cache.
@@ -71,64 +174,74 @@ func (s *System) ReleaseCaches() {
 		cache.ReleaseTracker(s.trackers[p])
 	}
 	s.caches, s.trackers = nil, nil
+	for p := range s.logs {
+		s.logs[p] = s.logs[p][:0]
+	}
+	logsPool.Put(s.logs)
+	s.logs = nil
+	s.ReleaseLanes()
 }
 
 // Read implements memsys.System. The compiler marking is ignored: the
 // hardware enforces coherence by itself.
 func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
-	s.St.Reads++
+	ln := s.LaneFor(p)
+	ln.St.Reads++
 	cc, tr := s.caches[p], s.trackers[p]
 
 	if line, w, ok := cc.Lookup(addr); ok {
-		s.St.ReadHits++
+		ln.St.ReadHits++
 		line.Used[w] = true
 		cc.Touch(line)
-		s.Memory.CheckFresh(addr, line.Vals[w], p, "hw read hit")
+		ln.CheckFresh(addr, line.Vals[w], p, "hw read hit")
 		return line.Vals[w], s.Cfg.HitCycles
 	}
 
-	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
+	ln.St.ReadMisses[s.ClassifyMissLane(ln, tr, addr)]++
 	tag, _ := cc.Split(addr)
-	e := &s.dir[tag]
+	e := &s.dir[tag] // frozen: read-only until the barrier replay
 
 	var extra int64
+	act := actFill
 	if e.state == dirExclusive && int(e.owner) != p {
-		// Remote dirty copy: the request is forwarded from the home node
-		// to the owner, and the data comes back from the owner.
+		// Remote possibly-dirty copy: the request is forwarded from the
+		// home node to the owner, and the data comes back from the owner.
+		// The downgrade itself replays at the barrier.
 		owner := int(e.owner)
-		s.downgradeOwner(owner, tag)
-		e.state = dirShared
 		home := s.HomeOf(addr)
 		extra = s.Netw.DelayBetween(home, owner, 1) + s.Netw.DelayBetween(owner, p, s.Cfg.LineWords)
-		s.St.CoherenceTrafficWords += int64(s.Cfg.LineWords) + 2
-		s.St.CoherenceMsgs++
-		s.Netw.Inject(int64(s.Cfg.LineWords) + 2)
+		ln.St.CoherenceTrafficWords += int64(s.Cfg.LineWords) + 2
+		ln.St.CoherenceMsgs++
+		ln.Inject(int64(s.Cfg.LineWords) + 2)
+		act = actFillFromOwner
 	}
 
-	s.reservePointer(e, p, tag, addr)
-	nl, nw := s.fill(p, addr, false)
-	e.presence |= 1 << uint(p)
-	if e.state == dirUncached {
-		e.state = dirShared
-	}
-	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
-	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	nl, nw := s.fillLocal(p, ln, addr, false)
+	s.logs[p] = append(s.logs[p], action{kind: act, tag: tag, addr: addr})
+	ln.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	ln.Inject(int64(s.Cfg.LineWords) + 1)
 	lat := s.LineMissLatencyFor(p, addr) + extra
-	s.St.MissLatencySum += lat
+	ln.St.MissLatencySum += lat
 	return nl.Vals[nw], lat
 }
 
-// Write implements memsys.System: invalidation-based MSI. The processor
-// does not stall (weak consistency); all costs are traffic-side.
+// Write implements memsys.System: invalidation-based MSI with the
+// directory transfer deferred to the barrier. The processor does not
+// stall (weak consistency); all costs are traffic-side.
 func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
-	s.St.Writes++
-	s.Memory.Write(addr, val, p, s.Epoch) // authoritative shadow
+	ln := s.LaneFor(p)
 	cc := s.caches[p]
 	tag, _ := cc.Split(addr)
 	e := &s.dir[tag]
 
+	if crit {
+		return s.writeCritical(p, ln, e, tag, addr, val)
+	}
+	ln.St.Writes++
+
 	if line, w, ok := cc.Lookup(addr); ok {
-		s.St.WriteHits++
+		ln.St.WriteHits++
+		ln.Write(addr, val, p, s.Epoch)
 		if line.State == cache.Exclusive {
 			line.Vals[w] = val
 			line.Dirty = true
@@ -136,19 +249,17 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 			cc.Touch(line)
 			return 0
 		}
-		// Shared hit: upgrade. Invalidate all other sharers.
-		s.invalidateSharers(e, p, tag, addr)
-		e.state = dirExclusive
-		e.owner = int16(p)
-		e.presence = 1 << uint(p)
+		// Shared hit: upgrade the local copy eagerly (later same-epoch
+		// stores hit exclusive); the sharer sweep replays at the barrier.
 		line.State = cache.Exclusive
 		line.Vals[w] = val
 		line.Dirty = true
 		line.Used[w] = true
 		cc.Touch(line)
-		s.St.CoherenceMsgs++ // upgrade request
-		s.St.CoherenceTrafficWords++
-		s.Netw.Inject(1)
+		s.logs[p] = append(s.logs[p], action{kind: actClaim, tag: tag, addr: addr})
+		ln.St.CoherenceMsgs++ // upgrade request
+		ln.St.CoherenceTrafficWords++
+		ln.Inject(1)
 		if s.Cfg.SeqConsistency {
 			// the upgrade must be acknowledged before the write retires
 			return s.Netw.RoundTripBetween(p, s.HomeOf(addr), 1)
@@ -159,38 +270,250 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	// Write miss: fetch the line with ownership. Classify from p's tracker
 	// history before the fill below records the new residency (sharer
 	// invalidations only touch other processors' trackers).
-	s.St.WriteMisses[s.ClassifyMiss(s.trackers[p], addr)]++
+	ln.St.WriteMisses[s.ClassifyMissLane(ln, s.trackers[p], addr)]++
 	if e.state == dirExclusive && int(e.owner) != p {
-		s.downgradeOwner(int(e.owner), tag)
-		s.invalidateSharers(e, p, tag, addr)
-		s.St.CoherenceTrafficWords += int64(s.Cfg.LineWords) + 2
-		s.St.CoherenceMsgs++
-		s.Netw.Inject(int64(s.Cfg.LineWords) + 2)
-	} else {
-		s.invalidateSharers(e, p, tag, addr)
+		// The frozen directory shows a remote owner: charge the ownership
+		// transfer; the owner's invalidation replays at the barrier.
+		ln.St.CoherenceTrafficWords += int64(s.Cfg.LineWords) + 2
+		ln.St.CoherenceMsgs++
+		ln.Inject(int64(s.Cfg.LineWords) + 2)
 	}
-	nl, nw := s.fill(p, addr, true)
-	e.state = dirExclusive
-	e.owner = int16(p)
-	e.presence = 1 << uint(p)
+	ln.Write(addr, val, p, s.Epoch)
+	nl, nw := s.fillLocal(p, ln, addr, true)
 	nl.Vals[nw] = val
 	nl.Dirty = true
-	s.St.ReadTrafficWords += int64(s.Cfg.LineWords) // ownership fetch
-	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+	s.logs[p] = append(s.logs[p], action{kind: actClaim, tag: tag, addr: addr})
+	ln.St.ReadTrafficWords += int64(s.Cfg.LineWords) // ownership fetch
+	ln.Inject(int64(s.Cfg.LineWords) + 1)
 	if s.Cfg.SeqConsistency {
 		// the ownership fetch must complete before the write retires
 		lat := s.LineMissLatencyFor(p, addr)
-		s.St.WriteMissLatencySum += lat
+		ln.St.WriteMissLatencySum += lat
 		return lat
 	}
 	return 0
+}
+
+// writeCritical applies a critical-section store eagerly: epochs holding
+// critical/ordered sections run sequentially in every execution mode, so
+// the store writes through to memory (withdrawing any buffered same-epoch
+// entry) and every cached copy of the line — the writer's own included —
+// is invalidated on the spot. Same-epoch bypass readers then miss and
+// fetch the fresh value from memory.
+func (s *System) writeCritical(p int, ln *memsys.Lane, e *entry, tag int64, addr prog.Word, val float64) int64 {
+	ln.St.Writes++
+	ln.St.WriteMisses[stats.MissBypass]++
+	ln.WriteThrough(addr, val, p, s.Epoch)
+
+	lw := s.Cfg.LineWords
+	base := prog.Word(tag * int64(lw))
+	woff := int(int64(addr) % int64(lw))
+	for q := 0; q < s.Cfg.Procs; q++ {
+		cc, tr := s.caches[q], s.trackers[q]
+		line, w, ok := cc.Lookup(base + prog.Word(woff))
+		if !ok || line.Tag != tag {
+			continue
+		}
+		if q != p {
+			reason := cache.LostInvalFalse
+			if line.Used[w] {
+				reason = cache.LostInvalTrue
+			}
+			if s.Probe != nil {
+				class := stats.MissFalseSharing
+				if reason == cache.LostInvalTrue {
+					class = stats.MissTrueSharing
+				}
+				s.Probe.Invalidation(p, q, addr, class)
+			}
+			noteLineLost(tr, line, base, lw, reason)
+		} else {
+			noteLineLost(tr, line, base, lw, cache.LostInvalTrue)
+		}
+		if line.Dirty {
+			ln.St.WriteTrafficWords += int64(lw)
+			ln.Inject(int64(lw))
+		}
+		line.InvalidateLine()
+		ln.St.Invalidations++
+		ln.St.CoherenceMsgs++
+		ln.St.CoherenceTrafficWords += 2
+		ln.Inject(2)
+	}
+	e.state, e.owner, e.presence = dirUncached, 0, 0
+	ln.St.WriteTrafficWords++
+	ln.Inject(1)
+	return 0
+}
+
+// noteLineLost records the loss of every valid word of a line.
+func noteLineLost(tr *cache.Tracker, line *cache.Line, base prog.Word, lw int, reason cache.LostReason) {
+	for i := 0; i < lw; i++ {
+		if line.TT[i] != cache.TTInvalid {
+			tr.NoteLost(base+prog.Word(i), reason, line.TT[i])
+		}
+	}
+}
+
+// fillLocal installs the line containing addr in p's cache, evicting with
+// local bookkeeping only (the directory learns at the barrier replay).
+func (s *System) fillLocal(p int, ln *memsys.Lane, addr prog.Word, exclusive bool) (*cache.Line, int) {
+	cc, tr := s.caches[p], s.trackers[p]
+	v := cc.Victim(addr)
+	if v.State != cache.Invalid {
+		if v.Dirty {
+			ln.St.WriteTrafficWords += int64(s.Cfg.LineWords)
+			ln.Inject(int64(s.Cfg.LineWords))
+		}
+		s.logs[p] = append(s.logs[p], action{kind: actEvict, tag: v.Tag})
+		base := prog.Word(v.Tag * int64(cc.LineWords()))
+		noteLineLost(tr, v, base, cc.LineWords(), cache.LostReplaced)
+		v.InvalidateLine()
+	}
+	nl, nw := s.FillLane(ln, cc, tr, addr, s.Epoch, s.Epoch)
+	if exclusive {
+		nl.State = cache.Exclusive
+	}
+	return nl, nw
+}
+
+// replayEpoch applies the deferred directory mutations in (processor,
+// sequence) order. It runs single-threaded at the barrier, after the
+// lanes drained, so stats and traffic go straight to the shared sinks
+// and value refreshes read barrier-final memory.
+func (s *System) replayEpoch() {
+	for p := range s.logs {
+		log := s.logs[p]
+		for i := range log {
+			a := &log[i]
+			e := &s.dir[a.tag]
+			switch a.kind {
+			case actFill, actFillFromOwner:
+				s.replayFill(p, e, a, a.kind == actFillFromOwner)
+			case actClaim:
+				s.replayClaim(p, e, a)
+			case actEvict:
+				s.clearPresence(e, p)
+			}
+		}
+		s.logs[p] = log[:0]
+	}
+}
+
+// replayFill registers a read fill: the frozen-exclusive owner (if the
+// fill was forwarded) downgrades to shared, and the filler's presence bit
+// is set only if its copy still exists at the barrier — a copy filled and
+// evicted within the epoch leaves no trace.
+func (s *System) replayFill(p int, e *entry, a *action, fromOwner bool) {
+	if fromOwner && e.state == dirExclusive {
+		s.downgradeOwner(int(e.owner), a.tag)
+		e.state = dirShared
+		e.owner = 0
+	}
+	cc := s.caches[p]
+	base := prog.Word(a.tag * int64(cc.LineWords()))
+	line, _, ok := cc.Lookup(base)
+	if !ok || line.Tag != a.tag {
+		s.clearPresence(e, p)
+		return
+	}
+	if fromOwner {
+		// The mid-epoch fill read through the lane, which cannot see the
+		// owner's buffered same-epoch stores; memory is final now.
+		s.refreshFromMemory(line, cc)
+	}
+	s.reservePointer(e, p, a.tag, a.addr)
+	e.presence |= 1 << uint(p)
+	if e.state == dirUncached {
+		e.state = dirShared
+	}
+}
+
+// replayClaim performs the deferred ownership transfer: sweep every other
+// processor's cache for surviving copies of the line (presence bits may
+// lag same-epoch fills, so the caches are authoritative), then register
+// the claimant against its own barrier-time cache state.
+func (s *System) replayClaim(p int, e *entry, a *action) {
+	lw := s.Cfg.LineWords
+	base := prog.Word(a.tag * int64(lw))
+	woff := int(int64(a.addr) % int64(lw))
+	for q := 0; q < s.Cfg.Procs; q++ {
+		if q == p {
+			continue
+		}
+		cc, tr := s.caches[q], s.trackers[q]
+		line, w, ok := cc.Lookup(base + prog.Word(woff))
+		if !ok || line.Tag != a.tag {
+			e.presence &^= 1 << uint(q)
+			continue
+		}
+		reason := cache.LostInvalFalse
+		if line.Used[w] {
+			reason = cache.LostInvalTrue
+		}
+		if s.Probe != nil {
+			class := stats.MissFalseSharing
+			if reason == cache.LostInvalTrue {
+				class = stats.MissTrueSharing
+			}
+			s.Probe.Invalidation(p, q, a.addr, class)
+		}
+		noteLineLost(tr, line, base, lw, reason)
+		if line.Dirty {
+			s.St.WriteTrafficWords += int64(lw)
+			s.Netw.Inject(int64(lw))
+		}
+		line.InvalidateLine()
+		e.presence &^= 1 << uint(q)
+		s.St.Invalidations++
+		s.St.CoherenceMsgs++
+		s.St.CoherenceTrafficWords += 2 // invalidate + ack
+		s.Netw.Inject(2)
+	}
+	// After the sweep only the claimant can hold a copy. Register by what
+	// its cache holds NOW: the claimed line may itself have been evicted
+	// (and possibly re-filled shared by a later read) within the epoch.
+	cc := s.caches[p]
+	line, _, ok := cc.Lookup(base)
+	switch {
+	case ok && line.Tag == a.tag && line.State == cache.Exclusive:
+		s.refreshFromMemory(line, cc)
+		e.state, e.owner, e.presence = dirExclusive, int16(p), 1<<uint(p)
+	case ok && line.Tag == a.tag:
+		s.refreshFromMemory(line, cc)
+		e.state, e.owner, e.presence = dirShared, 0, 1<<uint(p)
+	default:
+		e.state, e.owner, e.presence = dirUncached, 0, 0
+	}
+}
+
+// clearPresence drops p's presence bit and normalizes an emptied entry.
+func (s *System) clearPresence(e *entry, p int) {
+	e.presence &^= 1 << uint(p)
+	if e.presence == 0 {
+		e.state = dirUncached
+		e.owner = 0
+	}
+}
+
+// refreshFromMemory overwrites a line's valid words with barrier-final
+// memory: the copies replay leaves alive (claimants, forwarded fillers)
+// may hold words other processors wrote this epoch through their lanes.
+func (s *System) refreshFromMemory(line *cache.Line, cc *cache.Cache) {
+	base := prog.Word(line.Tag * int64(cc.LineWords()))
+	for i := 0; i < cc.LineWords(); i++ {
+		if line.TT[i] != cache.TTInvalid {
+			line.Vals[i] = s.Memory.Read(base + prog.Word(i))
+		}
+	}
 }
 
 // reservePointer enforces the limited-pointer directory variant
 // (DIR_NB(i)): when adding sharer p would exceed the pointer budget, an
 // existing sharer is invalidated to free a pointer. Such invalidations
 // are a directory-capacity artifact and are recorded as replacements at
-// the victim.
+// the victim. Runs at barrier replay (registration time), so its charges
+// go to the shared sinks.
 func (s *System) reservePointer(e *entry, p int, tag int64, addr prog.Word) {
 	limit := s.Cfg.DirPointers
 	if limit <= 0 || e.presence&(1<<uint(p)) != 0 {
@@ -210,11 +533,7 @@ func (s *System) reservePointer(e *entry, p int, tag int64, addr prog.Word) {
 		cc, tr := s.caches[victim], s.trackers[victim]
 		base := prog.Word(tag * int64(cc.LineWords()))
 		if line, _, ok := cc.Lookup(base); ok && line.Tag == tag {
-			for i := 0; i < cc.LineWords(); i++ {
-				if line.TT[i] != cache.TTInvalid {
-					tr.NoteLost(base+prog.Word(i), cache.LostReplaced, line.TT[i])
-				}
-			}
+			noteLineLost(tr, line, base, cc.LineWords(), cache.LostReplaced)
 			if line.Dirty {
 				s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
 				s.Netw.Inject(int64(s.Cfg.LineWords))
@@ -242,45 +561,6 @@ func popcount(x uint64) int {
 	return n
 }
 
-// fill installs the line containing addr in p's cache (evicting with
-// directory bookkeeping) and returns it.
-func (s *System) fill(p int, addr prog.Word, exclusive bool) (*cache.Line, int) {
-	cc, tr := s.caches[p], s.trackers[p]
-	v := cc.Victim(addr)
-	if v.State != cache.Invalid {
-		s.evict(p, v)
-	}
-	nl, nw := s.MissFill(cc, tr, addr, s.Epoch, s.Epoch)
-	if exclusive {
-		nl.State = cache.Exclusive
-	}
-	return nl, nw
-}
-
-// evict removes a victim line with write-back and directory bookkeeping.
-func (s *System) evict(p int, v *cache.Line) {
-	cc, tr := s.caches[p], s.trackers[p]
-	e := &s.dir[v.Tag]
-	e.presence &^= 1 << uint(p)
-	if v.State == cache.Exclusive && int(e.owner) == p {
-		if v.Dirty {
-			s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
-			s.Netw.Inject(int64(s.Cfg.LineWords))
-		}
-		e.state = dirUncached
-		e.owner = 0
-	} else if e.presence == 0 && e.state == dirShared {
-		e.state = dirUncached
-	}
-	base := prog.Word(v.Tag * int64(cc.LineWords()))
-	for i := 0; i < cc.LineWords(); i++ {
-		if v.TT[i] != cache.TTInvalid {
-			tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
-		}
-	}
-	v.InvalidateLine()
-}
-
 // downgradeOwner makes the exclusive owner's copy clean/shared
 // (write-back of dirty data is charged by the caller).
 func (s *System) downgradeOwner(owner int, tag int64) {
@@ -292,64 +572,44 @@ func (s *System) downgradeOwner(owner int, tag int64) {
 	}
 }
 
-// invalidateSharers invalidates every other cached copy of the line,
-// classifying each invalidation as true or false sharing by the
-// Tullsen–Eggers rule: it is true sharing only if the invalidated
-// processor had used the written word since filling the line.
-func (s *System) invalidateSharers(e *entry, writer int, tag int64, addr prog.Word) {
-	if e.presence == 0 {
-		return
-	}
-	for q := 0; q < s.Cfg.Procs; q++ {
-		if q == writer || e.presence&(1<<uint(q)) == 0 {
-			continue
-		}
-		cc, tr := s.caches[q], s.trackers[q]
-		base := prog.Word(tag * int64(cc.LineWords()))
-		line, w, ok := cc.Lookup(base + prog.Word(int(int64(addr))%cc.LineWords()))
-		if !ok || line.Tag != tag {
-			e.presence &^= 1 << uint(q)
-			continue
-		}
-		reason := cache.LostInvalFalse
-		if line.Used[w] {
-			reason = cache.LostInvalTrue
-		}
-		if s.Probe != nil {
-			class := stats.MissFalseSharing
-			if reason == cache.LostInvalTrue {
-				class = stats.MissTrueSharing
-			}
-			s.Probe.Invalidation(writer, q, addr, class)
-		}
-		for i := 0; i < cc.LineWords(); i++ {
-			if line.TT[i] != cache.TTInvalid {
-				tr.NoteLost(base+prog.Word(i), reason, line.TT[i])
-			}
-		}
-		if line.Dirty {
-			s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
-			s.Netw.Inject(int64(s.Cfg.LineWords))
-		}
-		line.InvalidateLine()
-		e.presence &^= 1 << uint(q)
-		s.St.Invalidations++
-		s.St.CoherenceMsgs++
-		s.St.CoherenceTrafficWords += 2 // invalidate + ack
-		s.Netw.Inject(2)
-	}
-}
-
 // EpochBoundary implements memsys.System: write-back caches keep their
 // contents across epochs (the directory scheme's key advantage).
 func (s *System) EpochBoundary(epoch int64) int64 {
 	s.Epoch = epoch
+	s.SetLaneEpoch(epoch)
 	return 0
+}
+
+// StreamCapable implements memsys.Streamer.
+func (s *System) StreamCapable() bool { return true }
+
+// InitReadCursor implements memsys.Streamer: an HW read hit is any valid
+// word (MSI keeps whole lines valid), so the cut is the minimum timetag;
+// the compiler marking is ignored as in the scalar path.
+func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
+	ln := s.LaneFor(p)
+	*c = memsys.ReadCursor{
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: s.caches[p],
+		Proc: p, Kind: kind, Window: window, Cut: math.MinInt64,
+		Epoch: s.Epoch, HitCycles: s.Cfg.HitCycles, HitCtx: "hw read hit",
+		Fresh: ln.FreshWords(),
+	}
+}
+
+// InitWriteCursor implements memsys.Streamer: the exclusive-hit store is
+// inlined (silent under the frozen directory); shared hits and misses
+// take the scalar path, which logs the deferred claim.
+func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
+	*c = memsys.WriteCursor{
+		Mode: memsys.StreamHW, Sys: s, Core: s.Core, Ln: s.LaneFor(p),
+		CC: s.caches[p], Proc: p, Epoch: s.Epoch,
+	}
 }
 
 // CheckInvariants verifies the protocol's global invariants: at most one
 // exclusive owner per line, presence bits consistent with cache contents,
-// and no dirty copy without exclusive state. Tests call it after runs.
+// and no dirty copy without exclusive state. Valid only at epoch
+// barriers (after FlushEpoch); tests call it after runs.
 func (s *System) CheckInvariants() error {
 	for tag := range s.dir {
 		e := &s.dir[tag]

@@ -16,25 +16,25 @@ func limitedCfg(ptrs int) machine.Config {
 func TestPointerEvictionOnOverflow(t *testing.T) {
 	s := newSys(t, limitedCfg(2))
 	s.EpochBoundary(1)
-	// Three readers of one line with a 2-pointer directory: the third
-	// fill must evict one existing sharer.
+	// Three readers of one line with a 2-pointer directory: registering
+	// the third (at its barrier) must evict one existing sharer.
 	s.Read(0, 8, memsys.ReadRegular, 0)
 	s.Read(1, 8, memsys.ReadRegular, 0)
+	barrier(t, s, 2)
 	if s.St.PointerEvictions != 0 {
 		t.Fatalf("premature evictions: %d", s.St.PointerEvictions)
 	}
 	s.Read(2, 8, memsys.ReadRegular, 0)
+	barrier(t, s, 3)
 	if s.St.PointerEvictions != 1 {
 		t.Fatalf("pointer evictions = %d, want 1", s.St.PointerEvictions)
-	}
-	if err := s.CheckInvariants(); err != nil {
-		t.Fatal(err)
 	}
 	// The evicted sharer re-reads: correct value, another eviction.
 	v, _ := s.Read(0, 8, memsys.ReadRegular, 0)
 	if v != 0 {
 		t.Fatalf("value = %v", v)
 	}
+	barrier(t, s, 4)
 	if s.St.PointerEvictions != 2 {
 		t.Fatalf("pointer evictions = %d, want 2", s.St.PointerEvictions)
 	}
@@ -46,6 +46,7 @@ func TestFullMapNeverEvictsPointers(t *testing.T) {
 	for p := 0; p < s.Cfg.Procs; p++ {
 		s.Read(p, 8, memsys.ReadRegular, 0)
 	}
+	barrier(t, s, 2)
 	if s.St.PointerEvictions != 0 {
 		t.Fatalf("full map evicted %d pointers", s.St.PointerEvictions)
 	}
@@ -55,16 +56,17 @@ func TestLimitedPointerWriteStillCoherent(t *testing.T) {
 	s := newSys(t, limitedCfg(1))
 	s.EpochBoundary(1)
 	s.Read(0, 16, memsys.ReadRegular, 0)
-	s.Read(1, 16, memsys.ReadRegular, 0) // evicts P0's pointer+copy
-	s.Write(2, 16, 5.0, false)           // invalidates the tracked sharer (P1)
-	if err := s.CheckInvariants(); err != nil {
-		t.Fatal(err)
-	}
+	barrier(t, s, 2)
+	s.Read(1, 16, memsys.ReadRegular, 0) // registration evicts P0's pointer+copy
+	barrier(t, s, 3)
+	s.Write(2, 16, 5.0, false) // sweep invalidates the tracked sharer (P1)
+	barrier(t, s, 4)
 	for p := 0; p < 3; p++ {
 		if v, _ := s.Read(p, 16, memsys.ReadRegular, 0); v != 5.0 {
 			t.Fatalf("P%d read %v, want 5.0", p, v)
 		}
 	}
+	barrier(t, s, 5)
 }
 
 func TestSeqConsistencyWriteStalls(t *testing.T) {
@@ -76,16 +78,26 @@ func TestSeqConsistencyWriteStalls(t *testing.T) {
 	if stall := s.Write(0, 24, 1.0, false); stall == 0 {
 		t.Fatal("SC write miss must stall")
 	}
+	barrier(t, s, 2)
 	// exclusive hit: silent
 	if stall := s.Write(0, 24, 2.0, false); stall != 0 {
 		t.Fatalf("SC exclusive write hit stalled %d", stall)
 	}
+	barrier(t, s, 3)
+	s.Read(1, 24, memsys.ReadRegular, 0) // fetches a shared copy, downgrading P0
+	barrier(t, s, 4)
 	// shared upgrade: stall for the acknowledgement
-	s.Read(1, 24, memsys.ReadRegular, 0) // downgrade owner? (read miss fetches shared copy)
 	if stall := s.Write(1, 24, 3.0, false); stall == 0 {
 		t.Fatal("SC upgrade must stall")
 	}
+	barrier(t, s, 5)
 }
 
 // Interface conformance.
-var _ memsys.System = (*System)(nil)
+var (
+	_ memsys.System   = (*System)(nil)
+	_ memsys.Sharded  = (*System)(nil)
+	_ memsys.Buffered = (*System)(nil)
+	_ memsys.Streamer = (*System)(nil)
+	_ memsys.Releaser = (*System)(nil)
+)

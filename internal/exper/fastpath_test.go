@@ -9,36 +9,30 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
-	"repro/internal/machine"
 	"repro/internal/obs"
 )
 
-// fastPathSchemes covers the Streamer opt-ins (BASE, SC, TPI) plus HW,
-// which exercises the transparent non-capable fallback.
-var fastPathSchemes = []machine.Scheme{
-	machine.SchemeBase, machine.SchemeSC, machine.SchemeTPI, machine.SchemeHW,
-}
-
 // TestFastPathEquivalence is the tentpole's oracle: for every kernel x
-// scheme x simulated-processor count x scheduling x host parallelism,
-// the affine stream fast path must produce a byte-identical
-// stats.Snapshot JSON and an identical final memory image to the
-// scalar path.
+// scheme variant (all five schemes plus two-level TPI — every system
+// implements stream cursors now) x simulated-processor count x
+// scheduling x host parallelism, the affine stream fast path must
+// produce a byte-identical stats.Snapshot JSON and an identical final
+// memory image to the scalar path.
 func TestFastPathEquivalence(t *testing.T) {
 	type point struct {
 		kernel  string
-		scheme  machine.Scheme
+		variant schemeVariant
 		procs   int
 		cyclic  bool
 		hostpar int
 	}
 	var points []point
 	for _, name := range bench.Names {
-		for _, sch := range fastPathSchemes {
+		for _, v := range allVariants {
 			for _, procs := range []int{16, 64} {
 				for _, cyclic := range []bool{false, true} {
 					for _, hp := range []int{1, 4} {
-						points = append(points, point{name, sch, procs, cyclic, hp})
+						points = append(points, point{name, v, procs, cyclic, hp})
 					}
 				}
 			}
@@ -47,8 +41,9 @@ func TestFastPathEquivalence(t *testing.T) {
 	s := smallSuite()
 	_, err := forEach(points, func(pt point) ([][]string, error) {
 		label := fmt.Sprintf("%s/%s/p%d/cyclic=%v/hostpar=%d",
-			pt.kernel, pt.scheme, pt.procs, pt.cyclic, pt.hostpar)
-		cfg := s.cfg(pt.scheme)
+			pt.kernel, pt.variant.name, pt.procs, pt.cyclic, pt.hostpar)
+		cfg := s.cfg(pt.variant.scheme)
+		cfg.L1Words = pt.variant.l1Words
 		cfg.Procs = pt.procs
 		cfg.CyclicSched = pt.cyclic
 		cfg.HostParallel = pt.hostpar
@@ -91,17 +86,18 @@ func TestFastPathEquivalence(t *testing.T) {
 	}
 }
 
-// TestFastPathObservedEquivalence: at the counters observation level the
-// stream driver still emits per-reference events, so the attributed
-// report must be identical to the scalar path's; at the trace level the
-// fast path must disengage entirely, leaving the binary event stream
-// byte-compatible (same replayed report).
+// TestFastPathObservedEquivalence: the stream driver emits
+// per-reference observer events in exact scalar order, so at every
+// observation level — including the full binary trace, which no longer
+// disengages the fast path — the attributed report and the event stream
+// must be byte-identical to the scalar path's.
 func TestFastPathObservedEquivalence(t *testing.T) {
 	s := smallSuite()
 	for _, kernel := range []string{"ocean", "trfd"} {
-		for _, sch := range []machine.Scheme{machine.SchemeSC, machine.SchemeTPI} {
-			t.Run(fmt.Sprintf("%s/%s", kernel, sch), func(t *testing.T) {
-				cfg := s.cfg(sch)
+		for _, v := range allVariants {
+			t.Run(fmt.Sprintf("%s/%s", kernel, v.name), func(t *testing.T) {
+				cfg := s.cfg(v.scheme)
+				cfg.L1Words = v.l1Words
 				cfg.Procs = 16
 				c, err := s.compile(kernel, core.CompileOptions{
 					Interproc:      cfg.Interproc,
@@ -138,7 +134,7 @@ func TestFastPathObservedEquivalence(t *testing.T) {
 					t.Fatal(err)
 				}
 				if !bytes.Equal(offBuf.Bytes(), onBuf.Bytes()) {
-					t.Errorf("trace-level binary streams diverge (%d vs %d bytes): fast path must disengage under LevelTrace",
+					t.Errorf("trace-level binary streams diverge (%d vs %d bytes): the engaged fast path must emit the scalar event stream byte-for-byte",
 						offBuf.Len(), onBuf.Len())
 				}
 			})

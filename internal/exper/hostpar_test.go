@@ -13,37 +13,53 @@ import (
 	"repro/internal/obs"
 )
 
-// hostParSchemes are the coherence schemes that shard across host
-// goroutines; HW is included to cover the transparent fallback.
-var hostParSchemes = []machine.Scheme{
-	machine.SchemeBase, machine.SchemeSC, machine.SchemeTPI, machine.SchemeHW,
+// schemeVariant names one memory-system configuration point: a scheme
+// plus the L1 size that selects the two-level TPI variant (cfg.L1Words >
+// 0 puts an on-chip filter in front of the timetagged cache).
+type schemeVariant struct {
+	name    string
+	scheme  machine.Scheme
+	l1Words int64
+}
+
+// allVariants covers every sharded, stream-capable memory system: all
+// five schemes plus two-level TPI. Only the sequential oracle is absent
+// — it opts out of both fast paths by design.
+var allVariants = []schemeVariant{
+	{"BASE", machine.SchemeBase, 0},
+	{"SC", machine.SchemeSC, 0},
+	{"TPI", machine.SchemeTPI, 0},
+	{"TPI2L", machine.SchemeTPI, 64},
+	{"HW", machine.SchemeHW, 0},
+	{"VC", machine.SchemeVC, 0},
 }
 
 // TestHostParallelEquivalence is the tentpole's oracle: for every kernel
-// x scheme x simulated-processor count x scheduling, a host-parallel run
-// must produce a byte-identical stats.Snapshot JSON and an identical
-// final memory image to the sequential run.
+// x scheme variant x simulated-processor count x scheduling, a
+// host-parallel run must produce a byte-identical stats.Snapshot JSON
+// and an identical final memory image to the sequential run.
 func TestHostParallelEquivalence(t *testing.T) {
 	type point struct {
-		kernel string
-		scheme machine.Scheme
-		procs  int
-		cyclic bool
+		kernel  string
+		variant schemeVariant
+		procs   int
+		cyclic  bool
 	}
 	var points []point
 	for _, name := range bench.Names {
-		for _, sch := range hostParSchemes {
+		for _, v := range allVariants {
 			for _, procs := range []int{16, 64} {
 				for _, cyclic := range []bool{false, true} {
-					points = append(points, point{name, sch, procs, cyclic})
+					points = append(points, point{name, v, procs, cyclic})
 				}
 			}
 		}
 	}
 	s := smallSuite()
 	_, err := forEach(points, func(pt point) ([][]string, error) {
-		label := fmt.Sprintf("%s/%s/p%d/cyclic=%v", pt.kernel, pt.scheme, pt.procs, pt.cyclic)
-		cfg := s.cfg(pt.scheme)
+		label := fmt.Sprintf("%s/%s/p%d/cyclic=%v", pt.kernel, pt.variant.name, pt.procs, pt.cyclic)
+		cfg := s.cfg(pt.variant.scheme)
+		cfg.L1Words = pt.variant.l1Words
 		cfg.Procs = pt.procs
 		cfg.CyclicSched = pt.cyclic
 		c, err := s.compile(pt.kernel, core.CompileOptions{
@@ -86,49 +102,52 @@ func TestHostParallelEquivalence(t *testing.T) {
 
 // TestHostParallelObservedEquivalence: with the instrumentation layer
 // on, the attributed report must be identical between sequential and
-// host-parallel runs, and a binary trace written at -hostpar 4 must
-// replay to the identical live report (the shard merge preserves the
-// trace contract).
+// host-parallel runs for every scheme variant, and a binary trace
+// written at -hostpar 4 must replay to the identical live report (the
+// shard merge preserves the trace contract).
 func TestHostParallelObservedEquivalence(t *testing.T) {
 	s := smallSuite()
 	for _, kernel := range []string{"ocean", "trfd"} {
-		for _, cyclic := range []bool{false, true} {
-			t.Run(fmt.Sprintf("%s/cyclic=%v", kernel, cyclic), func(t *testing.T) {
-				cfg := s.cfg(machine.SchemeTPI)
-				cfg.Procs = 16
-				cfg.CyclicSched = cyclic
-				c, err := s.compile(kernel, core.CompileOptions{
-					Interproc:      cfg.Interproc,
-					FirstReadReuse: cfg.FirstReadReuse,
-					AlignWords:     int64(cfg.LineWords),
+		for _, v := range allVariants {
+			for _, cyclic := range []bool{false, true} {
+				t.Run(fmt.Sprintf("%s/%s/cyclic=%v", kernel, v.name, cyclic), func(t *testing.T) {
+					cfg := s.cfg(v.scheme)
+					cfg.L1Words = v.l1Words
+					cfg.Procs = 16
+					cfg.CyclicSched = cyclic
+					c, err := s.compile(kernel, core.CompileOptions{
+						Interproc:      cfg.Interproc,
+						FirstReadReuse: cfg.FirstReadReuse,
+						AlignWords:     int64(cfg.LineWords),
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					seqSt, seqRep, err := core.RunObserved(c, cfg, obs.LevelCounters, nil)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg.HostParallel = 4
+					var buf bytes.Buffer
+					parSt, parRep, err := core.RunObserved(c, cfg, obs.LevelTrace, &buf)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(seqSt.Snapshot(), parSt.Snapshot()) {
+						t.Errorf("stats diverge:\nseq %+v\npar %+v", seqSt.Snapshot(), parSt.Snapshot())
+					}
+					if !reflect.DeepEqual(seqRep, parRep) {
+						t.Errorf("attributed reports diverge")
+					}
+					replayed, err := obs.Replay(bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatalf("Replay: %v", err)
+					}
+					if !reflect.DeepEqual(replayed, parRep) {
+						t.Errorf("replayed report differs from live host-parallel report")
+					}
 				})
-				if err != nil {
-					t.Fatal(err)
-				}
-				seqSt, seqRep, err := core.RunObserved(c, cfg, obs.LevelCounters, nil)
-				if err != nil {
-					t.Fatal(err)
-				}
-				cfg.HostParallel = 4
-				var buf bytes.Buffer
-				parSt, parRep, err := core.RunObserved(c, cfg, obs.LevelTrace, &buf)
-				if err != nil {
-					t.Fatal(err)
-				}
-				if !reflect.DeepEqual(seqSt.Snapshot(), parSt.Snapshot()) {
-					t.Errorf("stats diverge:\nseq %+v\npar %+v", seqSt.Snapshot(), parSt.Snapshot())
-				}
-				if !reflect.DeepEqual(seqRep, parRep) {
-					t.Errorf("attributed reports diverge")
-				}
-				replayed, err := obs.Replay(bytes.NewReader(buf.Bytes()))
-				if err != nil {
-					t.Fatalf("Replay: %v", err)
-				}
-				if !reflect.DeepEqual(replayed, parRep) {
-					t.Errorf("replayed report differs from live host-parallel report")
-				}
-			})
+			}
 		}
 	}
 }

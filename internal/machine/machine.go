@@ -217,17 +217,18 @@ type Config struct {
 	// stream loops execute through batched per-scheme stream cursors
 	// instead of per-reference closure dispatch. Results are bit-identical
 	// to the scalar path; the flag exists as a kill-switch and for
-	// measuring the speedup. Schemes without stream support (HW, VC,
-	// two-level TPI) and trace-level instrumentation fall back to the
-	// scalar path transparently.
+	// measuring the speedup. All five schemes stream (BASE, SC, TPI,
+	// two-level TPI, HW, VC); only the line-oriented text trace forces
+	// the scalar path transparently.
 	FastPath bool
 
 	// HostParallel shards the simulated processors of each DOALL epoch
 	// across up to this many host goroutines with a deterministic barrier
 	// merge (results are bit-identical to sequential execution). 0 or 1
-	// keeps the sequential runner. Only schemes whose reference paths are
-	// processor-local shard (BASE, SC, TPI); other schemes and
-	// DynamicSched fall back to sequential execution transparently.
+	// keeps the sequential runner. All five schemes shard (HW and VC via
+	// always-buffered lanes with barrier-deferred coherence replay);
+	// DynamicSched and doalls containing critical/ordered sections fall
+	// back to sequential execution transparently.
 	HostParallel int
 
 	// Interproc and FirstReadReuse gate the compiler analyses (ablations).

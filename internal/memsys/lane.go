@@ -33,13 +33,24 @@ package memsys
 //     its own same-epoch writes even after a conflict eviction.
 //
 // Schemes opt in by implementing HostShardable and routing every
-// reference-path access to shared state through LaneFor(p). Schemes with
-// genuine mid-epoch cross-processor state (the HW directory, the
-// version-control scheme, the two-level TPI's shared L1 counters) simply
-// do not opt in and the simulator falls back to sequential execution.
+// reference-path access to shared state through LaneFor(p). Schemes whose
+// reference paths *observe memory values* mid-epoch beyond the accessed
+// word (the HW directory fills whole lines; VC compares cached values
+// against memory to split true-sharing from conservative misses) would
+// see different neighbor values in pass-through mode (memory already
+// holds other processors' same-epoch stores) than in buffered mode. Those
+// schemes call EnableAlwaysBuffered at construction: every epoch runs on
+// buffered lanes in BOTH sequential and host-parallel execution, and the
+// merge is deferred to FlushEpoch at the simulator's epoch barrier — one
+// canonical memory-visibility rule, so the two modes are bit-identical by
+// construction. Cross-processor *protocol* state (the directory's sharer
+// lists) is handled by the scheme itself: mutations are logged per lane
+// mid-epoch and replayed in (processor, sequence) order inside its
+// FlushEpoch override (see internal/directory).
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/memory"
 	"repro/internal/network"
@@ -133,6 +144,25 @@ func (l *Lane) Write(addr prog.Word, val float64, proc int, epoch int64) {
 	l.writes = append(l.writes, laneWrite{addr: addr, val: val})
 }
 
+// WriteThrough performs a store that must be globally visible NOW — a
+// critical-section (or ordered-section) store. Those only occur in
+// sequential (seqOnly) epochs, so eager application is deterministic in
+// both execution modes. If this processor has a buffered same-epoch store
+// to the word, that log entry is withdrawn (overlay removed, slot turned
+// into a skip sentinel): the proc-major barrier flush must not re-apply a
+// pre-critical value over the program-order-final one — under cyclic
+// scheduling several processors' critical stores to one word interleave
+// in iteration order, not processor order.
+func (l *Lane) WriteThrough(addr prog.Word, val float64, proc int, epoch int64) {
+	if l.buffered {
+		if i, ok := l.overlay[addr]; ok {
+			delete(l.overlay, addr)
+			l.writes[i] = laneWrite{addr: -1}
+		}
+	}
+	l.mem.Write(addr, val, proc, epoch)
+}
+
 // CheckFresh is the staleness oracle through the lane: a hit on a word
 // this processor wrote this epoch must match the buffered value; any
 // other hit must match authoritative memory.
@@ -154,8 +184,8 @@ func (l *Lane) CheckFresh(addr prog.Word, got float64, proc int, context string)
 // and EndParallelEpoch, concurrent Read/Write calls for distinct
 // processors touch only per-processor state (caches, trackers, write
 // buffers) plus that processor's Lane. Begin/End and LaneStats come from
-// Core; HostShardable is the explicit per-scheme opt-in so schemes that
-// merely embed Core (HW directory, VC) stay sequential.
+// Core; HostShardable is the explicit per-scheme opt-in (schemes with
+// un-sharded mid-epoch state would override it to false).
 type Sharded interface {
 	System
 	// HostShardable reports that the reference paths are lane-routed.
@@ -172,11 +202,100 @@ type Sharded interface {
 	LaneStats(p int) *stats.Stats
 }
 
+// Buffered is implemented by systems whose epochs run on buffered lanes
+// even in sequential execution (EnableAlwaysBuffered). The simulator
+// calls FlushEpoch at the top of every epoch barrier — before barrier
+// cycles are charged and the network clock advances — so lane merges and
+// any deferred protocol replay happen at one canonical point in both
+// execution modes.
+type Buffered interface {
+	System
+	// EpochBuffered reports that epochs run on buffered lanes in every
+	// execution mode and the simulator must call FlushEpoch at barriers.
+	EpochBuffered() bool
+	// FlushEpoch performs the barrier merge: buffered writes apply to
+	// memory in (processor, sequence) order, stats shards sum, batched
+	// traffic injects. Schemes with deferred protocol state (the HW
+	// directory's action logs) override it to replay that state after
+	// the lane merge, so the replay reads barrier-final memory.
+	FlushEpoch()
+}
+
+// EnableAlwaysBuffered switches the core to always-buffered execution:
+// lanes are allocated eagerly and LaneFor returns the processor's private
+// buffered lane even outside host-parallel epochs. EndParallelEpoch then
+// defers the merge to FlushEpoch, which the simulator invokes at every
+// epoch barrier (in both execution modes). Call once, at construction.
+func (c *Core) EnableAlwaysBuffered() {
+	c.alwaysBuffered = true
+	c.ensureLanes()
+}
+
+// EpochBuffered implements Buffered.
+func (c *Core) EpochBuffered() bool { return c.alwaysBuffered }
+
+// FlushEpoch implements Buffered.
+func (c *Core) FlushEpoch() { c.FlushEpochLanes() }
+
+// lanesPool recycles lane sets across runs: the write-log slices and
+// overlay maps grow to an epoch's working set once and are then reused
+// instead of reallocated per run (see memsys.Releaser).
+var lanesPool sync.Pool
+
+func (c *Core) ensureLanes() {
+	if c.lanes != nil {
+		return
+	}
+	if v := lanesPool.Get(); v != nil {
+		if ls, ok := v.([]*Lane); ok && len(ls) >= c.Cfg.Procs {
+			c.lanes = ls[:c.Cfg.Procs]
+			for p, l := range c.lanes {
+				l.mem = c.Memory
+				l.proc = p
+				l.epoch = 0
+			}
+			return
+		}
+	}
+	c.lanes = make([]*Lane, c.Cfg.Procs)
+	for p := range c.lanes {
+		l := &Lane{
+			mem:      c.Memory,
+			buffered: true,
+			proc:     p,
+			overlay:  make(map[prog.Word]int32),
+		}
+		l.St = &l.stShard
+		c.lanes[p] = l
+	}
+}
+
+// ReleaseLanes returns the per-processor lanes to the shared pool for
+// the next run. Each lane is scrubbed (log truncated, overlay cleared,
+// shard zeroed, memory unbound) so a pooled lane can never leak one
+// run's state into the next; schemes call this from ReleaseCaches.
+func (c *Core) ReleaseLanes() {
+	if c.lanes == nil {
+		return
+	}
+	for _, l := range c.lanes {
+		l.mem = nil
+		l.writes = l.writes[:0]
+		clear(l.overlay)
+		l.stShard = stats.Stats{}
+		l.inj = 0
+		l.epoch = 0
+	}
+	lanesPool.Put(c.lanes)
+	c.lanes = nil
+}
+
 // LaneFor returns the lane processor p must route its references
-// through: the shared pass-through lane in sequential execution, the
-// processor's private buffered lane inside a host-parallel epoch.
+// through: the shared pass-through lane in plain sequential execution,
+// the processor's private buffered lane inside a host-parallel epoch or
+// under always-buffered execution.
 func (c *Core) LaneFor(p int) *Lane {
-	if c.par {
+	if c.par || c.alwaysBuffered {
 		return c.lanes[p]
 	}
 	return &c.seqLane
@@ -184,33 +303,47 @@ func (c *Core) LaneFor(p int) *Lane {
 
 // BeginParallelEpoch implements Sharded.
 func (c *Core) BeginParallelEpoch(epoch int64) {
-	if c.lanes == nil {
-		c.lanes = make([]*Lane, c.Cfg.Procs)
-		for p := range c.lanes {
-			l := &Lane{
-				mem:      c.Memory,
-				buffered: true,
-				proc:     p,
-				overlay:  make(map[prog.Word]int32),
-			}
-			l.St = &l.stShard
-			c.lanes[p] = l
-		}
-	}
+	c.ensureLanes()
 	for _, l := range c.lanes {
 		l.epoch = epoch
 	}
 	c.par = true
 }
 
-// EndParallelEpoch implements Sharded. Applying each processor's write
-// log in processor order is the deterministic serialization of the
-// epoch; write-set disjointness makes it equal to the sequential
-// interleaving.
+// SetLaneEpoch stamps every lane with the epoch being entered. Under
+// always-buffered execution sequential epochs also buffer stores, so the
+// scheme's EpochBoundary must forward the new epoch here for the logs'
+// memory.Write epoch stamps to stay identical to pass-through execution.
+func (c *Core) SetLaneEpoch(epoch int64) {
+	for _, l := range c.lanes {
+		l.epoch = epoch
+	}
+}
+
+// EndParallelEpoch implements Sharded. Under always-buffered execution
+// the merge is deferred to FlushEpoch so sequential and host-parallel
+// epochs drain at the same canonical point (the simulator's barrier).
 func (c *Core) EndParallelEpoch() {
 	c.par = false
+	if c.alwaysBuffered {
+		return
+	}
+	c.FlushEpochLanes()
+}
+
+// FlushEpochLanes applies each processor's buffered epoch state to the
+// shared structures: write logs to memory in (processor, sequence) order
+// — the deterministic serialization of the epoch; write-set disjointness
+// makes it equal to the sequential interleaving — then stats shards and
+// batched network traffic. Withdrawn entries (critical-section stores
+// applied eagerly by WriteThrough) carry a negative address and are
+// skipped.
+func (c *Core) FlushEpochLanes() {
 	for p, l := range c.lanes {
 		for _, w := range l.writes {
+			if w.addr < 0 {
+				continue
+			}
 			c.Memory.Write(w.addr, w.val, p, l.epoch)
 		}
 		l.writes = l.writes[:0]
@@ -226,7 +359,7 @@ func (c *Core) EndParallelEpoch() {
 
 // LaneStats implements Sharded.
 func (c *Core) LaneStats(p int) *stats.Stats {
-	if c.par {
+	if c.par || c.alwaysBuffered {
 		return c.lanes[p].St
 	}
 	return &c.St

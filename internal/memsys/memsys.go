@@ -139,12 +139,16 @@ type Core struct {
 
 	// Host-parallel lane state (see lane.go). seqLane passes through to
 	// the shared state above; lanes holds the per-processor buffered
-	// lanes, allocated lazily on the first parallel epoch. par flips only
-	// while the simulator is single-threaded (before goroutine spawn /
-	// after join), so LaneFor needs no synchronization.
-	seqLane Lane
-	lanes   []*Lane
-	par     bool
+	// lanes, allocated lazily on the first parallel epoch (eagerly under
+	// alwaysBuffered). par flips only while the simulator is
+	// single-threaded (before goroutine spawn / after join), so LaneFor
+	// needs no synchronization. alwaysBuffered (EnableAlwaysBuffered)
+	// makes sequential epochs buffer too, with the merge deferred to
+	// FlushEpoch at the simulator's barrier.
+	seqLane        Lane
+	lanes          []*Lane
+	par            bool
+	alwaysBuffered bool
 }
 
 // SetProbe implements Probed.

@@ -45,6 +45,15 @@ const (
 	StreamUncached
 	// StreamBase inlines BASE's uncached remote word access.
 	StreamBase
+	// StreamHW inlines the HW directory's exclusive-hit write path and
+	// falls back to the scalar Write for shared hits and misses (which
+	// involve the directory). Reads use StreamCached: an HW read hit is
+	// any valid word.
+	StreamHW
+	// StreamTwoLevel puts the on-chip L1 filter in front of an inner
+	// cursor mode (two-level TPI): regular reads hit the L1, everything
+	// else invalidates the L1 word and takes the inner (L2) path.
+	StreamTwoLevel
 )
 
 // Streamer is implemented by schemes that can batch affine reference
@@ -60,11 +69,14 @@ type Streamer interface {
 	// to opt out.
 	StreamCapable() bool
 	// InitReadCursor prepares c to perform processor p's reads of the
-	// given compiler mark.
-	InitReadCursor(c *ReadCursor, p int, kind ReadKind, window int)
+	// given compiler mark. addr0 is the stream's first address; schemes
+	// whose hit predicate depends on the referenced variable (VC's
+	// per-variable version cut) may capture state derived from it — the
+	// affine entry guards keep every stream address inside one variable.
+	InitReadCursor(c *ReadCursor, p int, kind ReadKind, window int, addr0 prog.Word)
 	// InitWriteCursor prepares c to perform processor p's non-critical
-	// writes.
-	InitWriteCursor(c *WriteCursor, p int)
+	// writes; addr0 as for InitReadCursor.
+	InitWriteCursor(c *WriteCursor, p int, addr0 prog.Word)
 }
 
 // ReadCursor performs one read stream's references.
@@ -93,7 +105,15 @@ type ReadCursor struct {
 	// (CheckFresh remains the mismatch/buffered path).
 	Fresh []float64
 
-	line *cache.Line // last-touched line; revalidated on every access
+	// Two-level TPI (StreamTwoLevel): the on-chip L1 in front of the
+	// inner (L2) path, whose mode the inner scheme's init left in Inner.
+	Inner       StreamMode
+	L1          *cache.Cache
+	L1HitCycles int64
+	L2HitCycles int64
+
+	line   *cache.Line // last-touched line; revalidated on every access
+	l1line *cache.Line // StreamTwoLevel: last-touched L1 line
 
 	// Batched counters, applied by Flush at stream-loop exit. Stats and
 	// network load are only observed at epoch boundaries (the network
@@ -101,9 +121,12 @@ type ReadCursor struct {
 	// increments is unobservable. The scalar-fallback delegate still
 	// updates the lane stats directly, which keeps its counter-diff
 	// class recovery self-consistent.
-	hits   int64 // StreamCached: pending Reads/ReadHits
-	n      int64 // StreamBase: pending Reads/ReadMisses/traffic
-	latSum int64 // StreamBase: pending MissLatencySum
+	hits    int64 // StreamCached: pending Reads/ReadHits
+	n       int64 // StreamBase: pending Reads/ReadMisses/traffic
+	latSum  int64 // StreamBase: pending MissLatencySum
+	l1hits  int64 // StreamTwoLevel: pending L1Hits (and Reads/ReadHits)
+	l1miss  int64 // StreamTwoLevel: pending L1Misses
+	trInval int64 // StreamTwoLevel: pending TimeReadL1Invalidations
 }
 
 // Flush applies the cursor's batched counters to the lane. runStream
@@ -115,6 +138,16 @@ func (c *ReadCursor) Flush() {
 		st.Reads += c.hits
 		st.ReadHits += c.hits
 		c.hits = 0
+	case StreamTwoLevel:
+		st := c.Ln.St
+		st.L1Hits += c.l1hits
+		st.Reads += c.l1hits // an L1 hit counts as a read hit
+		st.ReadHits += c.l1hits
+		st.L1Misses += c.l1miss
+		st.TimeReadL1Invalidations += c.trInval
+		st.Reads += c.hits // inner (L2) cursor hits
+		st.ReadHits += c.hits
+		c.l1hits, c.l1miss, c.trInval, c.hits = 0, 0, 0, 0
 	case StreamBase:
 		st := c.Ln.St
 		st.Reads += c.n
@@ -132,48 +165,49 @@ func (c *ReadCursor) Flush() {
 func (c *ReadCursor) Read(addr prog.Word) (float64, int64, int8) {
 	switch c.Mode {
 	case StreamCached:
-		tag, w := c.CC.Split(addr)
-		l := c.line
-		if l == nil || l.Tag != tag || l.State == cache.Invalid {
-			l, _, _ = c.CC.Lookup(addr)
-			c.line = l
-		}
-		if l != nil && l.TT[w] != cache.TTInvalid && l.TT[w] >= c.Cut {
-			c.hits++
-			if c.PromoteTT {
-				l.TT[w] = c.Epoch
+		return c.readCached(addr)
+
+	case StreamTwoLevel:
+		if c.Kind == ReadRegular {
+			tag, w := c.L1.Split(addr)
+			l := c.l1line
+			if l == nil || l.Tag != tag || l.State == cache.Invalid {
+				l, _, _ = c.L1.Lookup(addr)
+				c.l1line = l
 			}
-			l.Used[w] = true
-			c.CC.Touch(l)
-			v := l.Vals[w]
-			if c.Fresh == nil || v != c.Fresh[addr] {
-				// Buffered lane, or a genuine staleness-oracle failure:
-				// CheckFresh re-runs the compare against the value this
-				// processor must see and panics with the full diagnostic.
-				c.Ln.CheckFresh(addr, v, c.Proc, c.HitCtx)
-			}
-			return v, c.HitCycles, -1
-		}
-		// Anything but a clean hit — absent line, word-grain hole,
-		// window failure — takes the scheme's full scalar path (refresh,
-		// fill, eviction, prefetch, classification). The class is
-		// recovered by diffing the lane counters, exactly like
-		// sim.readClassified.
-		st := c.Ln.St
-		hitsBefore := st.ReadHits
-		missBefore := st.ReadMisses
-		v, stall := c.Sys.Read(c.Proc, addr, c.Kind, c.Window)
-		class := int8(-1)
-		if st.ReadHits == hitsBefore {
-			for i := range st.ReadMisses {
-				if st.ReadMisses[i] != missBefore[i] {
-					class = int8(i)
-					break
+			if l != nil && l.TT[w] != cache.TTInvalid {
+				c.l1hits++
+				c.L1.Touch(l)
+				v := l.Vals[w]
+				if c.Fresh == nil || v != c.Fresh[addr] {
+					c.Ln.CheckFresh(addr, v, c.Proc, "tpi2l L1 hit")
 				}
+				return v, c.L1HitCycles, -1
 			}
+			c.l1miss++
+			v, lat, class := c.readInner(addr)
+			if lat == c.HitCycles {
+				lat = c.L2HitCycles // the L2 tag+timetag access is slower
+			}
+			FillWordL1(c.L1, addr, v)
+			c.l1line = nil // the fill may have installed or moved the line
+			return v, lat, class
 		}
-		c.line = nil // the fill may have replaced or moved the line
-		return v, stall, class
+		// Time-Read / bypass: the on-chip copy cannot be validated; the
+		// compiled sequence invalidates it and re-reads through the L2.
+		if l, w, ok := c.L1.Lookup(addr); ok && l.ValidWord(w) {
+			l.InvalidateWord(w)
+			c.trInval++
+		}
+		v, lat, class := c.readInner(addr)
+		if lat == c.HitCycles {
+			lat = c.L2HitCycles
+		}
+		if c.Kind == ReadTime {
+			FillWordL1(c.L1, addr, v)
+			c.l1line = nil
+		}
+		return v, lat, class
 
 	case StreamBase:
 		c.n++
@@ -185,6 +219,88 @@ func (c *ReadCursor) Read(addr prog.Word) (float64, int64, int8) {
 		v, stall := c.Sys.Read(c.Proc, addr, c.Kind, c.Window)
 		return v, stall, int8(stats.MissBypass)
 	}
+}
+
+// readInner runs the inner (L2) path of a two-level cursor: the mode the
+// inner scheme's InitReadCursor selected before the wrapper re-tagged the
+// cursor StreamTwoLevel.
+func (c *ReadCursor) readInner(addr prog.Word) (float64, int64, int8) {
+	if c.Inner == StreamCached {
+		return c.readCached(addr)
+	}
+	// StreamUncached (bypass reads).
+	v, stall := c.Sys.Read(c.Proc, addr, c.Kind, c.Window)
+	return v, stall, int8(stats.MissBypass)
+}
+
+// readCached is the StreamCached reference: the inlined revalidated-hit
+// path with scalar fallback.
+func (c *ReadCursor) readCached(addr prog.Word) (float64, int64, int8) {
+	tag, w := c.CC.Split(addr)
+	l := c.line
+	if l == nil || l.Tag != tag || l.State == cache.Invalid {
+		l, _, _ = c.CC.Lookup(addr)
+		c.line = l
+	}
+	if l != nil && l.TT[w] != cache.TTInvalid && l.TT[w] >= c.Cut {
+		c.hits++
+		if c.PromoteTT {
+			l.TT[w] = c.Epoch
+		}
+		l.Used[w] = true
+		c.CC.Touch(l)
+		v := l.Vals[w]
+		if c.Fresh == nil || v != c.Fresh[addr] {
+			// Buffered lane, or a genuine staleness-oracle failure:
+			// CheckFresh re-runs the compare against the value this
+			// processor must see and panics with the full diagnostic.
+			c.Ln.CheckFresh(addr, v, c.Proc, c.HitCtx)
+		}
+		return v, c.HitCycles, -1
+	}
+	// Anything but a clean hit — absent line, word-grain hole,
+	// window failure — takes the scheme's full scalar path (refresh,
+	// fill, eviction, prefetch, classification). The class is
+	// recovered by diffing the lane counters, exactly like
+	// sim.readClassified.
+	st := c.Ln.St
+	hitsBefore := st.ReadHits
+	missBefore := st.ReadMisses
+	v, stall := c.Sys.Read(c.Proc, addr, c.Kind, c.Window)
+	class := int8(-1)
+	if st.ReadHits == hitsBefore {
+		for i := range st.ReadMisses {
+			if st.ReadMisses[i] != missBefore[i] {
+				class = int8(i)
+				break
+			}
+		}
+	}
+	c.line = nil // the fill may have replaced or moved the line
+	return v, stall, class
+}
+
+// FillWordL1 installs one word in a two-level on-chip L1 (word-grain
+// validate; no extra memory traffic — the data just came through the L2
+// path). Shared by the scalar two-level Read path and StreamTwoLevel
+// cursors.
+func FillWordL1(l1 *cache.Cache, addr prog.Word, v float64) {
+	if line, w, ok := l1.Lookup(addr); ok {
+		line.Vals[w] = v
+		line.TT[w] = 0 // L1 carries no timetags; 0 marks "valid"
+		l1.Touch(line)
+		return
+	}
+	vic := l1.Victim(addr)
+	if vic.State != cache.Invalid {
+		vic.InvalidateLine() // clean write-through L1: silent drop
+	}
+	tag, w := l1.Split(addr)
+	vic.Tag = tag
+	vic.State = cache.Shared
+	vic.Vals[w] = v
+	vic.TT[w] = 0
+	l1.Touch(vic)
 }
 
 // WriteCursor performs one write stream's references.
@@ -208,7 +324,13 @@ type WriteCursor struct {
 	// SeqC exposes the store latency (sequential consistency).
 	SeqC bool
 
-	line *cache.Line
+	// Two-level TPI (StreamTwoLevel): the on-chip L1 updated in front of
+	// the inner cursor mode.
+	Inner StreamMode
+	L1    *cache.Cache
+
+	line   *cache.Line
+	l1line *cache.Line
 
 	// Batched counters, applied by Flush at stream-loop exit (same
 	// argument as ReadCursor's: stats and network load are only observed
@@ -239,7 +361,8 @@ func (c *WriteCursor) Flush() {
 // Write performs one non-critical write of val to addr. It returns the
 // processor stall and the miss class (-1 for a write hit).
 func (c *WriteCursor) Write(addr prog.Word, val float64) (int64, int8) {
-	if c.Mode == StreamBase {
+	switch c.Mode {
+	case StreamBase:
 		c.n++
 		c.traffic++
 		c.Ln.Write(addr, val, c.Proc, c.Epoch)
@@ -249,11 +372,67 @@ func (c *WriteCursor) Write(addr prog.Word, val float64) (int64, int8) {
 			return lat, int8(stats.MissBypass)
 		}
 		return 0, int8(stats.MissBypass)
-	}
 
-	// StreamCached: inline the present-line write (hit or word-grain
-	// allocate); an absent line needs the scheme's write-validate frame
-	// allocation and eviction accounting, so it takes the scalar path.
+	case StreamHW:
+		// Inline the directory's exclusive-hit store: silent (no
+		// directory interaction mid-epoch), so only the own-cache word
+		// update and the buffered memory shadow happen here. Shared
+		// hits (upgrades) and misses involve the directory action log —
+		// scalar path.
+		tag, w := c.CC.Split(addr)
+		l := c.line
+		if l == nil || l.Tag != tag || l.State == cache.Invalid {
+			l, _, _ = c.CC.Lookup(addr)
+			c.line = l
+		}
+		if l != nil && l.State == cache.Exclusive && l.TT[w] != cache.TTInvalid {
+			c.n++
+			c.hits++
+			c.Ln.Write(addr, val, c.Proc, c.Epoch)
+			l.Vals[w] = val
+			l.Used[w] = true
+			l.Dirty = true
+			c.CC.Touch(l)
+			return 0, -1
+		}
+		st := c.Ln.St
+		hitsBefore := st.WriteHits
+		missBefore := st.WriteMisses
+		stall := c.Sys.Write(c.Proc, addr, val, false)
+		class := int8(-1)
+		if st.WriteHits == hitsBefore {
+			for i := range st.WriteMisses {
+				if st.WriteMisses[i] != missBefore[i] {
+					class = int8(i)
+					break
+				}
+			}
+		}
+		c.line = nil // an upgrade/fill may have moved or replaced the line
+		return stall, class
+
+	case StreamTwoLevel:
+		// Write-through both levels: update a valid on-chip word (stream
+		// writes are never critical), then run the inner (L2) path.
+		tag, w := c.L1.Split(addr)
+		l := c.l1line
+		if l == nil || l.Tag != tag || l.State == cache.Invalid {
+			l, _, _ = c.L1.Lookup(addr)
+			c.l1line = l
+		}
+		if l != nil && l.TT[w] != cache.TTInvalid {
+			l.Vals[w] = val
+		}
+		return c.writeCached(addr, val)
+	}
+	return c.writeCached(addr, val)
+}
+
+// writeCached is the StreamCached store: the inlined present-line write
+// (hit or word-grain allocate) with scalar fallback for absent lines,
+// which need the scheme's write-validate frame allocation and eviction
+// accounting.
+func (c *WriteCursor) writeCached(addr prog.Word, val float64) (int64, int8) {
 	tag, w := c.CC.Split(addr)
 	l := c.line
 	if l == nil || l.Tag != tag || l.State == cache.Invalid {

@@ -17,8 +17,9 @@
 // scheduling and deterministically processor-major under cyclic.
 //
 // Fallbacks (the sequential path runs instead, transparently):
-//   - schemes that are not memsys.Sharded (HW directory, VC, oracle) or
-//     opt out (two-level TPI's shared L1 counters);
+//   - schemes that are not memsys.Sharded (the oracle) — BASE, SC, TPI,
+//     two-level TPI, HW, and VC all shard (HW and VC via always-buffered
+//     lanes with barrier-deferred coherence replay);
 //   - DynamicSched: the least-loaded argmin serializes scheduling;
 //   - doalls whose body contains critical/ordered sections (seqOnly):
 //     those communicate between iterations mid-epoch.
@@ -26,6 +27,7 @@ package sim
 
 import (
 	"bytes"
+	"fmt"
 	"sync"
 
 	"repro/internal/memsys"
@@ -54,12 +56,21 @@ type panicked struct {
 // setupHostParallel decides once per Run whether DOALL epochs may shard,
 // and builds the worker state if so.
 func (r *Runner) setupHostParallel() {
-	r.hostpar = nil
+	r.hostpar, r.hostparOff = nil, ""
 	if r.cfg.HostParallel <= 1 || r.cfg.Procs <= 1 || r.cfg.DynamicSched {
+		switch {
+		case r.cfg.HostParallel <= 1:
+			r.hostparOff = "host parallelism is disabled (-hostpar<=1)"
+		case r.cfg.Procs <= 1:
+			r.hostparOff = "a single simulated processor leaves nothing to shard"
+		default:
+			r.hostparOff = "dynamic self-scheduling serializes epoch dispatch"
+		}
 		return
 	}
 	ss, ok := r.sys.(memsys.Sharded)
 	if !ok || !ss.HostShardable() {
+		r.hostparOff = fmt.Sprintf("scheme %s is not host-shardable", r.sys.Name())
 		return
 	}
 	w := r.cfg.HostParallel

@@ -159,8 +159,8 @@ func TestHostParallelEngagement(t *testing.T) {
 			func(c machine.Config) memsys.System { return tpi.New(c, memWords) }, false},
 		{"oracle-not-sharded", nil,
 			func(c machine.Config) memsys.System { return memsys.NewOracle(c, memWords) }, false},
-		{"twolevel-opts-out", func(c *machine.Config) { c.L1Words = 256 },
-			func(c machine.Config) memsys.System { return tpi.NewTwoLevel(c, memWords) }, false},
+		{"twolevel-shards", func(c *machine.Config) { c.L1Words = 256 },
+			func(c machine.Config) memsys.System { return tpi.NewTwoLevel(c, memWords) }, true},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -102,6 +102,11 @@ type loweredDoall struct {
 	lo, hi  evalFn
 	body    []stmtFn
 
+	// pos and varName identify the source DOALL for fast-path fallback
+	// reporting (-require-fastpath).
+	pos     pfl.Pos
+	varName string
+
 	// seqOnly forces sequential execution under host parallelism: the
 	// body contains a critical or ordered section, whose stores must be
 	// visible to other iterations' bypass reads mid-epoch (and whose
@@ -277,6 +282,7 @@ type procLowerer struct {
 	procName string
 	slots    map[string]int // loop-variable name -> frame slot
 	formals  map[string]int // formal array name -> binding index
+	inCrit   bool           // lowering inside a critical/ordered body
 }
 
 // node lowers one EFG node's payload. Epoch-mod lists are precomputed
@@ -320,7 +326,12 @@ func (pl *procLowerer) node(n *epochg.Node, ln *loweredNode, summary *sections.N
 
 	case epochg.KindDoall:
 		d := n.Doall
-		ld := &loweredDoall{varSlot: pl.slots[d.Var], seqOnly: blockNeedsSequential(d.Body)}
+		ld := &loweredDoall{
+			varSlot: pl.slots[d.Var],
+			seqOnly: blockNeedsSequential(d.Body),
+			pos:     d.Pos,
+			varName: d.Var,
+		}
 		if ld.lo, err = pl.evalFn(d.Lo); err != nil {
 			return err
 		}
@@ -452,16 +463,25 @@ func (pl *procLowerer) stmt(s pfl.Stmt) (stmtFn, error) {
 		pos := st.Pos
 		// Stream recognition (see stream.go). Recognition is static and
 		// config-independent: whether a recognized loop actually streams is
-		// decided per run (scheme capability, observation level) and per
-		// entry (affine guards), with runScalarIters as the always-correct
-		// fallback.
-		sl, blk := pl.tryStream(st, slot, body)
+		// decided per run (scheme capability, text trace) and per entry
+		// (affine guards), with runScalarIters as the always-correct
+		// fallback. Loops inside critical/ordered sections never stream:
+		// their references take the critical coherence path.
+		var sl *streamLoop
+		var blk *streamBlock
+		if pl.inCrit {
+			blk = &streamBlock{pos: st.Pos, reason: "inside a critical/ordered section"}
+		} else {
+			sl, blk = pl.tryStream(st, slot, body)
+		}
+		diagIdx := len(pl.l.streamDiags)
 		diag := StreamDiag{Proc: pl.procName, Pos: st.Pos, Var: st.Var}
 		if sl != nil {
+			sl.diag = diagIdx
 			diag.OK = true
 			diag.Reads, diag.Writes = len(sl.reads), len(sl.writes)
 		} else {
-			diag.Reason, diag.ReasonPos = blk.reason, blk.pos
+			diag.Reason, diag.ReasonPos, diag.Outer = blk.reason, blk.pos, blk.outer
 		}
 		pl.l.streamDiags = append(pl.l.streamDiags, diag)
 		return func(t *task) {
@@ -474,8 +494,13 @@ func (pl *procLowerer) stmt(s pfl.Stmt) (stmtFn, error) {
 				}
 			}
 			if sl != nil && !t.inCrit {
-				if ss := t.r.streamSys; ss != nil && runStream(t, ss, sl, lo, hi, s) {
-					return
+				if ss := t.r.streamSys; ss != nil {
+					if runStream(t, ss, sl, lo, hi, s) {
+						return
+					}
+					t.r.noteStreamFallback(diagIdx, "an entry guard failed (non-affine addresses or out-of-model layout this entry)")
+				} else {
+					t.r.noteStreamFallback(diagIdx, t.r.streamOff)
 				}
 			}
 			runScalarIters(t, slot, body, lo, hi, s)
@@ -527,7 +552,10 @@ func (pl *procLowerer) stmt(s pfl.Stmt) (stmtFn, error) {
 // criticalBody lowers a critical or ordered section body: lock cost,
 // then the body with every reference on the critical coherence path.
 func (pl *procLowerer) criticalBody(b *pfl.Block) (stmtFn, error) {
+	prevCrit := pl.inCrit
+	pl.inCrit = true
 	body, err := pl.block(b)
+	pl.inCrit = prevCrit
 	if err != nil {
 		return nil, err
 	}

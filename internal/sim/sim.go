@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sync"
 
 	"repro/internal/epochg"
 	"repro/internal/machine"
@@ -63,9 +64,29 @@ type Runner struct {
 
 	// streamSys is the stream-capable view of sys when the affine
 	// fast path is engaged for this run (cfg.FastPath, a Streamer
-	// scheme, and no per-reference observation that needs the scalar
-	// event order); nil otherwise. See stream.go.
+	// scheme, and no text trace — the stream driver emits obs events
+	// in exact scalar order, so any observation level streams); nil
+	// otherwise, with streamOff naming why. See stream.go.
 	streamSys memsys.Streamer
+	streamOff string
+
+	// buffered is non-nil when the scheme runs every epoch on buffered
+	// lanes (memsys.Buffered with EpochBuffered true): endEpoch then
+	// flushes lanes — and any deferred protocol replay — at the barrier.
+	// laneStats accompanies it: sequential reference counters land in
+	// the per-processor lanes, so the classified read/write paths must
+	// diff the processor's lane sink instead of the run totals.
+	buffered  memsys.Buffered
+	laneStats memsys.Sharded
+
+	// Fast-path fallback tracking for -require-fastpath (fpTrack off =
+	// zero overhead). Misses dedup on (site, reason); the mutex is only
+	// taken on an actual fallback, which host-parallel workers may hit
+	// concurrently.
+	fpTrack  bool
+	fpMu     sync.Mutex
+	fpSeen   map[fpKey]struct{}
+	fpMisses []FastPathMiss
 
 	epoch      int64
 	cycles     int64
@@ -75,8 +96,10 @@ type Runner struct {
 	maxEpochs  int64
 
 	// hostpar, when non-nil, executes eligible DOALL epochs across host
-	// goroutines (see hostpar.go). Set up once per Run.
-	hostpar *hostPar
+	// goroutines (see hostpar.go). Set up once per Run; hostparOff names
+	// the run-wide reason when it stays nil.
+	hostpar    *hostPar
+	hostparOff string
 
 	// dynHeap is the DynamicSched least-loaded heap, reused across
 	// doalls (see runDoallDynamic).
@@ -147,15 +170,33 @@ func (r *Runner) Run() (st *stats.Stats, err error) {
 	default:
 		r.read, r.write = readFast, writeFast
 	}
-	// The affine stream fast path engages only where it is provably
-	// equivalent: never under the text trace (per-reference lines), and
-	// under observation only at the counters level (order-free sums; the
-	// driver still emits per-reference events in scalar order). Schemes
-	// opt in via memsys.Streamer; everything else runs scalar.
-	r.streamSys = nil
-	if r.cfg.FastPath && r.trace == nil && (r.rec == nil || r.rec.Level() <= obs.LevelCounters) {
+	// The affine stream fast path engages wherever it is provably
+	// equivalent: the stream driver emits per-reference obs events in
+	// exact scalar order, so any observation level streams. Only the
+	// line-oriented text trace forces the scalar path (its format is
+	// coupled to the scalar reference loop). Schemes opt in via
+	// memsys.Streamer.
+	r.streamSys, r.streamOff = nil, ""
+	switch {
+	case !r.cfg.FastPath:
+		r.streamOff = "the fast path is disabled (-fastpath=false)"
+	case r.trace != nil:
+		r.streamOff = "the text trace forces the scalar path"
+	default:
 		if ssys, ok := r.sys.(memsys.Streamer); ok && ssys.StreamCapable() {
 			r.streamSys = ssys
+		} else {
+			r.streamOff = fmt.Sprintf("scheme %s does not implement stream cursors", r.sys.Name())
+		}
+	}
+	// Schemes that buffer every epoch in per-processor lanes flush (and
+	// replay any deferred coherence actions) at each barrier; their
+	// sequential reference counters live in the lanes.
+	r.buffered, r.laneStats = nil, nil
+	if b, ok := r.sys.(memsys.Buffered); ok && b.EpochBuffered() {
+		r.buffered = b
+		if sh, ok := r.sys.(memsys.Sharded); ok {
+			r.laneStats = sh
 		}
 	}
 	r.setupHostParallel()
@@ -400,8 +441,13 @@ func (r *Runner) noteEpochMods(ln *loweredNode, arrays []*prog.ArrayInfo) {
 }
 
 // endEpoch closes the current epoch: global time advances by the slowest
-// processor plus the barrier cost.
+// processor plus the barrier cost. Always-buffered schemes merge their
+// per-processor lanes (and replay deferred coherence actions) here, at
+// the barrier, before time advances.
 func (r *Runner) endEpoch() {
+	if r.buffered != nil {
+		r.buffered.FlushEpoch()
+	}
 	var maxWork int64
 	for p := range r.procWork {
 		if r.procWork[p] > maxWork {
@@ -438,12 +484,19 @@ func (r *Runner) runDoall(ld *loweredDoall, t *task) {
 		return
 	}
 	if r.cfg.DynamicSched {
+		r.noteDoallFallback(ld, r.hostparOff)
 		r.runDoallDynamic(ld, t, lo, hi)
 		return
 	}
 	if r.hostpar != nil && !ld.seqOnly {
 		r.hostpar.run(ld, t, lo, hi)
 		return
+	}
+	// seqOnly doalls (body reaches a critical/ordered section) are
+	// structural non-candidates for sharding — same-epoch communication
+	// is the point — so they are not recorded as fast-path misses.
+	if !ld.seqOnly {
+		r.noteDoallFallback(ld, r.hostparOff)
 	}
 	n := hi - lo + 1
 	procs := int64(r.cfg.Procs)
@@ -537,10 +590,15 @@ func readTraced(t *task, addr prog.Word, kind memsys.ReadKind, window int, ref i
 // diffing the scheme's own counters around the call: every scheme
 // increments exactly one of ReadHits or one ReadMisses cell per read, so
 // the diff is exact without widening the memsys.System interface. The
-// diff base is the task's counter sink (the processor's stats shard in a
-// host-parallel epoch). class -1 means hit.
+// diff base is the processor's lane shard for always-buffered schemes
+// (their counters land there even sequentially), otherwise the task's
+// counter sink (the processor's stats shard in a host-parallel epoch).
+// class -1 means hit.
 func readClassified(t *task, addr prog.Word, kind memsys.ReadKind, window int) (v float64, stall int64, class int8) {
 	st := t.st
+	if sh := t.r.laneStats; sh != nil {
+		st = sh.LaneStats(t.proc)
+	}
 	hitsBefore := st.ReadHits
 	missBefore := st.ReadMisses
 	v, stall = t.r.sys.Read(t.proc, addr, kind, window)
@@ -592,6 +650,9 @@ func writeTraced(t *task, addr prog.Word, v float64, ref int32) {
 // writeClassified mirrors readClassified for the write-side counters.
 func writeClassified(t *task, addr prog.Word, v float64) (stall int64, class int8) {
 	st := t.st
+	if sh := t.r.laneStats; sh != nil {
+		st = sh.LaneStats(t.proc)
+	}
 	hitsBefore := st.WriteHits
 	missBefore := st.WriteMisses
 	stall = t.r.sys.Write(t.proc, addr, v, t.inCrit)

@@ -73,6 +73,11 @@ type StreamDiag struct {
 	// Reason/ReasonPos describe the blocking construct (non-OK only).
 	Reason    string
 	ReasonPos pfl.Pos
+	// Outer marks a loop that directly contains another loop: only
+	// innermost loops can stream, so a non-OK Outer diag is structural,
+	// not a coverage gap (-require-fastpath ignores it; the inner loop
+	// has its own diag).
+	Outer bool
 }
 
 // streamBlock is a recognition failure: the construct at pos blocks
@@ -80,6 +85,7 @@ type StreamDiag struct {
 type streamBlock struct {
 	pos    pfl.Pos
 	reason string
+	outer  bool // the blocker is a nested loop (the loop is not innermost)
 }
 
 // subFn evaluates one subscript dimension at loop value j, charge-free,
@@ -151,6 +157,7 @@ type streamLoop struct {
 	perIterCost int64 // static cycles per iteration (loop bookkeeping + ops)
 	maxStack    int
 	body        []stmtFn // the exact scalar lowering, for fallbacks
+	diag        int      // index into Program.streamDiags (for fallback accounting)
 }
 
 // runScalarIters is the classic per-iteration execution over already
@@ -175,7 +182,8 @@ func (pl *procLowerer) tryStream(st *pfl.ForStmt, slot int, body []stmtFn) (*str
 	for _, s := range st.Body.Stmts {
 		as, ok := s.(*pfl.AssignStmt)
 		if !ok {
-			return nil, &streamBlock{pos: s.Position(), reason: "body contains a " + streamStmtName(s)}
+			_, isFor := s.(*pfl.ForStmt)
+			return nil, &streamBlock{pos: s.Position(), reason: "body contains a " + streamStmtName(s), outer: isFor}
 		}
 		var ops []sop
 		depth, maxDepth := 0, 0
@@ -623,10 +631,10 @@ func runStream(t *task, ssys memsys.Streamer, sl *streamLoop, lo, hi, step int64
 	// unobservable. Stalls are charged per reference below.
 	t.charge(count * sl.perIterCost)
 	for i := range sl.reads {
-		ssys.InitReadCursor(&sc.rc[i], t.proc, sl.reads[i].kind, sl.reads[i].window)
+		ssys.InitReadCursor(&sc.rc[i], t.proc, sl.reads[i].kind, sl.reads[i].window, sc.raddr[i])
 	}
 	for i := range sl.writes {
-		ssys.InitWriteCursor(&sc.wc[i], t.proc)
+		ssys.InitWriteCursor(&sc.wc[i], t.proc, sc.waddr[i])
 	}
 
 	sc.stall = 0

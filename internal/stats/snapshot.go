@@ -74,6 +74,10 @@ type Snapshot struct {
 	FlushStallCycles   int64 `json:"flushStallCycles"`
 	PrefetchedLines    int64 `json:"prefetchedLines"`
 
+	L1Hits                  int64 `json:"l1Hits"`
+	L1Misses                int64 `json:"l1Misses"`
+	TimeReadL1Invalidations int64 `json:"timeReadL1Invalidations"`
+
 	Cycles        int64 `json:"cycles"`
 	BarrierCycles int64 `json:"barrierCycles"`
 	Epochs        int64 `json:"epochs"`
@@ -85,34 +89,37 @@ type Snapshot struct {
 // Snapshot converts the run's counters to the exported JSON schema.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{
-		Scheme:                s.Scheme,
-		Reads:                 s.Reads,
-		Writes:                s.Writes,
-		ReadHits:              s.ReadHits,
-		WriteHits:             s.WriteHits,
-		ReadMisses:            CountsOf(s.ReadMisses),
-		WriteMisses:           CountsOf(s.WriteMisses),
-		MissRate:              s.MissRate(),
-		WriteMissRate:         s.WriteMissRate(),
-		AvgMissLatency:        s.AvgMissLatency(),
-		ReadTrafficWords:      s.ReadTrafficWords,
-		WriteTrafficWords:     s.WriteTrafficWords,
-		CoherenceTrafficWords: s.CoherenceTrafficWords,
-		CoherenceMsgs:         s.CoherenceMsgs,
-		Invalidations:         s.Invalidations,
-		MissLatencySum:        s.MissLatencySum,
-		WriteMissLatencySum:   s.WriteMissLatencySum,
-		TimetagResets:         s.TimetagResets,
-		ResetInvalidations:    s.ResetInvalidations,
-		WritesCoalesced:       s.WritesCoalesced,
-		PointerEvictions:      s.PointerEvictions,
-		FlushedWords:          s.FlushedWords,
-		FlushStallCycles:      s.FlushStallCycles,
-		PrefetchedLines:       s.PrefetchedLines,
-		Cycles:                s.Cycles,
-		BarrierCycles:         s.BarrierCycles,
-		Epochs:                s.Epochs,
-		ProcBusy:              s.ProcBusy,
-		Imbalance:             s.Imbalance(),
+		Scheme:                  s.Scheme,
+		Reads:                   s.Reads,
+		Writes:                  s.Writes,
+		ReadHits:                s.ReadHits,
+		WriteHits:               s.WriteHits,
+		ReadMisses:              CountsOf(s.ReadMisses),
+		WriteMisses:             CountsOf(s.WriteMisses),
+		MissRate:                s.MissRate(),
+		WriteMissRate:           s.WriteMissRate(),
+		AvgMissLatency:          s.AvgMissLatency(),
+		ReadTrafficWords:        s.ReadTrafficWords,
+		WriteTrafficWords:       s.WriteTrafficWords,
+		CoherenceTrafficWords:   s.CoherenceTrafficWords,
+		CoherenceMsgs:           s.CoherenceMsgs,
+		Invalidations:           s.Invalidations,
+		MissLatencySum:          s.MissLatencySum,
+		WriteMissLatencySum:     s.WriteMissLatencySum,
+		TimetagResets:           s.TimetagResets,
+		ResetInvalidations:      s.ResetInvalidations,
+		WritesCoalesced:         s.WritesCoalesced,
+		PointerEvictions:        s.PointerEvictions,
+		FlushedWords:            s.FlushedWords,
+		FlushStallCycles:        s.FlushStallCycles,
+		PrefetchedLines:         s.PrefetchedLines,
+		L1Hits:                  s.L1Hits,
+		L1Misses:                s.L1Misses,
+		TimeReadL1Invalidations: s.TimeReadL1Invalidations,
+		Cycles:                  s.Cycles,
+		BarrierCycles:           s.BarrierCycles,
+		Epochs:                  s.Epochs,
+		ProcBusy:                s.ProcBusy,
+		Imbalance:               s.Imbalance(),
 	}
 }

@@ -107,6 +107,14 @@ type Stats struct {
 	// PrefetchedLines counts one-block-lookahead prefetches issued.
 	PrefetchedLines int64
 
+	// Two-level TPI (on-chip L1 in front of the timetagged L2): L1 filter
+	// hits/misses and the L1 word invalidations the compiled Time-Read /
+	// bypass sequences issue. Kept here (not on the scheme) so they shard
+	// per lane and merge at barriers like every other counter.
+	L1Hits                  int64
+	L1Misses                int64
+	TimeReadL1Invalidations int64
+
 	// Execution time.
 	Cycles        int64
 	BarrierCycles int64
@@ -147,6 +155,9 @@ func (s *Stats) Add(o *Stats) {
 	s.FlushedWords += o.FlushedWords
 	s.FlushStallCycles += o.FlushStallCycles
 	s.PrefetchedLines += o.PrefetchedLines
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.TimeReadL1Invalidations += o.TimeReadL1Invalidations
 	s.Cycles += o.Cycles
 	s.BarrierCycles += o.BarrierCycles
 	s.Epochs += o.Epochs

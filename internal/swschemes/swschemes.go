@@ -77,12 +77,12 @@ func (s *Base) StreamCapable() bool { return true }
 
 // InitReadCursor implements memsys.Streamer: every BASE read is the
 // inlined uncached remote word fetch.
-func (s *Base) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int) {
+func (s *Base) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
 	*c = memsys.ReadCursor{Mode: memsys.StreamBase, Core: s.Core, Ln: s.LaneFor(p), Proc: p}
 }
 
 // InitWriteCursor implements memsys.Streamer.
-func (s *Base) InitWriteCursor(c *memsys.WriteCursor, p int) {
+func (s *Base) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
 	*c = memsys.WriteCursor{
 		Mode: memsys.StreamBase, Core: s.Core, Ln: s.LaneFor(p),
 		Proc: p, Epoch: s.Epoch, SeqC: s.Cfg.SeqConsistency,
@@ -247,7 +247,7 @@ func (s *SC) StreamCapable() bool { return true }
 // InitReadCursor implements memsys.Streamer: regular reads inline the
 // cache hit (any valid word hits, so the cut is the minimum timetag);
 // marked reads always take SC's bypass path.
-func (s *SC) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int) {
+func (s *SC) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
 	if kind != memsys.ReadRegular {
 		*c = memsys.ReadCursor{Mode: memsys.StreamUncached, Sys: s, Proc: p, Kind: kind, Window: window}
 		return
@@ -263,7 +263,7 @@ func (s *SC) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, w
 
 // InitWriteCursor implements memsys.Streamer: write-through with the
 // unconditional tag assignment (PromoteTT false).
-func (s *SC) InitWriteCursor(c *memsys.WriteCursor, p int) {
+func (s *SC) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
 	*c = memsys.WriteCursor{
 		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: s.LaneFor(p),
 		CC: s.caches[p], Tr: s.trackers[p], WB: s.wbufs[p],

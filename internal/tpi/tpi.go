@@ -447,7 +447,7 @@ func (s *System) StreamCapable() bool { return true }
 // inline the timetag hit check (the Time-Read cut is E - min(w, maxW),
 // the regular cut accepts any valid word); bypass reads always take the
 // scalar bypass path.
-func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int) {
+func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
 	if kind == memsys.ReadBypass {
 		*c = memsys.ReadCursor{Mode: memsys.StreamUncached, Sys: s, Proc: p, Kind: kind, Window: window}
 		return
@@ -467,7 +467,7 @@ func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKin
 
 // InitWriteCursor implements memsys.Streamer: write-through (or the
 // write-back-at-boundary policy) with the promote-if-older tag rule.
-func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int) {
+func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
 	wtt := s.Epoch
 	if s.Cfg.LineTimetags {
 		wtt = s.Epoch - 1

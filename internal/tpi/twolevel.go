@@ -32,12 +32,13 @@ import (
 )
 
 // TwoLevel wraps the TPI system with per-processor on-chip L1 caches.
+// The L1 filter counters (L1Hits, L1Misses, TimeReadL1Invalidations)
+// live in stats.Stats and route through the processor's lane, so the
+// two-level model shards across host goroutines and streams exactly
+// like plain TPI.
 type TwoLevel struct {
 	*System
 	l1 []*cache.Cache
-
-	// L1Stats
-	L1Hits, L1Misses, TimeReadL1Invalidations int64
 }
 
 // NewTwoLevel builds the off-the-shelf implementation.
@@ -62,36 +63,26 @@ func (t *TwoLevel) ReleaseCaches() {
 	t.System.ReleaseCaches()
 }
 
-// HostShardable overrides the embedded TPI opt-in: the two-level model
-// accumulates L1 counters (L1Hits, L1Misses, TimeReadL1Invalidations)
-// directly on the system from every processor's reference path, so
-// concurrent execution would race on them. TPI2L runs sequentially.
-func (t *TwoLevel) HostShardable() bool { return false }
-
-// StreamCapable overrides the embedded TPI opt-in: every reference must
-// go through the L1 filter (and its counters), which the inlined stream
-// cursors would skip. TPI2L takes the scalar path.
-func (t *TwoLevel) StreamCapable() bool { return false }
-
 // Read implements memsys.System.
 func (t *TwoLevel) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
 	l1 := t.l1[p]
 
 	if kind == memsys.ReadRegular {
 		if line, w, ok := l1.Lookup(addr); ok && line.ValidWord(w) {
-			t.L1Hits++
-			t.St.Reads++
-			t.St.ReadHits++
+			ln := t.LaneFor(p)
+			ln.St.L1Hits++
+			ln.St.Reads++
+			ln.St.ReadHits++
 			l1.Touch(line)
-			t.Memory.CheckFresh(addr, line.Vals[w], p, "tpi2l L1 hit")
+			ln.CheckFresh(addr, line.Vals[w], p, "tpi2l L1 hit")
 			return line.Vals[w], t.Cfg.L1HitCycles
 		}
-		t.L1Misses++
+		t.LaneFor(p).St.L1Misses++
 		v, lat := t.System.Read(p, addr, kind, window)
 		if lat == t.Cfg.HitCycles {
 			lat = t.Cfg.L2HitCycles // the L2 tag+timetag access is slower
 		}
-		t.fillL1(p, addr, v)
+		memsys.FillWordL1(l1, addr, v)
 		return v, lat
 	}
 
@@ -99,38 +90,16 @@ func (t *TwoLevel) Read(p int, addr prog.Word, kind memsys.ReadKind, window int)
 	// compiled sequence invalidates it and re-reads through the L2.
 	if line, w, ok := l1.Lookup(addr); ok && line.ValidWord(w) {
 		line.InvalidateWord(w)
-		t.TimeReadL1Invalidations++
+		t.LaneFor(p).St.TimeReadL1Invalidations++
 	}
 	v, lat := t.System.Read(p, addr, kind, window)
 	if lat == t.Cfg.HitCycles {
 		lat = t.Cfg.L2HitCycles
 	}
 	if kind == memsys.ReadTime {
-		t.fillL1(p, addr, v)
+		memsys.FillWordL1(t.l1[p], addr, v)
 	}
 	return v, lat
-}
-
-// fillL1 installs a word in the on-chip cache (word-grain validate; no
-// extra memory traffic — the data just came through the L2 path).
-func (t *TwoLevel) fillL1(p int, addr prog.Word, v float64) {
-	l1 := t.l1[p]
-	if line, w, ok := l1.Lookup(addr); ok {
-		line.Vals[w] = v
-		line.TT[w] = 0 // L1 carries no timetags; 0 marks "valid"
-		l1.Touch(line)
-		return
-	}
-	vic := l1.Victim(addr)
-	if vic.State != cache.Invalid {
-		vic.InvalidateLine() // clean write-through L1: silent drop
-	}
-	tag, w := l1.Split(addr)
-	vic.Tag = tag
-	vic.State = cache.Shared
-	vic.Vals[w] = v
-	vic.TT[w] = 0
-	l1.Touch(vic)
 }
 
 // Write implements memsys.System: write-through both levels.
@@ -153,4 +122,31 @@ func (t *TwoLevel) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 // which is exactly the Regular contract.
 func (t *TwoLevel) EpochBoundary(epoch int64) int64 {
 	return t.System.EpochBoundary(epoch)
+}
+
+// InitReadCursor implements memsys.Streamer: the inner TPI cursor is
+// built first (it carries the L2 hit predicate, lane, and fallback
+// target — the embedded System, so fallbacks never re-run the L1
+// filter), then the L1 front is layered on as StreamTwoLevel.
+func (t *TwoLevel) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
+	t.System.InitReadCursor(c, p, kind, window, addr0)
+	c.Inner = c.Mode
+	c.Mode = memsys.StreamTwoLevel
+	// The uncached (bypass) inner init leaves Ln and HitCycles unset; the
+	// L1 layer needs both (lane counters, L2-latency substitution).
+	c.Ln = t.LaneFor(p)
+	c.HitCycles = t.Cfg.HitCycles
+	c.L1 = t.l1[p]
+	c.L1HitCycles = t.Cfg.L1HitCycles
+	c.L2HitCycles = t.Cfg.L2HitCycles
+}
+
+// InitWriteCursor implements memsys.Streamer: write-through both levels
+// (stream writes are never critical, so the L1 word is updated in place
+// when valid).
+func (t *TwoLevel) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
+	t.System.InitWriteCursor(c, p, addr0)
+	c.Inner = c.Mode
+	c.Mode = memsys.StreamTwoLevel
+	c.L1 = t.l1[p]
 }

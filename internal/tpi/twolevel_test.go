@@ -38,8 +38,8 @@ func TestL1HitPath(t *testing.T) {
 	if v != 2.5 || lat != s.Cfg.L1HitCycles {
 		t.Fatalf("L1 hit: v=%v lat=%d", v, lat)
 	}
-	if s.L1Hits != 1 {
-		t.Fatalf("L1Hits = %d", s.L1Hits)
+	if s.St.L1Hits != 1 {
+		t.Fatalf("L1Hits = %d", s.St.L1Hits)
 	}
 }
 
@@ -59,7 +59,7 @@ func TestTimeReadBypassesL1(t *testing.T) {
 	if lat != s.Cfg.L2HitCycles {
 		t.Fatalf("Time-Read latency = %d, want L2 hit %d", lat, s.Cfg.L2HitCycles)
 	}
-	if s.TimeReadL1Invalidations == 0 {
+	if s.St.TimeReadL1Invalidations == 0 {
 		t.Fatal("Time-Read must invalidate the on-chip copy")
 	}
 }
@@ -123,3 +123,11 @@ func TestNameAndStats(t *testing.T) {
 		t.Fatalf("reads double counted: %d", s.St.Reads)
 	}
 }
+
+// TPI2L inherits TPI's host-parallel and stream fast-path opt-ins and
+// layers the L1 filter into the stream cursors.
+var (
+	_ memsys.Sharded  = (*TwoLevel)(nil)
+	_ memsys.Streamer = (*TwoLevel)(nil)
+	_ memsys.Releaser = (*TwoLevel)(nil)
+)

@@ -19,6 +19,16 @@
 // array is partially updated — exactly the gap the paper's timetags
 // close. Compared with SC, unmodified variables stay cacheable across
 // epochs.
+//
+// Execution model: VC runs always-buffered (memsys.Buffered). Its
+// version-failure reclassification compares a cached value against
+// memory, so pass-through sequential execution and buffered host-
+// parallel execution would observe different neighbor values mid-epoch.
+// With every epoch on buffered lanes, reads see (own buffered stores,
+// then pre-epoch memory) in both modes, CVNs are frozen mid-epoch
+// (EpochMods only runs at boundaries), and the lane merge at FlushEpoch
+// is the single canonical serialization — sequential and host-parallel
+// runs are bit-identical by construction.
 package vc
 
 import (
@@ -85,8 +95,14 @@ func New(cfg machine.Config, p *prog.Prog) *System {
 		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
 		s.wbufs = append(s.wbufs, cache.NewWriteBuffer(cfg.WriteBufferCache))
 	}
+	s.EnableAlwaysBuffered()
 	return s
 }
+
+// HostShardable implements memsys.Sharded: with CVNs frozen mid-epoch
+// and every reference lane-routed, concurrent processors touch only
+// per-processor state (cache, tracker, write buffer, lane).
+func (s *System) HostShardable() bool { return true }
 
 // Name implements memsys.System.
 func (s *System) Name() string { return "VC" }
@@ -100,6 +116,7 @@ func (s *System) ReleaseCaches() {
 		cache.ReleaseWriteBuffer(s.wbufs[p])
 	}
 	s.caches, s.trackers, s.wbufs = nil, nil, nil
+	s.ReleaseLanes()
 }
 
 // cvnAt returns the current version of the variable holding addr
@@ -122,55 +139,58 @@ func (s *System) EpochMods(names []string) {
 }
 
 // Read implements memsys.System. The Time-Read window is ignored — VC's
-// compiler support is only the per-epoch modification sets.
+// compiler support is only the per-epoch modification sets. Every
+// shared-state access routes through the processor's lane (see the
+// package comment on always-buffered execution).
 func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
-	s.St.Reads++
+	ln := s.LaneFor(p)
+	ln.St.Reads++
 	cc, tr := s.caches[p], s.trackers[p]
 
 	if kind == memsys.ReadBypass {
-		v := s.Memory.Read(addr)
+		v := ln.Value(addr)
 		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 			line.Vals[w] = v
 		}
-		s.St.ReadMisses[stats.MissBypass]++
-		s.St.ReadTrafficWords++
-		s.Netw.Inject(2)
+		ln.St.ReadMisses[stats.MissBypass]++
+		ln.St.ReadTrafficWords++
+		ln.Inject(2)
 		lat := s.WordMissLatencyFor(p, addr)
-		s.St.MissLatencySum += lat
+		ln.St.MissLatencySum += lat
 		return v, lat
 	}
 
 	line, w, present := cc.Lookup(addr)
 	if present && line.ValidWord(w) {
 		if line.TT[w] >= s.cvnAt(addr) {
-			s.St.ReadHits++
+			ln.St.ReadHits++
 			line.Used[w] = true
 			cc.Touch(line)
-			s.Memory.CheckFresh(addr, line.Vals[w], p, "vc hit")
+			ln.CheckFresh(addr, line.Vals[w], p, "vc hit")
 			return line.Vals[w], s.Cfg.HitCycles
 		}
 		// Version failure: did the data actually change?
-		if line.Vals[w] != s.Memory.Read(addr) {
-			s.St.ReadMisses[stats.MissTrueSharing]++
+		if line.Vals[w] != ln.Value(addr) {
+			ln.St.ReadMisses[stats.MissTrueSharing]++
 		} else {
-			s.St.ReadMisses[stats.MissConservative]++
+			ln.St.ReadMisses[stats.MissConservative]++
 		}
-		s.refreshLine(line, w, addr, cc, tr)
-		return line.Vals[w], s.chargeLineMiss(p, addr)
+		s.refreshLine(ln, line, w, addr, cc, tr)
+		return line.Vals[w], s.chargeLineMiss(ln, p, addr)
 	}
 
-	s.St.ReadMisses[s.ClassifyMiss(tr, addr)]++
+	ln.St.ReadMisses[s.ClassifyMissLane(ln, tr, addr)]++
 	if present {
-		s.refreshLine(line, w, addr, cc, tr)
-		return line.Vals[w], s.chargeLineMiss(p, addr)
+		s.refreshLine(ln, line, w, addr, cc, tr)
+		return line.Vals[w], s.chargeLineMiss(ln, p, addr)
 	}
-	nl, nw := s.fillLine(cc, tr, addr)
-	return nl.Vals[nw], s.chargeLineMiss(p, addr)
+	nl, nw := s.fillLine(ln, cc, tr, addr)
+	return nl.Vals[nw], s.chargeLineMiss(ln, p, addr)
 }
 
 // fillLine installs the line with per-word BVN = CVN(var of word).
-func (s *System) fillLine(cc *cache.Cache, tr *cache.Tracker, addr prog.Word) (*cache.Line, int) {
-	nl, nw := s.MissFill(cc, tr, addr, 0, 0)
+func (s *System) fillLine(ln *memsys.Lane, cc *cache.Cache, tr *cache.Tracker, addr prog.Word) (*cache.Line, int) {
+	nl, nw := s.FillLane(ln, cc, tr, addr, 0, 0)
 	base := cc.LineBase(addr)
 	for i := 0; i < cc.LineWords(); i++ {
 		nl.TT[i] = s.cvnAt(base + prog.Word(i))
@@ -179,12 +199,13 @@ func (s *System) fillLine(cc *cache.Cache, tr *cache.Tracker, addr prog.Word) (*
 }
 
 // refreshLine refetches a present line; every word's BVN becomes the
-// current version of its variable.
-func (s *System) refreshLine(line *cache.Line, w int, addr prog.Word, cc *cache.Cache, tr *cache.Tracker) {
+// current version of its variable. Fill data comes through the lane so
+// the processor sees its own buffered same-epoch stores.
+func (s *System) refreshLine(ln *memsys.Lane, line *cache.Line, w int, addr prog.Word, cc *cache.Cache, tr *cache.Tracker) {
 	base := cc.LineBase(addr)
 	for i := 0; i < cc.LineWords(); i++ {
 		a := base + prog.Word(i)
-		line.Vals[i] = s.Memory.Read(a)
+		line.Vals[i] = ln.Value(a)
 		line.TT[i] = s.cvnAt(a)
 		tr.NoteCached(a)
 	}
@@ -192,38 +213,42 @@ func (s *System) refreshLine(line *cache.Line, w int, addr prog.Word, cc *cache.
 	cc.Touch(line)
 }
 
-func (s *System) chargeLineMiss(p int, addr prog.Word) int64 {
-	s.St.ReadTrafficWords += int64(s.Cfg.LineWords)
-	s.Netw.Inject(int64(s.Cfg.LineWords) + 1)
+func (s *System) chargeLineMiss(ln *memsys.Lane, p int, addr prog.Word) int64 {
+	ln.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	ln.Inject(int64(s.Cfg.LineWords) + 1)
 	lat := s.LineMissLatencyFor(p, addr)
-	s.St.MissLatencySum += lat
+	ln.St.MissLatencySum += lat
 	return lat
 }
 
 // Write implements memsys.System: write-through; the written word's BVN
-// becomes CVN+1 (the version this epoch is producing).
+// becomes CVN+1 (the version this epoch is producing). Regular stores
+// buffer in the lane until the barrier; critical-section stores write
+// through eagerly (they only occur in sequential epochs).
 func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
-	s.St.Writes++
-	s.Memory.Write(addr, val, p, s.Epoch)
+	ln := s.LaneFor(p)
+	ln.St.Writes++
 	cc, tr := s.caches[p], s.trackers[p]
 	if crit {
-		s.St.WriteMisses[stats.MissBypass]++
+		ln.WriteThrough(addr, val, p, s.Epoch)
+		ln.St.WriteMisses[stats.MissBypass]++
 		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 			tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
 			line.InvalidateWord(w)
 		}
-		s.St.WriteTrafficWords++
-		s.Netw.Inject(1)
+		ln.St.WriteTrafficWords++
+		ln.Inject(1)
 		return 0
 	}
+	ln.Write(addr, val, p, s.Epoch)
 	bvn := s.cvnAt(addr) + 1
 	line, w, ok := cc.Lookup(addr)
 	hit := ok && line.ValidWord(w)
 	if hit {
-		s.St.WriteHits++
+		ln.St.WriteHits++
 	} else {
 		// Classify before the tracker below records the new residency.
-		s.St.WriteMisses[s.ClassifyMiss(tr, addr)]++
+		ln.St.WriteMisses[s.ClassifyMissLane(ln, tr, addr)]++
 	}
 	if ok {
 		line.Vals[w] = val
@@ -252,28 +277,76 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 		tr.NoteCached(addr)
 	}
 	if s.wbufs[p].Write(addr) {
-		s.St.WriteTrafficWords++
-		s.Netw.Inject(1)
+		ln.St.WriteTrafficWords++
+		ln.Inject(1)
 	} else {
-		s.St.WritesCoalesced++
+		ln.St.WritesCoalesced++
 	}
 	if s.Cfg.SeqConsistency {
 		lat := s.WordMissLatencyFor(p, addr)
 		if !hit {
-			s.St.WriteMissLatencySum += lat
+			ln.St.WriteMissLatencySum += lat
 		}
 		return lat
 	}
 	return 0
 }
 
-// EpochBoundary implements memsys.System.
+// EpochBoundary implements memsys.System. The simulator's FlushEpoch has
+// already merged the previous epoch's lanes when this runs.
 func (s *System) EpochBoundary(epoch int64) int64 {
 	s.Epoch = epoch
+	s.SetLaneEpoch(epoch)
 	for _, wb := range s.wbufs {
 		wb.Flush()
 	}
 	return 0
+}
+
+// StreamCapable implements memsys.Streamer.
+func (s *System) StreamCapable() bool { return true }
+
+// InitReadCursor implements memsys.Streamer. The version cut is the
+// stream variable's CVN, captured once: CVNs are frozen mid-epoch and
+// the affine entry guards keep every stream address inside one variable.
+// Time-Reads take the same path as regular reads (VC ignores windows).
+func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
+	ln := s.LaneFor(p)
+	if kind == memsys.ReadBypass {
+		*c = memsys.ReadCursor{
+			Mode: memsys.StreamUncached,
+			Sys:  s, Core: s.Core, Ln: ln, Proc: p,
+			Kind: kind, Window: window,
+		}
+		return
+	}
+	*c = memsys.ReadCursor{
+		Mode: memsys.StreamCached,
+		Sys:  s, Core: s.Core, Ln: ln,
+		CC: s.caches[p], Proc: p,
+		Kind: kind, Window: window,
+		Cut:       s.cvnAt(addr0),
+		PromoteTT: false,
+		Epoch:     s.Epoch,
+		HitCycles: s.Cfg.HitCycles,
+		HitCtx:    "vc hit",
+		Fresh:     ln.FreshWords(),
+	}
+}
+
+// InitWriteCursor implements memsys.Streamer. The written BVN is
+// CVN(stream variable)+1, constant across the stream.
+func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
+	*c = memsys.WriteCursor{
+		Mode: memsys.StreamCached,
+		Sys:  s, Core: s.Core, Ln: s.LaneFor(p),
+		CC: s.caches[p], Tr: s.trackers[p], WB: s.wbufs[p],
+		Proc:      p,
+		Epoch:     s.Epoch,
+		WTT:       s.cvnAt(addr0) + 1,
+		PromoteTT: false,
+		SeqC:      s.Cfg.SeqConsistency,
+	}
 }
 
 // CVN exposes a variable's current version (tests).

@@ -43,6 +43,18 @@ func newSys(t *testing.T) (*System, *prog.Prog) {
 	return New(cfg, p), p
 }
 
+// barrier ends the current epoch the way the simulator does: report the
+// epoch's modified variables, merge the buffered lanes (VC runs
+// always-buffered), and enter the next epoch. Counters in s.St and
+// values in memory are only current after a barrier.
+func barrier(s *System, mods []string, next int64) {
+	if mods != nil {
+		s.EpochMods(mods)
+	}
+	s.FlushEpoch()
+	s.EpochBoundary(next)
+}
+
 func TestVersionHitAndAging(t *testing.T) {
 	s, p := newSys(t)
 	a := p.Arrays["A"]
@@ -50,8 +62,7 @@ func TestVersionHitAndAging(t *testing.T) {
 	s.Write(0, a.Base, 1.5, false) // BVN = CVN+1 = 1
 
 	// same variable unmodified across the boundary: still a hit
-	s.EpochMods([]string{"A"}) // the write's epoch modified A: CVN -> 1
-	s.EpochBoundary(2)
+	barrier(s, []string{"A"}, 2) // the write's epoch modified A: CVN -> 1
 	v, lat := s.Read(0, a.Base, memsys.ReadRegular, 0)
 	if v != 1.5 || lat != s.Cfg.HitCycles {
 		t.Fatalf("own write should still hit: v=%v lat=%d", v, lat)
@@ -59,10 +70,10 @@ func TestVersionHitAndAging(t *testing.T) {
 
 	// another epoch modifies A ANYWHERE: every cached element of A ages
 	s.Write(1, a.Base+5, 9.0, false)
-	s.EpochMods([]string{"A"}) // CVN -> 2
-	s.EpochBoundary(3)
+	barrier(s, []string{"A"}, 3) // CVN -> 2
 	misses := s.St.TotalReadMisses()
 	v, _ = s.Read(0, a.Base, memsys.ReadRegular, 0)
+	s.FlushEpoch() // merge the read's lane counters for the checks below
 	if v != 1.5 {
 		t.Fatalf("refetched value = %v", v)
 	}
@@ -83,8 +94,7 @@ func TestUnmodifiedVariableKeepsLocality(t *testing.T) {
 	s.Read(0, b.Base, memsys.ReadRegular, 0) // fill, BVN = 0
 	// many epochs pass; B never modified
 	for e := int64(2); e < 10; e++ {
-		s.EpochMods([]string{"A"})
-		s.EpochBoundary(e)
+		barrier(s, []string{"A"}, e)
 	}
 	_, lat := s.Read(0, b.Base, memsys.ReadRegular, 0)
 	if lat != s.Cfg.HitCycles {
@@ -98,8 +108,7 @@ func TestPerVariableGranularity(t *testing.T) {
 	s.EpochBoundary(1)
 	s.Read(0, a.Base, memsys.ReadRegular, 0)
 	s.Read(0, b.Base, memsys.ReadRegular, 0)
-	s.EpochMods([]string{"A"}) // only A modified
-	s.EpochBoundary(2)
+	barrier(s, []string{"A"}, 2) // only A modified
 	if _, lat := s.Read(0, b.Base, memsys.ReadRegular, 0); lat != s.Cfg.HitCycles {
 		t.Fatal("B must still hit: only A was modified")
 	}
@@ -114,9 +123,9 @@ func TestTrueSharingDetected(t *testing.T) {
 	s.EpochBoundary(1)
 	s.Read(0, a.Base, memsys.ReadRegular, 0) // P0 caches old value
 	s.Write(1, a.Base, 7.0, false)           // P1 rewrites the same word
-	s.EpochMods([]string{"A"})
-	s.EpochBoundary(2)
+	barrier(s, []string{"A"}, 2)
 	v, _ := s.Read(0, a.Base, memsys.ReadRegular, 0)
+	s.FlushEpoch()
 	if v != 7.0 {
 		t.Fatalf("read %v, want 7.0", v)
 	}
@@ -130,8 +139,7 @@ func TestScalarVersioning(t *testing.T) {
 	sc := p.Scalars["s"]
 	s.EpochBoundary(1)
 	s.Write(0, sc.Addr, 3.0, false)
-	s.EpochMods([]string{"s"})
-	s.EpochBoundary(2)
+	barrier(s, []string{"s"}, 2)
 	if v, lat := s.Read(0, sc.Addr, memsys.ReadRegular, 0); v != 3.0 || lat != s.Cfg.HitCycles {
 		t.Fatalf("own scalar write must hit next epoch: v=%v lat=%d", v, lat)
 	}
@@ -146,14 +154,38 @@ func TestCriticalWritesSelfInvalidate(t *testing.T) {
 	s.EpochBoundary(1)
 	s.Write(0, sc.Addr, 1.0, false)
 	s.Write(0, sc.Addr, 2.0, true)
+	// The critical store is eager and withdraws the buffered regular
+	// store; a same-epoch bypass read sees it immediately.
 	v, _ := s.Read(0, sc.Addr, memsys.ReadBypass, 0)
 	if v != 2.0 {
 		t.Fatalf("bypass read = %v", v)
 	}
 }
 
-// VC must satisfy both the System and the Versioned interfaces.
+// TestBufferedDeferralUntilBarrier pins the always-buffered model: a
+// regular store is invisible to other processors' bypass reads until
+// the lanes merge at the barrier.
+func TestBufferedDeferralUntilBarrier(t *testing.T) {
+	s, p := newSys(t)
+	a := p.Arrays["A"]
+	s.EpochBoundary(1)
+	s.Write(0, a.Base, 5.0, false)
+	if v, _ := s.Read(1, a.Base, memsys.ReadBypass, 0); v != 0 {
+		t.Fatalf("mid-epoch cross-processor bypass read = %v, want pre-epoch 0", v)
+	}
+	barrier(s, []string{"A"}, 2)
+	if v, _ := s.Read(1, a.Base, memsys.ReadBypass, 0); v != 5.0 {
+		t.Fatalf("post-barrier bypass read = %v, want 5.0", v)
+	}
+}
+
+// VC must satisfy the full scheme surface: versioned, host-shardable,
+// always-buffered, stream-capable, and poolable.
 var (
 	_ memsys.System    = (*System)(nil)
 	_ memsys.Versioned = (*System)(nil)
+	_ memsys.Sharded   = (*System)(nil)
+	_ memsys.Buffered  = (*System)(nil)
+	_ memsys.Streamer  = (*System)(nil)
+	_ memsys.Releaser  = (*System)(nil)
 )
