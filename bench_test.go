@@ -20,6 +20,8 @@ import (
 	"repro/internal/machine"
 	"repro/internal/obs"
 	"repro/internal/overhead"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func suite() *exper.Suite {
@@ -434,6 +436,54 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := core.RunObserved(c, cfg, obs.LevelTrace, io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkTelemetryOverhead measures the cost of the live-telemetry
+// progress sampling on the ocean/TPI hot loop. "off" is the uninstru-
+// mented baseline (identical work to BenchmarkSimHotLoop/ocean); "idle"
+// attaches a progress callback that exports per-scheme counter deltas
+// into a telemetry registry at every epoch barrier — the tpiserved
+// configuration with no scraper or SSE subscriber attached. The
+// per-reference hot path is untouched by sampling, so the two arms must
+// stay within noise of each other; docs/results.md records the measured
+// numbers.
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	k, err := bench.Get("ocean", bench.DefaultParams())
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := machine.Default(machine.SchemeTPI)
+	b.Run("off", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Run(c, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("idle", func(b *testing.B) {
+		reg := telemetry.NewRegistry()
+		epochs := reg.Counter("bench_epochs_total", "", telemetry.Labels{"scheme": "TPI"})
+		misses := reg.Counter("bench_read_misses_total", "", telemetry.Labels{"scheme": "TPI"})
+		var prevEpoch, prevMiss int64
+		progress := func(p sim.Progress) {
+			epochs.Add(p.Epoch - prevEpoch)
+			misses.Add(p.Counters.ReadMisses - prevMiss)
+			prevEpoch, prevMiss = p.Epoch, p.Counters.ReadMisses
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			prevEpoch, prevMiss = 0, 0
+			if _, err := core.RunWithOptions(c, cfg, core.RunOptions{Progress: progress}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -14,10 +14,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"sort"
@@ -40,14 +42,15 @@ func main() {
 	dup := flag.Float64("dup", 0.5, "fraction of submissions that duplicate an earlier one [0,1)")
 	minHitRate := flag.Float64("min-hit-rate", 0, "fail unless the result-cache hit rate reaches this fraction")
 	wait := flag.Duration("wait", 10*time.Second, "how long to wait for the server to become healthy")
+	progress := flag.Bool("progress", false, "submit async and follow each job's SSE event stream, printing phase and epoch progress")
 	flag.Parse()
-	if err := run(*addr, *requests, *conc, *kernels, *schemes, *n, *steps, *dup, *minHitRate, *wait); err != nil {
+	if err := run(*addr, *requests, *conc, *kernels, *schemes, *n, *steps, *dup, *minHitRate, *wait, *progress); err != nil {
 		fmt.Fprintln(os.Stderr, "tpiload:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, requests, conc int, kernels, schemes string, n, steps int, dup, minHitRate float64, wait time.Duration) error {
+func run(addr string, requests, conc int, kernels, schemes string, n, steps int, dup, minHitRate float64, wait time.Duration, progress bool) error {
 	if requests < 1 || conc < 1 {
 		return fmt.Errorf("need -requests >= 1 and -c >= 1 (got %d, %d)", requests, conc)
 	}
@@ -68,7 +71,11 @@ func run(addr string, requests, conc int, kernels, schemes string, n, steps int,
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				lat[i], errs[i] = submit(addr, batch[i])
+				if progress {
+					lat[i], errs[i] = submitProgress(addr, batch[i])
+				} else {
+					lat[i], errs[i] = submit(addr, batch[i])
+				}
 			}
 		}()
 	}
@@ -148,7 +155,9 @@ func splitList(s string) []string {
 	return out
 }
 
-// submit posts one run and validates the response end to end.
+// submit posts one run and validates the response end to end. Failure
+// errors carry the server's verbatim response body, so a failing job's
+// cause survives into the exit diagnostics.
 func submit(addr string, req svc.RunRequest) (ms float64, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -160,22 +169,143 @@ func submit(addr string, req svc.RunRequest) (ms float64, err error) {
 		return 0, err
 	}
 	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
 	ms = float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		return ms, fmt.Errorf("HTTP %d: reading body: %w", resp.StatusCode, err)
+	}
 	var st svc.JobStatus
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		return ms, fmt.Errorf("HTTP %d: %w", resp.StatusCode, err)
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return ms, fmt.Errorf("HTTP %d: %v; body: %s", resp.StatusCode, err, truncate(raw))
 	}
 	if resp.StatusCode != http.StatusOK || st.State != svc.StateDone {
-		return ms, fmt.Errorf("HTTP %d state %s: %s", resp.StatusCode, st.State, st.Error)
+		return ms, fmt.Errorf("HTTP %d state %s: %s", resp.StatusCode, st.State, serverError(st, raw))
 	}
-	r, err := exper.ValidateRunResult(st.Result)
+	return ms, validateStatus(st)
+}
+
+// submitProgress submits async and follows the job's SSE event stream,
+// printing phase transitions and epoch heartbeats, then validates the
+// terminal result event.
+func submitProgress(addr string, req svc.RunRequest) (ms float64, err error) {
+	req.Async = true
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	t0 := time.Now()
+	resp, err := http.Post(addr+"/v1/runs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	raw, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return 0, fmt.Errorf("HTTP %d: reading body: %w", resp.StatusCode, rerr)
+	}
+	var st svc.JobStatus
+	if err := json.Unmarshal(raw, &st); err != nil {
+		return 0, fmt.Errorf("HTTP %d: %v; body: %s", resp.StatusCode, err, truncate(raw))
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return 0, fmt.Errorf("HTTP %d state %s: %s", resp.StatusCode, st.State, serverError(st, raw))
+	}
+
+	final, err := followEvents(addr, st.ID)
+	ms = float64(time.Since(t0)) / float64(time.Millisecond)
 	if err != nil {
 		return ms, err
 	}
-	if r.Scheme != st.Scheme {
-		return ms, fmt.Errorf("result scheme %s disagrees with job scheme %s", r.Scheme, st.Scheme)
+	if final.State != svc.StateDone {
+		return ms, fmt.Errorf("job %s ended %s: %s", final.ID, final.State, final.Error)
 	}
-	return ms, nil
+	return ms, validateStatus(*final)
+}
+
+// followEvents consumes the job's SSE stream until the terminal
+// result/error event, echoing progress to stderr.
+func followEvents(addr, id string) (*svc.JobStatus, error) {
+	resp, err := http.Get(addr + "/v1/runs/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body)
+		return nil, fmt.Errorf("events for %s: HTTP %d: %s", id, resp.StatusCode, truncate(raw))
+	}
+	var event string
+	var data []byte
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = line[len("event: "):]
+		case strings.HasPrefix(line, "data: "):
+			data = []byte(line[len("data: "):])
+		case line == "": // frame boundary
+			if event == "" && data == nil {
+				continue
+			}
+			switch event {
+			case "phase":
+				var p svc.PhaseEvent
+				if json.Unmarshal(data, &p) == nil {
+					fmt.Fprintf(os.Stderr, "tpiload: %s phase=%s t=%.0fms\n", p.Job, p.Phase, p.TMS)
+				}
+			case "progress":
+				var p svc.ProgressEvent
+				if json.Unmarshal(data, &p) == nil {
+					fmt.Fprintf(os.Stderr, "tpiload: %s epoch=%d cycles=%d readMisses=%d\n",
+						p.Job, p.Epoch, p.Cycles, p.ReadMisses)
+				}
+			case "result", "error":
+				var st svc.JobStatus
+				if err := json.Unmarshal(data, &st); err != nil {
+					return nil, fmt.Errorf("events for %s: terminal payload: %v; body: %s", id, err, truncate(data))
+				}
+				return &st, nil
+			}
+			event, data = "", nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("events for %s: %w", id, err)
+	}
+	return nil, fmt.Errorf("events for %s: stream ended without a terminal event", id)
+}
+
+// validateStatus checks the terminal status carries a structurally
+// sound result that agrees with the job's scheme.
+func validateStatus(st svc.JobStatus) error {
+	r, err := exper.ValidateRunResult(st.Result)
+	if err != nil {
+		return err
+	}
+	if r.Scheme != st.Scheme {
+		return fmt.Errorf("result scheme %s disagrees with job scheme %s", r.Scheme, st.Scheme)
+	}
+	return nil
+}
+
+// serverError prefers the structured error field but falls back to the
+// raw body, so unexpected server responses are never swallowed.
+func serverError(st svc.JobStatus, raw []byte) string {
+	if st.Error != "" {
+		return st.Error
+	}
+	return truncate(raw)
+}
+
+func truncate(b []byte) string {
+	const max = 512
+	s := strings.TrimSpace(string(b))
+	if len(s) > max {
+		return s[:max] + "...(truncated)"
+	}
+	return s
 }
 
 func waitHealthy(addr string, wait time.Duration) error {

@@ -175,6 +175,18 @@ type RunOptions struct {
 	// still released. Epoch barriers are the natural abort point — no
 	// task is mid-reference, so the memory system is consistent.
 	Ctx context.Context
+
+	// Progress, when non-nil, receives run-progress snapshots sampled
+	// at epoch barriers — at most one per ProgressEvery epochs, plus a
+	// final Done snapshot when the run completes or aborts. The
+	// callback runs on the simulating goroutine between epochs: keep it
+	// to atomic updates or non-blocking sends. Sampling never touches
+	// the per-reference hot path, so statistics are bit-identical with
+	// or without a callback.
+	Progress sim.ProgressFunc
+	// ProgressEvery is the epoch stride between Progress samples
+	// (minimum and default 1).
+	ProgressEvery int64
 }
 
 // Run simulates the compiled program on a fresh memory system for cfg and
@@ -225,6 +237,9 @@ func runSystem(c *Compiled, cfg machine.Config, opts RunOptions) (*stats.Stats, 
 	r := sim.NewLowered(lp, sys, cfg)
 	if opts.Ctx != nil {
 		r.SetContext(opts.Ctx)
+	}
+	if opts.Progress != nil {
+		r.SetProgress(opts.Progress, opts.ProgressEvery)
 	}
 	st, err := r.Run()
 	if err != nil {

@@ -90,6 +90,9 @@ func RunObservedWithOptions(c *Compiled, cfg machine.Config, level obs.Level, tr
 	if opts.Ctx != nil {
 		r.SetContext(opts.Ctx)
 	}
+	if opts.Progress != nil {
+		r.SetProgress(opts.Progress, opts.ProgressEvery)
+	}
 	if ps, ok := sys.(memsys.Probed); ok {
 		ps.SetProbe(rec)
 	}

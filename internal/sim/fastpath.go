@@ -38,6 +38,7 @@ func (r *Runner) FastPathMisses() []FastPathMiss { return r.fpMisses }
 // Called from the lowered loop closure, possibly inside a host-parallel
 // worker — hence the mutex (contended only on actual fallbacks).
 func (r *Runner) noteStreamFallback(diagIdx int, reason string) {
+	r.streamFallbacks.Add(1) // progress tally; atomic for hostpar workers
 	if !r.fpTrack {
 		return
 	}

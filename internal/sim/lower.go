@@ -496,6 +496,7 @@ func (pl *procLowerer) stmt(s pfl.Stmt) (stmtFn, error) {
 			if sl != nil && !t.inCrit {
 				if ss := t.r.streamSys; ss != nil {
 					if runStream(t, ss, sl, lo, hi, s) {
+						t.r.noteStreamRun()
 						return
 					}
 					t.r.noteStreamFallback(diagIdx, "an entry guard failed (non-affine addresses or out-of-model layout this entry)")

@@ -95,6 +95,17 @@ type Runner struct {
 	serialNext int     // rotation state for MigrateSerial
 	maxEpochs  int64
 
+	// Progress sampling (see progress.go). The stream tallies are
+	// atomic because streamed loops execute inside host-parallel
+	// workers; the doall tallies only move on the scheduling goroutine.
+	progress        ProgressFunc
+	progressEvery   int64
+	progressLast    int64
+	streamLoops     atomicI64
+	streamFallbacks atomicI64
+	hostparEpochs   int64
+	seqDoallEpochs  int64
+
 	// hostpar, when non-nil, executes eligible DOALL epochs across host
 	// goroutines (see hostpar.go). Set up once per Run; hostparOff names
 	// the run-wide reason when it stays nil.
@@ -146,6 +157,12 @@ func (r *Runner) Run() (st *stats.Stats, err error) {
 				panic(p)
 			}
 			st, err = nil, re.err
+			if r.progress != nil {
+				// Final snapshot for an aborted run: the unwind happens
+				// between references on this goroutine, and counters are
+				// readable (possibly mid-epoch for non-barrier faults).
+				r.emitProgress(true, true)
+			}
 		}
 	}()
 	if r.trace != nil {
@@ -209,6 +226,9 @@ func (r *Runner) Run() (st *stats.Stats, err error) {
 	st.Cycles = r.cycles
 	st.Epochs = r.epoch
 	st.ProcBusy = append([]int64(nil), r.procBusy...)
+	if r.progress != nil {
+		r.emitProgress(true, false)
+	}
 	return st, nil
 }
 
@@ -459,6 +479,7 @@ func (r *Runner) endEpoch() {
 	r.cycles += maxWork + r.cfg.BarrierCycles
 	r.sys.Stats().BarrierCycles += r.cfg.BarrierCycles
 	r.sys.Net().AdvanceTo(r.cycles)
+	r.maybeEmitProgress()
 }
 
 // serialProc picks the processor for serial work, honoring the
@@ -484,17 +505,20 @@ func (r *Runner) runDoall(ld *loweredDoall, t *task) {
 		return
 	}
 	if r.cfg.DynamicSched {
+		r.seqDoallEpochs++
 		r.noteDoallFallback(ld, r.hostparOff)
 		r.runDoallDynamic(ld, t, lo, hi)
 		return
 	}
 	if r.hostpar != nil && !ld.seqOnly {
+		r.hostparEpochs++
 		r.hostpar.run(ld, t, lo, hi)
 		return
 	}
 	// seqOnly doalls (body reaches a critical/ordered section) are
 	// structural non-candidates for sharding — same-epoch communication
 	// is the point — so they are not recorded as fast-path misses.
+	r.seqDoallEpochs++
 	if !ld.seqOnly {
 		r.noteDoallFallback(ld, r.hostparOff)
 	}

@@ -16,6 +16,7 @@ type lruCache[V any] struct {
 	head, tail *lruEntry[V]
 	hits       int64
 	misses     int64
+	evictions  int64
 }
 
 type lruEntry[V any] struct {
@@ -64,22 +65,27 @@ func (c *lruCache[V]) Put(key string, v V) {
 		lru := c.tail
 		c.unlink(lru)
 		delete(c.entries, lru.key)
+		c.evictions++
 	}
 }
 
 // CacheStats is the metrics view of one tier.
 type CacheStats struct {
-	Hits     int64 `json:"hits"`
-	Misses   int64 `json:"misses"`
-	Size     int   `json:"size"`
-	Capacity int   `json:"capacity"`
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Size      int   `json:"size"`
+	Capacity  int   `json:"capacity"`
 }
 
-// Stats snapshots the hit/miss counters and occupancy.
+// Stats snapshots the hit/miss/eviction counters and occupancy.
 func (c *lruCache[V]) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Hits: c.hits, Misses: c.misses, Size: len(c.entries), Capacity: c.capacity}
+	return CacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Size: len(c.entries), Capacity: c.capacity,
+	}
 }
 
 func (c *lruCache[V]) pushFront(e *lruEntry[V]) {

@@ -3,25 +3,79 @@ package svc
 import (
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Handler returns the HTTP API:
 //
-//	POST   /v1/runs       submit a RunRequest; waits for completion
-//	                      unless async, then 202 + job id
-//	GET    /v1/runs/{id}  job status (with result once done)
-//	DELETE /v1/runs/{id}  cancel a queued or running job
-//	GET    /v1/healthz    {"status":"ok"} or 503 {"status":"draining"}
-//	GET    /v1/metrics    Metrics JSON
+//	POST   /v1/runs              submit a RunRequest; waits for completion
+//	                             unless async, then 202 + job id
+//	GET    /v1/runs/{id}         job status (with result once done)
+//	GET    /v1/runs/{id}/events  live SSE stream: phase transitions,
+//	                             epoch-progress heartbeats, terminal
+//	                             result/error event
+//	DELETE /v1/runs/{id}         cancel a queued or running job
+//	GET    /v1/healthz           {"status":"ok"} or 503 {"status":"draining"}
+//	GET    /v1/metrics           Metrics JSON (?format=prometheus for text)
+//	GET    /metrics              Prometheus text exposition
+//
+// Every response carries an X-Request-ID header (echoed from the
+// request when present) that also tags the Debug-level access log.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /metrics", s.handlePrometheus)
+	return s.withRequestID(mux)
+}
+
+// reqSeq mints fallback request ids (shared across servers; the ids
+// only need to be unique, not dense).
+var reqSeq atomic.Int64
+
+// withRequestID assigns each request an id, echoes it on the response,
+// and emits a Debug access log with method, path, status, and duration.
+func (s *Server) withRequestID(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("q-%06d", reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		s.log.Debug("http request", "reqId", id, "method", r.Method,
+			"path", r.URL.Path, "status", sw.status,
+			"durMs", float64(time.Since(t0))/float64(time.Millisecond))
+	})
+}
+
+// statusWriter records the response status for the access log while
+// passing http.Flusher through — the SSE handler needs to flush.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -59,12 +113,60 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeStatus(w, jb.status(false))
 }
 
+// handleEvents streams a job's event hub as Server-Sent Events. The
+// replayable past (phases, latest progress, terminal event) is written
+// first, then live events until the job finishes or the client goes
+// away. Event ids are the per-job sequence numbers, so a reconnecting
+// client can detect gaps.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jb, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "svc: unknown job "+r.PathValue("id"))
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "svc: response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch, cancel := jb.hub.subscribe()
+	defer cancel()
+	for _, e := range replay {
+		writeSSE(w, e)
+	}
+	fl.Flush()
+	for {
+		select {
+		case e, open := <-ch:
+			if !open {
+				return // terminal event delivered (or subscriber evicted)
+			}
+			writeSSE(w, e)
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE renders one event frame. Payloads are compact JSON (no
+// newlines), so a single data: line suffices.
+func writeSSE(w http.ResponseWriter, e Event) {
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", e.Seq, e.Kind, e.Data)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	jb, ok := s.Cancel(r.PathValue("id"))
 	if !ok {
 		writeError(w, http.StatusNotFound, "svc: unknown job "+r.PathValue("id"))
 		return
 	}
+	s.log.Info("job cancel requested", "job", jb.id)
 	writeStatus(w, jb.status(false))
 }
 
@@ -81,11 +183,25 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(map[string]string{"status": "ok"})
 }
 
+// handleMetrics serves the JSON metrics document. ?format=prometheus is
+// an alias for GET /metrics — the JSON document is kept for scripts but
+// the Prometheus endpoint is what fleet scrapers should use (see
+// docs/SERVICE.md).
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prometheus" {
+		s.handlePrometheus(w, r)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	enc.Encode(s.MetricsSnapshot())
+}
+
+// handlePrometheus serves the registry in Prometheus text format 0.0.4.
+func (s *Server) handlePrometheus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	s.reg.WritePrometheus(w)
 }
 
 // writeStatus renders a job status: 200 once terminal, 202 while the

@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // Options sizes the server. Zero values select the defaults noted on
@@ -34,6 +37,17 @@ type Options struct {
 	// JobHistory is how many finished jobs stay queryable by id
 	// (default 4096).
 	JobHistory int
+	// Logger receives the server's structured logs (default: discard).
+	// Job lifecycle logs at Info, per-request access logs at Debug.
+	Logger *slog.Logger
+	// Registry receives the server's Prometheus metrics (default: a
+	// fresh private registry). Pass a shared registry to co-expose
+	// process-level metrics (telemetry.RegisterRuntimeMetrics).
+	Registry *telemetry.Registry
+	// HeartbeatInterval is the floor between progress events on a job's
+	// SSE stream (default 250ms). Progress is sampled at epoch barriers
+	// and dropped when it arrives faster than this.
+	HeartbeatInterval time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -61,6 +75,15 @@ func (o Options) withDefaults() Options {
 	if o.JobHistory <= 0 {
 		o.JobHistory = 4096
 	}
+	if o.Logger == nil {
+		o.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if o.Registry == nil {
+		o.Registry = telemetry.NewRegistry()
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = 250 * time.Millisecond
+	}
 	return o
 }
 
@@ -69,14 +92,18 @@ func (o Options) withDefaults() Options {
 type Server struct {
 	opts    Options
 	started time.Time
+	log     *slog.Logger
+	reg     *telemetry.Registry
+	tel     *svcTelemetry
+	clock   func() time.Time // event-hub clock; time.Now outside tests
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	queue      chan *job
-	queueOnce  sync.Once // guards close(queue)
-	workerWG   sync.WaitGroup
-	jobWG      sync.WaitGroup // one count per accepted (non-cached) submission
+	queue     chan *job
+	queueOnce sync.Once // guards close(queue)
+	workerWG  sync.WaitGroup
+	jobWG     sync.WaitGroup // one count per accepted (non-cached) submission
 
 	compiles     flightGroup[*core.Compiled]
 	compileCache *lruCache[*core.Compiled]
@@ -114,16 +141,16 @@ type schemeLatency struct {
 
 // Metrics is the /v1/metrics document (expvar-style flat JSON).
 type Metrics struct {
-	UptimeMS      float64                   `json:"uptimeMs"`
-	Draining      bool                      `json:"draining"`
-	Workers       int                       `json:"workers"`
-	WorkersBusy   int                       `json:"workersBusy"`
-	QueueDepth    int                       `json:"queueDepth"`
-	QueueCapacity int                       `json:"queueCapacity"`
-	Jobs          counters                  `json:"jobs"`
-	CompileCache  CacheStats                `json:"compileCache"`
-	ResultCache   CacheStats                `json:"resultCache"`
-	RunsByScheme  map[string]schemeLatency  `json:"runsByScheme"`
+	UptimeMS      float64                  `json:"uptimeMs"`
+	Draining      bool                     `json:"draining"`
+	Workers       int                      `json:"workers"`
+	WorkersBusy   int                      `json:"workersBusy"`
+	QueueDepth    int                      `json:"queueDepth"`
+	QueueCapacity int                      `json:"queueCapacity"`
+	Jobs          counters                 `json:"jobs"`
+	CompileCache  CacheStats               `json:"compileCache"`
+	ResultCache   CacheStats               `json:"resultCache"`
+	RunsByScheme  map[string]schemeLatency `json:"runsByScheme"`
 }
 
 // New builds a server and starts its worker pool.
@@ -133,6 +160,9 @@ func New(opts Options) *Server {
 	s := &Server{
 		opts:         opts,
 		started:      time.Now(),
+		log:          opts.Logger,
+		reg:          opts.Registry,
+		clock:        time.Now,
 		baseCtx:      ctx,
 		baseCancel:   cancel,
 		queue:        make(chan *job, opts.QueueDepth),
@@ -142,6 +172,7 @@ func New(opts Options) *Server {
 		inflight:     make(map[string]*job),
 		byScheme:     make(map[string]*schemeLatency),
 	}
+	s.tel = newSvcTelemetry(s.reg, s)
 	for i := 0; i < opts.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
@@ -176,7 +207,7 @@ func (s *Server) Submit(req *RunRequest) (jb *job, deduped bool, apiErr *apiErro
 	}
 
 	if b, ok := s.resultCache.Get(res.resultKey); ok {
-		jb := newJob(s.newID(), res, context.Background(), 0)
+		jb := newJob(s.newID(), res, context.Background(), 0, s.newHub())
 		jb.cached = true
 		jb.finish(StateDone, b, nil)
 		s.mu.Lock()
@@ -185,6 +216,7 @@ func (s *Server) Submit(req *RunRequest) (jb *job, deduped bool, apiErr *apiErro
 		s.counters.Done++
 		s.register(jb)
 		s.mu.Unlock()
+		s.log.Debug("job served from result cache", "job", jb.id, "program", res.program, "scheme", res.cfg.Scheme.String())
 		return jb, false, nil
 	}
 
@@ -198,6 +230,8 @@ func (s *Server) Submit(req *RunRequest) (jb *job, deduped bool, apiErr *apiErro
 	if live, ok := s.inflight[res.resultKey]; ok && !live.terminal() {
 		s.counters.Deduped++
 		s.mu.Unlock()
+		s.tel.coalesced.With("run").Inc()
+		s.log.Debug("submission coalesced onto in-flight job", "job", live.id)
 		return live, true, nil
 	}
 	// Re-check the result cache: runJob publishes the result before it
@@ -205,7 +239,7 @@ func (s *Server) Submit(req *RunRequest) (jb *job, deduped bool, apiErr *apiErro
 	// between the first cache probe and this lock still finds it here
 	// instead of queueing a duplicate simulation.
 	if b, ok := s.resultCache.Get(res.resultKey); ok {
-		jb := newJob(s.newIDLocked(), res, context.Background(), 0)
+		jb := newJob(s.newIDLocked(), res, context.Background(), 0, s.newHub())
 		jb.cached = true
 		jb.finish(StateDone, b, nil)
 		s.counters.CacheServed++
@@ -214,7 +248,7 @@ func (s *Server) Submit(req *RunRequest) (jb *job, deduped bool, apiErr *apiErro
 		s.mu.Unlock()
 		return jb, false, nil
 	}
-	jb = newJob(s.newIDLocked(), res, s.baseCtx, s.opts.DefaultTimeout)
+	jb = newJob(s.newIDLocked(), res, s.baseCtx, s.opts.DefaultTimeout, s.newHub())
 	s.register(jb)
 	s.inflight[res.resultKey] = jb
 	s.jobWG.Add(1) // under mu: serialized against Drain's Wait
@@ -246,7 +280,21 @@ func (s *Server) Submit(req *RunRequest) (jb *job, deduped bool, apiErr *apiErro
 		case <-jb.done:
 		}
 	}()
+	s.log.Debug("job enqueued", "job", jb.id, "program", res.program, "scheme", res.cfg.Scheme.String())
 	return jb, false, nil
+}
+
+// newHub builds the event hub for one job from the server's clock and
+// heartbeat floor.
+func (s *Server) newHub() *eventHub {
+	return newEventHub(s.clock, s.opts.HeartbeatInterval)
+}
+
+// countersSnapshot copies the job-flow counters for scrape-time mirrors.
+func (s *Server) countersSnapshot() counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
 }
 
 // Wait blocks until the job is terminal or ctx is done, then returns its
@@ -288,6 +336,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
+	s.log.Info("drain started")
 
 	finished := make(chan struct{})
 	go func() {
@@ -305,8 +354,14 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.queueOnce.Do(func() { close(s.queue) })
 	s.workerWG.Wait()
 	s.baseCancel()
+	s.log.Info("drain complete", "forced", err != nil)
 	return err
 }
+
+// Registry returns the server's metric registry (the one passed in
+// Options, or the private default) for co-registering process metrics
+// and mounting on auxiliary listeners.
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
 
 // Close shuts down immediately: all jobs are cancelled and the pool is
 // stopped. Equivalent to Drain with an already-expired context.
@@ -394,19 +449,33 @@ func (s *Server) runJob(jb *job) {
 		s.clearInflight(jb)
 		return
 	}
+	jb.mu.Lock()
+	queueWait := jb.started.Sub(jb.submitted)
+	jb.mu.Unlock()
+	s.tel.phaseSeconds.With(phaseQueue).Observe(queueWait.Seconds())
 
+	jb.hub.publishPhase(jb.id, PhaseCompiling, msSince(jb.submitted, time.Now()))
+	tc := time.Now()
 	c, err := s.compile(jb.res)
+	s.tel.phaseSeconds.With(phaseCompile).Observe(time.Since(tc).Seconds())
 	if err != nil {
 		s.finishJob(jb, nil, err)
 		return
 	}
+
+	jb.hub.publishPhase(jb.id, PhaseRunning, msSince(jb.submitted, time.Now()))
+	exp := s.tel.newRunExporter(jb.id, jb.res.cfg.Scheme.String(), jb.hub)
 	t0 := time.Now()
-	st, rep, err := core.RunObservedWithOptions(c, jb.res.cfg, jb.res.level, nil, core.RunOptions{Ctx: jb.ctx})
+	st, rep, err := core.RunObservedWithOptions(c, jb.res.cfg, jb.res.level, nil, core.RunOptions{
+		Ctx:      jb.ctx,
+		Progress: exp.sample,
+	})
+	elapsed := time.Since(t0)
+	s.tel.phaseSeconds.With(phaseRun).Observe(elapsed.Seconds())
 	if err != nil {
 		s.finishJob(jb, nil, err)
 		return
 	}
-	elapsed := time.Since(t0)
 	b, err := json.Marshal(core.NewRunResult(jb.res.program, jb.res.cfg, st, rep))
 	if err != nil {
 		s.finishJob(jb, nil, fmt.Errorf("svc: marshal result: %w", err))
@@ -438,7 +507,7 @@ func (s *Server) compile(res *resolved) (*core.Compiled, error) {
 	if c, ok := s.compileCache.Get(res.compileKey); ok {
 		return c, nil
 	}
-	c, err, _ := s.compiles.Do(res.compileKey, func() (*core.Compiled, error) {
+	c, err, shared := s.compiles.Do(res.compileKey, func() (*core.Compiled, error) {
 		c, err := core.Compile(res.src, res.copts)
 		if err != nil {
 			return nil, err
@@ -446,6 +515,9 @@ func (s *Server) compile(res *resolved) (*core.Compiled, error) {
 		s.compileCache.Put(res.compileKey, c)
 		return c, nil
 	})
+	if shared {
+		s.tel.coalesced.With("compile").Inc()
+	}
 	return c, err
 }
 
@@ -475,6 +547,15 @@ func (s *Server) finishJob(jb *job, result []byte, err error) {
 		s.counters.Cancelled++
 	}
 	s.mu.Unlock()
+	st := jb.status(false)
+	if err != nil {
+		s.log.Info("job finished", "job", jb.id, "state", state,
+			"queueMs", st.QueueMS, "runMs", st.RunMS, "error", err.Error())
+		return
+	}
+	s.log.Info("job finished", "job", jb.id, "state", state,
+		"program", st.Program, "scheme", st.Scheme,
+		"queueMs", st.QueueMS, "runMs", st.RunMS, "cached", st.Cached)
 }
 
 // clearInflight removes the job's result-key reservation so later

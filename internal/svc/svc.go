@@ -188,8 +188,8 @@ type JobStatus struct {
 	Cached bool `json:"cached,omitempty"`
 	// Deduped means this submission was collapsed onto an already
 	// in-flight identical job (whose id it shares).
-	Deduped bool   `json:"deduped,omitempty"`
-	Error   string `json:"error,omitempty"`
+	Deduped bool    `json:"deduped,omitempty"`
+	Error   string  `json:"error,omitempty"`
 	QueueMS float64 `json:"queueMs"`
 	RunMS   float64 `json:"runMs"`
 	// Result is the core.RunResult JSON of a done job — byte-identical
@@ -206,6 +206,7 @@ type job struct {
 	submitted time.Time
 	ctx       context.Context
 	cancel    context.CancelFunc
+	hub       *eventHub // live event stream; never nil
 
 	mu       sync.Mutex
 	state    string
@@ -217,7 +218,7 @@ type job struct {
 	done     chan struct{}
 }
 
-func newJob(id string, res *resolved, base context.Context, defaultTimeout time.Duration) *job {
+func newJob(id string, res *resolved, base context.Context, defaultTimeout time.Duration, hub *eventHub) *job {
 	timeout := res.timeout
 	if timeout == 0 {
 		timeout = defaultTimeout
@@ -229,15 +230,18 @@ func newJob(id string, res *resolved, base context.Context, defaultTimeout time.
 	} else {
 		ctx, cancel = context.WithCancel(base)
 	}
-	return &job{
+	j := &job{
 		id:        id,
 		res:       res,
 		submitted: time.Now(),
 		ctx:       ctx,
 		cancel:    cancel,
+		hub:       hub,
 		state:     StateQueued,
 		done:      make(chan struct{}),
 	}
+	hub.publishPhase(id, StateQueued, 0)
+	return j
 }
 
 // start transitions queued → running; it reports false if the job is
@@ -254,7 +258,9 @@ func (j *job) start() bool {
 }
 
 // finish moves the job to a terminal state; the first call wins and
-// reports true, later calls are no-ops reporting false.
+// reports true, later calls are no-ops reporting false. The winning
+// call publishes the terminal phase and result/error events and closes
+// the event stream (the hub lock is a leaf — safe under j.mu).
 func (j *job) finish(state string, result []byte, err error) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -270,6 +276,12 @@ func (j *job) finish(state string, result []byte, err error) bool {
 	j.err = err
 	j.finished = time.Now()
 	j.cancel() // release the timer; the run is over
+	j.hub.publishPhase(j.id, state, msSince(j.submitted, j.finished))
+	kind := EventResult
+	if state != StateDone {
+		kind = EventError
+	}
+	j.hub.publishTerminal(kind, mustJSON(j.statusLocked(false)))
 	close(j.done)
 	return true
 }
@@ -286,6 +298,11 @@ func (j *job) terminal() bool {
 func (j *job) status(deduped bool) JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked(deduped)
+}
+
+// statusLocked renders the status with j.mu already held.
+func (j *job) statusLocked(deduped bool) JobStatus {
 	st := JobStatus{
 		ID:      j.id,
 		State:   j.state,

@@ -1,0 +1,260 @@
+// Prometheus wiring for the job server: every counter the JSON
+// /v1/metrics document already tracks is mirrored into a
+// telemetry.Registry at scrape time (CounterFunc/GaugeFunc reading the
+// same state under the same lock — one source of truth, no drift), and
+// the per-run simulation counters are exported as per-scheme deltas by
+// a runExporter attached to each job's progress callback.
+package svc
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// svcTelemetry holds the pre-registered metric handles the hot paths
+// update directly (histograms, singleflight, per-scheme sim counters);
+// the scrape-time mirrors are registered once in register().
+type svcTelemetry struct {
+	// phaseSeconds is tpiserved_job_phase_seconds{phase=queue|compile|run}.
+	phaseSeconds *telemetry.HistogramVec
+	// coalesced is tpiserved_singleflight_coalesced_total{kind=compile|run}.
+	coalesced *telemetry.CounterVec
+
+	// Per-scheme simulation counters, fed by progress-sample deltas at
+	// epoch barriers (see runExporter).
+	runAborts       *telemetry.CounterVec
+	epochs          *telemetry.CounterVec
+	cycles          *telemetry.CounterVec
+	reads           *telemetry.CounterVec
+	writes          *telemetry.CounterVec
+	readMisses      *telemetry.CounterVec
+	writeMisses     *telemetry.CounterVec
+	invalidations   *telemetry.CounterVec
+	coherenceMsgs   *telemetry.CounterVec
+	trafficWords    *telemetry.CounterVec
+	streamLoops     *telemetry.CounterVec
+	streamFallbacks *telemetry.CounterVec
+	hostparEpochs   *telemetry.CounterVec
+	seqDoallEpochs  *telemetry.CounterVec
+}
+
+// Phase labels for phaseSeconds.
+const (
+	phaseQueue   = "queue"
+	phaseCompile = "compile"
+	phaseRun     = "run"
+)
+
+// newSvcTelemetry registers the server's metric families on reg and
+// returns the handles. Called once from New; reg is never nil.
+func newSvcTelemetry(reg *telemetry.Registry, s *Server) *svcTelemetry {
+	t := &svcTelemetry{
+		phaseSeconds: reg.HistogramVec("tpiserved_job_phase_seconds",
+			"Job time spent per phase (queue wait, compile, simulation run).",
+			nil, "phase"),
+		coalesced: reg.CounterVec("tpiserved_singleflight_coalesced_total",
+			"Submissions collapsed onto identical in-flight work, by kind.",
+			"kind"),
+		runAborts: reg.CounterVec("tpisim_run_aborts_total",
+			"Simulations that ended early (cancellation, deadline, fault).",
+			"scheme"),
+		epochs: reg.CounterVec("tpisim_run_epochs_total",
+			"Simulated epochs completed, sampled at epoch barriers.", "scheme"),
+		cycles: reg.CounterVec("tpisim_run_cycles_total",
+			"Simulated cycles elapsed, sampled at epoch barriers.", "scheme"),
+		reads: reg.CounterVec("tpisim_reads_total",
+			"Shared-data read references simulated.", "scheme"),
+		writes: reg.CounterVec("tpisim_writes_total",
+			"Shared-data write references simulated.", "scheme"),
+		readMisses: reg.CounterVec("tpisim_read_misses_total",
+			"Read misses across all miss classes.", "scheme"),
+		writeMisses: reg.CounterVec("tpisim_write_misses_total",
+			"Write misses across all miss classes.", "scheme"),
+		invalidations: reg.CounterVec("tpisim_invalidations_total",
+			"Cache-line invalidations performed.", "scheme"),
+		coherenceMsgs: reg.CounterVec("tpisim_coherence_messages_total",
+			"Coherence protocol messages exchanged.", "scheme"),
+		trafficWords: reg.CounterVec("tpisim_traffic_words_total",
+			"Interconnect traffic in words.", "scheme"),
+		streamLoops: reg.CounterVec("tpisim_stream_loops_total",
+			"Recognized affine loops executed through stream cursors.", "scheme"),
+		streamFallbacks: reg.CounterVec("tpisim_stream_fallbacks_total",
+			"Recognized affine loops that fell back to the scalar path.", "scheme"),
+		hostparEpochs: reg.CounterVec("tpisim_hostpar_epochs_total",
+			"DOALL epochs sharded across host-parallel workers.", "scheme"),
+		seqDoallEpochs: reg.CounterVec("tpisim_seq_doall_epochs_total",
+			"DOALL epochs dispatched sequentially.", "scheme"),
+	}
+	t.register(reg, s)
+	return t
+}
+
+// register adds the scrape-time mirrors of the server's JSON metrics.
+func (t *svcTelemetry) register(reg *telemetry.Registry, s *Server) {
+	outcomes := map[string]func(c counters) int64{
+		"submitted":    func(c counters) int64 { return c.Submitted },
+		"deduped":      func(c counters) int64 { return c.Deduped },
+		"cache_served": func(c counters) int64 { return c.CacheServed },
+		"simulated":    func(c counters) int64 { return c.Simulated },
+		"done":         func(c counters) int64 { return c.Done },
+		"failed":       func(c counters) int64 { return c.Failed },
+		"cancelled":    func(c counters) int64 { return c.Cancelled },
+		"rejected":     func(c counters) int64 { return c.Rejected },
+	}
+	for name, get := range outcomes {
+		get := get
+		reg.CounterFunc("tpiserved_jobs_total",
+			"Cumulative job-flow counts (mirrors /v1/metrics jobs).",
+			telemetry.Labels{"outcome": name},
+			func() float64 { return float64(get(s.countersSnapshot())) })
+	}
+
+	tiers := map[string]func() CacheStats{
+		"compile": func() CacheStats { return s.compileCache.Stats() },
+		"result":  func() CacheStats { return s.resultCache.Stats() },
+	}
+	for tier, stats := range tiers {
+		stats := stats
+		ls := telemetry.Labels{"tier": tier}
+		reg.CounterFunc("tpiserved_cache_hits_total",
+			"Cache lookups served from the tier.", ls,
+			func() float64 { return float64(stats().Hits) })
+		reg.CounterFunc("tpiserved_cache_misses_total",
+			"Cache lookups that missed the tier.", ls,
+			func() float64 { return float64(stats().Misses) })
+		reg.CounterFunc("tpiserved_cache_evictions_total",
+			"Entries evicted from the tier by capacity pressure.", ls,
+			func() float64 { return float64(stats().Evictions) })
+		reg.GaugeFunc("tpiserved_cache_entries",
+			"Entries currently resident in the tier.", ls,
+			func() float64 { return float64(stats().Size) })
+		reg.GaugeFunc("tpiserved_cache_capacity",
+			"Configured entry bound of the tier.", ls,
+			func() float64 { return float64(stats().Capacity) })
+	}
+
+	reg.GaugeFunc("tpiserved_uptime_seconds",
+		"Seconds since the server started.", nil,
+		func() float64 { return time.Since(s.started).Seconds() })
+	reg.GaugeFunc("tpiserved_draining",
+		"1 while the server is draining, else 0.", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.draining {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("tpiserved_workers",
+		"Configured worker-pool size.", nil,
+		func() float64 { return float64(s.opts.Workers) })
+	reg.GaugeFunc("tpiserved_workers_busy",
+		"Workers currently executing a simulation.", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(s.busy)
+		})
+	reg.GaugeFunc("tpiserved_queue_depth",
+		"Jobs waiting in the submission queue.", nil,
+		func() float64 { return float64(len(s.queue)) })
+	reg.GaugeFunc("tpiserved_queue_capacity",
+		"Configured submission-queue bound.", nil,
+		func() float64 { return float64(s.opts.QueueDepth) })
+	reg.GaugeFunc("tpiserved_inflight_runs",
+		"Distinct result keys with a live (queued or running) job.", nil,
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.inflight))
+		})
+}
+
+// runExporter feeds one job's progress samples into the per-scheme
+// counters (as deltas between consecutive cumulative snapshots) and the
+// job's event hub. It runs on the simulating goroutine only, so prev
+// needs no lock. Counter handles are resolved once, not per sample.
+type runExporter struct {
+	jobID  string
+	scheme string
+	hub    *eventHub
+	prev   sim.Progress
+
+	aborts          *telemetry.Counter
+	epochs          *telemetry.Counter
+	cycles          *telemetry.Counter
+	reads           *telemetry.Counter
+	writes          *telemetry.Counter
+	readMisses      *telemetry.Counter
+	writeMisses     *telemetry.Counter
+	invalidations   *telemetry.Counter
+	coherenceMsgs   *telemetry.Counter
+	trafficWords    *telemetry.Counter
+	streamLoops     *telemetry.Counter
+	streamFallbacks *telemetry.Counter
+	hostparEpochs   *telemetry.Counter
+	seqDoallEpochs  *telemetry.Counter
+}
+
+// newRunExporter resolves the scheme's counter handles for one run.
+func (t *svcTelemetry) newRunExporter(jobID, scheme string, hub *eventHub) *runExporter {
+	return &runExporter{
+		jobID:           jobID,
+		scheme:          scheme,
+		hub:             hub,
+		aborts:          t.runAborts.With(scheme),
+		epochs:          t.epochs.With(scheme),
+		cycles:          t.cycles.With(scheme),
+		reads:           t.reads.With(scheme),
+		writes:          t.writes.With(scheme),
+		readMisses:      t.readMisses.With(scheme),
+		writeMisses:     t.writeMisses.With(scheme),
+		invalidations:   t.invalidations.With(scheme),
+		coherenceMsgs:   t.coherenceMsgs.With(scheme),
+		trafficWords:    t.trafficWords.With(scheme),
+		streamLoops:     t.streamLoops.With(scheme),
+		streamFallbacks: t.streamFallbacks.With(scheme),
+		hostparEpochs:   t.hostparEpochs.With(scheme),
+		seqDoallEpochs:  t.seqDoallEpochs.With(scheme),
+	}
+}
+
+// sample is the sim.ProgressFunc: export counter deltas, then hand the
+// cumulative snapshot to the hub (which applies its own heartbeat
+// throttle before fanning out to SSE subscribers).
+func (e *runExporter) sample(p sim.Progress) {
+	e.epochs.Add(p.Epoch - e.prev.Epoch)
+	e.cycles.Add(p.Cycles - e.prev.Cycles)
+	e.reads.Add(p.Counters.Reads - e.prev.Counters.Reads)
+	e.writes.Add(p.Counters.Writes - e.prev.Counters.Writes)
+	e.readMisses.Add(p.Counters.ReadMisses - e.prev.Counters.ReadMisses)
+	e.writeMisses.Add(p.Counters.WriteMisses - e.prev.Counters.WriteMisses)
+	e.invalidations.Add(p.Counters.Invalidations - e.prev.Counters.Invalidations)
+	e.coherenceMsgs.Add(p.Counters.CoherenceMsgs - e.prev.Counters.CoherenceMsgs)
+	e.trafficWords.Add(p.Counters.TrafficWords - e.prev.Counters.TrafficWords)
+	e.streamLoops.Add(p.StreamLoops - e.prev.StreamLoops)
+	e.streamFallbacks.Add(p.StreamFallbacks - e.prev.StreamFallbacks)
+	e.hostparEpochs.Add(p.HostParEpochs - e.prev.HostParEpochs)
+	e.seqDoallEpochs.Add(p.SeqDoallEpochs - e.prev.SeqDoallEpochs)
+	e.prev = p
+	if p.Aborted {
+		e.aborts.Inc()
+	}
+	e.hub.publishProgress(ProgressEvent{
+		Job:             e.jobID,
+		Epoch:           p.Epoch,
+		Cycles:          p.Cycles,
+		MaxEpochs:       p.MaxEpochs,
+		Reads:           p.Counters.Reads,
+		Writes:          p.Counters.Writes,
+		ReadMisses:      p.Counters.ReadMisses,
+		WriteMisses:     p.Counters.WriteMisses,
+		Invalidations:   p.Counters.Invalidations,
+		StreamLoops:     p.StreamLoops,
+		StreamFallbacks: p.StreamFallbacks,
+		HostParEpochs:   p.HostParEpochs,
+	})
+}

@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exposition byte-for-byte: families
+// sorted by name, samples sorted by label set, HELP/TYPE comments,
+// cumulative histogram buckets with the implicit +Inf.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("jobs_total", "Jobs.", Labels{"outcome": "done"}).Add(3)
+	r.Counter("jobs_total", "Jobs.", Labels{"outcome": "failed"})
+	r.Gauge("queue_depth", "Depth.", nil).Set(2)
+	h := r.Histogram("latency_seconds", "Latency.", []float64{0.5, 2}, nil)
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(4)
+
+	const want = `# HELP jobs_total Jobs.
+# TYPE jobs_total counter
+jobs_total{outcome="done"} 3
+jobs_total{outcome="failed"} 0
+# HELP latency_seconds Latency.
+# TYPE latency_seconds histogram
+latency_seconds_bucket{le="0.5"} 2
+latency_seconds_bucket{le="2"} 2
+latency_seconds_bucket{le="+Inf"} 3
+latency_seconds_sum 4.75
+latency_seconds_count 3
+# HELP queue_depth Depth.
+# TYPE queue_depth gauge
+queue_depth 2
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", b.String(), want)
+	}
+}
+
+// TestParseRoundTrip feeds the writer's output back through the parser
+// and checks types, help, and individual sample lookups.
+func TestParseRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("reqs_total", "Requests by method.", "method").With("GET").Add(7)
+	r.GaugeFunc("uptime_seconds", "Uptime.", nil, func() float64 { return 12.5 })
+	h := r.Histogram("dur", "", []float64{1}, Labels{"op": "run"})
+	h.Observe(0.5)
+	h.Observe(3)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Types["reqs_total"] != "counter" || p.Types["uptime_seconds"] != "gauge" || p.Types["dur"] != "histogram" {
+		t.Fatalf("types %v", p.Types)
+	}
+	if p.Help["reqs_total"] != "Requests by method." {
+		t.Fatalf("help %q", p.Help["reqs_total"])
+	}
+	checks := []struct {
+		name   string
+		labels map[string]string
+		want   float64
+	}{
+		{"reqs_total", map[string]string{"method": "GET"}, 7},
+		{"uptime_seconds", nil, 12.5},
+		{"dur_bucket", map[string]string{"op": "run", "le": "1"}, 1},
+		{"dur_bucket", map[string]string{"op": "run", "le": "+Inf"}, 2},
+		{"dur_sum", map[string]string{"op": "run"}, 3.5},
+		{"dur_count", map[string]string{"op": "run"}, 2},
+	}
+	for _, c := range checks {
+		got, err := p.Value(c.name, c.labels)
+		if err != nil {
+			t.Errorf("%s%v: %v", c.name, c.labels, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s%v = %v, want %v", c.name, c.labels, got, c.want)
+		}
+	}
+}
+
+// TestLabelEscaping round-trips label values containing quotes,
+// backslashes, and newlines.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	val := `sp"am\eggs` + "\nham"
+	r.Counter("esc_total", "", Labels{"v": val}).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("parse: %v\nexposition:\n%s", err, b.String())
+	}
+	got, err := p.Value("esc_total", map[string]string{"v": val})
+	if err != nil || got != 1 {
+		t.Fatalf("escaped label lookup: %v (err %v)\nexposition:\n%s", got, err, b.String())
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`x{le="1"`,
+		"x{a=unquoted} 1\n",
+		"x 1e\n",
+	} {
+		if _, err := ParseText(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseText(%q) accepted malformed input", bad)
+		}
+	}
+}

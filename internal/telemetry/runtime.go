@@ -1,0 +1,55 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memSampler caches runtime.ReadMemStats between scrapes: ReadMemStats
+// briefly stops the world, so back-to-back gauge evaluations inside one
+// scrape (and aggressive scrapers) share a sample no older than the
+// refresh interval.
+type memSampler struct {
+	mu    sync.Mutex
+	every time.Duration
+	last  time.Time
+	ms    runtime.MemStats
+	clock func() time.Time
+}
+
+func (s *memSampler) get() *runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock()
+	if s.last.IsZero() || now.Sub(s.last) >= s.every {
+		runtime.ReadMemStats(&s.ms)
+		s.last = now
+	}
+	return &s.ms
+}
+
+// RegisterRuntimeMetrics registers Go runtime health gauges (goroutines,
+// heap, GC) on the registry, evaluated at scrape time. refresh bounds
+// how often the memory stats are re-sampled (0 selects 1s); the
+// goroutine count is always live.
+func RegisterRuntimeMetrics(r *Registry, refresh time.Duration) {
+	if refresh <= 0 {
+		refresh = time.Second
+	}
+	s := &memSampler{every: refresh, clock: time.Now}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.", nil,
+		func() float64 { return float64(s.get().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_sys_bytes", "Bytes of heap obtained from the OS.", nil,
+		func() float64 { return float64(s.get().HeapSys) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.", nil,
+		func() float64 { return float64(s.get().HeapObjects) })
+	r.GaugeFunc("go_memstats_next_gc_bytes", "Heap size target of the next GC cycle.", nil,
+		func() float64 { return float64(s.get().NextGC) })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.", nil,
+		func() float64 { return float64(s.get().NumGC) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause time.", nil,
+		func() float64 { return float64(s.get().PauseTotalNs) / 1e9 })
+}

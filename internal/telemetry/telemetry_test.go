@@ -1,0 +1,194 @@
+package telemetry
+
+import (
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.", Labels{"outcome": "done"})
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value %d, want 5", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth", "Depth.", nil)
+	g.Set(3)
+	g.Add(-1.5)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge value %v, want 1.5", got)
+	}
+}
+
+// TestHistogramBuckets pins the boundary semantics: an observation equal
+// to an upper bound lands in that bucket (le is inclusive), and values
+// beyond the last bound land in +Inf.
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "Latency.", []float64{1, 2, 5}, nil)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 10} {
+		h.Observe(v)
+	}
+	want := []int64{2, 2, 1, 1} // le=1, le=2, le=5, +Inf (non-cumulative)
+	for i, w := range want {
+		if got := h.BucketCount(i); got != w {
+			t.Errorf("bucket %d count %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count %d, want 6", got)
+	}
+	if got := h.Sum(); got != 18 {
+		t.Errorf("sum %v, want 18", got)
+	}
+}
+
+func TestHistogramBucketValidation(t *testing.T) {
+	r := NewRegistry()
+	// Unsorted input is sorted; a trailing +Inf is stripped (implicit).
+	h := r.Histogram("a", "", []float64{5, 1}, nil)
+	if len(h.upper) != 2 || h.upper[0] != 1 || h.upper[1] != 5 {
+		t.Fatalf("upper bounds %v, want [1 5]", h.upper)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate bucket did not panic")
+		}
+	}()
+	r.Histogram("b", "", []float64{1, 1, 2}, nil)
+}
+
+func TestVecIdentity(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("reqs_total", "Requests.", "method")
+	a := v.With("GET")
+	b := v.With("GET")
+	if a != b {
+		t.Fatal("same label values returned distinct counters")
+	}
+	if v.With("POST") == a {
+		t.Fatal("different label values shared a counter")
+	}
+}
+
+func TestInvalidNamesPanic(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9leading", "has space", "has-dash"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("metric name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "", nil)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label name with colon did not panic")
+			}
+		}()
+		r.Counter("ok_name", "", Labels{"a:b": "x"})
+	}()
+}
+
+func TestConflictingRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "", nil)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("type conflict did not panic")
+			}
+		}()
+		r.Gauge("x_total", "", nil)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("duplicate label set did not panic")
+			}
+		}()
+		r.Counter("x_total", "", nil)
+	}()
+}
+
+// TestConcurrentScrape hammers every metric kind from 8 goroutines while
+// another scrapes the registry; run with -race this is the data-race
+// proof for the lock-free update paths.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "", nil)
+	g := r.Gauge("g", "", nil)
+	h := r.Histogram("h", "", nil, nil)
+	v := r.CounterVec("v_total", "", "k")
+
+	const goroutines = 8
+	const iters = 2000
+	var workers, scraper sync.WaitGroup
+	stop := make(chan struct{})
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := r.WritePrometheus(io.Discard); err != nil {
+					t.Errorf("WritePrometheus: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for i := 0; i < goroutines; i++ {
+		i := i
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for n := 0; n < iters; n++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(n%7) * 0.01)
+				v.With(string(rune('a' + i))).Inc()
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	scraper.Wait()
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Fatalf("counter %d, want %d", got, goroutines*iters)
+	}
+	if got := h.Count(); got != goroutines*iters {
+		t.Fatalf("histogram count %d, want %d", got, goroutines*iters)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	p, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("final scrape does not parse: %v", err)
+	}
+	got, err := p.Value("c_total", nil)
+	if err != nil || got != goroutines*iters {
+		t.Fatalf("parsed c_total %v (err %v), want %d", got, err, goroutines*iters)
+	}
+}
