@@ -401,6 +401,56 @@ func BenchmarkHostParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeP measures the large-machine regime the clustered mesh
+// model targets: ocean on a mesh of 256 to 4096 simulated processors
+// under the hardware directory and two-level TPI, with host parallelism
+// fixed at 8 workers. The refs/run metric makes runs comparable across
+// P (the kernel, and so the reference stream, is the same size at every
+// P — only the machine grows); allocs/op is the lazy per-processor
+// state working: idle processors past the kernel's parallelism must not
+// cost cache or tracker allocations.
+func BenchmarkLargeP(b *testing.B) {
+	k, err := bench.Get("ocean", bench.Params{N: 48, Steps: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := core.Compile(k.Source, core.DefaultCompileOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := []struct {
+		name    string
+		scheme  machine.Scheme
+		l1Words int64
+	}{
+		{"HW", machine.SchemeHW, 0},
+		{"TPI2L", machine.SchemeTPI, 1024},
+	}
+	for _, v := range variants {
+		for _, procs := range []int{256, 1024, 4096} {
+			b.Run(fmt.Sprintf("%s/procs=%d", v.name, procs), func(b *testing.B) {
+				cfg := machine.Default(v.scheme)
+				cfg.L1Words = v.l1Words
+				cfg.Procs = procs
+				cfg.Topology = "mesh"
+				cfg.ClusterSize = 16
+				cfg.HostParallel = 8
+				var refs int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					st, err := core.Run(c, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					refs = st.Reads + st.Writes
+				}
+				b.ReportMetric(float64(refs), "refs/run")
+			})
+		}
+	}
+}
+
 // BenchmarkObsOverhead measures the cost of the instrumentation layer on
 // the ocean/TPI hot loop at each obs.Level. The "off" sub-benchmark is
 // the same work as BenchmarkSimHotLoop/ocean and must stay within noise

@@ -126,6 +126,7 @@ func main() {
 		{"E23", s.E23Prefetch},
 		{"E24", s.E24ScalarPadding},
 		{"E25", s.E25TimeDecomposition},
+		{"E26", s.E26LargePMesh},
 	}
 
 	if *procs <= 0 {

@@ -42,7 +42,8 @@ func main() {
 	dirPtrs := flag.Int("dirpointers", 0, "limited-pointer directory DIR_NB(i); 0 = full map")
 	writeBack := flag.Bool("writeback", false, "TPI write-back-at-boundary instead of write-through")
 	l1KB := flag.Int64("l1", 0, "on-chip L1 size in KB for the two-level TPI implementation (0 = integrated)")
-	topology := flag.String("topology", "multistage", "interconnect model: multistage or torus")
+	topology := flag.String("topology", "multistage", "interconnect model: multistage, torus, or mesh (clustered 2-D mesh)")
+	clusters := flag.Int("clusters", 0, "processors per mesh cluster (mesh topology only; 0 = default)")
 	prefetch := flag.Bool("prefetch", false, "one-block-lookahead sequential prefetch (TPI)")
 	padScalars := flag.Bool("padscalars", false, "give every scalar its own cache line")
 	fastpath := flag.Bool("fastpath", true, "batch affine innermost loops through the coherence schemes (results are bit-identical; -fastpath=false is the kill switch)")
@@ -178,6 +179,7 @@ func main() {
 		cfg.TPIWriteBack = *writeBack
 		cfg.L1Words = *l1KB * 1024 / 4
 		cfg.Topology = *topology
+		cfg.ClusterSize = *clusters
 		cfg.Prefetch = *prefetch
 		c, err := core.Compile(src, core.CompileOptions{
 			Interproc:      cfg.Interproc,

@@ -58,6 +58,7 @@ package directory
 import (
 	"fmt"
 	"math"
+	"math/bits"
 	"sync"
 
 	"repro/internal/cache"
@@ -76,10 +77,13 @@ const (
 	dirExclusive
 )
 
-// entry is one full-map directory entry.
+// entry is one full-map directory entry. For machines with P <= 64 the
+// sharer list is the inline presence word; larger machines keep presence
+// in the System's flat multi-word backing (see presence.go) and leave
+// the inline word zero.
 type entry struct {
 	state    dirState
-	presence uint64 // bit per processor (P <= 64)
+	presence uint64 // bit per processor (narrow path, P <= 64)
 	owner    int16
 }
 
@@ -111,9 +115,22 @@ type action struct {
 // System is the full-map directory memory system.
 type System struct {
 	*memsys.Core
+	// caches and trackers are built lazily on a processor's first
+	// reference (procState): a large-P run where most processors stay
+	// idle pays nothing for them. The slices themselves are sized to
+	// Procs at construction, so concurrent first-touches from distinct
+	// host-parallel workers write distinct elements.
 	caches   []*cache.Cache
 	trackers []*cache.Tracker
-	dir      []entry    // one per memory line; frozen mid-epoch
+	dir      []entry // one per memory line; frozen mid-epoch
+	// Multi-word presence backing for P > 64 (nil on the narrow path):
+	// wps words per line, sliced per entry by pres(). pend/pendMark/
+	// touched carry the replay prepass (see buildPend).
+	wide     []uint64
+	wps      int
+	pend     []uint64
+	pendMark []bool
+	touched  []int64
 	logs     [][]action // per-processor deferred mutations
 }
 
@@ -124,18 +141,20 @@ var logsPool sync.Pool
 
 // New builds an HW directory system.
 func New(cfg machine.Config, memWords int64) *System {
-	if cfg.Procs > 64 {
-		panic(fmt.Sprintf("directory: full-map presence limited to 64 processors, got %d", cfg.Procs))
-	}
 	s := &System{
 		Core: memsys.NewCore(cfg, memWords),
 	}
 	s.EnableAlwaysBuffered()
 	s.dir = make([]entry, s.Memory.Size()/int64(cfg.LineWords))
-	for p := 0; p < cfg.Procs; p++ {
-		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
-		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
+	if cfg.Procs > 64 || forceWide {
+		lines := int64(len(s.dir))
+		s.wps = setWords(cfg.Procs)
+		s.wide = make([]uint64, lines*int64(s.wps))
+		s.pend = make([]uint64, lines*int64(s.wps))
+		s.pendMark = make([]bool, lines)
 	}
+	s.caches = make([]*cache.Cache, cfg.Procs)
+	s.trackers = make([]*cache.Tracker, cfg.Procs)
 	if v := logsPool.Get(); v != nil {
 		if ls, ok := v.([][]action); ok && len(ls) >= cfg.Procs {
 			s.logs = ls[:cfg.Procs]
@@ -152,6 +171,19 @@ func New(cfg machine.Config, memWords int64) *System {
 
 // Name implements memsys.System.
 func (s *System) Name() string { return "HW" }
+
+// procState returns p's cache and tracker, building them on first use.
+// Safe under host parallelism: each processor is owned by exactly one
+// worker, so concurrent first-touches write distinct slice elements.
+func (s *System) procState(p int) (*cache.Cache, *cache.Tracker) {
+	if cc := s.caches[p]; cc != nil {
+		return cc, s.trackers[p]
+	}
+	cc := cache.New(s.Cfg.CacheWords, s.Cfg.LineWords, s.Cfg.Assoc)
+	tr := cache.NewTracker(s.Memory.Size())
+	s.caches[p], s.trackers[p] = cc, tr
+	return cc, tr
+}
 
 // HostShardable implements memsys.Sharded: with the directory frozen
 // mid-epoch, references touch only per-processor state plus the lane,
@@ -170,6 +202,9 @@ func (s *System) FlushEpoch() {
 // use after release fails loudly instead of corrupting a pooled cache.
 func (s *System) ReleaseCaches() {
 	for p, cc := range s.caches {
+		if cc == nil {
+			continue
+		}
 		cache.Release(cc)
 		cache.ReleaseTracker(s.trackers[p])
 	}
@@ -187,7 +222,7 @@ func (s *System) ReleaseCaches() {
 func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
 	ln := s.LaneFor(p)
 	ln.St.Reads++
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 
 	if line, w, ok := cc.Lookup(addr); ok {
 		ln.St.ReadHits++
@@ -230,7 +265,7 @@ func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (
 // stall (weak consistency); all costs are traffic-side.
 func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	ln := s.LaneFor(p)
-	cc := s.caches[p]
+	cc, _ := s.procState(p)
 	tag, _ := cc.Split(addr)
 	e := &s.dir[tag]
 
@@ -310,6 +345,9 @@ func (s *System) writeCritical(p int, ln *memsys.Lane, e *entry, tag int64, addr
 	woff := int(int64(addr) % int64(lw))
 	for q := 0; q < s.Cfg.Procs; q++ {
 		cc, tr := s.caches[q], s.trackers[q]
+		if cc == nil { // never referenced anything: no copy to invalidate
+			continue
+		}
 		line, w, ok := cc.Lookup(base + prog.Word(woff))
 		if !ok || line.Tag != tag {
 			continue
@@ -340,7 +378,8 @@ func (s *System) writeCritical(p int, ln *memsys.Lane, e *entry, tag int64, addr
 		ln.St.CoherenceTrafficWords += 2
 		ln.Inject(2)
 	}
-	e.state, e.owner, e.presence = dirUncached, 0, 0
+	e.state, e.owner = dirUncached, 0
+	s.presReset(e, tag)
 	ln.St.WriteTrafficWords++
 	ln.Inject(1)
 	return 0
@@ -382,6 +421,9 @@ func (s *System) fillLocal(p int, ln *memsys.Lane, addr prog.Word, exclusive boo
 // lanes drained, so stats and traffic go straight to the shared sinks
 // and value refreshes read barrier-final memory.
 func (s *System) replayEpoch() {
+	if s.wide != nil {
+		s.buildPend()
+	}
 	for p := range s.logs {
 		log := s.logs[p]
 		for i := range log {
@@ -393,11 +435,49 @@ func (s *System) replayEpoch() {
 			case actClaim:
 				s.replayClaim(p, e, a)
 			case actEvict:
-				s.clearPresence(e, p)
+				s.clearPresence(e, a.tag, p)
 			}
 		}
 		s.logs[p] = log[:0]
 	}
+	if s.wide != nil {
+		s.clearPend()
+	}
+}
+
+// buildPend marks, for every line a fill or claim touched this epoch,
+// the processors that logged one. A processor can hold a copy of a line
+// at the barrier only if its presence bit was set when the directory
+// froze or it filled the line this epoch — and every fill is logged —
+// so replayClaim's sweep on the wide path visits presence ∪ pend
+// instead of all P processors. Visiting a candidate without a copy is
+// harmless (the sweep re-checks the cache), so the prepass may safely
+// over-approximate across the whole epoch's logs.
+func (s *System) buildPend() {
+	for p := range s.logs {
+		log := s.logs[p]
+		for i := range log {
+			a := &log[i]
+			if a.kind == actEvict {
+				continue
+			}
+			if !s.pendMark[a.tag] {
+				s.pendMark[a.tag] = true
+				s.touched = append(s.touched, a.tag)
+			}
+			s.pendSet(a.tag).Add(p)
+		}
+	}
+}
+
+// clearPend resets the candidate sets the prepass marked, touching only
+// the lines this epoch used.
+func (s *System) clearPend() {
+	for _, tag := range s.touched {
+		s.pendSet(tag).Reset()
+		s.pendMark[tag] = false
+	}
+	s.touched = s.touched[:0]
 }
 
 // replayFill registers a read fill: the frozen-exclusive owner (if the
@@ -414,7 +494,7 @@ func (s *System) replayFill(p int, e *entry, a *action, fromOwner bool) {
 	base := prog.Word(a.tag * int64(cc.LineWords()))
 	line, _, ok := cc.Lookup(base)
 	if !ok || line.Tag != a.tag {
-		s.clearPresence(e, p)
+		s.clearPresence(e, a.tag, p)
 		return
 	}
 	if fromOwner {
@@ -423,7 +503,7 @@ func (s *System) replayFill(p int, e *entry, a *action, fromOwner bool) {
 		s.refreshFromMemory(line, cc)
 	}
 	s.reservePointer(e, p, a.tag, a.addr)
-	e.presence |= 1 << uint(p)
+	s.presAdd(e, a.tag, p)
 	if e.state == dirUncached {
 		e.state = dirShared
 	}
@@ -437,38 +517,28 @@ func (s *System) replayClaim(p int, e *entry, a *action) {
 	lw := s.Cfg.LineWords
 	base := prog.Word(a.tag * int64(lw))
 	woff := int(int64(a.addr) % int64(lw))
-	for q := 0; q < s.Cfg.Procs; q++ {
-		if q == p {
-			continue
-		}
-		cc, tr := s.caches[q], s.trackers[q]
-		line, w, ok := cc.Lookup(base + prog.Word(woff))
-		if !ok || line.Tag != a.tag {
-			e.presence &^= 1 << uint(q)
-			continue
-		}
-		reason := cache.LostInvalFalse
-		if line.Used[w] {
-			reason = cache.LostInvalTrue
-		}
-		if s.Probe != nil {
-			class := stats.MissFalseSharing
-			if reason == cache.LostInvalTrue {
-				class = stats.MissTrueSharing
+	if s.wide == nil {
+		for q := 0; q < s.Cfg.Procs; q++ {
+			if q != p {
+				s.claimVictim(p, q, e, a, base, lw, woff)
 			}
-			s.Probe.Invalidation(p, q, a.addr, class)
 		}
-		noteLineLost(tr, line, base, lw, reason)
-		if line.Dirty {
-			s.St.WriteTrafficWords += int64(lw)
-			s.Netw.Inject(int64(lw))
+	} else {
+		// Wide path: only presence members and this epoch's fill/claim
+		// candidates (see buildPend) can hold a copy; sweep the union in
+		// the same ascending processor order as the narrow loop.
+		pres, pend := s.pres(a.tag), s.pendSet(a.tag)
+		for i := range pres {
+			w := pres[i] | pend[i]
+			if i == p>>6 {
+				w &^= 1 << uint(p&63)
+			}
+			for w != 0 {
+				q := i<<6 + bits.TrailingZeros64(w)
+				w &= w - 1
+				s.claimVictim(p, q, e, a, base, lw, woff)
+			}
 		}
-		line.InvalidateLine()
-		e.presence &^= 1 << uint(q)
-		s.St.Invalidations++
-		s.St.CoherenceMsgs++
-		s.St.CoherenceTrafficWords += 2 // invalidate + ack
-		s.Netw.Inject(2)
 	}
 	// After the sweep only the claimant can hold a copy. Register by what
 	// its cache holds NOW: the claimed line may itself have been evicted
@@ -478,19 +548,60 @@ func (s *System) replayClaim(p int, e *entry, a *action) {
 	switch {
 	case ok && line.Tag == a.tag && line.State == cache.Exclusive:
 		s.refreshFromMemory(line, cc)
-		e.state, e.owner, e.presence = dirExclusive, int16(p), 1<<uint(p)
+		e.state, e.owner = dirExclusive, int16(p)
+		s.presSetOnly(e, a.tag, p)
 	case ok && line.Tag == a.tag:
 		s.refreshFromMemory(line, cc)
-		e.state, e.owner, e.presence = dirShared, 0, 1<<uint(p)
+		e.state, e.owner = dirShared, 0
+		s.presSetOnly(e, a.tag, p)
 	default:
-		e.state, e.owner, e.presence = dirUncached, 0, 0
+		e.state, e.owner = dirUncached, 0
+		s.presReset(e, a.tag)
 	}
 }
 
+// claimVictim processes one processor q under p's deferred claim: if q
+// still holds a copy of the line, it is classified (true/false sharing
+// by the written word's used bit), invalidated, and charged; either way
+// q's presence bit ends clear.
+func (s *System) claimVictim(p, q int, e *entry, a *action, base prog.Word, lw, woff int) {
+	cc, tr := s.caches[q], s.trackers[q]
+	if cc == nil { // never referenced anything: no copy, no bit
+		return
+	}
+	line, w, ok := cc.Lookup(base + prog.Word(woff))
+	if !ok || line.Tag != a.tag {
+		s.presRemove(e, a.tag, q)
+		return
+	}
+	reason := cache.LostInvalFalse
+	if line.Used[w] {
+		reason = cache.LostInvalTrue
+	}
+	if s.Probe != nil {
+		class := stats.MissFalseSharing
+		if reason == cache.LostInvalTrue {
+			class = stats.MissTrueSharing
+		}
+		s.Probe.Invalidation(p, q, a.addr, class)
+	}
+	noteLineLost(tr, line, base, lw, reason)
+	if line.Dirty {
+		s.St.WriteTrafficWords += int64(lw)
+		s.Netw.Inject(int64(lw))
+	}
+	line.InvalidateLine()
+	s.presRemove(e, a.tag, q)
+	s.St.Invalidations++
+	s.St.CoherenceMsgs++
+	s.St.CoherenceTrafficWords += 2 // invalidate + ack
+	s.Netw.Inject(2)
+}
+
 // clearPresence drops p's presence bit and normalizes an emptied entry.
-func (s *System) clearPresence(e *entry, p int) {
-	e.presence &^= 1 << uint(p)
-	if e.presence == 0 {
+func (s *System) clearPresence(e *entry, tag int64, p int) {
+	s.presRemove(e, tag, p)
+	if s.presEmpty(e, tag) {
 		e.state = dirUncached
 		e.owner = 0
 	}
@@ -516,34 +627,30 @@ func (s *System) refreshFromMemory(line *cache.Line, cc *cache.Cache) {
 // go to the shared sinks.
 func (s *System) reservePointer(e *entry, p int, tag int64, addr prog.Word) {
 	limit := s.Cfg.DirPointers
-	if limit <= 0 || e.presence&(1<<uint(p)) != 0 {
+	if limit <= 0 || s.presHas(e, tag, p) {
 		return
 	}
-	for popcount(e.presence) >= limit {
-		victim := -1
-		for q := 0; q < s.Cfg.Procs; q++ {
-			if q != p && e.presence&(1<<uint(q)) != 0 {
-				victim = q
-				break
-			}
-		}
+	for s.presCount(e, tag) >= limit {
+		victim := s.presFirstOther(e, tag, p)
 		if victim < 0 {
 			return
 		}
 		cc, tr := s.caches[victim], s.trackers[victim]
-		base := prog.Word(tag * int64(cc.LineWords()))
-		if line, _, ok := cc.Lookup(base); ok && line.Tag == tag {
-			noteLineLost(tr, line, base, cc.LineWords(), cache.LostReplaced)
-			if line.Dirty {
-				s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
-				s.Netw.Inject(int64(s.Cfg.LineWords))
+		if cc != nil {
+			base := prog.Word(tag * int64(cc.LineWords()))
+			if line, _, ok := cc.Lookup(base); ok && line.Tag == tag {
+				noteLineLost(tr, line, base, cc.LineWords(), cache.LostReplaced)
+				if line.Dirty {
+					s.St.WriteTrafficWords += int64(s.Cfg.LineWords)
+					s.Netw.Inject(int64(s.Cfg.LineWords))
+				}
+				line.InvalidateLine()
 			}
-			line.InvalidateLine()
 		}
 		if s.Probe != nil {
 			s.Probe.Invalidation(p, victim, addr, stats.MissReplace)
 		}
-		e.presence &^= 1 << uint(victim)
+		s.presRemove(e, tag, victim)
 		s.St.PointerEvictions++
 		s.St.Invalidations++
 		s.St.CoherenceMsgs++
@@ -552,19 +659,13 @@ func (s *System) reservePointer(e *entry, p int, tag int64, addr prog.Word) {
 	}
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
-	}
-	return n
-}
-
 // downgradeOwner makes the exclusive owner's copy clean/shared
 // (write-back of dirty data is charged by the caller).
 func (s *System) downgradeOwner(owner int, tag int64) {
 	cc := s.caches[owner]
+	if cc == nil { // an owner without a cache cannot exist; be defensive
+		return
+	}
 	base := prog.Word(tag * int64(cc.LineWords()))
 	if line, _, ok := cc.Lookup(base); ok && line.Tag == tag {
 		line.State = cache.Shared
@@ -588,8 +689,9 @@ func (s *System) StreamCapable() bool { return true }
 // the compiler marking is ignored as in the scalar path.
 func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
 	ln := s.LaneFor(p)
+	cc, _ := s.procState(p)
 	*c = memsys.ReadCursor{
-		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: s.caches[p],
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: cc,
 		Proc: p, Kind: kind, Window: window, Cut: math.MinInt64,
 		Epoch: s.Epoch, HitCycles: s.Cfg.HitCycles, HitCtx: "hw read hit",
 		Fresh: ln.FreshWords(),
@@ -600,9 +702,10 @@ func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKin
 // inlined (silent under the frozen directory); shared hits and misses
 // take the scalar path, which logs the deferred claim.
 func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
+	cc, _ := s.procState(p)
 	*c = memsys.WriteCursor{
 		Mode: memsys.StreamHW, Sys: s, Core: s.Core, Ln: s.LaneFor(p),
-		CC: s.caches[p], Proc: p, Epoch: s.Epoch,
+		CC: cc, Proc: p, Epoch: s.Epoch,
 	}
 }
 
@@ -611,41 +714,88 @@ func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) 
 // and no dirty copy without exclusive state. Valid only at epoch
 // barriers (after FlushEpoch); tests call it after runs.
 func (s *System) CheckInvariants() error {
+	// Two passes keep the check O(cached lines + presence bits) instead of
+	// O(lines × P), which matters at P in the thousands. The first pass
+	// walks every cache and accumulates per-line holder counts; the second
+	// walks the directory and reconciles them against the presence sets.
+	holders := make([]int32, len(s.dir))
+	excl := make([]int32, len(s.dir))
+	for i := range excl {
+		excl[i] = -1
+	}
+	for p := 0; p < s.Cfg.Procs; p++ {
+		cc := s.caches[p]
+		if cc == nil {
+			continue
+		}
+		var err error
+		cc.ForEachValidLine(func(line *cache.Line) {
+			if err != nil {
+				return
+			}
+			tag := line.Tag
+			e := &s.dir[tag]
+			if !s.presHas(e, tag, p) {
+				err = fmt.Errorf("directory: line %d: P%d holds a copy without a presence bit", tag, p)
+				return
+			}
+			holders[tag]++
+			if line.State == cache.Exclusive {
+				excl[tag] = int32(p)
+			}
+			if line.Dirty && line.State != cache.Exclusive {
+				err = fmt.Errorf("directory: line %d: dirty non-exclusive copy at P%d", tag, p)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
 	for tag := range s.dir {
 		e := &s.dir[tag]
-		holders, dirty := 0, 0
-		var exclusiveHolder = -1
-		for p := 0; p < s.Cfg.Procs; p++ {
-			cc := s.caches[p]
-			base := prog.Word(int64(tag) * int64(cc.LineWords()))
-			line, _, ok := cc.Lookup(base)
-			if !ok || line.Tag != int64(tag) {
-				if e.presence&(1<<uint(p)) != 0 {
-					return fmt.Errorf("directory: line %d: presence bit set for P%d without a copy", tag, p)
-				}
-				continue
-			}
-			holders++
-			if e.presence&(1<<uint(p)) == 0 {
-				return fmt.Errorf("directory: line %d: P%d holds a copy without a presence bit", tag, p)
-			}
-			if line.State == cache.Exclusive {
-				exclusiveHolder = p
-			}
-			if line.Dirty {
-				dirty++
-				if line.State != cache.Exclusive {
-					return fmt.Errorf("directory: line %d: dirty non-exclusive copy at P%d", tag, p)
-				}
-			}
+		// Every holder has its bit (pass 1), so a count mismatch means a
+		// presence bit without a copy; find the member to name it.
+		if n := s.presCount(e, int64(tag)); n != int(holders[tag]) {
+			bad := s.findStalePresence(e, int64(tag))
+			return fmt.Errorf("directory: line %d: presence bit set for P%d without a copy", tag, bad)
 		}
-		if exclusiveHolder >= 0 && holders > 1 {
+		if excl[tag] >= 0 && holders[tag] > 1 {
 			return fmt.Errorf("directory: line %d: exclusive copy at P%d alongside %d holders",
-				tag, exclusiveHolder, holders)
+				tag, excl[tag], holders[tag])
 		}
-		if e.state == dirExclusive && exclusiveHolder != int(e.owner) {
+		if e.state == dirExclusive && excl[tag] != int32(e.owner) {
 			return fmt.Errorf("directory: line %d: owner %d has no exclusive copy", tag, e.owner)
 		}
 	}
 	return nil
+}
+
+// findStalePresence returns the lowest presence member that holds no
+// copy of the line, or -1 if all members check out.
+func (s *System) findStalePresence(e *entry, tag int64) int {
+	bad := -1
+	check := func(q int) {
+		if bad >= 0 {
+			return
+		}
+		cc := s.caches[q]
+		if cc == nil {
+			bad = q
+			return
+		}
+		base := prog.Word(tag * int64(cc.LineWords()))
+		if line, _, ok := cc.Lookup(base); !ok || line.Tag != tag {
+			bad = q
+		}
+	}
+	if s.wide == nil {
+		for q := 0; q < s.Cfg.Procs; q++ {
+			if e.presence&(1<<uint(q)) != 0 {
+				check(q)
+			}
+		}
+		return bad
+	}
+	s.pres(tag).ForEach(check)
+	return bad
 }

@@ -1,0 +1,140 @@
+package directory
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// refSet is the oracle: a plain map of members.
+type refSet map[int]bool
+
+func (r refSet) count() int { return len(r) }
+
+func (r refSet) firstOther(p, procs int) int {
+	for q := 0; q < procs; q++ {
+		if q != p && r[q] {
+			return q
+		}
+	}
+	return -1
+}
+
+// TestSetAgainstReference drives the multi-word presence set and a
+// map-based reference model through the same randomized operation
+// stream at widths spanning the narrow/wide boundary, checking every
+// observable (membership, popcount, emptiness, ascending iteration,
+// and the limited-pointer eviction scan) after each step.
+func TestSetAgainstReference(t *testing.T) {
+	for _, procs := range []int{16, 64, 65, 1024} {
+		procs := procs
+		t.Run(fmtProcs(procs), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(int64(procs)))
+			s := make(Set, setWords(procs))
+			ref := refSet{}
+			for step := 0; step < 4000; step++ {
+				p := rng.Intn(procs)
+				switch rng.Intn(6) {
+				case 0, 1: // add dominates, like fills do
+					s.Add(p)
+					ref[p] = true
+				case 2:
+					s.Remove(p)
+					delete(ref, p)
+				case 3: // eviction: clear everything (writeCritical, claims)
+					if rng.Intn(8) == 0 {
+						s.Reset()
+						ref = refSet{}
+					}
+				case 4: // claim registration: sole member
+					if rng.Intn(8) == 0 {
+						s.Reset()
+						s.Add(p)
+						ref = refSet{p: true}
+					}
+				case 5: // pointer eviction: drop the first other member
+					if v := s.FirstOther(p); v >= 0 {
+						s.Remove(v)
+						delete(ref, v)
+					}
+				}
+				if got, want := s.Has(p), ref[p]; got != want {
+					t.Fatalf("step %d: Has(%d) = %v, want %v", step, p, got, want)
+				}
+				if got, want := s.Count(), ref.count(); got != want {
+					t.Fatalf("step %d: Count = %d, want %d", step, got, want)
+				}
+				if got, want := s.Empty(), ref.count() == 0; got != want {
+					t.Fatalf("step %d: Empty = %v, want %v", step, got, want)
+				}
+				if got, want := s.FirstOther(p), ref.firstOther(p, procs); got != want {
+					t.Fatalf("step %d: FirstOther(%d) = %d, want %d", step, p, got, want)
+				}
+				if step%97 == 0 { // iteration order: ascending, complete
+					var got []int
+					s.ForEach(func(q int) { got = append(got, q) })
+					if len(got) != ref.count() {
+						t.Fatalf("step %d: ForEach visited %d members, want %d", step, len(got), ref.count())
+					}
+					for i, q := range got {
+						if !ref[q] {
+							t.Fatalf("step %d: ForEach visited non-member %d", step, q)
+						}
+						if i > 0 && got[i-1] >= q {
+							t.Fatalf("step %d: ForEach out of order: %v", step, got)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func fmtProcs(p int) string {
+	const digits = "0123456789"
+	if p == 0 {
+		return "P0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for p > 0 {
+		i--
+		buf[i] = digits[p%10]
+		p /= 10
+	}
+	return "P" + string(buf[i:])
+}
+
+func cfgForTest(procs int) machine.Config {
+	c := machine.Default(machine.SchemeHW)
+	c.Procs = procs
+	c.CacheWords = 64
+	c.LineWords = 4
+	return c
+}
+
+// TestForceWidePresenceHook exercises the test hook itself: flipping it
+// makes New build the wide backing even at small P, and restoring it
+// returns to the inline word.
+func TestForceWidePresenceHook(t *testing.T) {
+	prev := ForceWidePresence(true)
+	defer ForceWidePresence(prev)
+	s := New(cfgForTest(8), 1024)
+	defer s.ReleaseCaches()
+	if s.wide == nil {
+		t.Fatal("forceWide on: New built the narrow path")
+	}
+	ForceWidePresence(false)
+	s2 := New(cfgForTest(8), 1024)
+	defer s2.ReleaseCaches()
+	if s2.wide != nil {
+		t.Fatal("forceWide off: New built the wide path at P=8")
+	}
+	if s3 := New(cfgForTest(65), 1024); s3.wide == nil {
+		t.Fatal("P=65: New must take the wide path")
+	} else {
+		s3.ReleaseCaches()
+	}
+}

@@ -1,6 +1,6 @@
 // Package exper is the experiment harness: one entry per table or figure
 // of the paper's evaluation plus the documented extensions (DESIGN.md's
-// experiment index, E1–E25). Each experiment returns a Table that
+// experiment index, E1–E26). Each experiment returns a Table that
 // cmd/experiments prints (text or markdown) and that the root-level
 // benchmarks assert shape properties on.
 package exper

@@ -35,7 +35,7 @@ func TestE1Shape(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tab.Rows) != 12 { // 3 machine sizes x 4 schemes
+	if len(tab.Rows) != 16 { // 4 machine sizes x 4 schemes
 		t.Fatalf("%d rows", len(tab.Rows))
 	}
 	// TPI rows (both granularities) must show zero DRAM.
@@ -168,8 +168,8 @@ func TestAllExperimentsRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 25 {
-		t.Fatalf("%d tables, want 25", len(tabs))
+	if len(tabs) != 26 {
+		t.Fatalf("%d tables, want 26", len(tabs))
 	}
 	for _, tab := range tabs {
 		if len(tab.Rows) == 0 {
@@ -531,5 +531,30 @@ func TestE25DecompositionShape(t *testing.T) {
 	// BASE spends (far) more of its time stalled on reads than TPI/HW.
 	if !(shares["BASE"] > shares["TPI"] && shares["BASE"] > shares["HW"]) {
 		t.Errorf("stall shares: %v", shares)
+	}
+}
+
+func TestE26LargePMeshShape(t *testing.T) {
+	tab, err := smallSuite().E26LargePMesh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 6 { // 3 machine sizes x {HW, TPI-2L}
+		t.Fatalf("%d rows", len(tab.Rows))
+	}
+	// The kernel is fixed-size, so miss rates hold steady while the read
+	// latency grows with the mesh diameter: for each scheme the P=4096
+	// latency must exceed the P=256 one.
+	lat := map[string]map[string]float64{}
+	for _, r := range tab.Rows {
+		if lat[r[2]] == nil {
+			lat[r[2]] = map[string]float64{}
+		}
+		lat[r[2]][r[0]] = parseF(t, r[6])
+	}
+	for scheme, byP := range lat {
+		if !(byP["4096"] > byP["256"]) {
+			t.Errorf("%s: latency %v does not grow with the mesh", scheme, byP)
+		}
 	}
 }

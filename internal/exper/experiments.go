@@ -13,10 +13,14 @@ func (s *Suite) E1StorageOverhead() (*Table, error) {
 	t := &Table{
 		ID:      "E1/Fig5",
 		Title:   "storage overhead (full-map vs LimitLess vs TPI)",
-		Columns: []string{"P", "scheme", "cache SRAM", "memory DRAM", "total"},
-		Notes:   "TPI state is proportional to cache size only; directories grow with memory size and P",
+		Columns: []string{"P", "scheme", "cache SRAM", "memory DRAM", "total", "simulated"},
+		Notes:   "storage columns are analytic (overhead model at the paper's machine); the simulated column says which rows the simulator has actually run — E26 holds the measured large-P results",
 	}
-	for _, procs := range []int64{64, 256, 1024} {
+	for _, procs := range []int64{64, 256, 1024, 4096} {
+		simulated := "yes, all schemes (equivalence suites run P=16-64)"
+		if procs > 64 {
+			simulated = "yes, HW + TPI-2L on mesh (E26)"
+		}
 		c := overhead.PaperDefault()
 		c.P = procs
 		for _, o := range overhead.All(c) {
@@ -25,6 +29,7 @@ func (s *Suite) E1StorageOverhead() (*Table, error) {
 				overhead.FormatBits(o.CacheSRAM),
 				overhead.FormatBits(o.MemDRAM),
 				overhead.FormatBits(o.Total()),
+				simulated,
 			})
 		}
 	}
@@ -432,6 +437,7 @@ func (s *Suite) All() ([]*Table, error) {
 		s.E23Prefetch,
 		s.E24ScalarPadding,
 		s.E25TimeDecomposition,
+		s.E26LargePMesh,
 	}
 	var out []*Table
 	for _, f := range funcs {

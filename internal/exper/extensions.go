@@ -451,3 +451,56 @@ func (s *Suite) E25TimeDecomposition() (*Table, error) {
 	}
 	return t, nil
 }
+
+// E26LargePMesh measures the paper's E1 scaling story instead of
+// extrapolating it: ocean on the clustered 2-D mesh at machine sizes
+// past the inline presence word (multi-word bitsets, per-cluster home
+// directories), under the hardware directory and the two-level TPI that
+// maps its level boundary onto the cluster hierarchy. The E3-style miss
+// rate and E5-style words-per-read columns let these rows be compared
+// directly against the P=16 tables above; cycles and miss latency show
+// the network diameter growing with the mesh.
+func (s *Suite) E26LargePMesh() (*Table, error) {
+	t := &Table{
+		ID:      "E26",
+		Title:   "large-P clustered mesh: ocean at P=256/1024/4096 (measured)",
+		Columns: []string{"P", "clusters", "scheme", "miss rate", "read w/ref", "coh w/ref", "avg lat", "cycles"},
+		Notes:   "measured runs, not analytic storage rows; the kernel is fixed-size so per-P work shrinks while latency grows with mesh diameter",
+	}
+	type point struct {
+		procs   int
+		scheme  machine.Scheme
+		l1Words int64
+		name    string
+	}
+	var points []point
+	for _, procs := range []int{256, 1024, 4096} {
+		points = append(points,
+			point{procs, machine.SchemeHW, 0, "HW"},
+			point{procs, machine.SchemeTPI, 64, "TPI-2L"})
+	}
+	rows, err := forEach(points, func(pt point) ([][]string, error) {
+		cfg := s.cfg(pt.scheme)
+		cfg.L1Words = pt.l1Words
+		cfg.Procs = pt.procs
+		cfg.Topology = "mesh"
+		cfg.ClusterSize = 16
+		st, err := s.run("ocean", cfg)
+		if err != nil {
+			return nil, fmt.Errorf("ocean/%s/p%d: %w", pt.name, pt.procs, err)
+		}
+		return [][]string{{
+			d(int64(pt.procs)), d(int64(cfg.Clusters())), pt.name,
+			pct(st.MissRate()),
+			f3(float64(st.ReadTrafficWords) / float64(st.Reads)),
+			f3(float64(st.CoherenceTrafficWords) / float64(st.Reads)),
+			f1(st.AvgMissLatency()),
+			d(st.Cycles),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}

@@ -133,10 +133,21 @@ type Config struct {
 	SwitchArity int
 
 	// Topology selects the interconnect model: "multistage" (the paper's
-	// Kruskal–Snir indirect network, the default) or "torus" (a 2-D
+	// Kruskal–Snir indirect network, the default), "torus" (a 2-D
 	// bidirectional torus like the Cray T3D's physical network, with
-	// distance-dependent latency to line-interleaved home nodes).
+	// distance-dependent latency to line-interleaved home nodes), or
+	// "mesh" (a clustered 2-D mesh NUMA machine: ClusterSize processors
+	// per mesh node, one home-directory/memory slice per cluster, and
+	// Manhattan-distance latency without wraparound links — the
+	// TSAR-style organization for thousand-core configurations).
 	Topology string
+
+	// ClusterSize is the number of processors per mesh node (cluster).
+	// Memory lines are interleaved across clusters rather than across
+	// individual processors, so a cluster's processors share a home
+	// slice one hop away. 0 means DefaultClusterSize. Only valid with
+	// Topology "mesh".
+	ClusterSize int
 
 	// WriteBufferCache organizes the write buffer as a small cache that
 	// coalesces redundant writes within an epoch (DEC 21164-style), as the
@@ -261,11 +272,46 @@ func Default(s Scheme) Config {
 	}
 }
 
+// MaxProcs bounds the simulated machine size. Every scheme scales to
+// this width (the directory's presence sets spill to word-packed
+// bitsets above 64 processors), so the bound exists to reject absurd
+// configurations with a clear error instead of an allocation failure —
+// and it keeps the directory's int16 owner pointers sufficient.
+const MaxProcs = 16384
+
+// DefaultClusterSize is the processors-per-cluster default of the mesh
+// topology: four cores per node, the TSAR-style organization.
+const DefaultClusterSize = 4
+
+// MeshClusterSize returns the effective processors-per-cluster for the
+// mesh topology, applying the default; it is 0 for other topologies.
+func (c Config) MeshClusterSize() int {
+	if c.Topology != "mesh" {
+		return 0
+	}
+	if c.ClusterSize > 0 {
+		return c.ClusterSize
+	}
+	return DefaultClusterSize
+}
+
+// Clusters returns the number of mesh nodes (home-directory/memory
+// slices) of the configuration; it is 0 for non-mesh topologies.
+func (c Config) Clusters() int {
+	cs := c.MeshClusterSize()
+	if cs == 0 {
+		return 0
+	}
+	return (c.Procs + cs - 1) / cs
+}
+
 // Validate reports configuration errors.
 func (c Config) Validate() error {
 	switch {
 	case c.Procs <= 0:
 		return fmt.Errorf("machine: Procs must be positive, got %d", c.Procs)
+	case c.Procs > MaxProcs:
+		return fmt.Errorf("machine: Procs %d exceeds the supported maximum %d", c.Procs, MaxProcs)
 	case c.LineWords <= 0 || (c.LineWords&(c.LineWords-1)) != 0:
 		return fmt.Errorf("machine: LineWords must be a positive power of two, got %d", c.LineWords)
 	case c.CacheWords <= 0 || c.CacheWords%int64(c.LineWords) != 0:
@@ -276,8 +322,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: TimetagBits out of range: %d", c.TimetagBits)
 	case c.SwitchArity < 2:
 		return fmt.Errorf("machine: SwitchArity must be >= 2, got %d", c.SwitchArity)
-	case c.Topology != "" && c.Topology != "multistage" && c.Topology != "torus":
+	case c.Topology != "" && c.Topology != "multistage" && c.Topology != "torus" && c.Topology != "mesh":
 		return fmt.Errorf("machine: unknown topology %q", c.Topology)
+	case c.ClusterSize < 0:
+		return fmt.Errorf("machine: ClusterSize must be >= 0, got %d", c.ClusterSize)
+	case c.ClusterSize > 0 && c.Topology != "mesh":
+		return fmt.Errorf("machine: ClusterSize is only meaningful with the mesh topology, got %q", c.Topology)
 	case c.HostParallel < 0:
 		return fmt.Errorf("machine: HostParallel must be >= 0, got %d", c.HostParallel)
 	}
@@ -328,6 +378,7 @@ func ParseConfig(data []byte, base Config) (Config, error) {
 // simulate identically serialize identically:
 //
 //   - Topology ""  → "multistage" (memsys builds the multistage net for both)
+//   - ClusterSize 0 under "mesh" → DefaultClusterSize (what memsys applies)
 //   - MaxEpochs 0  → DefaultMaxEpochs (the guard sim applies for 0)
 //   - HostParallel 0 → 1 (both select the sequential runner)
 //
@@ -337,6 +388,9 @@ func ParseConfig(data []byte, base Config) (Config, error) {
 func (c Config) Canonical() Config {
 	if c.Topology == "" {
 		c.Topology = "multistage"
+	}
+	if c.Topology == "mesh" && c.ClusterSize == 0 {
+		c.ClusterSize = DefaultClusterSize
 	}
 	if c.MaxEpochs == 0 {
 		c.MaxEpochs = DefaultMaxEpochs

@@ -222,10 +222,10 @@ type Buffered interface {
 }
 
 // EnableAlwaysBuffered switches the core to always-buffered execution:
-// lanes are allocated eagerly and LaneFor returns the processor's private
-// buffered lane even outside host-parallel epochs. EndParallelEpoch then
-// defers the merge to FlushEpoch, which the simulator invokes at every
-// epoch barrier (in both execution modes). Call once, at construction.
+// LaneFor returns the processor's private buffered lane (built on first
+// use) even outside host-parallel epochs. EndParallelEpoch then defers
+// the merge to FlushEpoch, which the simulator invokes at every epoch
+// barrier (in both execution modes). Call once, at construction.
 func (c *Core) EnableAlwaysBuffered() {
 	c.alwaysBuffered = true
 	c.ensureLanes()
@@ -242,6 +242,11 @@ func (c *Core) FlushEpoch() { c.FlushEpochLanes() }
 // instead of reallocated per run (see memsys.Releaser).
 var lanesPool sync.Pool
 
+// ensureLanes installs the per-processor lane table. Individual lanes
+// are built lazily by LaneFor on a processor's first reference, so a
+// large-P configuration whose epochs touch few processors never pays
+// P× lane (and overlay map) construction; pooled lane sets may carry
+// nil entries for processors a previous run never touched.
 func (c *Core) ensureLanes() {
 	if c.lanes != nil {
 		return
@@ -250,24 +255,34 @@ func (c *Core) ensureLanes() {
 		if ls, ok := v.([]*Lane); ok && len(ls) >= c.Cfg.Procs {
 			c.lanes = ls[:c.Cfg.Procs]
 			for p, l := range c.lanes {
+				if l == nil {
+					continue
+				}
 				l.mem = c.Memory
 				l.proc = p
-				l.epoch = 0
+				l.epoch = c.laneEpoch
 			}
 			return
 		}
 	}
 	c.lanes = make([]*Lane, c.Cfg.Procs)
-	for p := range c.lanes {
-		l := &Lane{
-			mem:      c.Memory,
-			buffered: true,
-			proc:     p,
-			overlay:  make(map[prog.Word]int32),
-		}
-		l.St = &l.stShard
-		c.lanes[p] = l
+}
+
+// newLane builds processor p's buffered lane on first use. Inside a
+// host-parallel epoch each processor is owned by exactly one worker, so
+// concurrent calls write distinct slice elements — no synchronization
+// is needed, exactly like the caches the workers allocate.
+func (c *Core) newLane(p int) *Lane {
+	l := &Lane{
+		mem:      c.Memory,
+		buffered: true,
+		proc:     p,
+		epoch:    c.laneEpoch,
+		overlay:  make(map[prog.Word]int32),
 	}
+	l.St = &l.stShard
+	c.lanes[p] = l
+	return l
 }
 
 // ReleaseLanes returns the per-processor lanes to the shared pool for
@@ -279,6 +294,9 @@ func (c *Core) ReleaseLanes() {
 		return
 	}
 	for _, l := range c.lanes {
+		if l == nil {
+			continue
+		}
 		l.mem = nil
 		l.writes = l.writes[:0]
 		clear(l.overlay)
@@ -296,7 +314,10 @@ func (c *Core) ReleaseLanes() {
 // under always-buffered execution.
 func (c *Core) LaneFor(p int) *Lane {
 	if c.par || c.alwaysBuffered {
-		return c.lanes[p]
+		if l := c.lanes[p]; l != nil {
+			return l
+		}
+		return c.newLane(p)
 	}
 	return &c.seqLane
 }
@@ -304,8 +325,11 @@ func (c *Core) LaneFor(p int) *Lane {
 // BeginParallelEpoch implements Sharded.
 func (c *Core) BeginParallelEpoch(epoch int64) {
 	c.ensureLanes()
+	c.laneEpoch = epoch
 	for _, l := range c.lanes {
-		l.epoch = epoch
+		if l != nil {
+			l.epoch = epoch
+		}
 	}
 	c.par = true
 }
@@ -315,8 +339,11 @@ func (c *Core) BeginParallelEpoch(epoch int64) {
 // scheme's EpochBoundary must forward the new epoch here for the logs'
 // memory.Write epoch stamps to stay identical to pass-through execution.
 func (c *Core) SetLaneEpoch(epoch int64) {
+	c.laneEpoch = epoch
 	for _, l := range c.lanes {
-		l.epoch = epoch
+		if l != nil {
+			l.epoch = epoch
+		}
 	}
 }
 
@@ -340,6 +367,9 @@ func (c *Core) EndParallelEpoch() {
 // skipped.
 func (c *Core) FlushEpochLanes() {
 	for p, l := range c.lanes {
+		if l == nil {
+			continue
+		}
 		for _, w := range l.writes {
 			if w.addr < 0 {
 				continue
@@ -360,7 +390,7 @@ func (c *Core) FlushEpochLanes() {
 // LaneStats implements Sharded.
 func (c *Core) LaneStats(p int) *stats.Stats {
 	if c.par || c.alwaysBuffered {
-		return c.lanes[p].St
+		return c.LaneFor(p).St
 	}
 	return &c.St
 }

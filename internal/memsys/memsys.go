@@ -9,6 +9,8 @@
 package memsys
 
 import (
+	"sync/atomic"
+
 	"repro/internal/cache"
 	"repro/internal/machine"
 	"repro/internal/memory"
@@ -147,8 +149,19 @@ type Core struct {
 	// FlushEpoch at the simulator's barrier.
 	seqLane        Lane
 	lanes          []*Lane
+	laneEpoch      int64
 	par            bool
 	alwaysBuffered bool
+
+	// Mesh home mapping: homeClusters > 0 interleaves memory lines
+	// across per-cluster home slices instead of individual processors,
+	// and clusterWords tallies the fetch traffic each home slice served
+	// (updated atomically: host-parallel workers charge misses
+	// concurrently, and order-free sums keep the totals deterministic).
+	// Zero/nil outside the mesh topology.
+	homeClusters int
+	clusterSize  int
+	clusterWords []int64
 }
 
 // SetProbe implements Probed.
@@ -166,9 +179,15 @@ func NewCore(cfg machine.Config, memWords int64) *Core {
 		Cfg:    cfg,
 		Memory: memory.New(memWords),
 	}
-	if cfg.Topology == "torus" {
+	switch cfg.Topology {
+	case "torus":
 		c.Netw = network.NewTorus(cfg.Procs)
-	} else {
+	case "mesh":
+		c.clusterSize = cfg.MeshClusterSize()
+		c.homeClusters = cfg.Clusters()
+		c.clusterWords = make([]int64, c.homeClusters)
+		c.Netw = network.NewMesh(cfg.Procs, c.clusterSize)
+	default:
 		c.Netw = network.New(cfg.Procs, cfg.SwitchArity)
 	}
 	c.St.Scheme = cfg.Scheme.String()
@@ -186,9 +205,47 @@ func (c *Core) Stats() *stats.Stats { return &c.St }
 func (c *Core) Net() network.Net { return c.Netw }
 
 // HomeOf returns the memory module (home node) of a word: lines are
-// interleaved across the processors' local memories, as on the T3D.
+// interleaved across the processors' local memories, as on the T3D —
+// or, under the clustered mesh, across the clusters' home slices (the
+// home is the cluster's first processor; every processor of the
+// cluster is the same mesh node, so any representative gives the same
+// network distance).
 func (c *Core) HomeOf(addr prog.Word) int {
-	return int(int64(addr) / int64(c.Cfg.LineWords) % int64(c.Cfg.Procs))
+	line := int64(addr) / int64(c.Cfg.LineWords)
+	if c.homeClusters > 0 {
+		return int(line%int64(c.homeClusters)) * c.clusterSize
+	}
+	return int(line % int64(c.Cfg.Procs))
+}
+
+// ClusterTraffic exposes per-cluster home-slice fetch traffic for
+// topologies with clustered home slices (the mesh); every Core-based
+// system implements it, returning nil outside the mesh topology.
+type ClusterTraffic interface {
+	ClusterHomeWords() []int64
+}
+
+// ClusterHomeWords implements ClusterTraffic: a copy of the cumulative
+// words fetched from each mesh cluster's home slice, nil outside the
+// mesh topology. Reads are atomic, so sampling mid-run is safe; at
+// epoch barriers the totals are deterministic (order-free sums).
+func (c *Core) ClusterHomeWords() []int64 {
+	if c.clusterWords == nil {
+		return nil
+	}
+	out := make([]int64, len(c.clusterWords))
+	for i := range c.clusterWords {
+		out[i] = atomic.LoadInt64(&c.clusterWords[i])
+	}
+	return out
+}
+
+// noteHomeFetch charges a home-slice fetch of the given payload against
+// the home's cluster (mesh only; no-op elsewhere).
+func (c *Core) noteHomeFetch(home int, words int64) {
+	if c.clusterWords != nil {
+		atomic.AddInt64(&c.clusterWords[home/c.clusterSize], words)
+	}
 }
 
 // ClassifyMiss decides the miss class for a word that is absent from
@@ -285,7 +342,9 @@ func (c *Core) LineMissLatency() int64 {
 // LineMissLatencyFor is the distance-aware variant: the request travels
 // from processor p to the word's home node and the line travels back.
 func (c *Core) LineMissLatencyFor(p int, addr prog.Word) int64 {
-	return c.Cfg.MissCycles + c.Netw.RoundTripBetween(p, c.HomeOf(addr), c.Cfg.LineWords)
+	home := c.HomeOf(addr)
+	c.noteHomeFetch(home, int64(c.Cfg.LineWords)+1)
+	return c.Cfg.MissCycles + c.Netw.RoundTripBetween(p, home, c.Cfg.LineWords)
 }
 
 // WordMissLatency is the stall of an uncached single-word fetch
@@ -296,7 +355,9 @@ func (c *Core) WordMissLatency() int64 {
 
 // WordMissLatencyFor is the distance-aware single-word fetch.
 func (c *Core) WordMissLatencyFor(p int, addr prog.Word) int64 {
-	return c.Cfg.MissCycles + c.Netw.RoundTripBetween(p, c.HomeOf(addr), 1)
+	home := c.HomeOf(addr)
+	c.noteHomeFetch(home, 2)
+	return c.Cfg.MissCycles + c.Netw.RoundTripBetween(p, home, 1)
 }
 
 // CounterSample is a point-in-time aggregate of a run's memory-system

@@ -1,0 +1,138 @@
+package network
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mesh is a clustered 2-D mesh: ClusterSize processors share each mesh
+// node (a TSAR-style cluster with its own home-directory/memory slice),
+// nodes form a near-square grid with no wraparound links, and routing is
+// dimension-ordered with plain Manhattan distance. The load estimator is
+// the same EWMA the multistage and torus models use, so per-hop latency
+// grows with offered load. Intra-cluster traffic still pays one hop
+// (the local crossbar); the locality win is that a cluster's home slice
+// is that single hop away while a remote slice is up to DimX+DimY-2.
+type Mesh struct {
+	Procs      int
+	Cluster    int // processors per node
+	DimX, DimY int // node grid
+
+	ewmaLoad  float64
+	lastCycle int64
+	words     int64
+}
+
+// NewMesh builds a near-square clustered mesh for the machine size.
+// clusterSize <= 0 means one processor per node (a plain mesh).
+func NewMesh(procs, clusterSize int) *Mesh {
+	if procs < 1 {
+		procs = 1
+	}
+	if clusterSize < 1 {
+		clusterSize = 1
+	}
+	nodes := (procs + clusterSize - 1) / clusterSize
+	dx := int(math.Sqrt(float64(nodes)))
+	for dx > 1 && nodes%dx != 0 {
+		dx--
+	}
+	return &Mesh{Procs: procs, Cluster: clusterSize, DimX: dx, DimY: nodes / dx}
+}
+
+var _ Net = (*Mesh)(nil)
+
+// Inject implements Net.
+func (m *Mesh) Inject(words int64) { m.words += words }
+
+// AdvanceTo implements Net.
+func (m *Mesh) AdvanceTo(cycle int64) {
+	if cycle <= m.lastCycle {
+		return
+	}
+	dt := cycle - m.lastCycle
+	inst := float64(m.words) / (float64(dt) * float64(m.Procs))
+	const alpha = 0.25
+	m.ewmaLoad = alpha*inst + (1-alpha)*m.ewmaLoad
+	m.words = 0
+	m.lastCycle = cycle
+}
+
+// Load implements Net.
+func (m *Mesh) Load() float64 {
+	l := m.ewmaLoad
+	if l < 0 {
+		return 0
+	}
+	if l > 0.95 {
+		return 0.95
+	}
+	return l
+}
+
+// Node returns the mesh node (cluster) housing processor p.
+func (m *Mesh) Node(p int) int { return p / m.Cluster }
+
+// Hops returns the dimension-ordered routing distance between the
+// clusters of two processors (no wraparound: distance is |Δx| + |Δy|).
+func (m *Mesh) Hops(src, dst int) int {
+	s, d := m.Node(src), m.Node(dst)
+	sx, sy := s%m.DimX, s/m.DimX
+	dx, dy := d%m.DimX, d/m.DimX
+	return absInt(sx-dx) + absInt(sy-dy)
+}
+
+func absInt(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// AvgHops is the expected routing distance under uniform traffic: the
+// mean distance between two uniform points on a line of n nodes is
+// (n²-1)/(3n), summed per dimension (no wraparound halves nothing).
+func (m *Mesh) AvgHops() float64 {
+	lineAvg := func(n int) float64 {
+		if n <= 1 {
+			return 0
+		}
+		nf := float64(n)
+		return (nf*nf - 1) / (3 * nf)
+	}
+	return lineAvg(m.DimX) + lineAvg(m.DimY)
+}
+
+func (m *Mesh) delayHops(hops float64, payloadWords int) int64 {
+	if hops < 1 {
+		hops = 1 // intra-cluster traffic crosses the node crossbar once
+	}
+	load := m.Load()
+	perHopWait := load / (2 * (1 - load))
+	d := hops*(1+perHopWait) + float64(payloadWords-1)
+	return int64(math.Ceil(d))
+}
+
+// Delay implements Net (average distance).
+func (m *Mesh) Delay(payloadWords int) int64 {
+	return m.delayHops(m.AvgHops(), payloadWords)
+}
+
+// DelayBetween implements Net.
+func (m *Mesh) DelayBetween(src, dst, payloadWords int) int64 {
+	return m.delayHops(float64(m.Hops(src, dst)), payloadWords)
+}
+
+// RoundTrip implements Net.
+func (m *Mesh) RoundTrip(payloadWords int) int64 {
+	return m.Delay(1) + m.Delay(payloadWords)
+}
+
+// RoundTripBetween implements Net.
+func (m *Mesh) RoundTripBetween(src, dst, payloadWords int) int64 {
+	return m.DelayBetween(src, dst, 1) + m.DelayBetween(dst, src, payloadWords)
+}
+
+func (m *Mesh) String() string {
+	return fmt.Sprintf("mesh{%dx%d nodes, %d/cluster, load=%.3f}", m.DimX, m.DimY, m.Cluster, m.Load())
+}

@@ -44,6 +44,12 @@ type Progress struct {
 	SeqDoallEpochs int64
 	HostParWorkers int
 
+	// ClusterWords is the cumulative word traffic served by each mesh
+	// cluster's home directory/memory slice, indexed by cluster. Nil for
+	// non-mesh topologies. Like every other field it is cumulative, so
+	// consumers can export deltas and watch for hot-spotted homes.
+	ClusterWords []int64
+
 	// Done marks the final snapshot of the run; Aborted additionally
 	// marks a run that ended early (context cancellation, deadline, or
 	// a runtime fault) rather than completing.
@@ -84,6 +90,10 @@ func (r *Runner) emitProgress(done, aborted bool) {
 	if r.hostpar != nil {
 		workers = r.hostpar.workers
 	}
+	var clusterWords []int64
+	if ct, ok := r.sys.(memsys.ClusterTraffic); ok {
+		clusterWords = ct.ClusterHomeWords()
+	}
 	r.progress(Progress{
 		Epoch:           r.epoch,
 		Cycles:          r.cycles,
@@ -94,6 +104,7 @@ func (r *Runner) emitProgress(done, aborted bool) {
 		HostParEpochs:   r.hostparEpochs,
 		SeqDoallEpochs:  r.seqDoallEpochs,
 		HostParWorkers:  workers,
+		ClusterWords:    clusterWords,
 		Done:            done,
 		Aborted:         aborted,
 	})

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/exper"
 	"repro/internal/machine"
 	"repro/internal/obs"
 )
@@ -306,6 +307,8 @@ func TestBadRequests(t *testing.T) {
 		{"unknown scheme", RunRequest{Kernel: "ocean", Scheme: "MESI"}, http.StatusBadRequest},
 		{"unknown config field", RunRequest{Kernel: "ocean", Config: json.RawMessage(`{"LineWord": 8}`)}, http.StatusBadRequest},
 		{"invalid config", RunRequest{Kernel: "ocean", Config: json.RawMessage(`{"Procs": -1}`)}, http.StatusBadRequest},
+		{"procs over limit", RunRequest{Kernel: "ocean", Scheme: "HW", Config: json.RawMessage(`{"Procs": 65536}`)}, http.StatusBadRequest},
+		{"cluster size off mesh", RunRequest{Kernel: "ocean", Config: json.RawMessage(`{"ClusterSize": 4}`)}, http.StatusBadRequest},
 		{"scheme in config", RunRequest{Kernel: "ocean", Scheme: "TPI", Config: json.RawMessage(`{"Scheme": "HW"}`)}, http.StatusBadRequest},
 		{"obs trace", RunRequest{Kernel: "ocean", Obs: "trace"}, http.StatusBadRequest},
 		{"bad source", RunRequest{Source: "this is not PFL"}, http.StatusOK}, // compile errors are job failures
@@ -329,6 +332,24 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("unknown job: HTTP %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestLargePMeshRun: a config past the 64-processor presence word on the
+// clustered mesh topology runs to completion through the service (the
+// worker must not crash where directory.New once panicked) and returns a
+// result that passes the structural validator.
+func TestLargePMeshRun(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 1})
+	code, st := postRun(t, hs, RunRequest{
+		Kernel: "ocean", N: 16, Steps: 1, Scheme: "HW",
+		Config: json.RawMessage(`{"Procs": 128, "Topology": "mesh", "ClusterSize": 8}`),
+	})
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("HTTP %d state %s error %q", code, st.State, st.Error)
+	}
+	if _, err := exper.ValidateRunResult(st.Result); err != nil {
+		t.Fatalf("result fails validation: %v", err)
 	}
 }
 

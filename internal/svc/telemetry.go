@@ -7,6 +7,7 @@
 package svc
 
 import (
+	"strconv"
 	"time"
 
 	"repro/internal/sim"
@@ -38,6 +39,7 @@ type svcTelemetry struct {
 	streamFallbacks *telemetry.CounterVec
 	hostparEpochs   *telemetry.CounterVec
 	seqDoallEpochs  *telemetry.CounterVec
+	clusterWords    *telemetry.CounterVec
 }
 
 // Phase labels for phaseSeconds.
@@ -86,6 +88,9 @@ func newSvcTelemetry(reg *telemetry.Registry, s *Server) *svcTelemetry {
 			"DOALL epochs sharded across host-parallel workers.", "scheme"),
 		seqDoallEpochs: reg.CounterVec("tpisim_seq_doall_epochs_total",
 			"DOALL epochs dispatched sequentially.", "scheme"),
+		clusterWords: reg.CounterVec("tpisim_cluster_home_words_total",
+			"Word traffic served by each mesh cluster's home directory/memory slice (mesh topology only).",
+			"scheme", "cluster"),
 	}
 	t.register(reg, s)
 	return t
@@ -197,6 +202,12 @@ type runExporter struct {
 	streamFallbacks *telemetry.Counter
 	hostparEpochs   *telemetry.Counter
 	seqDoallEpochs  *telemetry.Counter
+
+	// clusterWords handles are resolved on the first sample that carries
+	// mesh cluster traffic (the cluster count is a run property, unknown
+	// when the exporter is built); non-mesh runs never touch them.
+	clusterVec   *telemetry.CounterVec
+	clusterWords []*telemetry.Counter
 }
 
 // newRunExporter resolves the scheme's counter handles for one run.
@@ -219,6 +230,30 @@ func (t *svcTelemetry) newRunExporter(jobID, scheme string, hub *eventHub) *runE
 		streamFallbacks: t.streamFallbacks.With(scheme),
 		hostparEpochs:   t.hostparEpochs.With(scheme),
 		seqDoallEpochs:  t.seqDoallEpochs.With(scheme),
+		clusterVec:      t.clusterWords,
+	}
+}
+
+// exportClusters mirrors per-cluster home-traffic deltas for mesh runs,
+// resolving the per-cluster handles on first use. Cluster labels are the
+// decimal cluster index, so a hot-spotted home slice stands out on
+// /metrics.
+func (e *runExporter) exportClusters(p sim.Progress) {
+	if len(p.ClusterWords) == 0 {
+		return
+	}
+	if e.clusterWords == nil {
+		e.clusterWords = make([]*telemetry.Counter, len(p.ClusterWords))
+		for i := range e.clusterWords {
+			e.clusterWords[i] = e.clusterVec.With(e.scheme, strconv.Itoa(i))
+		}
+	}
+	for i, v := range p.ClusterWords {
+		var prev int64
+		if i < len(e.prev.ClusterWords) {
+			prev = e.prev.ClusterWords[i]
+		}
+		e.clusterWords[i].Add(v - prev)
 	}
 }
 
@@ -239,6 +274,7 @@ func (e *runExporter) sample(p sim.Progress) {
 	e.streamFallbacks.Add(p.StreamFallbacks - e.prev.StreamFallbacks)
 	e.hostparEpochs.Add(p.HostParEpochs - e.prev.HostParEpochs)
 	e.seqDoallEpochs.Add(p.SeqDoallEpochs - e.prev.SeqDoallEpochs)
+	e.exportClusters(p)
 	e.prev = p
 	if p.Aborted {
 		e.aborts.Inc()

@@ -100,12 +100,25 @@ type SC struct {
 // NewSC builds an SC system.
 func NewSC(cfg machine.Config, memWords int64) *SC {
 	s := &SC{Core: memsys.NewCore(cfg, memWords)}
-	for p := 0; p < cfg.Procs; p++ {
-		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
-		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
-		s.wbufs = append(s.wbufs, cache.NewWriteBuffer(cfg.WriteBufferCache))
-	}
+	s.caches = make([]*cache.Cache, cfg.Procs)
+	s.trackers = make([]*cache.Tracker, cfg.Procs)
+	s.wbufs = make([]*cache.WriteBuffer, cfg.Procs)
 	return s
+}
+
+// procState returns p's cache and tracker (building them, and the write
+// buffer, on first use). Safe under host parallelism: each processor is
+// owned by exactly one worker, so concurrent first-touches write
+// distinct slice elements.
+func (s *SC) procState(p int) (*cache.Cache, *cache.Tracker) {
+	if cc := s.caches[p]; cc != nil {
+		return cc, s.trackers[p]
+	}
+	cc := cache.New(s.Cfg.CacheWords, s.Cfg.LineWords, s.Cfg.Assoc)
+	s.caches[p] = cc
+	s.trackers[p] = cache.NewTracker(s.Memory.Size())
+	s.wbufs[p] = cache.NewWriteBuffer(s.Cfg.WriteBufferCache)
+	return cc, s.trackers[p]
 }
 
 // Name implements memsys.System.
@@ -115,6 +128,9 @@ func (s *SC) Name() string { return "SC" }
 // use after release fails loudly instead of corrupting a pooled cache.
 func (s *SC) ReleaseCaches() {
 	for p, cc := range s.caches {
+		if cc == nil {
+			continue
+		}
 		cache.Release(cc)
 		cache.ReleaseTracker(s.trackers[p])
 		cache.ReleaseWriteBuffer(s.wbufs[p])
@@ -134,7 +150,7 @@ func (s *SC) HostShardable() bool { return true }
 func (s *SC) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
 	ln := s.LaneFor(p)
 	ln.St.Reads++
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 
 	if kind != memsys.ReadRegular {
 		v := ln.Value(addr)
@@ -171,7 +187,7 @@ func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	ln := s.LaneFor(p)
 	ln.St.Writes++
 	ln.Write(addr, val, p, s.Epoch)
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 	if crit {
 		ln.St.WriteMisses[stats.MissBypass]++
 		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
@@ -236,7 +252,9 @@ func (s *SC) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 func (s *SC) EpochBoundary(epoch int64) int64 {
 	s.Epoch = epoch
 	for _, wb := range s.wbufs {
-		wb.Flush()
+		if wb != nil {
+			wb.Flush()
+		}
 	}
 	return 0
 }
@@ -253,8 +271,9 @@ func (s *SC) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, w
 		return
 	}
 	ln := s.LaneFor(p)
+	cc, _ := s.procState(p)
 	*c = memsys.ReadCursor{
-		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: s.caches[p],
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: cc,
 		Proc: p, Kind: kind, Window: window, Cut: math.MinInt64,
 		Epoch: s.Epoch, HitCycles: s.Cfg.HitCycles, HitCtx: "sc regular hit",
 		Fresh: ln.FreshWords(),
@@ -264,9 +283,10 @@ func (s *SC) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, w
 // InitWriteCursor implements memsys.Streamer: write-through with the
 // unconditional tag assignment (PromoteTT false).
 func (s *SC) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
+	cc, tr := s.procState(p)
 	*c = memsys.WriteCursor{
 		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: s.LaneFor(p),
-		CC: s.caches[p], Tr: s.trackers[p], WB: s.wbufs[p],
+		CC: cc, Tr: tr, WB: s.wbufs[p],
 		Proc: p, Epoch: s.Epoch, WTT: s.Epoch,
 		SeqC: s.Cfg.SeqConsistency,
 	}

@@ -47,21 +47,37 @@ func New(cfg machine.Config, memWords int64) *System {
 	if s.phase < 1 {
 		s.phase = 1
 	}
-	for p := 0; p < cfg.Procs; p++ {
-		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
-		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
-		s.wbufs = append(s.wbufs, cache.NewWriteBuffer(cfg.WriteBufferCache))
-	}
+	s.caches = make([]*cache.Cache, cfg.Procs)
+	s.trackers = make([]*cache.Tracker, cfg.Procs)
+	s.wbufs = make([]*cache.WriteBuffer, cfg.Procs)
 	return s
 }
 
 // Name implements memsys.System.
 func (s *System) Name() string { return "TPI" }
 
+// procState returns p's cache and tracker (building them, and the write
+// buffer, on first use). Safe under host parallelism: each processor is
+// owned by exactly one worker, so concurrent first-touches write
+// distinct slice elements.
+func (s *System) procState(p int) (*cache.Cache, *cache.Tracker) {
+	if cc := s.caches[p]; cc != nil {
+		return cc, s.trackers[p]
+	}
+	cc := cache.New(s.Cfg.CacheWords, s.Cfg.LineWords, s.Cfg.Assoc)
+	s.caches[p] = cc
+	s.trackers[p] = cache.NewTracker(s.Memory.Size())
+	s.wbufs[p] = cache.NewWriteBuffer(s.Cfg.WriteBufferCache)
+	return cc, s.trackers[p]
+}
+
 // ReleaseCaches implements memsys.Releaser. The fields are nilled so any
 // use after release fails loudly instead of corrupting a pooled cache.
 func (s *System) ReleaseCaches() {
 	for p, cc := range s.caches {
+		if cc == nil {
+			continue
+		}
 		cache.Release(cc)
 		cache.ReleaseTracker(s.trackers[p])
 		cache.ReleaseWriteBuffer(s.wbufs[p])
@@ -89,7 +105,7 @@ func (s *System) effWindow(w int) int64 {
 func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
 	ln := s.LaneFor(p)
 	ln.St.Reads++
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 
 	if kind == memsys.ReadBypass {
 		return s.bypassRead(ln, p, addr)
@@ -227,7 +243,7 @@ func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	}
 	ln.St.Writes++
 	ln.Write(addr, val, p, s.Epoch)
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 	wtt := s.Epoch
 	if s.Cfg.LineTimetags {
 		// A line-granular tag cannot record a single-word write; the
@@ -297,7 +313,7 @@ func (s *System) writeCritical(ln *memsys.Lane, p int, addr prog.Word, val float
 	ln.St.Writes++
 	ln.St.WriteMisses[stats.MissBypass]++
 	ln.Write(addr, val, p, s.Epoch)
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 	if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
 		tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
 		line.InvalidateWord(w)
@@ -333,7 +349,9 @@ func (s *System) EpochBoundary(epoch int64) int64 {
 		stall += s.flushDirty()
 	}
 	for _, wb := range s.wbufs {
-		wb.Flush()
+		if wb != nil {
+			wb.Flush()
+		}
 	}
 	switch {
 	case s.Cfg.FlashReset:
@@ -375,8 +393,12 @@ func (s *System) flushDirty() int64 {
 	}
 	var worst int64
 	for p := 0; p < s.Cfg.Procs; p++ {
+		cc := s.caches[p]
+		if cc == nil {
+			continue
+		}
 		var dirty int64
-		s.caches[p].ForEachValidLine(func(l *cache.Line) {
+		cc.ForEachValidLine(func(l *cache.Line) {
 			for i := range l.DirtyW {
 				if l.DirtyW[i] {
 					dirty++
@@ -400,6 +422,9 @@ func (s *System) flushDirty() int64 {
 // cut (one full phase old): the two-phase hardware reset.
 func (s *System) resetOutOfPhase(p int, cut int64) {
 	cc, tr := s.caches[p], s.trackers[p]
+	if cc == nil {
+		return
+	}
 	cc.ForEachValidLine(func(l *cache.Line) {
 		base := prog.Word(l.Tag * int64(cc.LineWords()))
 		live := 0
@@ -425,6 +450,9 @@ func (s *System) resetOutOfPhase(p int, cut int64) {
 // paper rejects).
 func (s *System) flashInvalidate(p int) {
 	cc, tr := s.caches[p], s.trackers[p]
+	if cc == nil {
+		return
+	}
 	cc.ForEachValidLine(func(l *cache.Line) {
 		base := prog.Word(l.Tag * int64(cc.LineWords()))
 		for i := 0; i < cc.LineWords(); i++ {
@@ -437,8 +465,16 @@ func (s *System) flashInvalidate(p int) {
 	})
 }
 
-// Caches exposes the per-processor caches for white-box tests.
-func (s *System) Caches() []*cache.Cache { return s.caches }
+// Caches exposes the per-processor caches for white-box tests,
+// materializing any a lazy run has not built yet.
+func (s *System) Caches() []*cache.Cache {
+	for p := range s.caches {
+		if s.caches[p] == nil {
+			s.procState(p)
+		}
+	}
+	return s.caches
+}
 
 // StreamCapable implements memsys.Streamer.
 func (s *System) StreamCapable() bool { return true }
@@ -457,8 +493,9 @@ func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKin
 		cut = s.Epoch - s.effWindow(window)
 	}
 	ln := s.LaneFor(p)
+	cc, _ := s.procState(p)
 	*c = memsys.ReadCursor{
-		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: s.caches[p],
+		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: ln, CC: cc,
 		Proc: p, Kind: kind, Window: window, Cut: cut, PromoteTT: !s.Cfg.LineTimetags,
 		Epoch: s.Epoch, HitCycles: s.Cfg.HitCycles, HitCtx: kind.HitContext(),
 		Fresh: ln.FreshWords(),
@@ -472,9 +509,10 @@ func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) 
 	if s.Cfg.LineTimetags {
 		wtt = s.Epoch - 1
 	}
+	cc, tr := s.procState(p)
 	*c = memsys.WriteCursor{
 		Mode: memsys.StreamCached, Sys: s, Core: s.Core, Ln: s.LaneFor(p),
-		CC: s.caches[p], Tr: s.trackers[p], WB: s.wbufs[p],
+		CC: cc, Tr: tr, WB: s.wbufs[p],
 		Proc: p, Epoch: s.Epoch, WTT: wtt, PromoteTT: true,
 		WriteBack: s.Cfg.TPIWriteBack, SeqC: s.Cfg.SeqConsistency,
 	}

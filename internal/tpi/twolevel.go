@@ -44,10 +44,19 @@ type TwoLevel struct {
 // NewTwoLevel builds the off-the-shelf implementation.
 func NewTwoLevel(cfg machine.Config, memWords int64) *TwoLevel {
 	t := &TwoLevel{System: New(cfg, memWords)}
-	for p := 0; p < cfg.Procs; p++ {
-		t.l1 = append(t.l1, cache.New(cfg.L1Words, cfg.LineWords, cfg.Assoc))
-	}
+	t.l1 = make([]*cache.Cache, cfg.Procs)
 	return t
+}
+
+// l1For returns p's L1, building it on first use (same single-owner
+// argument as procState).
+func (t *TwoLevel) l1For(p int) *cache.Cache {
+	if l1 := t.l1[p]; l1 != nil {
+		return l1
+	}
+	l1 := cache.New(t.Cfg.L1Words, t.Cfg.LineWords, t.Cfg.Assoc)
+	t.l1[p] = l1
+	return l1
 }
 
 // Name implements memsys.System.
@@ -57,7 +66,9 @@ func (t *TwoLevel) Name() string { return "TPI2L" }
 // along with the embedded TPI system's timetagged caches.
 func (t *TwoLevel) ReleaseCaches() {
 	for _, cc := range t.l1 {
-		cache.Release(cc)
+		if cc != nil {
+			cache.Release(cc)
+		}
 	}
 	t.l1 = nil
 	t.System.ReleaseCaches()
@@ -65,7 +76,7 @@ func (t *TwoLevel) ReleaseCaches() {
 
 // Read implements memsys.System.
 func (t *TwoLevel) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
-	l1 := t.l1[p]
+	l1 := t.l1For(p)
 
 	if kind == memsys.ReadRegular {
 		if line, w, ok := l1.Lookup(addr); ok && line.ValidWord(w) {
@@ -97,14 +108,14 @@ func (t *TwoLevel) Read(p int, addr prog.Word, kind memsys.ReadKind, window int)
 		lat = t.Cfg.L2HitCycles
 	}
 	if kind == memsys.ReadTime {
-		memsys.FillWordL1(t.l1[p], addr, v)
+		memsys.FillWordL1(l1, addr, v)
 	}
 	return v, lat
 }
 
 // Write implements memsys.System: write-through both levels.
 func (t *TwoLevel) Write(p int, addr prog.Word, val float64, crit bool) int64 {
-	l1 := t.l1[p]
+	l1 := t.l1For(p)
 	if line, w, ok := l1.Lookup(addr); ok && line.ValidWord(w) {
 		if crit {
 			line.InvalidateWord(w)
@@ -136,7 +147,7 @@ func (t *TwoLevel) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadK
 	// L1 layer needs both (lane counters, L2-latency substitution).
 	c.Ln = t.LaneFor(p)
 	c.HitCycles = t.Cfg.HitCycles
-	c.L1 = t.l1[p]
+	c.L1 = t.l1For(p)
 	c.L1HitCycles = t.Cfg.L1HitCycles
 	c.L2HitCycles = t.Cfg.L2HitCycles
 }
@@ -148,5 +159,5 @@ func (t *TwoLevel) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word
 	t.System.InitWriteCursor(c, p, addr0)
 	c.Inner = c.Mode
 	c.Mode = memsys.StreamTwoLevel
-	c.L1 = t.l1[p]
+	c.L1 = t.l1For(p)
 }

@@ -90,13 +90,26 @@ func New(cfg machine.Config, p *prog.Prog) *System {
 		assign(ai.Name, ai.Base, ai.Size)
 	}
 
-	for q := 0; q < cfg.Procs; q++ {
-		s.caches = append(s.caches, cache.New(cfg.CacheWords, cfg.LineWords, cfg.Assoc))
-		s.trackers = append(s.trackers, cache.NewTracker(s.Memory.Size()))
-		s.wbufs = append(s.wbufs, cache.NewWriteBuffer(cfg.WriteBufferCache))
-	}
+	s.caches = make([]*cache.Cache, cfg.Procs)
+	s.trackers = make([]*cache.Tracker, cfg.Procs)
+	s.wbufs = make([]*cache.WriteBuffer, cfg.Procs)
 	s.EnableAlwaysBuffered()
 	return s
+}
+
+// procState returns p's cache and tracker (building them, and the write
+// buffer, on first use). Safe under host parallelism: each processor is
+// owned by exactly one worker, so concurrent first-touches write
+// distinct slice elements.
+func (s *System) procState(p int) (*cache.Cache, *cache.Tracker) {
+	if cc := s.caches[p]; cc != nil {
+		return cc, s.trackers[p]
+	}
+	cc := cache.New(s.Cfg.CacheWords, s.Cfg.LineWords, s.Cfg.Assoc)
+	s.caches[p] = cc
+	s.trackers[p] = cache.NewTracker(s.Memory.Size())
+	s.wbufs[p] = cache.NewWriteBuffer(s.Cfg.WriteBufferCache)
+	return cc, s.trackers[p]
 }
 
 // HostShardable implements memsys.Sharded: with CVNs frozen mid-epoch
@@ -111,6 +124,9 @@ func (s *System) Name() string { return "VC" }
 // use after release fails loudly instead of corrupting a pooled cache.
 func (s *System) ReleaseCaches() {
 	for p, cc := range s.caches {
+		if cc == nil {
+			continue
+		}
 		cache.Release(cc)
 		cache.ReleaseTracker(s.trackers[p])
 		cache.ReleaseWriteBuffer(s.wbufs[p])
@@ -145,7 +161,7 @@ func (s *System) EpochMods(names []string) {
 func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
 	ln := s.LaneFor(p)
 	ln.St.Reads++
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 
 	if kind == memsys.ReadBypass {
 		v := ln.Value(addr)
@@ -228,7 +244,7 @@ func (s *System) chargeLineMiss(ln *memsys.Lane, p int, addr prog.Word) int64 {
 func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
 	ln := s.LaneFor(p)
 	ln.St.Writes++
-	cc, tr := s.caches[p], s.trackers[p]
+	cc, tr := s.procState(p)
 	if crit {
 		ln.WriteThrough(addr, val, p, s.Epoch)
 		ln.St.WriteMisses[stats.MissBypass]++
@@ -298,7 +314,9 @@ func (s *System) EpochBoundary(epoch int64) int64 {
 	s.Epoch = epoch
 	s.SetLaneEpoch(epoch)
 	for _, wb := range s.wbufs {
-		wb.Flush()
+		if wb != nil {
+			wb.Flush()
+		}
 	}
 	return 0
 }
@@ -320,10 +338,11 @@ func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKin
 		}
 		return
 	}
+	cc, _ := s.procState(p)
 	*c = memsys.ReadCursor{
 		Mode: memsys.StreamCached,
 		Sys:  s, Core: s.Core, Ln: ln,
-		CC: s.caches[p], Proc: p,
+		CC: cc, Proc: p,
 		Kind: kind, Window: window,
 		Cut:       s.cvnAt(addr0),
 		PromoteTT: false,
@@ -337,10 +356,11 @@ func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKin
 // InitWriteCursor implements memsys.Streamer. The written BVN is
 // CVN(stream variable)+1, constant across the stream.
 func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
+	cc, tr := s.procState(p)
 	*c = memsys.WriteCursor{
 		Mode: memsys.StreamCached,
 		Sys:  s, Core: s.Core, Ln: s.LaneFor(p),
-		CC: s.caches[p], Tr: s.trackers[p], WB: s.wbufs[p],
+		CC: cc, Tr: tr, WB: s.wbufs[p],
 		Proc:      p,
 		Epoch:     s.Epoch,
 		WTT:       s.cvnAt(addr0) + 1,
