@@ -96,38 +96,8 @@ func main() {
 	s.HostPar = *hostpar
 	s.NoFastPath = !*fastpath
 
-	type entry struct {
-		id  string
-		run func() (*exper.Table, error)
-	}
-	entries := []entry{
-		{"E1", s.E1StorageOverhead},
-		{"E2", s.E2Parameters},
-		{"E3", s.E3MissRates},
-		{"E4", s.E4MissClassification},
-		{"E5", s.E5NetworkTraffic},
-		{"E6", s.E6MissLatency},
-		{"E7", s.E7ExecutionTime},
-		{"E8", s.E8TimetagSensitivity},
-		{"E9", s.E9CacheSizeSweep},
-		{"E10", s.E10LineSizeSweep},
-		{"E11", s.E11ResetAblation},
-		{"E12", s.E12Scalability},
-		{"E13", s.E13CompilerAblations},
-		{"E14", s.E14LimitedPointers},
-		{"E15", s.E15ConsistencyModels},
-		{"E16", s.E16SchedulingPolicies},
-		{"E17", s.E17HSCDFamily},
-		{"E18", s.E18WritePolicies},
-		{"E19", s.E19OffTheShelf},
-		{"E20", s.E20Topologies},
-		{"E21", s.E21Toolchain},
-		{"E22", s.E22TagGranularity},
-		{"E23", s.E23Prefetch},
-		{"E24", s.E24ScalarPadding},
-		{"E25", s.E25TimeDecomposition},
-		{"E26", s.E26LargePMesh},
-	}
+	// The registry lives in exper so cmd/tpisweep drives the same list.
+	entries := s.Entries()
 
 	if *procs <= 0 {
 		fmt.Fprintf(os.Stderr, "experiments: -procs must be positive, got %d\n", *procs)
@@ -139,7 +109,7 @@ func main() {
 	}
 	known := map[string]bool{}
 	for _, e := range entries {
-		known[e.id] = true
+		known[e.ID] = true
 	}
 	want := map[string]bool{}
 	for _, id := range selected {
@@ -160,13 +130,13 @@ func main() {
 	results := exper.Results{SchemaVersion: exper.ResultsSchemaVersion, Params: p, Procs: *procs}
 	start := time.Now()
 	for _, e := range entries {
-		if len(want) > 0 && !want[e.id] {
+		if len(want) > 0 && !want[e.ID] {
 			continue
 		}
 		t0 := time.Now()
-		tab, err := e.run()
+		tab, err := e.Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.id, err)
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
 		switch {
@@ -178,7 +148,7 @@ func main() {
 			emit(tab.String())
 			emit("\n")
 		}
-		fmt.Fprintf(os.Stderr, "(%s in %v)\n", e.id, time.Since(t0).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "(%s in %v)\n", e.ID, time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(os.Stderr, "total %v\n", time.Since(start).Round(time.Millisecond))
 

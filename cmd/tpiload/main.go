@@ -15,7 +15,7 @@ package main
 
 import (
 	"bufio"
-	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/exper"
+	"repro/internal/httpx"
 	"repro/internal/svc"
 )
 
@@ -57,7 +58,11 @@ func run(addr string, requests, conc int, kernels, schemes string, n, steps int,
 	if dup < 0 || dup >= 1 {
 		return fmt.Errorf("-dup %g out of range [0,1)", dup)
 	}
-	if err := waitHealthy(addr, wait); err != nil {
+	// One shared keep-alive pool for the whole batch; retry/backoff on
+	// transport errors and 5xx lives in httpx, not here.
+	client := httpx.New(httpx.Options{Timeout: 2 * time.Minute, MaxIdleConnsPerHost: conc})
+	ctx := context.Background()
+	if err := waitHealthy(ctx, client, addr, wait); err != nil {
 		return err
 	}
 
@@ -72,9 +77,9 @@ func run(addr string, requests, conc int, kernels, schemes string, n, steps int,
 			defer wg.Done()
 			for i := range work {
 				if progress {
-					lat[i], errs[i] = submitProgress(addr, batch[i])
+					lat[i], errs[i] = submitProgress(ctx, client, addr, batch[i])
 				} else {
-					lat[i], errs[i] = submit(addr, batch[i])
+					lat[i], errs[i] = submit(ctx, client, addr, batch[i])
 				}
 			}
 		}()
@@ -104,7 +109,7 @@ func run(addr string, requests, conc int, kernels, schemes string, n, steps int,
 	fmt.Printf("  latency ms: p50 %.2f  p95 %.2f  max %.2f\n",
 		lat[len(lat)/2], lat[len(lat)*95/100], lat[len(lat)-1])
 
-	hitRate, err := reportMetrics(addr)
+	hitRate, err := reportMetrics(ctx, client, addr)
 	if err != nil {
 		return err
 	}
@@ -158,28 +163,19 @@ func splitList(s string) []string {
 // submit posts one run and validates the response end to end. Failure
 // errors carry the server's verbatim response body, so a failing job's
 // cause survives into the exit diagnostics.
-func submit(addr string, req svc.RunRequest) (ms float64, err error) {
-	body, err := json.Marshal(req)
-	if err != nil {
-		return 0, err
-	}
+func submit(ctx context.Context, client *httpx.Client, addr string, req svc.RunRequest) (ms float64, err error) {
 	t0 := time.Now()
-	resp, err := http.Post(addr+"/v1/runs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
-	raw, err := io.ReadAll(resp.Body)
+	status, raw, err := client.PostJSON(ctx, addr+"/v1/runs", &req)
 	ms = float64(time.Since(t0)) / float64(time.Millisecond)
 	if err != nil {
-		return ms, fmt.Errorf("HTTP %d: reading body: %w", resp.StatusCode, err)
+		return ms, err
 	}
 	var st svc.JobStatus
 	if err := json.Unmarshal(raw, &st); err != nil {
-		return ms, fmt.Errorf("HTTP %d: %v; body: %s", resp.StatusCode, err, truncate(raw))
+		return ms, fmt.Errorf("HTTP %d: %v; body: %s", status, err, truncate(raw))
 	}
-	if resp.StatusCode != http.StatusOK || st.State != svc.StateDone {
-		return ms, fmt.Errorf("HTTP %d state %s: %s", resp.StatusCode, st.State, serverError(st, raw))
+	if status != http.StatusOK || st.State != svc.StateDone {
+		return ms, fmt.Errorf("HTTP %d state %s: %s", status, st.State, serverError(st, raw))
 	}
 	return ms, validateStatus(st)
 }
@@ -187,31 +183,22 @@ func submit(addr string, req svc.RunRequest) (ms float64, err error) {
 // submitProgress submits async and follows the job's SSE event stream,
 // printing phase transitions and epoch heartbeats, then validates the
 // terminal result event.
-func submitProgress(addr string, req svc.RunRequest) (ms float64, err error) {
+func submitProgress(ctx context.Context, client *httpx.Client, addr string, req svc.RunRequest) (ms float64, err error) {
 	req.Async = true
-	body, err := json.Marshal(req)
-	if err != nil {
-		return 0, err
-	}
 	t0 := time.Now()
-	resp, err := http.Post(addr+"/v1/runs", "application/json", bytes.NewReader(body))
+	status, raw, err := client.PostJSON(ctx, addr+"/v1/runs", &req)
 	if err != nil {
 		return 0, err
-	}
-	raw, rerr := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if rerr != nil {
-		return 0, fmt.Errorf("HTTP %d: reading body: %w", resp.StatusCode, rerr)
 	}
 	var st svc.JobStatus
 	if err := json.Unmarshal(raw, &st); err != nil {
-		return 0, fmt.Errorf("HTTP %d: %v; body: %s", resp.StatusCode, err, truncate(raw))
+		return 0, fmt.Errorf("HTTP %d: %v; body: %s", status, err, truncate(raw))
 	}
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
-		return 0, fmt.Errorf("HTTP %d state %s: %s", resp.StatusCode, st.State, serverError(st, raw))
+	if status != http.StatusOK && status != http.StatusAccepted {
+		return 0, fmt.Errorf("HTTP %d state %s: %s", status, st.State, serverError(st, raw))
 	}
 
-	final, err := followEvents(addr, st.ID)
+	final, err := followEvents(ctx, client, addr, st.ID)
 	ms = float64(time.Since(t0)) / float64(time.Millisecond)
 	if err != nil {
 		return ms, err
@@ -224,8 +211,10 @@ func submitProgress(addr string, req svc.RunRequest) (ms float64, err error) {
 
 // followEvents consumes the job's SSE stream until the terminal
 // result/error event, echoing progress to stderr.
-func followEvents(addr, id string) (*svc.JobStatus, error) {
-	resp, err := http.Get(addr + "/v1/runs/" + id + "/events")
+func followEvents(ctx context.Context, client *httpx.Client, addr, id string) (*svc.JobStatus, error) {
+	// Stream bypasses httpx's retries and deadline: the SSE connection
+	// stays open for the life of the job.
+	resp, err := client.Stream(ctx, addr+"/v1/runs/"+id+"/events")
 	if err != nil {
 		return nil, err
 	}
@@ -308,21 +297,15 @@ func truncate(b []byte) string {
 	return s
 }
 
-func waitHealthy(addr string, wait time.Duration) error {
+func waitHealthy(ctx context.Context, client *httpx.Client, addr string, wait time.Duration) error {
 	deadline := time.Now().Add(wait)
 	for {
-		resp, err := http.Get(addr + "/v1/healthz")
+		err := client.GetJSON(ctx, addr+"/v1/healthz", nil)
 		if err == nil {
-			resp.Body.Close()
-			if resp.StatusCode == http.StatusOK {
-				return nil
-			}
+			return nil
 		}
 		if time.Now().After(deadline) {
-			if err != nil {
-				return fmt.Errorf("server not healthy after %v: %w", wait, err)
-			}
-			return fmt.Errorf("server not healthy after %v (HTTP %d)", wait, resp.StatusCode)
+			return fmt.Errorf("server not healthy after %v: %w", wait, err)
 		}
 		time.Sleep(100 * time.Millisecond)
 	}
@@ -330,14 +313,9 @@ func waitHealthy(addr string, wait time.Duration) error {
 
 // reportMetrics prints the server-side view and returns the result-cache
 // hit rate.
-func reportMetrics(addr string) (float64, error) {
-	resp, err := http.Get(addr + "/v1/metrics")
-	if err != nil {
-		return 0, err
-	}
-	defer resp.Body.Close()
+func reportMetrics(ctx context.Context, client *httpx.Client, addr string) (float64, error) {
 	var m svc.Metrics
-	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+	if err := client.GetJSON(ctx, addr+"/v1/metrics", &m); err != nil {
 		return 0, fmt.Errorf("metrics: %w", err)
 	}
 	hitRate := 0.0

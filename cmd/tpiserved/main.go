@@ -2,7 +2,10 @@
 // internal/svc HTTP JSON API (POST /v1/runs, GET/DELETE /v1/runs/{id},
 // GET /v1/runs/{id}/events, GET /v1/healthz, GET /v1/metrics) over a
 // bounded worker pool with content-addressed compile and result caches,
-// plus a Prometheus scrape endpoint on GET /metrics.
+// plus a Prometheus scrape endpoint on GET /metrics. With -peers, the
+// daemon joins a fleet: every worker serves its result cache on
+// GET /v1/cache/{key} and probes its siblings for a content-address hit
+// before simulating a miss locally (see docs/SERVICE.md).
 //
 // Usage:
 //
@@ -50,6 +53,8 @@ func main() {
 	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	debugAddr := flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (e.g. localhost:8178)")
+	peers := flag.String("peers", "", "comma-separated sibling base URLs whose caches are probed before simulating (e.g. http://host1:8177,http://host2:8177); updatable at runtime via PUT /v1/peers")
+	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-probe deadline for peer cache fetches")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "tpiserved: unexpected argument %q\n", flag.Arg(0))
@@ -66,6 +71,11 @@ func main() {
 	reg := telemetry.NewRegistry()
 	telemetry.RegisterRuntimeMetrics(reg, 5*time.Second)
 
+	var peerList []string
+	if *peers != "" {
+		peerList = strings.Split(*peers, ",")
+	}
+
 	s := svc.New(svc.Options{
 		Workers:             *workers,
 		QueueDepth:          *queue,
@@ -75,6 +85,8 @@ func main() {
 		MaxBodyBytes:        *maxBody,
 		Logger:              logger,
 		Registry:            reg,
+		Peers:               peerList,
+		PeerTimeout:         *peerTimeout,
 	})
 	hs := &http.Server{Addr: *addr, Handler: s.Handler()}
 

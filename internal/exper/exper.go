@@ -73,8 +73,19 @@ type Suite struct {
 	// bit-identical either way; this is the experiments-level kill
 	// switch and the off-arm of the CI equivalence check.
 	NoFastPath bool
-	mu         sync.Mutex
-	kernels    map[string]*core.Compiled // cache, keyed by name+options
+	// Exec, when set, replaces local in-process simulation for every
+	// named-kernel (kernel, config) point the tables run — the
+	// distributed sweep (internal/sweep) plugs its fleet executor in
+	// here to shard a table's points across tpiserved workers. The
+	// executor must return the stats a local core.Run of the same point
+	// would (the svc result-fidelity contract plus stats.Snapshot's
+	// lossless Restore guarantee exactly that), which keeps the rendered
+	// table bytes identical either way. The few points that compile
+	// custom inline sources (E21's auto-parallelized variants, E23's
+	// ping-pong probe) always run locally.
+	Exec func(kernel string, cfg machine.Config) (*stats.Stats, error)
+	mu   sync.Mutex
+	kernels map[string]*core.Compiled // cache, keyed by name+options
 }
 
 // NewSuite builds a suite; procs <= 0 selects the paper default (16).
@@ -151,8 +162,12 @@ func (s *Suite) cfg(scheme machine.Scheme) machine.Config {
 	return c
 }
 
-// run compiles (default options) and simulates one kernel under cfg.
+// run compiles (default options) and simulates one kernel under cfg —
+// or hands the point to the pluggable executor when one is set.
 func (s *Suite) run(name string, cfg machine.Config) (*stats.Stats, error) {
+	if s.Exec != nil {
+		return s.Exec(name, cfg)
+	}
 	opts := core.CompileOptions{
 		Interproc:      cfg.Interproc,
 		FirstReadReuse: cfg.FirstReadReuse,

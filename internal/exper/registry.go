@@ -1,0 +1,42 @@
+package exper
+
+// Entry binds an experiment id to its table builder.
+type Entry struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// Entries returns the full experiment registry in E-number order — the
+// single list both cmd/experiments (sequential, in-process) and
+// cmd/tpisweep (sharded across a tpiserved fleet via Suite.Exec) drive,
+// so the two paths can never disagree about what an experiment id means.
+func (s *Suite) Entries() []Entry {
+	return []Entry{
+		{"E1", s.E1StorageOverhead},
+		{"E2", s.E2Parameters},
+		{"E3", s.E3MissRates},
+		{"E4", s.E4MissClassification},
+		{"E5", s.E5NetworkTraffic},
+		{"E6", s.E6MissLatency},
+		{"E7", s.E7ExecutionTime},
+		{"E8", s.E8TimetagSensitivity},
+		{"E9", s.E9CacheSizeSweep},
+		{"E10", s.E10LineSizeSweep},
+		{"E11", s.E11ResetAblation},
+		{"E12", s.E12Scalability},
+		{"E13", s.E13CompilerAblations},
+		{"E14", s.E14LimitedPointers},
+		{"E15", s.E15ConsistencyModels},
+		{"E16", s.E16SchedulingPolicies},
+		{"E17", s.E17HSCDFamily},
+		{"E18", s.E18WritePolicies},
+		{"E19", s.E19OffTheShelf},
+		{"E20", s.E20Topologies},
+		{"E21", s.E21Toolchain},
+		{"E22", s.E22TagGranularity},
+		{"E23", s.E23Prefetch},
+		{"E24", s.E24ScalarPadding},
+		{"E25", s.E25TimeDecomposition},
+		{"E26", s.E26LargePMesh},
+	}
+}

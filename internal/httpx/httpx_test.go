@@ -1,0 +1,190 @@
+package httpx
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastOpts keeps test backoffs in the millisecond range.
+func fastOpts() Options {
+	return Options{
+		Timeout:     2 * time.Second,
+		Retries:     3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+	}
+}
+
+func TestRetryOn5xxThenSuccess(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, "busy", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer hs.Close()
+
+	c := New(fastOpts())
+	var out struct {
+		OK bool `json:"ok"`
+	}
+	if err := c.GetJSON(context.Background(), hs.URL, &out); err != nil {
+		t.Fatalf("GetJSON: %v", err)
+	}
+	if !out.OK {
+		t.Fatal("decoded body lost")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (2 retried 503s + success)", got)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"bad"}`, http.StatusBadRequest)
+	}))
+	defer hs.Close()
+
+	c := New(fastOpts())
+	status, body, err := c.Get(context.Background(), hs.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if status != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", status)
+	}
+	if len(body) == 0 {
+		t.Fatal("error body not preserved")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("server saw %d calls, want 1 (4xx must not retry)", got)
+	}
+}
+
+func TestRetriesExhaustedReturnsLastStatus(t *testing.T) {
+	var calls atomic.Int32
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	c := New(fastOpts())
+	status, _, err := c.Get(context.Background(), hs.URL)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if status != http.StatusInternalServerError {
+		t.Fatalf("status %d, want 500 after exhausting retries", status)
+	}
+	if got := calls.Load(); got != 4 {
+		t.Fatalf("server saw %d calls, want 4 (1 + 3 retries)", got)
+	}
+}
+
+func TestPostBodyReplayedOnRetry(t *testing.T) {
+	type payload struct {
+		Name string `json:"name"`
+	}
+	var calls atomic.Int32
+	var lastBody atomic.Value
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var p payload
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			t.Errorf("attempt %d: decode: %v", calls.Load(), err)
+		}
+		lastBody.Store(p.Name)
+		if calls.Add(1) <= 1 {
+			http.Error(w, "flaky", http.StatusBadGateway)
+			return
+		}
+		w.Write([]byte(`{}`))
+	}))
+	defer hs.Close()
+
+	c := New(fastOpts())
+	status, _, err := c.PostJSON(context.Background(), hs.URL, payload{Name: "ocean"})
+	if err != nil || status != http.StatusOK {
+		t.Fatalf("PostJSON: status %d err %v", status, err)
+	}
+	if got := lastBody.Load(); got != "ocean" {
+		t.Fatalf("retried attempt saw body %q, want %q", got, "ocean")
+	}
+}
+
+func TestConnectionErrorRetriesThenFails(t *testing.T) {
+	// A server that is immediately closed leaves a port that refuses
+	// connections — every attempt fails at the transport level.
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := hs.URL
+	hs.Close()
+
+	c := New(Options{Timeout: time.Second, Retries: 2, BackoffBase: time.Millisecond, BackoffMax: 2 * time.Millisecond})
+	if _, _, err := c.Get(context.Background(), url); err == nil {
+		t.Fatal("expected a transport error against a closed port")
+	}
+}
+
+func TestPerRequestDeadline(t *testing.T) {
+	block := make(chan struct{})
+	defer close(block)
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-block:
+		case <-r.Context().Done():
+		}
+	}))
+	defer hs.Close()
+
+	c := New(Options{Timeout: 50 * time.Millisecond, Retries: -1})
+	start := time.Now()
+	if _, _, err := c.Get(context.Background(), hs.URL); err == nil {
+		t.Fatal("expected a deadline error from a hung server")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("deadline took %v, want ~50ms", elapsed)
+	}
+}
+
+func TestContextCancelStopsBackoff(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer hs.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := New(Options{Timeout: time.Second, Retries: 3, BackoffBase: time.Hour, BackoffMax: time.Hour})
+	start := time.Now()
+	if _, _, err := c.Get(ctx, hs.URL); err == nil {
+		t.Fatal("expected a context error")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancelled backoff took %v", elapsed)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	c := New(Options{BackoffBase: 100 * time.Millisecond, BackoffMax: 2 * time.Second})
+	for attempt := 0; attempt < 8; attempt++ {
+		want := 100 * time.Millisecond << attempt
+		if want > 2*time.Second {
+			want = 2 * time.Second
+		}
+		for i := 0; i < 50; i++ {
+			d := c.backoff(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("attempt %d: backoff %v outside [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+}

@@ -86,6 +86,47 @@ type Snapshot struct {
 	Imbalance float64 `json:"imbalance"`
 }
 
+// Restore converts a snapshot back into the counter struct it was taken
+// from. Every Snapshot field is either a Stats counter (copied back
+// verbatim) or a rate derived from those counters (recomputed by the
+// Stats methods on demand), so restore is lossless:
+// sn.Restore().Snapshot() == sn for any snapshot a (*Stats).Snapshot
+// call produced. The distributed sweep path depends on this — a remote
+// worker's RunResult feeds the same experiment table builders that
+// consume local *Stats, and the rendered rows come out byte-identical.
+func (sn *Snapshot) Restore() *Stats {
+	return &Stats{
+		Scheme:                  sn.Scheme,
+		Reads:                   sn.Reads,
+		Writes:                  sn.Writes,
+		ReadHits:                sn.ReadHits,
+		WriteHits:               sn.WriteHits,
+		ReadMisses:              sn.ReadMisses.Array(),
+		WriteMisses:             sn.WriteMisses.Array(),
+		ReadTrafficWords:        sn.ReadTrafficWords,
+		WriteTrafficWords:       sn.WriteTrafficWords,
+		CoherenceTrafficWords:   sn.CoherenceTrafficWords,
+		CoherenceMsgs:           sn.CoherenceMsgs,
+		Invalidations:           sn.Invalidations,
+		MissLatencySum:          sn.MissLatencySum,
+		WriteMissLatencySum:     sn.WriteMissLatencySum,
+		TimetagResets:           sn.TimetagResets,
+		ResetInvalidations:      sn.ResetInvalidations,
+		WritesCoalesced:         sn.WritesCoalesced,
+		PointerEvictions:        sn.PointerEvictions,
+		FlushedWords:            sn.FlushedWords,
+		FlushStallCycles:        sn.FlushStallCycles,
+		PrefetchedLines:         sn.PrefetchedLines,
+		L1Hits:                  sn.L1Hits,
+		L1Misses:                sn.L1Misses,
+		TimeReadL1Invalidations: sn.TimeReadL1Invalidations,
+		Cycles:                  sn.Cycles,
+		BarrierCycles:           sn.BarrierCycles,
+		Epochs:                  sn.Epochs,
+		ProcBusy:                sn.ProcBusy,
+	}
+}
+
 // Snapshot converts the run's counters to the exported JSON schema.
 func (s *Stats) Snapshot() Snapshot {
 	return Snapshot{

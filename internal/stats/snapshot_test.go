@@ -1,0 +1,68 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// fillDistinct sets every settable field of a Stats to a distinct
+// non-zero value via reflection, so the round-trip test below fails the
+// moment a new counter is added to Stats without being carried through
+// Snapshot and Restore.
+func fillDistinct(s *Stats) {
+	v := reflect.ValueOf(s).Elem()
+	next := int64(3)
+	var walk func(v reflect.Value)
+	walk = func(v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Int64:
+			v.SetInt(next)
+			next += 7
+		case reflect.String:
+			v.SetString("TPI")
+		case reflect.Array:
+			for i := 0; i < v.Len(); i++ {
+				walk(v.Index(i))
+			}
+		case reflect.Slice:
+			v.Set(reflect.MakeSlice(v.Type(), 3, 3))
+			for i := 0; i < v.Len(); i++ {
+				walk(v.Index(i))
+			}
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				walk(v.Field(i))
+			}
+		}
+	}
+	walk(v)
+}
+
+// TestSnapshotRestoreRoundTrip pins the losslessness contract the
+// distributed sweep path relies on: Restore(Snapshot(s)) == s for every
+// counter field, and re-snapshotting reproduces the snapshot exactly
+// (derived rates recompute identically from identical counters).
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	var s Stats
+	fillDistinct(&s)
+
+	sn := s.Snapshot()
+	back := sn.Restore()
+	if !reflect.DeepEqual(&s, back) {
+		t.Fatalf("Restore lost counters:\n got %+v\nwant %+v", back, &s)
+	}
+	sn2 := back.Snapshot()
+	if !reflect.DeepEqual(sn, sn2) {
+		t.Fatalf("re-snapshot differs:\n got %+v\nwant %+v", sn2, sn)
+	}
+}
+
+// TestSnapshotRestoreZero: the zero snapshot restores to the zero stats
+// (no spurious allocations of ProcBusy).
+func TestSnapshotRestoreZero(t *testing.T) {
+	var sn Snapshot
+	back := sn.Restore()
+	if !reflect.DeepEqual(back, &Stats{}) {
+		t.Fatalf("zero snapshot restored to %+v", back)
+	}
+}

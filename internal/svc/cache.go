@@ -48,6 +48,24 @@ func (c *lruCache[V]) Get(key string) (V, bool) {
 	return e.val, true
 }
 
+// Peek returns the value for key, refreshing its recency but NOT the
+// hit/miss counters. The peer-cache endpoint serves probes from sibling
+// workers through it, so fleet traffic cannot distort the tier's
+// submission-path hit rate (which tpiload and the CI smoke assert on);
+// endpoint-level outcomes are counted separately in the telemetry
+// families.
+func (c *lruCache[V]) Peek(key string) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	c.moveToFront(e)
+	return e.val, true
+}
+
 // Put inserts or refreshes key, evicting the least-recently-used entry
 // when the cache is full.
 func (c *lruCache[V]) Put(key string, v V) {

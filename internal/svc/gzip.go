@@ -1,0 +1,45 @@
+package svc
+
+import (
+	"compress/gzip"
+	"net/http"
+	"strings"
+)
+
+// gzipMinBytes is the smallest body worth compressing: below this the
+// gzip header plus CPU outweighs the wire savings, and a short status
+// poll stays a single small frame either way.
+const gzipMinBytes = 1024
+
+// acceptsGzip reports whether the request advertises gzip support. A
+// bare token match is enough here — clients that send q=0 to refuse an
+// encoding are not a population this fleet-internal API serves.
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if enc == "gzip" {
+			return true
+		}
+	}
+	return false
+}
+
+// writeBodyMaybeGzip writes body with the given status and content
+// type, gzip-compressing when the client accepts it and the body is
+// large enough to benefit. Vary: Accept-Encoding is always set on the
+// eligible endpoints so any intermediary caches split correctly.
+func writeBodyMaybeGzip(w http.ResponseWriter, r *http.Request, code int, contentType string, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", contentType)
+	h.Add("Vary", "Accept-Encoding")
+	if !acceptsGzip(r) || len(body) < gzipMinBytes {
+		w.WriteHeader(code)
+		w.Write(body)
+		return
+	}
+	h.Set("Content-Encoding", "gzip")
+	w.WriteHeader(code)
+	gz := gzip.NewWriter(w)
+	gz.Write(body)
+	gz.Close()
+}

@@ -1,0 +1,122 @@
+// Peer-fetch layer on the content-addressed result cache. Every worker
+// already serves its cached RunResult bytes on GET /v1/cache/{key}
+// (see http.go); this file is the other half — before simulating a
+// local miss, the server probes its configured siblings for the same
+// content address and adopts a hit into its own cache. Because the key
+// is a sha256 over the complete simulation identity (program source,
+// compile options, canonical config, obs level), an adopted body is
+// byte-identical to what the local simulation would have produced, so
+// peer serving preserves the service's result-fidelity contract.
+//
+// Probes are strictly best-effort and sequential: each peer gets one
+// request bounded by Options.PeerTimeout, a miss or any error falls
+// through to the next peer, and exhausting the list falls back to local
+// simulation. Bodies that fail validation (truncated transfer, a
+// confused proxy, a peer running different code) are discarded rather
+// than cached.
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Peer-probe outcome labels for tpiserved_peer_cache_requests_total.
+const (
+	peerHit     = "hit"
+	peerMiss    = "miss"
+	peerError   = "error"
+	peerInvalid = "invalid"
+)
+
+// SetPeers replaces the sibling list. URLs are normalized (trailing
+// slashes stripped) and must be absolute http(s) URLs; the first bad
+// one fails the whole update so a typo cannot silently shrink the
+// fleet. Safe to call at runtime (PUT /v1/peers).
+func (s *Server) SetPeers(peers []string) error {
+	norm := make([]string, 0, len(peers))
+	for _, p := range peers {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p == "" {
+			continue
+		}
+		u, err := url.Parse(p)
+		if err != nil {
+			return fmt.Errorf("svc: peer %q: %w", p, err)
+		}
+		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("svc: peer %q: want an absolute http(s) URL", p)
+		}
+		norm = append(norm, p)
+	}
+	s.mu.Lock()
+	s.peers = norm
+	s.mu.Unlock()
+	return nil
+}
+
+// Peers returns a copy of the current sibling list.
+func (s *Server) Peers() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.peers...)
+}
+
+// fetchFromPeers probes each sibling for res's content address and
+// returns the first valid body plus the peer that served it. ok=false
+// means every peer missed, erred, or the list is empty — simulate
+// locally.
+func (s *Server) fetchFromPeers(ctx context.Context, res *resolved) (body []byte, peer string, ok bool) {
+	peers := s.Peers()
+	if len(peers) == 0 {
+		return nil, "", false
+	}
+	for _, p := range peers {
+		if ctx.Err() != nil {
+			return nil, "", false // job cancelled or timed out; stop probing
+		}
+		b, outcome := s.fetchPeer(ctx, p, res)
+		s.tel.peerRequests.With(outcome).Inc()
+		if outcome == peerHit {
+			return b, p, true
+		}
+	}
+	return nil, "", false
+}
+
+// fetchPeer issues one bounded probe and classifies the outcome. A 200
+// body must unmarshal to a core.RunResult whose scheme and processor
+// count match the request — a cheap sanity check that catches corrupt
+// or mismatched payloads without re-deriving the full key.
+func (s *Server) fetchPeer(ctx context.Context, peer string, res *resolved) ([]byte, string) {
+	pctx, cancel := context.WithTimeout(ctx, s.opts.PeerTimeout)
+	defer cancel()
+	status, b, err := s.opts.PeerClient.Get(pctx, peer+"/v1/cache/"+res.resultKey)
+	switch {
+	case err != nil:
+		s.log.Debug("peer probe failed", "peer", peer, "error", err.Error())
+		return nil, peerError
+	case status == 404:
+		return nil, peerMiss
+	case status != 200:
+		s.log.Debug("peer probe rejected", "peer", peer, "status", status)
+		return nil, peerError
+	}
+	var rr core.RunResult
+	if err := json.Unmarshal(b, &rr); err != nil {
+		s.log.Warn("peer returned undecodable result", "peer", peer, "error", err.Error())
+		return nil, peerInvalid
+	}
+	if rr.Scheme != res.cfg.Scheme.String() || rr.Procs != res.cfg.Procs {
+		s.log.Warn("peer returned mismatched result", "peer", peer,
+			"wantScheme", res.cfg.Scheme.String(), "gotScheme", rr.Scheme,
+			"wantProcs", res.cfg.Procs, "gotProcs", rr.Procs)
+		return nil, peerInvalid
+	}
+	return b, peerHit
+}

@@ -1,0 +1,283 @@
+package svc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// cacheGet fetches /v1/cache/{key} with optional extra headers and
+// returns the status, headers, and raw (undecoded) body.
+func rawGet(t *testing.T, url string, headers map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range headers {
+		req.Header.Set(k, v)
+	}
+	// DisableCompression keeps the transport from injecting its own
+	// Accept-Encoding and transparently gunzipping — the tests need to
+	// see the bytes on the wire.
+	client := &http.Client{Transport: &http.Transport{DisableCompression: true}}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func TestCacheEndpoint(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 2})
+	req := RunRequest{Kernel: "ocean", Scheme: "TPI"}
+	code, st := postRun(t, hs, req)
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("seed run: HTTP %d state %s error %q", code, st.State, st.Error)
+	}
+	key, err := RequestKey(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, body := rawGet(t, hs.URL+"/v1/cache/"+key, nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cache hit: HTTP %d", resp.StatusCode)
+	}
+	if !bytes.Equal(body, []byte(st.Result)) {
+		t.Fatalf("cache body differs from job result:\n%s\nvs\n%s", body, st.Result)
+	}
+
+	missKey := strings.Repeat("0", 64)
+	if resp, _ := rawGet(t, hs.URL+"/v1/cache/"+missKey, nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cache miss: HTTP %d, want 404", resp.StatusCode)
+	}
+	for _, bad := range []string{"short", strings.Repeat("0", 63) + "G", strings.Repeat("Z", 64)} {
+		if resp, _ := rawGet(t, hs.URL+"/v1/cache/"+bad, nil); resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("bad key %q: HTTP %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestCacheEndpointDoesNotCountTierStats pins the Peek contract: fleet
+// probes must not move the result tier's hit/miss counters, which
+// tpiload and the CI smoke assert on.
+func TestCacheEndpointDoesNotCountTierStats(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1})
+	req := RunRequest{Kernel: "trfd", Scheme: "TPI"}
+	if code, st := postRun(t, hs, req); code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("seed run: HTTP %d state %s", code, st.State)
+	}
+	key, err := RequestKey(&req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := s.resultCache.Stats()
+	rawGet(t, hs.URL+"/v1/cache/"+key, nil)                     // hit
+	rawGet(t, hs.URL+"/v1/cache/"+strings.Repeat("a", 64), nil) // miss
+	after := s.resultCache.Stats()
+	if after.Hits != before.Hits || after.Misses != before.Misses {
+		t.Fatalf("peer endpoint moved tier stats: before %+v after %+v", before, after)
+	}
+}
+
+func TestGzipResponses(t *testing.T) {
+	_, hs := newTestServer(t, Options{Workers: 2})
+	req := RunRequest{Kernel: "ocean", Scheme: "TPI", Obs: "counters", Async: true}
+	code, st := postRun(t, hs, req)
+	if code != http.StatusAccepted && code != http.StatusOK {
+		t.Fatalf("submit: HTTP %d", code)
+	}
+	// Wait for completion so GET returns the (large) result body.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, _ := rawGet(t, hs.URL+"/v1/runs/"+st.ID, nil)
+		if resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, plain := rawGet(t, hs.URL+"/v1/runs/"+st.ID, nil)
+	if enc := resp.Header.Get("Content-Encoding"); enc != "" {
+		t.Fatalf("identity request got Content-Encoding %q", enc)
+	}
+	if len(plain) < gzipMinBytes {
+		t.Fatalf("test body too small to exercise gzip: %d bytes", len(plain))
+	}
+
+	resp, wire := rawGet(t, hs.URL+"/v1/runs/"+st.ID, map[string]string{"Accept-Encoding": "gzip"})
+	if enc := resp.Header.Get("Content-Encoding"); enc != "gzip" {
+		t.Fatalf("gzip request got Content-Encoding %q", enc)
+	}
+	if !strings.Contains(strings.Join(resp.Header.Values("Vary"), ","), "Accept-Encoding") {
+		t.Fatalf("gzip response missing Vary: Accept-Encoding (got %v)", resp.Header.Values("Vary"))
+	}
+	if len(wire) >= len(plain) {
+		t.Fatalf("gzip did not shrink the body: %d vs %d", len(wire), len(plain))
+	}
+	gz, err := gzip.NewReader(bytes.NewReader(wire))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, plain) {
+		t.Fatal("gzip body does not round-trip to the identity body")
+	}
+
+	// The standard Go client decompresses transparently — the path the
+	// sweep coordinator and tpiload actually take.
+	httpResp, err := http.Get(hs.URL + "/v1/runs/" + st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	auto, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(auto, plain) {
+		t.Fatal("transparent decompression does not match identity body")
+	}
+}
+
+// TestPeerFetch is the fleet cache-sharing path: worker B, peered with
+// worker A, serves a request A has already simulated without running
+// the simulation itself — and the adopted body is byte-identical.
+func TestPeerFetch(t *testing.T) {
+	_, hsA := newTestServer(t, Options{Workers: 2})
+	req := RunRequest{Kernel: "ocean", Scheme: "TPI"}
+	code, stA := postRun(t, hsA, req)
+	if code != http.StatusOK || stA.State != StateDone {
+		t.Fatalf("seed run on A: HTTP %d state %s", code, stA.State)
+	}
+
+	sB, hsB := newTestServer(t, Options{Workers: 2, Peers: []string{hsA.URL}})
+	code, stB := postRun(t, hsB, req)
+	if code != http.StatusOK || stB.State != StateDone {
+		t.Fatalf("run on B: HTTP %d state %s error %q", code, stB.State, stB.Error)
+	}
+	if !stB.Peer || !stB.Cached {
+		t.Fatalf("expected peer-served job, got peer=%v cached=%v", stB.Peer, stB.Cached)
+	}
+	if !bytes.Equal(stB.Result, stA.Result) {
+		t.Fatal("peer-served result differs from origin result")
+	}
+	m := sB.MetricsSnapshot()
+	if m.Jobs.Simulated != 0 {
+		t.Fatalf("B simulated %d jobs, want 0", m.Jobs.Simulated)
+	}
+	if m.Jobs.PeerServed != 1 {
+		t.Fatalf("B peerServed = %d, want 1", m.Jobs.PeerServed)
+	}
+
+	// Resubmitting on B now hits B's own result cache — the adoption
+	// populated it.
+	code, stB2 := postRun(t, hsB, req)
+	if code != http.StatusOK || !stB2.Cached || stB2.Peer {
+		t.Fatalf("resubmit on B: HTTP %d cached=%v peer=%v (want local cache hit)", code, stB2.Cached, stB2.Peer)
+	}
+}
+
+// TestPeerFallback covers every way a probe can fail — dead peer, slow
+// peer, garbage payload, plain miss — and requires the job to complete
+// by local simulation regardless.
+func TestPeerFallback(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(2 * time.Second)
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer slow.Close()
+	garbage := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "this is not a RunResult")
+	}))
+	defer garbage.Close()
+	missing := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusNotFound)
+	}))
+	defer missing.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // connection refused from here on
+
+	s, hs := newTestServer(t, Options{
+		Workers:     2,
+		Peers:       []string{dead.URL, slow.URL, garbage.URL, missing.URL},
+		PeerTimeout: 100 * time.Millisecond,
+	})
+	req := RunRequest{Kernel: "ocean", Scheme: "TPI"}
+	code, st := postRun(t, hs, req)
+	if code != http.StatusOK || st.State != StateDone {
+		t.Fatalf("run with broken peers: HTTP %d state %s error %q", code, st.State, st.Error)
+	}
+	if st.Peer || st.Cached {
+		t.Fatalf("job should have simulated locally, got peer=%v cached=%v", st.Peer, st.Cached)
+	}
+	m := s.MetricsSnapshot()
+	if m.Jobs.Simulated != 1 || m.Jobs.PeerServed != 0 {
+		t.Fatalf("counters: simulated=%d peerServed=%d, want 1/0", m.Jobs.Simulated, m.Jobs.PeerServed)
+	}
+}
+
+func TestPeersAPI(t *testing.T) {
+	s, hs := newTestServer(t, Options{Workers: 1})
+
+	put := func(body string) *http.Response {
+		req, err := http.NewRequest(http.MethodPut, hs.URL+"/v1/peers", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := put(`{"peers":["http://h1:8080/","https://h2:8443"]}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT peers: HTTP %d", resp.StatusCode)
+	}
+	want := []string{"http://h1:8080", "https://h2:8443"}
+	got := s.Peers()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("peers after PUT: %v, want %v", got, want)
+	}
+
+	resp, body := rawGet(t, hs.URL+"/v1/peers", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET peers: HTTP %d", resp.StatusCode)
+	}
+	var doc peersDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Peers) != 2 || doc.Peers[0] != want[0] {
+		t.Fatalf("GET peers body: %v", doc.Peers)
+	}
+
+	// A bad URL rejects the whole update and leaves the list untouched.
+	if resp := put(`{"peers":["not a url at all","http://ok:1"]}`); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT invalid peers: HTTP %d, want 400", resp.StatusCode)
+	}
+	if got := s.Peers(); len(got) != 2 || got[0] != want[0] {
+		t.Fatalf("peers changed after rejected PUT: %v", got)
+	}
+}

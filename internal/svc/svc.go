@@ -168,6 +168,19 @@ func resolve(req *RunRequest) (*resolved, error) {
 	return r, nil
 }
 
+// RequestKey resolves a request to its content-addressed result key:
+// the hex sha256 the server caches the marshaled RunResult under and
+// serves raw on GET /v1/cache/{key}. Sweep coordinators use it to probe
+// fleet caches (or dedupe grid points) without submitting work. The
+// request is fully validated on the way.
+func RequestKey(req *RunRequest) (string, error) {
+	res, err := resolve(req)
+	if err != nil {
+		return "", err
+	}
+	return res.resultKey, nil
+}
+
 // Job states.
 const (
 	StateQueued    = "queued"
@@ -183,9 +196,13 @@ type JobStatus struct {
 	State   string `json:"state"`
 	Program string `json:"program"`
 	Scheme  string `json:"scheme"`
-	// Cached means the result was served from the result cache without
-	// queueing a simulation.
+	// Cached means the result was served from the result cache (local or
+	// a peer's) without running a simulation.
 	Cached bool `json:"cached,omitempty"`
+	// Peer means the cached result was fetched from a sibling worker's
+	// content-addressed cache (GET /v1/cache/{key}) instead of simulated
+	// locally; Cached is also set.
+	Peer bool `json:"peer,omitempty"`
 	// Deduped means this submission was collapsed onto an already
 	// in-flight identical job (whose id it shares).
 	Deduped bool    `json:"deduped,omitempty"`
@@ -213,6 +230,7 @@ type job struct {
 	err      error
 	result   []byte
 	cached   bool
+	peer     bool
 	started  time.Time
 	finished time.Time
 	done     chan struct{}
@@ -309,6 +327,7 @@ func (j *job) statusLocked(deduped bool) JobStatus {
 		Program: j.res.program,
 		Scheme:  j.res.cfg.Scheme.String(),
 		Cached:  j.cached,
+		Peer:    j.peer,
 		Deduped: deduped,
 		Result:  j.result,
 	}

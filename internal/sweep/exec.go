@@ -1,0 +1,101 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+	"repro/internal/stats"
+	"repro/internal/svc"
+)
+
+// RunOne submits a single request to the fleet and waits for its
+// terminal status, rotating across live workers with failover: a
+// retryable failure (dead worker, 5xx, timeout) moves to the next
+// worker, up to MaxAttempts. Concurrent callers share the coordinator's
+// in-flight bound (len(Workers)*Window), so a parallel table build
+// cannot flood the fleet.
+func (c *Coordinator) RunOne(ctx context.Context, req *svc.RunRequest) (*svc.JobStatus, error) {
+	select {
+	case c.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	defer func() { <-c.sem }()
+
+	var lastErr error
+	for attempt := 0; attempt < c.opts.MaxAttempts; attempt++ {
+		w := c.nextWorker()
+		if w == nil {
+			return nil, fmt.Errorf("sweep: every worker is dead")
+		}
+		st, retryable, err := c.submit(ctx, w, req)
+		if err == nil {
+			c.workerOK(w)
+			return st, nil
+		}
+		if !retryable {
+			c.workerOK(w)
+			return nil, err
+		}
+		c.workerFailed(w)
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+		sleepCtx(ctx, c.backoff(w))
+	}
+	return nil, fmt.Errorf("sweep: giving up after %d attempts: %w", c.opts.MaxAttempts, lastErr)
+}
+
+// nextWorker returns the next live worker round-robin, or nil when the
+// whole fleet is dead.
+func (c *Coordinator) nextWorker() *worker {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for range c.workers {
+		w := c.workers[c.rr%len(c.workers)]
+		c.rr++
+		if !w.dead {
+			return w
+		}
+	}
+	return nil
+}
+
+// ExperExec adapts the coordinator to exper.Suite.Exec: each
+// named-kernel point a table builder runs becomes one fleet submission,
+// and the returned stats are the remote run's counters restored
+// losslessly — so the rendered table is byte-identical to a local
+// sequential run. p must be the suite's bench.Params (it sizes the
+// kernel source the worker compiles).
+//
+//	s := exper.NewSuite(p, procs)
+//	s.Exec = coord.ExperExec(ctx, p)
+func (c *Coordinator) ExperExec(ctx context.Context, p bench.Params) func(kernel string, cfg machine.Config) (*stats.Stats, error) {
+	return func(kernel string, cfg machine.Config) (*stats.Stats, error) {
+		raw, err := json.Marshal(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: marshal config: %w", err)
+		}
+		req := &svc.RunRequest{
+			Kernel: kernel,
+			N:      p.N,
+			Steps:  p.Steps,
+			Scheme: cfg.Scheme.String(),
+			Config: raw,
+		}
+		st, err := c.RunOne(ctx, req)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %s/%s: %w", kernel, cfg.Scheme, err)
+		}
+		var rr core.RunResult
+		if err := json.Unmarshal(st.Result, &rr); err != nil {
+			return nil, fmt.Errorf("sweep: %s/%s: decode result: %w", kernel, cfg.Scheme, err)
+		}
+		return rr.Stats.Restore(), nil
+	}
+}

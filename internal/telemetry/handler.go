@@ -1,0 +1,14 @@
+package telemetry
+
+import "net/http"
+
+// Handler returns an http.Handler serving the registry in Prometheus
+// text exposition format — the one-liner auxiliary listeners (tpiserved
+// -debug-addr, tpisweep -metrics-addr) mount instead of hand-writing
+// the header dance.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", ContentType)
+		r.WritePrometheus(w)
+	})
+}
