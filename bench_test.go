@@ -298,7 +298,7 @@ func BenchmarkSimHotLoop(b *testing.B) {
 }
 
 // BenchmarkStreamFastPath measures the affine reference-stream fast
-// path: fastpath on/off across every scheme (all five plus two-level
+// path: fastpath on/off across every scheme (all seven plus two-level
 // TPI implement stream cursors) at 16 and 64 simulated processors, on
 // two workload shapes — ocean (mixed: stencil sweeps plus
 // critical-section reductions, so a fraction of references never
@@ -318,6 +318,8 @@ func BenchmarkStreamFastPath(b *testing.B) {
 		{"TPI2L", machine.SchemeTPI, 1024},
 		{"HW", machine.SchemeHW, 0},
 		{"VC", machine.SchemeVC, 0},
+		{"TARDIS", machine.SchemeTardis, 0},
+		{"TARDIS2", machine.SchemeTardis2, 0},
 	}
 	for _, kn := range []string{"ocean", "trfd"} {
 		k, err := bench.Get(kn, bench.Params{N: 48, Steps: 2})
@@ -403,8 +405,8 @@ func BenchmarkHostParallel(b *testing.B) {
 
 // BenchmarkLargeP measures the large-machine regime the clustered mesh
 // model targets: ocean on a mesh of 256 to 4096 simulated processors
-// under the hardware directory and two-level TPI, with host parallelism
-// fixed at 8 workers. The refs/run metric makes runs comparable across
+// under the hardware directory, two-level TPI, and Tardis 2.0, with
+// host parallelism fixed at 8 workers. The refs/run metric makes runs comparable across
 // P (the kernel, and so the reference stream, is the same size at every
 // P — only the machine grows); allocs/op is the lazy per-processor
 // state working: idle processors past the kernel's parallelism must not
@@ -425,6 +427,7 @@ func BenchmarkLargeP(b *testing.B) {
 	}{
 		{"HW", machine.SchemeHW, 0},
 		{"TPI2L", machine.SchemeTPI, 1024},
+		{"TARDIS2", machine.SchemeTardis2, 0},
 	}
 	for _, v := range variants {
 		for _, procs := range []int{256, 1024, 4096} {

@@ -5,7 +5,11 @@
 // plus a Prometheus scrape endpoint on GET /metrics. With -peers, the
 // daemon joins a fleet: every worker serves its result cache on
 // GET /v1/cache/{key} and probes its siblings for a content-address hit
-// before simulating a miss locally (see docs/SERVICE.md).
+// before simulating a miss locally (see docs/SERVICE.md). With
+// -advertise and -join the fleet wires itself: the daemon registers its
+// advertised URL with the listed seeds over PUT /v1/peers, adopts
+// whatever siblings the seeds already know, and repeats every
+// -reannounce so seed restarts heal without a coordinator.
 //
 // Usage:
 //
@@ -55,10 +59,18 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "optional second listener with net/http/pprof and /metrics (e.g. localhost:8178)")
 	peers := flag.String("peers", "", "comma-separated sibling base URLs whose caches are probed before simulating (e.g. http://host1:8177,http://host2:8177); updatable at runtime via PUT /v1/peers")
 	peerTimeout := flag.Duration("peer-timeout", 2*time.Second, "per-probe deadline for peer cache fetches")
+	advertise := flag.String("advertise", "", "base URL other fleet members can reach this daemon at (e.g. http://host1:8177); required by -join")
+	join := flag.String("join", "", "comma-separated fleet members to self-register with on startup (requires -advertise)")
+	reannounce := flag.Duration("reannounce", time.Minute, "how often to repeat the -join registration, healing seed restarts")
 	flag.Parse()
 	if flag.NArg() != 0 {
 		fmt.Fprintf(os.Stderr, "tpiserved: unexpected argument %q\n", flag.Arg(0))
 		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	if *join != "" && *advertise == "" {
+		fmt.Fprintln(os.Stderr, "tpiserved: -join requires -advertise (the URL peers register for this daemon)")
 		os.Exit(2)
 	}
 
@@ -108,6 +120,19 @@ func main() {
 		logger.Info("debug listener up", "addr", *debugAddr)
 	}
 
+	annCtx, annCancel := context.WithCancel(context.Background())
+	defer annCancel()
+	if *join != "" {
+		ann := &svc.Announcer{
+			Self:   *advertise,
+			Seeds:  strings.Split(*join, ","),
+			Server: s,
+			Log:    logger,
+		}
+		go ann.Run(annCtx, *reannounce)
+		logger.Info("fleet self-registration on", "advertise", *advertise, "join", *join, "reannounce", reannounce.String())
+	}
+
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	logger.Info("serving", "addr", *addr, "workers", *workers, "queue", *queue)
@@ -119,6 +144,7 @@ func main() {
 	case sig := <-sigc:
 		logger.Info("signal received, draining", "signal", sig.String(), "timeout", drainTimeout.String())
 	}
+	annCancel() // stop re-announcing before the listener goes away
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

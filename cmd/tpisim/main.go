@@ -28,7 +28,7 @@ import (
 
 func main() {
 	benchName := flag.String("bench", "", "built-in kernel (spec77 ocean flo52 qcd2 trfd arc2d)")
-	schemeName := flag.String("scheme", "TPI", "coherence scheme: BASE, SC, TPI, HW, VC, or all")
+	schemeName := flag.String("scheme", "TPI", "coherence scheme: BASE, SC, TPI, HW, VC, TARDIS, TARDIS2, or all")
 	procs := flag.Int("procs", 16, "number of processors")
 	n := flag.Int("n", 32, "benchmark grid size")
 	steps := flag.Int("steps", 2, "benchmark time steps")

@@ -29,6 +29,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/swschemes"
+	"repro/internal/tardis"
 	"repro/internal/tpi"
 	"repro/internal/vc"
 
@@ -160,6 +161,8 @@ func NewSystem(cfg machine.Config, p *prog.Prog) (memsys.System, error) {
 		return hwdir.New(cfg, p.MemWords), nil
 	case machine.SchemeVC:
 		return vc.New(cfg, p), nil
+	case machine.SchemeTardis, machine.SchemeTardis2:
+		return tardis.New(cfg, p.MemWords), nil
 	default:
 		return nil, fmt.Errorf("core: unknown scheme %v", cfg.Scheme)
 	}
@@ -246,13 +249,26 @@ func runSystem(c *Compiled, cfg machine.Config, opts RunOptions) (*stats.Stats, 
 		releaseSystem(sys)
 		return nil, nil, err
 	}
-	if hw, ok := sys.(*hwdir.System); ok {
-		if err := hw.CheckInvariants(); err != nil {
-			releaseSystem(sys)
-			return nil, nil, err
-		}
+	if err := checkInvariants(sys); err != nil {
+		releaseSystem(sys)
+		return nil, nil, err
 	}
 	return st, sys, nil
+}
+
+// invariantChecked is implemented by schemes with end-of-run protocol
+// invariants (the HW directory's sharer-set consistency, the Tardis home
+// timestamp ordering).
+type invariantChecked interface {
+	CheckInvariants() error
+}
+
+// checkInvariants runs a scheme's protocol invariant check, if it has one.
+func checkInvariants(sys memsys.System) error {
+	if c, ok := sys.(invariantChecked); ok {
+		return c.CheckInvariants()
+	}
+	return nil
 }
 
 // releaseSystem returns a run's per-processor cache structures to their
@@ -304,11 +320,9 @@ func RunFastPathAudit(c *Compiled, cfg machine.Config) (*stats.Stats, *FastPathS
 		releaseSystem(sys)
 		return nil, nil, err
 	}
-	if hw, ok := sys.(*hwdir.System); ok {
-		if err := hw.CheckInvariants(); err != nil {
-			releaseSystem(sys)
-			return nil, nil, err
-		}
+	if err := checkInvariants(sys); err != nil {
+		releaseSystem(sys)
+		return nil, nil, err
 	}
 	releaseSystem(sys)
 	return st, &FastPathStatus{StreamDiags: lp.StreamDiags(), Misses: r.FastPathMisses()}, nil

@@ -87,7 +87,10 @@ func TestMidRunFaultReleasesPooledState(t *testing.T) {
 func TestLanePoolFreshness(t *testing.T) {
 	good := compileT(t, stencilSrc)
 	bad := compileT(t, faultySrc)
-	buffered := []machine.Scheme{machine.SchemeHW, machine.SchemeVC}
+	buffered := []machine.Scheme{
+		machine.SchemeHW, machine.SchemeVC,
+		machine.SchemeTardis, machine.SchemeTardis2,
+	}
 
 	for _, s := range buffered {
 		s := s

@@ -164,12 +164,13 @@ func TestAllExperimentsRun(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full experiment sweep")
 	}
-	tabs, err := smallSuite().All()
+	s := smallSuite()
+	tabs, err := s.All()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tabs) != 26 {
-		t.Fatalf("%d tables, want 26", len(tabs))
+	if want := len(s.Entries()); len(tabs) != want {
+		t.Fatalf("%d tables, want %d (the registry)", len(tabs), want)
 	}
 	for _, tab := range tabs {
 		if len(tab.Rows) == 0 {

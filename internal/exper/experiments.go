@@ -60,16 +60,23 @@ func (s *Suite) E2Parameters() (*Table, error) {
 }
 
 // E3MissRates reproduces Figure 11: miss rates per scheme per benchmark.
+// The columns come from the shared scheme registry, so every scheme
+// family — the paper's four, VC, and the Tardis timestamp pair — lands
+// in the table the moment it is registered.
 func (s *Suite) E3MissRates() (*Table, error) {
+	cols := []string{"benchmark"}
+	for _, scheme := range machine.AllSchemes {
+		cols = append(cols, scheme.String())
+	}
 	t := &Table{
 		ID:      "E3/Fig11",
 		Title:   "read miss rates by scheme",
-		Columns: []string{"benchmark", "BASE", "SC", "TPI", "HW"},
-		Notes:   "TPI comparable to HW; both far below SC and BASE",
+		Columns: cols,
+		Notes:   "TPI comparable to HW, both far below SC and BASE; Tardis sits between — leases expire at epoch grain, so it renews where TPI's static windows hit",
 	}
 	rows, err := forEach(kernelNames(), func(name string) ([][]string, error) {
 		row := []string{name}
-		for _, scheme := range machine.Schemes {
+		for _, scheme := range machine.AllSchemes {
 			st, err := s.run(name, s.cfg(scheme))
 			if err != nil {
 				return nil, fmt.Errorf("%s/%s: %w", name, scheme, err)
@@ -92,11 +99,14 @@ func (s *Suite) E4MissClassification() (*Table, error) {
 	t := &Table{
 		ID:      "E4",
 		Title:   "miss classification (per 1000 reads)",
-		Columns: []string{"benchmark", "scheme", "cold", "replace", "true-shr", "false-shr", "conserv", "bypass"},
-		Notes:   "HW pays false-sharing misses where TPI pays conservative misses",
+		Columns: []string{"benchmark", "scheme", "cold", "replace", "true-shr", "false-shr", "conserv", "lease-exp", "bypass"},
+		Notes:   "HW pays false-sharing misses where TPI pays conservative misses; Tardis pays lease-expired renewals — same unnecessary-miss role, different mechanism (timestamp expiry vs compiler window)",
 	}
 	for _, name := range kernelNames() {
-		for _, scheme := range []machine.Scheme{machine.SchemeTPI, machine.SchemeHW} {
+		for _, scheme := range []machine.Scheme{
+			machine.SchemeTPI, machine.SchemeHW,
+			machine.SchemeTardis, machine.SchemeTardis2,
+		} {
 			st, err := s.run(name, s.cfg(scheme))
 			if err != nil {
 				return nil, err
@@ -107,7 +117,8 @@ func (s *Suite) E4MissClassification() (*Table, error) {
 			t.Rows = append(t.Rows, []string{
 				name, scheme.String(),
 				per(stats.MissCold), per(stats.MissReplace), per(stats.MissTrueSharing),
-				per(stats.MissFalseSharing), per(stats.MissConservative), per(stats.MissBypass),
+				per(stats.MissFalseSharing), per(stats.MissConservative),
+				per(stats.MissLeaseExpired), per(stats.MissBypass),
 			})
 		}
 	}
@@ -438,6 +449,7 @@ func (s *Suite) All() ([]*Table, error) {
 		s.E24ScalarPadding,
 		s.E25TimeDecomposition,
 		s.E26LargePMesh,
+		s.E27LeaseSensitivity,
 	}
 	var out []*Table
 	for _, f := range funcs {

@@ -504,3 +504,55 @@ func (s *Suite) E26LargePMesh() (*Table, error) {
 	t.Rows = rows
 	return t, nil
 }
+
+// E27LeaseSensitivity is the Tardis analog of E8's timetag sweep: how
+// the Tardis variants respond to the base lease length. Short leases
+// expire every copy almost immediately — the renewal machinery (and,
+// under TARDIS2, the lease predictor) has to win the locality back —
+// while long leases approach invalidation-free sharing at the price of
+// writes having to jump further past outstanding leases. The renewal
+// and exclusive-grant columns expose the Tardis 2.0 knobs directly:
+// TARDIS2's predicted leases and silent stores should shed renewals and
+// coherence words as the base lease shrinks.
+func (s *Suite) E27LeaseSensitivity() (*Table, error) {
+	t := &Table{
+		ID:      "E27",
+		Title:   "Tardis sensitivity to lease length",
+		Columns: []string{"benchmark", "lease", "scheme", "missrate", "lease-exp/1k", "renewals/1k", "excl-grants", "coh w/ref"},
+		Notes:   "short leases force renewals the way narrow timetags force resets in E8; prediction (TARDIS2) recovers most of the loss",
+	}
+	type point struct {
+		name   string
+		lease  int64
+		scheme machine.Scheme
+	}
+	var points []point
+	for _, name := range []string{"ocean", "spec77", "trfd"} {
+		for _, lease := range []int64{1, 2, 4, 8, 16, 32} {
+			for _, scheme := range []machine.Scheme{machine.SchemeTardis, machine.SchemeTardis2} {
+				points = append(points, point{name, lease, scheme})
+			}
+		}
+	}
+	rows, err := forEach(points, func(pt point) ([][]string, error) {
+		cfg := s.cfg(pt.scheme)
+		cfg.LeaseEpochs = pt.lease
+		st, err := s.run(pt.name, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s/%s/lease%d: %w", pt.name, pt.scheme, pt.lease, err)
+		}
+		return [][]string{{
+			pt.name, d(pt.lease), pt.scheme.String(),
+			pct(st.MissRate()),
+			f3(1000 * float64(st.ReadMisses[stats.MissLeaseExpired]) / float64(st.Reads)),
+			f3(1000 * float64(st.LeaseRenewals) / float64(st.Reads)),
+			d(st.ExclusiveGrants),
+			f3(float64(st.CoherenceTrafficWords) / float64(st.Reads)),
+		}}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = rows
+	return t, nil
+}

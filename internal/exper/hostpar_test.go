@@ -23,8 +23,8 @@ type schemeVariant struct {
 }
 
 // allVariants covers every sharded, stream-capable memory system: all
-// five schemes plus two-level TPI. Only the sequential oracle is absent
-// — it opts out of both fast paths by design.
+// six scheme families plus two-level TPI. Only the sequential oracle is
+// absent — it opts out of both fast paths by design.
 var allVariants = []schemeVariant{
 	{"BASE", machine.SchemeBase, 0},
 	{"SC", machine.SchemeSC, 0},
@@ -32,6 +32,8 @@ var allVariants = []schemeVariant{
 	{"TPI2L", machine.SchemeTPI, 64},
 	{"HW", machine.SchemeHW, 0},
 	{"VC", machine.SchemeVC, 0},
+	{"TARDIS", machine.SchemeTardis, 0},
+	{"TARDIS2", machine.SchemeTardis2, 0},
 }
 
 // TestHostParallelEquivalence is the tentpole's oracle: for every kernel

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/directory"
 	"repro/internal/machine"
+	"repro/internal/tardis"
 )
 
 // TestWidePresenceBitIdentical proves the two presence-set
@@ -84,10 +85,82 @@ func TestWidePresenceBitIdentical(t *testing.T) {
 	}
 }
 
+// TestWideTimestampsBitIdentical is the Tardis analog of the presence
+// test above: the packed and wide home timestamp tables must be
+// observationally identical. P = 96 puts the run past the P > 64 cliff
+// where the HW presence sets also go multi-word, so the sweep exercises
+// both two-tier representations at once on the Tardis variants.
+func TestWideTimestampsBitIdentical(t *testing.T) {
+	variants := []schemeVariant{
+		{"TARDIS", machine.SchemeTardis, 0},
+		{"TARDIS2", machine.SchemeTardis2, 0},
+	}
+	type point struct {
+		idx     int
+		kernel  string
+		variant schemeVariant
+	}
+	var points []point
+	for _, name := range bench.Names {
+		for _, v := range variants {
+			points = append(points, point{len(points), name, v})
+		}
+	}
+	s := smallSuite()
+	runAll := func() ([][]byte, [][]float64, error) {
+		jsons := make([][]byte, len(points))
+		mems := make([][]float64, len(points))
+		_, err := forEach(points, func(pt point) ([][]string, error) {
+			cfg := s.cfg(pt.variant.scheme)
+			cfg.Procs = 96
+			c, err := s.compile(pt.kernel, core.CompileOptions{
+				Interproc:      cfg.Interproc,
+				FirstReadReuse: cfg.FirstReadReuse,
+				AlignWords:     int64(cfg.LineWords),
+			})
+			if err != nil {
+				return nil, err
+			}
+			st, mem, err := core.RunWithMemory(c, cfg)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s: %w", pt.kernel, pt.variant.name, err)
+			}
+			j, err := json.Marshal(st.Snapshot())
+			if err != nil {
+				return nil, err
+			}
+			jsons[pt.idx], mems[pt.idx] = j, mem
+			return nil, nil
+		})
+		return jsons, mems, err
+	}
+
+	narrowJSON, narrowMem, err := runAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tardis.ForceWideTimestamps = true
+	wideJSON, wideMem, err := runAll()
+	tardis.ForceWideTimestamps = false
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pt := range points {
+		label := fmt.Sprintf("%s/%s", pt.kernel, pt.variant.name)
+		if !bytes.Equal(narrowJSON[pt.idx], wideJSON[pt.idx]) {
+			t.Errorf("%s: snapshots diverge:\nnarrow %s\nwide   %s",
+				label, narrowJSON[pt.idx], wideJSON[pt.idx])
+		}
+		if !reflect.DeepEqual(narrowMem[pt.idx], wideMem[pt.idx]) {
+			t.Errorf("%s: final memory images diverge", label)
+		}
+	}
+}
+
 // TestFourThousandProcOcean is the scale acceptance criterion as a test:
-// a 4096-processor ocean run on the clustered mesh completes under both
-// the hardware directory and two-level TPI, and its stats pass the
-// structural run-result validator.
+// a 4096-processor ocean run on the clustered mesh completes under the
+// hardware directory, two-level TPI, and Tardis 2.0, and its stats pass
+// the structural run-result validator.
 func TestFourThousandProcOcean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("P=4096 runs skipped in -short mode")
@@ -96,6 +169,7 @@ func TestFourThousandProcOcean(t *testing.T) {
 	for _, v := range []schemeVariant{
 		{"HW", machine.SchemeHW, 0},
 		{"TPI2L", machine.SchemeTPI, 64},
+		{"TARDIS2", machine.SchemeTardis2, 0},
 	} {
 		cfg := s.cfg(v.scheme)
 		cfg.L1Words = v.l1Words

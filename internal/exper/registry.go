@@ -38,5 +38,6 @@ func (s *Suite) Entries() []Entry {
 		{"E24", s.E24ScalarPadding},
 		{"E25", s.E25TimeDecomposition},
 		{"E26", s.E26LargePMesh},
+		{"E27", s.E27LeaseSensitivity},
 	}
 }

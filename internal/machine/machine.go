@@ -38,6 +38,18 @@ const (
 	// number per cache word (our extension; the paper's closest
 	// predecessor, compared against directories by Lilja).
 	SchemeVC
+	// SchemeTardis is timestamp coherence (Yu & Devadas, PACT 2015): per-
+	// line write/read-lease timestamps at the home directory slice and
+	// per-processor logical clocks replace sharer lists entirely — no
+	// invalidation messages; stale copies expire when logical time passes
+	// their lease. Its lease-expiry misses are the analog of TPI's
+	// conservative misses (our extension).
+	SchemeTardis
+	// SchemeTardis2 is Tardis with the Tardis 2.0 relaxed-consistency
+	// optimizations: lease prediction from per-line reuse history, a
+	// MESI-style exclusive grant on unshared read misses, and livelock-
+	// avoiding renewal backoff on contended lines.
+	SchemeTardis2
 )
 
 func (s Scheme) String() string {
@@ -52,19 +64,35 @@ func (s Scheme) String() string {
 		return "HW"
 	case SchemeVC:
 		return "VC"
+	case SchemeTardis:
+		return "TARDIS"
+	case SchemeTardis2:
+		return "TARDIS2"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
 }
 
+// SchemeNames lists the parseable scheme names, in AllSchemes order. It is
+// derived from the registry, so error messages and CLI cross-products stay
+// in sync with new schemes automatically.
+func SchemeNames() []string {
+	names := make([]string, len(AllSchemes))
+	for i, sc := range AllSchemes {
+		names[i] = sc.String()
+	}
+	return names
+}
+
 // ParseScheme resolves a scheme name (case-insensitive: "tpi", "HW", ...).
+// The error enumerates every valid name from the scheme registry.
 func ParseScheme(s string) (Scheme, error) {
 	for _, sc := range AllSchemes {
 		if strings.EqualFold(sc.String(), s) {
 			return sc, nil
 		}
 	}
-	return 0, fmt.Errorf("machine: unknown scheme %q (want BASE, SC, TPI, HW, or VC)", s)
+	return 0, fmt.Errorf("machine: unknown scheme %q (want %s)", s, strings.Join(SchemeNames(), ", "))
 }
 
 // MarshalJSON encodes the scheme by name, so configs serialize as
@@ -88,7 +116,7 @@ func (s *Scheme) UnmarshalJSON(b []byte) error {
 		return nil
 	}
 	n, err := strconv.Atoi(string(bytes.TrimSpace(b)))
-	if err != nil || n < 0 || n > int(SchemeVC) {
+	if err != nil || n < 0 || n > int(SchemeTardis2) {
 		return fmt.Errorf("machine: invalid scheme %s", b)
 	}
 	*s = Scheme(n)
@@ -98,8 +126,12 @@ func (s *Scheme) UnmarshalJSON(b []byte) error {
 // Schemes lists the paper's four schemes in its comparison order.
 var Schemes = []Scheme{SchemeBase, SchemeSC, SchemeTPI, SchemeHW}
 
-// AllSchemes additionally includes the version-control extension.
-var AllSchemes = []Scheme{SchemeBase, SchemeSC, SchemeTPI, SchemeHW, SchemeVC}
+// AllSchemes is the shared scheme registry: the paper's four schemes plus
+// the version-control and Tardis timestamp-coherence extensions. CLI
+// cross-products (`tpisim -scheme all`), the exper sweep builders, and
+// ParseScheme's error message all derive from this list, so a new scheme
+// added here propagates everywhere.
+var AllSchemes = []Scheme{SchemeBase, SchemeSC, SchemeTPI, SchemeHW, SchemeVC, SchemeTardis, SchemeTardis2}
 
 // Config is the machine and scheme configuration.
 type Config struct {
@@ -242,14 +274,43 @@ type Config struct {
 	// back to sequential execution transparently.
 	HostParallel int
 
+	// LeaseEpochs is the base Tardis read-lease length in logical-time
+	// units: a read grants the line a lease to max(rts, gts+LeaseEpochs),
+	// and the copy stays valid until the global logical clock passes that
+	// bound (0 = DefaultLeaseEpochs). Tardis schemes only.
+	LeaseEpochs int64
+
+	// LeaseMax caps the predicted lease length under LeasePredict
+	// (0 = DefaultLeaseMax).
+	LeaseMax int64
+
+	// LeasePredict enables Tardis 2.0 lease prediction: each line's home
+	// entry keeps a reuse history — renewals that found the data unchanged
+	// double the next granted lease (up to LeaseMax); a write resets it.
+	LeasePredict bool
+
+	// TardisExclusive enables the Tardis 2.0 MESI-style exclusive grant: a
+	// read miss to a line with no outstanding leases (rts <= wts) returns
+	// the line in the exclusive state, so the reader's later stores are
+	// silent (no per-store home message) while it remains the owner.
+	TardisExclusive bool
+
+	// RenewBackoff enables the Tardis 2.0 livelock-avoiding renewal
+	// backoff: a renewal that found the data changed (the lease was wasted
+	// on a contended line) halves the line's next granted lease, down to a
+	// single logical-time unit.
+	RenewBackoff bool
+
 	// Interproc and FirstReadReuse gate the compiler analyses (ablations).
 	Interproc      bool
 	FirstReadReuse bool
 }
 
-// Default returns the paper's Figure 8 configuration for a scheme.
+// Default returns the paper's Figure 8 configuration for a scheme. The
+// Tardis schemes add their lease parameters; TARDIS2 turns on the three
+// Tardis 2.0 optimizations (each individually overridable).
 func Default(s Scheme) Config {
-	return Config{
+	cfg := Config{
 		Scheme:           s,
 		Procs:            16,
 		CacheWords:       16384, // 64 KB of 4-byte words
@@ -270,6 +331,29 @@ func Default(s Scheme) Config {
 		Interproc:        true,
 		FirstReadReuse:   true,
 	}
+	if s == SchemeTardis || s == SchemeTardis2 {
+		cfg.LeaseEpochs = DefaultLeaseEpochs
+		cfg.LeaseMax = DefaultLeaseMax
+	}
+	if s == SchemeTardis2 {
+		cfg.LeasePredict = true
+		cfg.TardisExclusive = true
+		cfg.RenewBackoff = true
+	}
+	return cfg
+}
+
+// DefaultLeaseEpochs is the base Tardis lease length applied when
+// Config.LeaseEpochs is zero.
+const DefaultLeaseEpochs = 8
+
+// DefaultLeaseMax is the predicted-lease cap applied when Config.LeaseMax
+// is zero.
+const DefaultLeaseMax = 256
+
+// IsTardis reports whether the configured scheme is a Tardis variant.
+func (c Config) IsTardis() bool {
+	return c.Scheme == SchemeTardis || c.Scheme == SchemeTardis2
 }
 
 // MaxProcs bounds the simulated machine size. Every scheme scales to
@@ -330,6 +414,12 @@ func (c Config) Validate() error {
 		return fmt.Errorf("machine: ClusterSize is only meaningful with the mesh topology, got %q", c.Topology)
 	case c.HostParallel < 0:
 		return fmt.Errorf("machine: HostParallel must be >= 0, got %d", c.HostParallel)
+	case c.LeaseEpochs < 0:
+		return fmt.Errorf("machine: LeaseEpochs must be >= 0, got %d", c.LeaseEpochs)
+	case c.LeaseMax < 0:
+		return fmt.Errorf("machine: LeaseMax must be >= 0, got %d", c.LeaseMax)
+	case c.LeaseMax > 0 && c.LeaseEpochs > c.LeaseMax:
+		return fmt.Errorf("machine: LeaseEpochs %d exceeds LeaseMax %d", c.LeaseEpochs, c.LeaseMax)
 	}
 	lines := c.CacheWords / int64(c.LineWords)
 	if lines%int64(c.Assoc) != 0 {
@@ -381,6 +471,8 @@ func ParseConfig(data []byte, base Config) (Config, error) {
 //   - ClusterSize 0 under "mesh" → DefaultClusterSize (what memsys applies)
 //   - MaxEpochs 0  → DefaultMaxEpochs (the guard sim applies for 0)
 //   - HostParallel 0 → 1 (both select the sequential runner)
+//   - LeaseEpochs/LeaseMax 0 under a Tardis scheme → their defaults
+//     (what internal/tardis applies)
 //
 // Fields that change only host-side performance but are contractually
 // bit-identical in results (FastPath, HostParallel > 1) are kept as-is:
@@ -397,6 +489,14 @@ func (c Config) Canonical() Config {
 	}
 	if c.HostParallel == 0 {
 		c.HostParallel = 1
+	}
+	if c.IsTardis() {
+		if c.LeaseEpochs == 0 {
+			c.LeaseEpochs = DefaultLeaseEpochs
+		}
+		if c.LeaseMax == 0 {
+			c.LeaseMax = DefaultLeaseMax
+		}
 	}
 	return c
 }

@@ -375,6 +375,9 @@ type CounterSample struct {
 	Invalidations           int64
 	CoherenceMsgs           int64
 	TrafficWords            int64
+	// LeaseRenewals counts Tardis timestamp-only lease renewals; zero
+	// under every non-Tardis scheme.
+	LeaseRenewals int64
 }
 
 // SampleStats aggregates a scheme's live stats into a CounterSample.
@@ -392,5 +395,6 @@ func SampleStats(st *stats.Stats) CounterSample {
 		Invalidations: st.Invalidations,
 		CoherenceMsgs: st.CoherenceMsgs,
 		TrafficWords:  st.TotalTraffic(),
+		LeaseRenewals: st.LeaseRenewals,
 	}
 }

@@ -41,7 +41,10 @@ const (
 	// scheme's scalar Read/Write on anything else (SC/TPI).
 	StreamCached StreamMode = iota
 	// StreamUncached routes every reference through the scheme's scalar
-	// path (SC/TPI bypass reads); the miss class is the bypass class.
+	// path: for reads (SC/TPI bypass reads) the miss class is the bypass
+	// class; for writes the class is recovered by counter diffing
+	// (Tardis write streams, whose per-line lease state rules out a
+	// stream-constant WTT).
 	StreamUncached
 	// StreamBase inlines BASE's uncached remote word access.
 	StreamBase
@@ -54,6 +57,13 @@ const (
 	// cursor mode (two-level TPI): regular reads hit the L1, everything
 	// else invalidates the L1 word and takes the inner (L2) path.
 	StreamTwoLevel
+	// StreamTardis inlines the Tardis 2.0 exclusive-hit silent store —
+	// valid only while the frozen home owner table still names this
+	// processor — and falls back to the scalar Write for everything else
+	// (shared hits need a lease grant and a home action-log entry).
+	// Tardis reads use StreamCached: the hit predicate is the uniform
+	// lease check TT[w] >= gts.
+	StreamTardis
 )
 
 // Streamer is implemented by schemes that can batch affine reference
@@ -329,6 +339,13 @@ type WriteCursor struct {
 	Inner StreamMode
 	L1    *cache.Cache
 
+	// Tardis (StreamTardis): the home directory's frozen per-line owner
+	// table, indexed by global line number (the cache tag). A silent
+	// store is sound only while the home still names this processor the
+	// owner; the table is frozen mid-epoch (replay happens at the
+	// barrier), so the check is deterministic.
+	Owners []int16
+
 	line   *cache.Line
 	l1line *cache.Line
 
@@ -424,8 +441,61 @@ func (c *WriteCursor) Write(addr prog.Word, val float64) (int64, int8) {
 			l.Vals[w] = val
 		}
 		return c.writeCached(addr, val)
+
+	case StreamTardis:
+		// Inline the exclusive-hit silent store: no home message while
+		// this processor is still the frozen owner, so only the own-cache
+		// word update and the buffered memory shadow happen here. The
+		// word's lease timetag is NOT extended — exactly what the scalar
+		// silent-store path does. Shared hits, demotions, and misses need
+		// the lease grant and the home action log — scalar path.
+		tag, w := c.CC.Split(addr)
+		l := c.line
+		if l == nil || l.Tag != tag || l.State == cache.Invalid {
+			l, _, _ = c.CC.Lookup(addr)
+			c.line = l
+		}
+		if l != nil && l.State == cache.Exclusive && l.TT[w] != cache.TTInvalid &&
+			int(tag) < len(c.Owners) && c.Owners[tag] == int16(c.Proc) {
+			c.n++
+			c.hits++
+			c.Ln.Write(addr, val, c.Proc, c.Epoch)
+			l.Vals[w] = val
+			l.Used[w] = true
+			l.Dirty = true
+			c.CC.Touch(l)
+			return 0, -1
+		}
+		stall, class := c.delegate(addr, val)
+		c.line = nil // a grant/fill may have moved or replaced the line
+		return stall, class
+
+	case StreamUncached:
+		// Scalar-delegate mode: every store runs the scheme's full Write
+		// (schemes whose written-word timetag depends on per-line home
+		// state cannot capture a single stream-constant WTT).
+		return c.delegate(addr, val)
 	}
 	return c.writeCached(addr, val)
+}
+
+// delegate routes one store through the scheme's scalar Write, recovering
+// the miss class by diffing the lane counters (like sim.writeClassified).
+func (c *WriteCursor) delegate(addr prog.Word, val float64) (int64, int8) {
+	st := c.Ln.St
+	hitsBefore := st.WriteHits
+	missBefore := st.WriteMisses
+	stall := c.Sys.Write(c.Proc, addr, val, false)
+	class := int8(-1)
+	if st.WriteHits == hitsBefore {
+		for i := range st.WriteMisses {
+			if st.WriteMisses[i] != missBefore[i] {
+				class = int8(i)
+				break
+			}
+		}
+	}
+	return stall, class
 }
 
 // writeCached is the StreamCached store: the inlined present-line write

@@ -437,6 +437,7 @@ func (r *Report) ReadMissTotals() stats.ClassCounts {
 		t.TrueSharing += e.ReadMisses.TrueSharing
 		t.FalseSharing += e.ReadMisses.FalseSharing
 		t.Conservative += e.ReadMisses.Conservative
+		t.LeaseExpired += e.ReadMisses.LeaseExpired
 		t.Bypass += e.ReadMisses.Bypass
 	}
 	return t
@@ -451,6 +452,7 @@ func (r *Report) WriteMissTotals() stats.ClassCounts {
 		t.TrueSharing += e.WriteMisses.TrueSharing
 		t.FalseSharing += e.WriteMisses.FalseSharing
 		t.Conservative += e.WriteMisses.Conservative
+		t.LeaseExpired += e.WriteMisses.LeaseExpired
 		t.Bypass += e.WriteMisses.Bypass
 	}
 	return t

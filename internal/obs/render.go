@@ -48,10 +48,10 @@ func (t *table) render(w io.Writer) {
 func n(v int64) string { return fmt.Sprintf("%d", v) }
 
 func classCells(c stats.ClassCounts) []string {
-	return []string{n(c.Cold), n(c.Replace), n(c.TrueSharing), n(c.FalseSharing), n(c.Conservative), n(c.Bypass)}
+	return []string{n(c.Cold), n(c.Replace), n(c.TrueSharing), n(c.FalseSharing), n(c.Conservative), n(c.LeaseExpired), n(c.Bypass)}
 }
 
-var classHeads = []string{"cold", "repl", "true", "false", "consv", "byp"}
+var classHeads = []string{"cold", "repl", "true", "false", "consv", "lease", "byp"}
 
 // WriteSummary prints the run header: scheme, size, totals.
 func (r *Report) WriteSummary(w io.Writer) {
@@ -71,8 +71,8 @@ func (r *Report) WriteSummary(w io.Writer) {
 	rm, wm := r.ReadMissTotals(), r.WriteMissTotals()
 	fmt.Fprintf(w, "epochs=%d cycles=%d reads=%d (hits %d, misses %d) writes=%d (hits %d, misses %d)\n",
 		len(r.Epochs), r.TotalCycles, reads, rh, rm.Total(), writes, wh, wm.Total())
-	fmt.Fprintf(w, "read misses: cold=%d replace=%d true=%d false=%d conservative=%d bypass=%d\n",
-		rm.Cold, rm.Replace, rm.TrueSharing, rm.FalseSharing, rm.Conservative, rm.Bypass)
+	fmt.Fprintf(w, "read misses: cold=%d replace=%d true=%d false=%d conservative=%d lease-expired=%d bypass=%d\n",
+		rm.Cold, rm.Replace, rm.TrueSharing, rm.FalseSharing, rm.Conservative, rm.LeaseExpired, rm.Bypass)
 }
 
 // WriteEpochTimeline prints the per-epoch miss-class table; maxRows <= 0
@@ -205,7 +205,8 @@ func (r *Report) WritePerfetto(w io.Writer) error {
 			Args: map[string]any{
 				"cold": e.ReadMisses.Cold, "replace": e.ReadMisses.Replace,
 				"true-sharing": e.ReadMisses.TrueSharing, "false-sharing": e.ReadMisses.FalseSharing,
-				"conservative": e.ReadMisses.Conservative, "bypass": e.ReadMisses.Bypass,
+				"conservative": e.ReadMisses.Conservative, "lease-expired": e.ReadMisses.LeaseExpired,
+				"bypass": e.ReadMisses.Bypass,
 			},
 		})
 		if e.TimetagResets > 0 {

@@ -8,6 +8,7 @@ type ClassCounts struct {
 	TrueSharing  int64 `json:"trueSharing"`
 	FalseSharing int64 `json:"falseSharing"`
 	Conservative int64 `json:"conservative"`
+	LeaseExpired int64 `json:"leaseExpired"`
 	Bypass       int64 `json:"bypass"`
 }
 
@@ -19,6 +20,7 @@ func CountsOf(a [NumMissClasses]int64) ClassCounts {
 		TrueSharing:  a[MissTrueSharing],
 		FalseSharing: a[MissFalseSharing],
 		Conservative: a[MissConservative],
+		LeaseExpired: a[MissLeaseExpired],
 		Bypass:       a[MissBypass],
 	}
 }
@@ -31,13 +33,14 @@ func (c ClassCounts) Array() [NumMissClasses]int64 {
 	a[MissTrueSharing] = c.TrueSharing
 	a[MissFalseSharing] = c.FalseSharing
 	a[MissConservative] = c.Conservative
+	a[MissLeaseExpired] = c.LeaseExpired
 	a[MissBypass] = c.Bypass
 	return a
 }
 
 // Total sums all classes.
 func (c ClassCounts) Total() int64 {
-	return c.Cold + c.Replace + c.TrueSharing + c.FalseSharing + c.Conservative + c.Bypass
+	return c.Cold + c.Replace + c.TrueSharing + c.FalseSharing + c.Conservative + c.LeaseExpired + c.Bypass
 }
 
 // Snapshot is the machine-readable form of Stats used by `tpisim -json`
@@ -69,6 +72,8 @@ type Snapshot struct {
 	TimetagResets      int64 `json:"timetagResets"`
 	ResetInvalidations int64 `json:"resetInvalidations"`
 	WritesCoalesced    int64 `json:"writesCoalesced"`
+	LeaseRenewals      int64 `json:"leaseRenewals"`
+	ExclusiveGrants    int64 `json:"exclusiveGrants"`
 	PointerEvictions   int64 `json:"pointerEvictions"`
 	FlushedWords       int64 `json:"flushedWords"`
 	FlushStallCycles   int64 `json:"flushStallCycles"`
@@ -113,6 +118,8 @@ func (sn *Snapshot) Restore() *Stats {
 		TimetagResets:           sn.TimetagResets,
 		ResetInvalidations:      sn.ResetInvalidations,
 		WritesCoalesced:         sn.WritesCoalesced,
+		LeaseRenewals:           sn.LeaseRenewals,
+		ExclusiveGrants:         sn.ExclusiveGrants,
 		PointerEvictions:        sn.PointerEvictions,
 		FlushedWords:            sn.FlushedWords,
 		FlushStallCycles:        sn.FlushStallCycles,
@@ -150,6 +157,8 @@ func (s *Stats) Snapshot() Snapshot {
 		TimetagResets:           s.TimetagResets,
 		ResetInvalidations:      s.ResetInvalidations,
 		WritesCoalesced:         s.WritesCoalesced,
+		LeaseRenewals:           s.LeaseRenewals,
+		ExclusiveGrants:         s.ExclusiveGrants,
 		PointerEvictions:        s.PointerEvictions,
 		FlushedWords:            s.FlushedWords,
 		FlushStallCycles:        s.FlushStallCycles,

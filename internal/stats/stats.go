@@ -31,6 +31,14 @@ const (
 	// MissBypass counts uncached accesses (BASE shared data, SC bypasses,
 	// critical-section reads): always remote.
 	MissBypass
+	// MissLeaseExpired re-fetches (renews) a word whose data was still
+	// current but whose Tardis read lease had expired — the timestamp-
+	// coherence analog of the HSCD conservative miss and the directory
+	// false-sharing miss. Declared after MissBypass so the earlier
+	// classes keep their ordinals (binary traces store the class as a
+	// byte); MissClasses and ClassCounts put it in report position
+	// between conservative and bypass.
+	MissLeaseExpired
 	numMissClasses
 )
 
@@ -52,6 +60,8 @@ func (m MissClass) String() string {
 		return "conservative"
 	case MissBypass:
 		return "bypass"
+	case MissLeaseExpired:
+		return "lease-expired"
 	default:
 		return "?"
 	}
@@ -59,7 +69,7 @@ func (m MissClass) String() string {
 
 // MissClasses lists all classes in report order.
 var MissClasses = []MissClass{
-	MissCold, MissReplace, MissTrueSharing, MissFalseSharing, MissConservative, MissBypass,
+	MissCold, MissReplace, MissTrueSharing, MissFalseSharing, MissConservative, MissLeaseExpired, MissBypass,
 }
 
 // Stats accumulates one simulation run's measurements.
@@ -95,6 +105,12 @@ type Stats struct {
 	TimetagResets      int64 // two-phase reset events
 	ResetInvalidations int64 // words invalidated by resets
 	WritesCoalesced    int64 // redundant writes removed by the wb-cache
+
+	// Tardis-specific: lease renewals that moved no data (the home found
+	// the data unchanged and only extended the lease) and Tardis 2.0
+	// exclusive grants on unshared read misses.
+	LeaseRenewals   int64
+	ExclusiveGrants int64
 
 	// Limited-pointer directory: sharers evicted to free a pointer.
 	PointerEvictions int64
@@ -151,6 +167,8 @@ func (s *Stats) Add(o *Stats) {
 	s.TimetagResets += o.TimetagResets
 	s.ResetInvalidations += o.ResetInvalidations
 	s.WritesCoalesced += o.WritesCoalesced
+	s.LeaseRenewals += o.LeaseRenewals
+	s.ExclusiveGrants += o.ExclusiveGrants
 	s.PointerEvictions += o.PointerEvictions
 	s.FlushedWords += o.FlushedWords
 	s.FlushStallCycles += o.FlushStallCycles
@@ -241,9 +259,10 @@ func (s *Stats) TotalTraffic() int64 {
 }
 
 // UnnecessaryMisses are the coherence misses the paper calls unnecessary:
-// false-sharing (directory) plus conservative (HSCD).
+// false-sharing (directory), conservative (HSCD), and lease-expired
+// (Tardis) — each a re-fetch of data that was in fact still current.
 func (s *Stats) UnnecessaryMisses() int64 {
-	return s.ReadMisses[MissFalseSharing] + s.ReadMisses[MissConservative]
+	return s.ReadMisses[MissFalseSharing] + s.ReadMisses[MissConservative] + s.ReadMisses[MissLeaseExpired]
 }
 
 // String renders a compact single-run report.
@@ -269,6 +288,9 @@ func (s *Stats) String() string {
 		s.ReadTrafficWords, s.WriteTrafficWords, s.CoherenceTrafficWords, s.WritesCoalesced)
 	if s.TimetagResets > 0 {
 		fmt.Fprintf(&b, "\n      resets=%d resetInvalidations=%d", s.TimetagResets, s.ResetInvalidations)
+	}
+	if s.LeaseRenewals > 0 || s.ExclusiveGrants > 0 {
+		fmt.Fprintf(&b, "\n      leaseRenewals=%d exclusiveGrants=%d", s.LeaseRenewals, s.ExclusiveGrants)
 	}
 	return b.String()
 }

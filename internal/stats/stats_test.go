@@ -144,6 +144,7 @@ func TestMissClassStrings(t *testing.T) {
 		MissTrueSharing:  "true-sharing",
 		MissFalseSharing: "false-sharing",
 		MissConservative: "conservative",
+		MissLeaseExpired: "lease-expired",
 		MissBypass:       "bypass",
 	}
 	for c, w := range want {

@@ -1,0 +1,159 @@
+// Fleet self-registration. Historically a tpiserved fleet was wired
+// from the outside: every worker was started with the full -peers list,
+// or cmd/tpisweep pushed sibling lists over PUT /v1/peers. Both need a
+// coordinator that already knows the whole fleet. The Announcer inverts
+// that: a worker started with -advertise (its own reachable base URL)
+// and -join (any existing fleet members) registers itself — for each
+// seed it reads GET /v1/peers, appends its advertised URL if missing,
+// and writes the merged list back with PUT /v1/peers (the endpoint is
+// full-replace, hence the read-merge-write). Whatever fleet the seed
+// already knew is adopted into the local sibling list the same way, so
+// joining one member joins them all, from either side.
+//
+// Announcing repeats on a timer: a seed that was down at startup, or
+// that restarted and lost its in-memory peer list, is re-registered at
+// the next tick. Every step is best-effort — an unreachable seed is
+// logged and retried next round, never fatal.
+package svc
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"repro/internal/httpx"
+)
+
+// Announcer registers this server with a fleet and keeps the
+// registration alive. All fields are read-only after construction.
+type Announcer struct {
+	// Self is the base URL other fleet members can reach this server at
+	// (the -advertise flag). Normalized like any peer URL.
+	Self string
+	// Seeds are fleet entry points to register with (the -join flag).
+	Seeds []string
+	// Server is the local server that adopts discovered siblings.
+	Server *Server
+	// Client issues the HTTP calls; nil uses the server's peer client.
+	Client *httpx.Client
+	// Log receives per-seed outcomes; nil uses the server's logger.
+	Log *slog.Logger
+}
+
+func (a *Announcer) client() *httpx.Client {
+	if a.Client != nil {
+		return a.Client
+	}
+	return a.Server.opts.PeerClient
+}
+
+func (a *Announcer) log() *slog.Logger {
+	if a.Log != nil {
+		return a.Log
+	}
+	return a.Server.log
+}
+
+// AnnounceOnce runs one registration round: every seed is read, merged,
+// and (when this server was missing) written back, and every sibling
+// the seeds reported is adopted locally. It returns an error only when
+// configuration is invalid or no seed could be reached at all — partial
+// fleet reachability is normal operation, not failure.
+func (a *Announcer) AnnounceOnce(ctx context.Context) error {
+	self, err := normalizePeers([]string{a.Self})
+	if err != nil || len(self) != 1 {
+		return fmt.Errorf("svc: bad advertise URL %q: %v", a.Self, err)
+	}
+	seeds, err := normalizePeers(a.Seeds)
+	if err != nil {
+		return err
+	}
+	reached := 0
+	for _, seed := range seeds {
+		if seed == self[0] {
+			continue // joining ourselves is a no-op
+		}
+		if err := a.announceTo(ctx, seed, self[0]); err != nil {
+			a.log().Warn("announce failed", "seed", seed, "error", err.Error())
+			continue
+		}
+		reached++
+	}
+	if reached == 0 && len(seeds) > 0 {
+		return fmt.Errorf("svc: announce: no seed of %d reachable", len(seeds))
+	}
+	return nil
+}
+
+// announceTo performs the read-merge-write against one seed and adopts
+// its sibling list.
+func (a *Announcer) announceTo(ctx context.Context, seed, self string) error {
+	status, body, err := a.client().Get(ctx, seed+"/v1/peers")
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("GET /v1/peers: status %d", status)
+	}
+	var doc peersDoc
+	if err := json.Unmarshal(body, &doc); err != nil {
+		return fmt.Errorf("GET /v1/peers: %w", err)
+	}
+	registered := false
+	for _, p := range doc.Peers {
+		if p == self {
+			registered = true
+			break
+		}
+	}
+	if !registered {
+		doc.Peers = append(doc.Peers, self)
+		payload, err := json.Marshal(doc)
+		if err != nil {
+			return err
+		}
+		status, _, err := a.client().Do(ctx, http.MethodPut, seed+"/v1/peers", "application/json", payload)
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("PUT /v1/peers: status %d", status)
+		}
+	}
+	// Adopt the seed and everything it knows, except ourselves.
+	adopt := []string{seed}
+	for _, p := range doc.Peers {
+		if p != self {
+			adopt = append(adopt, p)
+		}
+	}
+	if err := a.Server.AddPeers(adopt); err != nil {
+		return err
+	}
+	a.log().Info("announced", "seed", seed, "self", self,
+		"alreadyRegistered", registered, "fleet", len(a.Server.Peers()))
+	return nil
+}
+
+// Run announces immediately and then re-announces every interval until
+// the context is cancelled, healing seed restarts and late joiners.
+func (a *Announcer) Run(ctx context.Context, interval time.Duration) {
+	if interval <= 0 {
+		interval = time.Minute
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		if err := a.AnnounceOnce(ctx); err != nil && ctx.Err() == nil {
+			a.log().Warn("announce round failed", "error", err.Error())
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+	}
+}

@@ -1,0 +1,112 @@
+package svc
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestAnnounceMutualRegistration boots two in-process servers and has B
+// join A: after one announce round each server must list the other, from
+// either side — B registered itself on A over PUT /v1/peers and adopted
+// A locally.
+func TestAnnounceMutualRegistration(t *testing.T) {
+	a, hsA := newTestServer(t, Options{Workers: 1})
+	b, hsB := newTestServer(t, Options{Workers: 1})
+
+	ann := &Announcer{Self: hsB.URL, Seeds: []string{hsA.URL}, Server: b}
+	if err := ann.AnnounceOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Peers(); len(got) != 1 || got[0] != hsB.URL {
+		t.Fatalf("A's peers after announce: %v, want [%s]", got, hsB.URL)
+	}
+	if got := b.Peers(); len(got) != 1 || got[0] != hsA.URL {
+		t.Fatalf("B's peers after announce: %v, want [%s]", got, hsA.URL)
+	}
+
+	// A second round is idempotent: no duplicates on either side.
+	if err := ann.AnnounceOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Peers(); len(got) != 1 {
+		t.Fatalf("A's peers after re-announce: %v, want 1 entry", got)
+	}
+	if got := b.Peers(); len(got) != 1 {
+		t.Fatalf("B's peers after re-announce: %v, want 1 entry", got)
+	}
+}
+
+// TestAnnounceTransitiveAdoption: C joins seed A that already knows B, so
+// one round leaves C knowing the whole fleet and A knowing C.
+func TestAnnounceTransitiveAdoption(t *testing.T) {
+	a, hsA := newTestServer(t, Options{Workers: 1})
+	_, hsB := newTestServer(t, Options{Workers: 1})
+	c, hsC := newTestServer(t, Options{Workers: 1})
+	if err := a.SetPeers([]string{hsB.URL}); err != nil {
+		t.Fatal(err)
+	}
+
+	ann := &Announcer{Self: hsC.URL, Seeds: []string{hsA.URL}, Server: c}
+	if err := ann.AnnounceOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Peers(); len(got) != 2 || got[0] != hsB.URL || got[1] != hsC.URL {
+		t.Fatalf("A's peers: %v, want [%s %s]", got, hsB.URL, hsC.URL)
+	}
+	if got := c.Peers(); len(got) != 2 || got[0] != hsA.URL || got[1] != hsB.URL {
+		t.Fatalf("C's peers: %v, want [%s %s]", got, hsA.URL, hsB.URL)
+	}
+}
+
+// TestAnnounceHealsSeedRestart simulates the seed losing its in-memory
+// peer list (a restart) and requires the re-announce loop to repair the
+// registration on its next tick.
+func TestAnnounceHealsSeedRestart(t *testing.T) {
+	a, hsA := newTestServer(t, Options{Workers: 1})
+	b, hsB := newTestServer(t, Options{Workers: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ann := &Announcer{Self: hsB.URL, Seeds: []string{hsA.URL}, Server: b}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ann.Run(ctx, 20*time.Millisecond)
+	}()
+
+	waitFor := func(what string, ok func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for !ok() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", what)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	registered := func() bool {
+		p := a.Peers()
+		return len(p) == 1 && p[0] == hsB.URL
+	}
+	waitFor("initial registration", registered)
+
+	// "Restart" the seed: wipe its peer list out from under the announcer.
+	if err := a.SetPeers(nil); err != nil {
+		t.Fatal(err)
+	}
+	waitFor("re-registration after seed restart", registered)
+
+	cancel()
+	<-done
+}
+
+// TestAnnounceBadConfig: a relative advertise URL is a configuration
+// error, reported immediately rather than retried forever.
+func TestAnnounceBadConfig(t *testing.T) {
+	b, hsB := newTestServer(t, Options{Workers: 1})
+	ann := &Announcer{Self: "not-a-url", Seeds: []string{hsB.URL}, Server: b}
+	if err := ann.AnnounceOnce(context.Background()); err == nil {
+		t.Fatal("announce with relative advertise URL: want error")
+	}
+}

@@ -34,11 +34,11 @@ const (
 	peerInvalid = "invalid"
 )
 
-// SetPeers replaces the sibling list. URLs are normalized (trailing
-// slashes stripped) and must be absolute http(s) URLs; the first bad
-// one fails the whole update so a typo cannot silently shrink the
-// fleet. Safe to call at runtime (PUT /v1/peers).
-func (s *Server) SetPeers(peers []string) error {
+// normalizePeers validates and canonicalizes a peer URL list: blanks
+// drop, trailing slashes strip, and every survivor must be an absolute
+// http(s) URL — the first bad one fails the whole list so a typo cannot
+// silently shrink the fleet.
+func normalizePeers(peers []string) ([]string, error) {
 	norm := make([]string, 0, len(peers))
 	for _, p := range peers {
 		p = strings.TrimRight(strings.TrimSpace(p), "/")
@@ -47,16 +47,50 @@ func (s *Server) SetPeers(peers []string) error {
 		}
 		u, err := url.Parse(p)
 		if err != nil {
-			return fmt.Errorf("svc: peer %q: %w", p, err)
+			return nil, fmt.Errorf("svc: peer %q: %w", p, err)
 		}
 		if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
-			return fmt.Errorf("svc: peer %q: want an absolute http(s) URL", p)
+			return nil, fmt.Errorf("svc: peer %q: want an absolute http(s) URL", p)
 		}
 		norm = append(norm, p)
+	}
+	return norm, nil
+}
+
+// SetPeers replaces the sibling list. Safe to call at runtime
+// (PUT /v1/peers).
+func (s *Server) SetPeers(peers []string) error {
+	norm, err := normalizePeers(peers)
+	if err != nil {
+		return err
 	}
 	s.mu.Lock()
 	s.peers = norm
 	s.mu.Unlock()
+	return nil
+}
+
+// AddPeers merges URLs into the sibling list without disturbing what is
+// already there (existing entries keep their probe order; new ones
+// append, deduplicated). The startup announcer uses this to adopt the
+// fleet it discovers, so a concurrent PUT /v1/peers is never clobbered.
+func (s *Server) AddPeers(peers []string) error {
+	norm, err := normalizePeers(peers)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	have := make(map[string]bool, len(s.peers))
+	for _, p := range s.peers {
+		have[p] = true
+	}
+	for _, p := range norm {
+		if !have[p] {
+			have[p] = true
+			s.peers = append(s.peers, p)
+		}
+	}
 	return nil
 }
 

@@ -46,7 +46,8 @@ type RunRequest struct {
 	N      int    `json:"n,omitempty"`
 	Steps  int    `json:"steps,omitempty"`
 
-	// Scheme is the coherence scheme (BASE, SC, TPI, HW, VC; default
+	// Scheme is the coherence scheme (BASE, SC, TPI, HW, VC, TARDIS,
+	// TARDIS2; default
 	// TPI). The machine defaults for that scheme seed the config.
 	Scheme string `json:"scheme,omitempty"`
 	// Config holds machine.Config field overrides as a JSON object

@@ -41,6 +41,7 @@ type svcTelemetry struct {
 	invalidations   *telemetry.CounterVec
 	coherenceMsgs   *telemetry.CounterVec
 	trafficWords    *telemetry.CounterVec
+	leaseRenewals   *telemetry.CounterVec
 	streamLoops     *telemetry.CounterVec
 	streamFallbacks *telemetry.CounterVec
 	hostparEpochs   *telemetry.CounterVec
@@ -92,6 +93,8 @@ func newSvcTelemetry(reg *telemetry.Registry, s *Server) *svcTelemetry {
 			"Coherence protocol messages exchanged.", "scheme"),
 		trafficWords: reg.CounterVec("tpisim_traffic_words_total",
 			"Interconnect traffic in words.", "scheme"),
+		leaseRenewals: reg.CounterVec("tpisim_lease_renewals_total",
+			"Tardis timestamp-only lease renewals (no data transfer).", "scheme"),
 		streamLoops: reg.CounterVec("tpisim_stream_loops_total",
 			"Recognized affine loops executed through stream cursors.", "scheme"),
 		streamFallbacks: reg.CounterVec("tpisim_stream_fallbacks_total",
@@ -211,6 +214,7 @@ type runExporter struct {
 	invalidations   *telemetry.Counter
 	coherenceMsgs   *telemetry.Counter
 	trafficWords    *telemetry.Counter
+	leaseRenewals   *telemetry.Counter
 	streamLoops     *telemetry.Counter
 	streamFallbacks *telemetry.Counter
 	hostparEpochs   *telemetry.Counter
@@ -239,6 +243,7 @@ func (t *svcTelemetry) newRunExporter(jobID, scheme string, hub *eventHub) *runE
 		invalidations:   t.invalidations.With(scheme),
 		coherenceMsgs:   t.coherenceMsgs.With(scheme),
 		trafficWords:    t.trafficWords.With(scheme),
+		leaseRenewals:   t.leaseRenewals.With(scheme),
 		streamLoops:     t.streamLoops.With(scheme),
 		streamFallbacks: t.streamFallbacks.With(scheme),
 		hostparEpochs:   t.hostparEpochs.With(scheme),
@@ -283,6 +288,7 @@ func (e *runExporter) sample(p sim.Progress) {
 	e.invalidations.Add(p.Counters.Invalidations - e.prev.Counters.Invalidations)
 	e.coherenceMsgs.Add(p.Counters.CoherenceMsgs - e.prev.Counters.CoherenceMsgs)
 	e.trafficWords.Add(p.Counters.TrafficWords - e.prev.Counters.TrafficWords)
+	e.leaseRenewals.Add(p.Counters.LeaseRenewals - e.prev.Counters.LeaseRenewals)
 	e.streamLoops.Add(p.StreamLoops - e.prev.StreamLoops)
 	e.streamFallbacks.Add(p.StreamFallbacks - e.prev.StreamFallbacks)
 	e.hostparEpochs.Add(p.HostParEpochs - e.prev.HostParEpochs)

@@ -37,7 +37,7 @@ type Spec struct {
 	Name string `json:"name,omitempty"`
 	// Kernels are benchmark kernel names (default: all of bench.Names).
 	Kernels []string `json:"kernels,omitempty"`
-	// Schemes are coherence scheme names (default: BASE, SC, TPI, HW, VC).
+	// Schemes are coherence scheme names (default: every registered scheme).
 	Schemes []string `json:"schemes,omitempty"`
 	// N are kernel grid sizes (default: the unit-test size, 24).
 	N []int `json:"n,omitempty"`

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/exper"
+	"repro/internal/machine"
 	"repro/internal/svc"
 )
 
@@ -47,7 +48,7 @@ func TestSpecExpandDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := len(bench.Names) * 5 // kernels × AllSchemes
+	want := len(bench.Names) * len(machine.AllSchemes) // kernels × AllSchemes
 	if len(jobs) != want {
 		t.Fatalf("default grid has %d jobs, want %d", len(jobs), want)
 	}

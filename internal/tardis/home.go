@@ -1,0 +1,104 @@
+package tardis
+
+// Home-directory timestamp storage. Every memory line owns one entry of
+// Tardis home state: the write timestamp wts, the read lease bound rts,
+// and the small lease-prediction history counter hist. Like the HW
+// directory's two-tier presence sets, the representation is two-tier:
+//
+//   - narrow: one packed uint64 per line — wts in the low 40 bits, the
+//     (always non-negative, because wts <= rts) lease delta rts-wts in
+//     the next 16, and hist in the top 8. This is the steady state: a
+//     40-bit logical clock outlasts any bounded run, and lease deltas
+//     are capped by LeaseMax in every default configuration.
+//   - wide: three flat slices (wts, rts []int64; hist []int8), entered
+//     the moment any value outgrows the packed ranges (a logical clock
+//     past 2^40, or an explicit LeaseMax beyond 2^16).
+//
+// The representation is pure storage: both tiers hold the same logical
+// values, so simulation results are bit-identical either way
+// (TestWideTimestampsBitIdentical), exactly like ForceWidePresence in
+// internal/directory. ForceWideTimestamps pins the wide tier from
+// construction so tests can compare the two.
+
+// ForceWideTimestamps makes every new home table start in the wide
+// representation (testing hook, mirroring directory.ForceWidePresence).
+var ForceWideTimestamps = false
+
+const (
+	narrowWtsBits   = 40
+	narrowDeltaBits = 16
+	narrowWtsMax    = int64(1)<<narrowWtsBits - 1
+	narrowDeltaMax  = int64(1)<<narrowDeltaBits - 1
+)
+
+// home is the per-line Tardis timestamp table of the home directory
+// slices (the lines are interleaved across homes by Core.HomeOf; the
+// table itself is stored flat, indexed by global line number).
+type home struct {
+	packed []uint64 // narrow tier; nil once wide
+	wts    []int64  // wide tier
+	rts    []int64
+	hist   []int8
+	wide   bool
+}
+
+func newHome(lines int64) *home {
+	h := &home{}
+	if ForceWideTimestamps {
+		h.migrate(lines)
+		return h
+	}
+	h.packed = make([]uint64, lines)
+	return h
+}
+
+// get returns line l's (wts, rts, hist).
+func (h *home) get(l int64) (wts, rts int64, hist int8) {
+	if h.wide {
+		return h.wts[l], h.rts[l], h.hist[l]
+	}
+	p := h.packed[l]
+	wts = int64(p & uint64(narrowWtsMax))
+	rts = wts + int64(p>>narrowWtsBits&uint64(narrowDeltaMax))
+	hist = int8(p >> (narrowWtsBits + narrowDeltaBits))
+	return wts, rts, hist
+}
+
+// set stores line l's (wts, rts, hist), migrating to the wide tier when
+// a value no longer fits the packed ranges. wts <= rts is a protocol
+// invariant the caller maintains (checked by CheckInvariants).
+func (h *home) set(l int64, wts, rts int64, hist int8) {
+	if !h.wide && (wts > narrowWtsMax || rts-wts > narrowDeltaMax) {
+		h.migrate(int64(len(h.packed)))
+	}
+	if h.wide {
+		h.wts[l], h.rts[l], h.hist[l] = wts, rts, hist
+		return
+	}
+	h.packed[l] = uint64(wts) | uint64(rts-wts)<<narrowWtsBits |
+		uint64(uint8(hist))<<(narrowWtsBits+narrowDeltaBits)
+}
+
+// migrate unpacks the narrow tier into the wide slices (one-way; a run
+// never shrinks back).
+func (h *home) migrate(lines int64) {
+	h.wts = make([]int64, lines)
+	h.rts = make([]int64, lines)
+	h.hist = make([]int8, lines)
+	for l, p := range h.packed {
+		wts := int64(p & uint64(narrowWtsMax))
+		h.wts[l] = wts
+		h.rts[l] = wts + int64(p>>narrowWtsBits&uint64(narrowDeltaMax))
+		h.hist[l] = int8(p >> (narrowWtsBits + narrowDeltaBits))
+	}
+	h.packed = nil
+	h.wide = true
+}
+
+// lines returns the table extent.
+func (h *home) lines() int64 {
+	if h.wide {
+		return int64(len(h.wts))
+	}
+	return int64(len(h.packed))
+}

@@ -1,0 +1,56 @@
+package tardis_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/machine"
+)
+
+// TestKernelsMatchOracle runs every benchmark kernel under both Tardis
+// variants across processor counts and execution modes (sequential,
+// host-parallel, fast-path off) and requires the final memory image to
+// match the sequential oracle bit for bit. core.VerifyAgainstOracle also
+// runs CheckInvariants after the final barrier, so together with the
+// in-package property tests this puts the proof invariants under -race
+// across kernels x procs (the external test package breaks the import
+// cycle with internal/core).
+func TestKernelsMatchOracle(t *testing.T) {
+	params := bench.DefaultParams()
+	for _, scheme := range []machine.Scheme{machine.SchemeTardis, machine.SchemeTardis2} {
+		for _, procs := range []int{8, 32} {
+			scheme, procs := scheme, procs
+			t.Run(fmt.Sprintf("%s/p%d", scheme, procs), func(t *testing.T) {
+				t.Parallel()
+				for _, name := range bench.Names {
+					k, err := bench.Get(name, params)
+					if err != nil {
+						t.Fatal(err)
+					}
+					cfg := machine.Default(scheme)
+					cfg.Procs = procs
+					c, err := core.CompileForConfig(k.Source, cfg)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					for _, mode := range []struct {
+						name   string
+						mutate func(*machine.Config)
+					}{
+						{"seq", func(*machine.Config) {}},
+						{"hostpar", func(c *machine.Config) { c.HostParallel = 4 }},
+						{"nofastpath", func(c *machine.Config) { c.FastPath = false }},
+					} {
+						mcfg := cfg
+						mode.mutate(&mcfg)
+						if _, err := core.VerifyAgainstOracle(c, mcfg); err != nil {
+							t.Errorf("%s/%s: %v", name, mode.name, err)
+						}
+					}
+				}
+			})
+		}
+	}
+}

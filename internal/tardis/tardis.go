@@ -1,0 +1,816 @@
+// Package tardis implements timestamp-based coherence after Tardis (Yu &
+// Devadas, PACT 2015) and Tardis 2.0 (Yu, Liu & Devadas, 2016) — the
+// sixth scheme family next to BASE/SC/TPI/HW/VC. Where the paper's HSCD
+// schemes bound staleness with compiler epoch distances and the HW
+// directory tracks sharers to invalidate them, Tardis orders memory
+// operations in *logical time* and never sends invalidations at all:
+//
+//	state    per line at home: write timestamp wts, read lease bound rts
+//	         per processor: logical clock pts (here: gts + a local bump)
+//	read:    lease the word until rts' = max(rts, pts + lease); a cached
+//	         copy is readable while its lease has not expired
+//	write:   jump past every outstanding lease: wts' = rts + 1 — old
+//	         copies simply expire instead of being invalidated
+//	renewal: an expired copy whose data is unchanged re-leases with a
+//	         timestamp-only message (no data transfer)
+//
+// The Tardis 2.0 optimizations are config knobs: lease prediction grows
+// a line's lease on renewal streaks (LeasePredict), unshared read misses
+// take the line exclusive so later stores are silent (TardisExclusive),
+// and contended lines back their leases off (RenewBackoff). TARDIS maps
+// to the base protocol, TARDIS2 to all three knobs on.
+//
+// # Mapping onto the epoch-barrier execution model
+//
+// The simulator's programs are barrier-synchronized DOALL epochs, so the
+// protocol is run at epoch grain: one global logical clock gts stands in
+// for the per-processor pts between barriers (a processor's pts only
+// exceeds gts transiently after its own writes, which is tracked in
+// ptsLocal and folded back by the barrier's gts advance). All home
+// timestamp state is FROZEN mid-epoch: reads and writes compute their
+// grants from the frozen (wts, rts, hist, owner) image and append the
+// resulting home mutations to a per-processor action log, replayed in
+// (processor, sequence) order inside FlushEpoch after the lane merge —
+// the same deferred-replay discipline as the HW directory, which makes
+// sequential, host-parallel, and fast-path execution bit-identical by
+// construction.
+//
+// Correctness does not depend on replay order: every lease granted in an
+// epoch is registered in rts at that epoch's barrier, every grant
+// computes the same end E = max(rts, gts+lease) from the same frozen
+// image, and a write's timestamp is exactly E+1 — strictly past every
+// same-epoch grant and, via wts' = max(rts+1, E+1) at replay, past every
+// earlier lease too. The barrier then advances gts to the maximum
+// replayed wts, so a copy whose word was overwritten always fails the
+// uniform hit predicate TT[w] >= gts in the next epoch. The staleness
+// oracle (lane.CheckFresh) and the property tests in this package check
+// exactly this: no read ever returns a value other than the one
+// sequential execution would.
+package tardis
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/machine"
+	"repro/internal/memsys"
+	"repro/internal/prog"
+	"repro/internal/stats"
+)
+
+// minHist is the lease-history floor: RenewBackoff halves the base lease
+// at most this many times (lease >> 4, floored at 1 epoch).
+const minHist = -4
+
+// maxPredict caps LeasePredict doubling (lease << 6) independently of
+// LeaseMax, so one hot line cannot run its lease away from the clock.
+const maxPredict = 6
+
+// actKind is a deferred home-state mutation (see the package comment).
+type actKind uint8
+
+const (
+	// actGrant registers a read lease: rts = max(rts, end). A grant by a
+	// non-owner also revokes the line's exclusive owner (recall).
+	actGrant actKind = iota
+	// actOwnGrant is actGrant plus an exclusive-ownership claim, taken on
+	// a read miss to a line with no outstanding leases (Tardis 2.0 MESI
+	// grant). The claim is rechecked against live replay state: if a
+	// same-epoch foreign grant got there first, the claim is dropped.
+	actOwnGrant
+	// actRenewFresh is actGrant for a renewal that found the data
+	// unchanged; it feeds the lease predictor's success streak.
+	actRenewFresh
+	// actRenewStale is actGrant for a renewal that found the data
+	// changed; it feeds the renewal backoff.
+	actRenewStale
+	// actWrite advances the write timestamp past every outstanding
+	// lease: wts = max(rts+1, end), rts = wts. end is the writer's
+	// precomputed grant (frozen rts, frozen lease) + 1.
+	actWrite
+)
+
+// act is one logged home mutation.
+type act struct {
+	kind actKind
+	line int64 // global line number (== cache tag)
+	end  int64 // grant end / write timestamp
+}
+
+// System is the Tardis timestamp-coherence memory system.
+type System struct {
+	*memsys.Core
+	caches   []*cache.Cache
+	trackers []*cache.Tracker
+	wbufs    []*cache.WriteBuffer
+
+	home  *home   // frozen-mid-epoch per-line (wts, rts, hist)
+	owner []int16 // frozen-mid-epoch per-line exclusive owner; nil unless TardisExclusive
+	gts   int64   // global logical clock; advances only at FlushEpoch
+
+	// ptsLocal[p] is the transient excess of processor p's logical clock
+	// over gts (the timestamp of its latest write grant); the effective
+	// pts(p) is max(gts, ptsLocal[p]). Written only by p mid-epoch.
+	ptsLocal []int64
+
+	// acts[p] is processor p's home action log for the current epoch,
+	// appended mid-epoch by p alone and replayed in (processor, sequence)
+	// order at the barrier.
+	acts [][]act
+
+	lease    int64 // base lease in epochs (cfg.LeaseEpochs, defaulted)
+	leaseMax int64 // hard lease cap (cfg.LeaseMax, defaulted)
+	predict  bool  // Tardis 2.0 lease prediction
+	excl     bool  // Tardis 2.0 exclusive grant + silent stores
+	backoff  bool  // Tardis 2.0 renewal backoff
+	maxHist  int8  // largest hist with lease<<hist <= leaseMax
+}
+
+// New builds a Tardis system. memWords is the program's data extent.
+func New(cfg machine.Config, memWords int64) *System {
+	s := &System{Core: memsys.NewCore(cfg, memWords)}
+	lines := s.Memory.Size() / int64(cfg.LineWords)
+	s.home = newHome(lines)
+	s.lease = cfg.LeaseEpochs
+	if s.lease <= 0 {
+		s.lease = machine.DefaultLeaseEpochs
+	}
+	s.leaseMax = cfg.LeaseMax
+	if s.leaseMax <= 0 {
+		s.leaseMax = machine.DefaultLeaseMax
+	}
+	if s.leaseMax < s.lease {
+		s.leaseMax = s.lease
+	}
+	s.predict = cfg.LeasePredict
+	s.excl = cfg.TardisExclusive
+	s.backoff = cfg.RenewBackoff
+	for s.maxHist < maxPredict && s.lease<<uint(s.maxHist+1) <= s.leaseMax {
+		s.maxHist++
+	}
+	if s.excl {
+		s.owner = make([]int16, lines)
+		for i := range s.owner {
+			s.owner[i] = -1
+		}
+	}
+	s.ptsLocal = make([]int64, cfg.Procs)
+	s.acts = make([][]act, cfg.Procs)
+	s.caches = make([]*cache.Cache, cfg.Procs)
+	s.trackers = make([]*cache.Tracker, cfg.Procs)
+	s.wbufs = make([]*cache.WriteBuffer, cfg.Procs)
+	s.EnableAlwaysBuffered()
+	return s
+}
+
+// procState returns p's cache and tracker (building them, and the write
+// buffer, on first use; safe under host parallelism — each processor is
+// owned by exactly one worker).
+func (s *System) procState(p int) (*cache.Cache, *cache.Tracker) {
+	if cc := s.caches[p]; cc != nil {
+		return cc, s.trackers[p]
+	}
+	cc := cache.New(s.Cfg.CacheWords, s.Cfg.LineWords, s.Cfg.Assoc)
+	s.caches[p] = cc
+	s.trackers[p] = cache.NewTracker(s.Memory.Size())
+	s.wbufs[p] = cache.NewWriteBuffer(s.Cfg.WriteBufferCache)
+	return cc, s.trackers[p]
+}
+
+// Name implements memsys.System.
+func (s *System) Name() string { return s.Cfg.Scheme.String() }
+
+// HostShardable implements memsys.Sharded: home timestamps and the owner
+// table are frozen mid-epoch, every mutation goes to the per-processor
+// action log, and every reference is lane-routed.
+func (s *System) HostShardable() bool { return true }
+
+// ReleaseCaches implements memsys.Releaser.
+func (s *System) ReleaseCaches() {
+	for p, cc := range s.caches {
+		if cc == nil {
+			continue
+		}
+		cache.Release(cc)
+		cache.ReleaseTracker(s.trackers[p])
+		cache.ReleaseWriteBuffer(s.wbufs[p])
+	}
+	s.caches, s.trackers, s.wbufs = nil, nil, nil
+	s.ReleaseLanes()
+}
+
+// leaseFor is the lease the predictor currently assigns a line: the base
+// lease doubled per renewal-success step (LeasePredict) or halved per
+// backoff step (RenewBackoff), clamped to [1, leaseMax].
+func (s *System) leaseFor(hist int8) int64 {
+	l := s.lease
+	switch {
+	case hist > 0:
+		l <<= uint(hist)
+		if l > s.leaseMax {
+			l = s.leaseMax
+		}
+	case hist < 0:
+		l >>= uint(-hist)
+		if l < 1 {
+			l = 1
+		}
+	}
+	return l
+}
+
+// grantEnd computes a read-lease end from the frozen home image of line
+// l: E = max(rts, gts + lease). Every same-epoch grant to l computes the
+// same E (same frozen inputs), which is what makes the writer's E+1
+// strictly dominate them all.
+func (s *System) grantEnd(l int64) int64 {
+	_, rts, hist := s.home.get(l)
+	end := s.gts + s.leaseFor(hist)
+	if rts > end {
+		end = rts
+	}
+	return end
+}
+
+// writeEnd is the write timestamp a store to line l claims: one past the
+// epoch's uniform grant end.
+func (s *System) writeEnd(l int64) int64 { return s.grantEnd(l) + 1 }
+
+// ownerHeld reports whether line l is exclusively owned by a processor
+// other than p in the frozen owner table. Such a line may be receiving
+// unlogged silent stores this very epoch, so any fill or renewal by p
+// must validate only the word p is accessing (see recall handling).
+func (s *System) ownerHeld(l int64, p int) bool {
+	return s.excl && s.owner[l] >= 0 && s.owner[l] != int16(p)
+}
+
+// notePts records that p's logical clock reached t (its write grant).
+func (s *System) notePts(p int, t int64) {
+	if t > s.ptsLocal[p] {
+		s.ptsLocal[p] = t
+	}
+}
+
+// log appends a home mutation to p's action log.
+func (s *System) log(p int, a act) { s.acts[p] = append(s.acts[p], a) }
+
+// Read implements memsys.System. The Time-Read window is ignored —
+// Tardis needs no compiler windows; the lease check subsumes them.
+func (s *System) Read(p int, addr prog.Word, kind memsys.ReadKind, window int) (float64, int64) {
+	ln := s.LaneFor(p)
+	ln.St.Reads++
+	cc, tr := s.procState(p)
+
+	if kind == memsys.ReadBypass {
+		v := ln.Value(addr)
+		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+			line.Vals[w] = v
+		}
+		ln.St.ReadMisses[stats.MissBypass]++
+		ln.St.ReadTrafficWords++
+		ln.Inject(2)
+		lat := s.WordMissLatencyFor(p, addr)
+		ln.St.MissLatencySum += lat
+		return v, lat
+	}
+
+	line, w, present := cc.Lookup(addr)
+	if present && line.TT[w] != cache.TTInvalid {
+		if line.TT[w] >= s.gts {
+			// Unexpired lease: the uniform Tardis hit.
+			ln.St.ReadHits++
+			line.Used[w] = true
+			cc.Touch(line)
+			ln.CheckFresh(addr, line.Vals[w], p, "tardis hit")
+			return line.Vals[w], s.Cfg.HitCycles
+		}
+		lid := line.Tag
+		end := s.grantEnd(lid)
+		if s.ownerHeld(lid, p) {
+			// Expired lease on a line another processor owns: recall.
+			return s.recallRead(ln, cc, tr, line, w, addr, lid, end, p)
+		}
+		if s.lineChanged(ln, cc, line, addr) {
+			// The data moved on: a necessary coherence re-fetch.
+			ln.St.ReadMisses[stats.MissTrueSharing]++
+			s.refreshLine(ln, line, w, addr, cc, tr, end)
+			s.log(p, act{actRenewStale, lid, end})
+			return line.Vals[w], s.chargeLineMiss(ln, p, addr)
+		}
+		// Data unchanged: pure lease renewal — timestamps move, data
+		// does not. This is the Tardis analog of the HSCD conservative
+		// miss, in its own class.
+		ln.St.ReadMisses[stats.MissLeaseExpired]++
+		ln.St.LeaseRenewals++
+		s.extendLine(ln, line, w, addr, cc, end, p)
+		s.log(p, act{actRenewFresh, lid, end})
+		return line.Vals[w], s.chargeRenewal(ln, p, addr)
+	}
+
+	ln.St.ReadMisses[s.ClassifyMissLane(ln, tr, addr)]++
+	if present {
+		// Word-grain hole in a present line.
+		lid := line.Tag
+		end := s.grantEnd(lid)
+		if s.ownerHeld(lid, p) {
+			return s.recallWord(ln, cc, tr, line, w, addr, lid, end, p)
+		}
+		s.refreshLine(ln, line, w, addr, cc, tr, end)
+		s.log(p, act{actGrant, lid, end})
+		return line.Vals[w], s.chargeLineMiss(ln, p, addr)
+	}
+	nl, nw := s.fillLine(ln, cc, tr, p, addr)
+	return nl.Vals[nw], s.chargeLineMiss(ln, p, addr)
+}
+
+// lineChanged reports whether any valid word of the (expired) line
+// differs from what this processor must currently see — the home's
+// renewal check, decided against lane-visible values so sequential and
+// host-parallel runs agree.
+func (s *System) lineChanged(ln *memsys.Lane, cc *cache.Cache, line *cache.Line, addr prog.Word) bool {
+	base := cc.LineBase(addr)
+	for i := 0; i < cc.LineWords(); i++ {
+		if line.TT[i] != cache.TTInvalid && line.Vals[i] != ln.Value(base+prog.Word(i)) {
+			return true
+		}
+	}
+	return false
+}
+
+// extendLine renews the line's valid words in place: no data moves, the
+// lease timetags advance to end (never backwards — a word written this
+// epoch already carries the strictly larger write timestamp).
+func (s *System) extendLine(ln *memsys.Lane, line *cache.Line, w int, addr prog.Word, cc *cache.Cache, end int64, p int) {
+	for i := range line.TT {
+		if line.TT[i] != cache.TTInvalid && line.TT[i] < end {
+			line.TT[i] = end
+		}
+	}
+	line.Used[w] = true
+	cc.Touch(line)
+	ln.CheckFresh(addr, line.Vals[w], p, "tardis renewal")
+}
+
+// refreshLine re-fetches a present line through the lane; every word's
+// lease becomes at least end.
+func (s *System) refreshLine(ln *memsys.Lane, line *cache.Line, w int, addr prog.Word, cc *cache.Cache, tr *cache.Tracker, end int64) {
+	base := cc.LineBase(addr)
+	for i := 0; i < cc.LineWords(); i++ {
+		a := base + prog.Word(i)
+		line.Vals[i] = ln.Value(a)
+		if line.TT[i] < end {
+			line.TT[i] = end
+		}
+		tr.NoteCached(a)
+	}
+	line.State = cache.Shared
+	line.Dirty = false
+	line.Used[w] = true
+	cc.Touch(line)
+}
+
+// recallRead handles an expired word of a line exclusively owned by
+// another processor: the home recalls the owner (revoking it at replay
+// via the grant) and can vouch only for the requested word — the owner
+// may be silently storing to the line's other words this very epoch, so
+// their leases are curtailed rather than renewed (see staleMark).
+func (s *System) recallRead(ln *memsys.Lane, cc *cache.Cache, tr *cache.Tracker, line *cache.Line, w int, addr prog.Word, lid, end int64, p int) (float64, int64) {
+	changed := line.Vals[w] != ln.Value(addr)
+	if changed {
+		ln.St.ReadMisses[stats.MissTrueSharing]++
+	} else {
+		ln.St.ReadMisses[stats.MissLeaseExpired]++
+		ln.St.LeaseRenewals++
+	}
+	s.staleMark(line, w)
+	line.Vals[w] = ln.Value(addr)
+	if line.TT[w] < end {
+		line.TT[w] = end
+	}
+	line.State = cache.Shared
+	line.Used[w] = true
+	cc.Touch(line)
+	tr.NoteCached(addr)
+	if changed {
+		s.log(p, act{actRenewStale, lid, end})
+	} else {
+		s.log(p, act{actRenewFresh, lid, end})
+	}
+	return line.Vals[w], s.chargeRecall(ln, p, addr)
+}
+
+// recallWord fills a word-grain hole of an owner-held present line —
+// like recallRead but the requested word has no prior copy to compare.
+func (s *System) recallWord(ln *memsys.Lane, cc *cache.Cache, tr *cache.Tracker, line *cache.Line, w int, addr prog.Word, lid, end int64, p int) (float64, int64) {
+	s.staleMark(line, w)
+	line.Vals[w] = ln.Value(addr)
+	if line.TT[w] < end {
+		line.TT[w] = end
+	}
+	line.State = cache.Shared
+	line.Used[w] = true
+	cc.Touch(line)
+	tr.NoteCached(addr)
+	s.log(p, act{actGrant, lid, end})
+	return line.Vals[w], s.chargeRecall(ln, p, addr)
+}
+
+// staleMark caps the lease of every valid word of the line except w at
+// gts-1 — present but expired. An owner-held line's other words may be
+// mid-silent-store, so their leases cannot be extended; an expired copy
+// is harmless (the hit predicate rejects it) and the next access decides
+// renewal vs re-fetch by comparing values, which by then include the
+// owner's flushed stores.
+func (s *System) staleMark(line *cache.Line, w int) {
+	cut := s.gts - 1
+	for i := range line.TT {
+		if i != w && line.TT[i] > cut {
+			line.TT[i] = cut
+		}
+	}
+}
+
+// fillLine installs the line with lease end per word; an unshared line
+// (no outstanding leases, no foreign owner) is granted Exclusive under
+// TardisExclusive. A dirty victim (silent stores) writes back first.
+func (s *System) fillLine(ln *memsys.Lane, cc *cache.Cache, tr *cache.Tracker, p int, addr prog.Word) (*cache.Line, int) {
+	if v := cc.Victim(addr); v.State != cache.Invalid && v.Dirty {
+		s.chargeWriteback(ln, cc)
+		v.Dirty = false
+	}
+	lid := int64(addr) / int64(s.Cfg.LineWords)
+	wts, rts, _ := s.home.get(lid)
+	end := s.grantEnd(lid)
+	nl, nw := s.FillLane(ln, cc, tr, addr, end, end)
+	if s.ownerHeld(lid, p) {
+		// Owner-held line: recall it (one coherence message on top of
+		// the fetch); only the accessed word's lease can be granted.
+		s.staleMark(nl, nw)
+		ln.St.CoherenceMsgs++
+		s.log(p, act{actGrant, lid, end})
+		return nl, nw
+	}
+	if s.excl && rts <= wts && (s.owner[lid] < 0 || s.owner[lid] == int16(p)) {
+		nl.State = cache.Exclusive
+		ln.St.ExclusiveGrants++
+		s.log(p, act{actOwnGrant, lid, end})
+	} else {
+		s.log(p, act{actGrant, lid, end})
+	}
+	return nl, nw
+}
+
+// chargeWriteback accounts a dirty (silently-stored) victim line's
+// write-back to its home. Values are already authoritative in memory via
+// the lanes; only traffic is charged.
+func (s *System) chargeWriteback(ln *memsys.Lane, cc *cache.Cache) {
+	ln.St.CoherenceTrafficWords += int64(cc.LineWords())
+	ln.Inject(int64(cc.LineWords()) + 1)
+}
+
+// chargeLineMiss is the full line fetch: request out, line back.
+func (s *System) chargeLineMiss(ln *memsys.Lane, p int, addr prog.Word) int64 {
+	ln.St.ReadTrafficWords += int64(s.Cfg.LineWords)
+	ln.Inject(int64(s.Cfg.LineWords) + 1)
+	lat := s.LineMissLatencyFor(p, addr)
+	ln.St.MissLatencySum += lat
+	return lat
+}
+
+// chargeRenewal is the data-free lease renewal: a timestamp round trip
+// (coherence traffic, not data traffic) at single-word latency.
+func (s *System) chargeRenewal(ln *memsys.Lane, p int, addr prog.Word) int64 {
+	ln.St.CoherenceMsgs++
+	ln.St.CoherenceTrafficWords += 2
+	ln.Inject(2)
+	lat := s.WordMissLatencyFor(p, addr)
+	ln.St.MissLatencySum += lat
+	return lat
+}
+
+// chargeRecall is the owner-recall word fetch: one data word plus the
+// recall message, at single-word latency.
+func (s *System) chargeRecall(ln *memsys.Lane, p int, addr prog.Word) int64 {
+	ln.St.ReadTrafficWords++
+	ln.St.CoherenceMsgs++
+	ln.Inject(3)
+	lat := s.WordMissLatencyFor(p, addr)
+	ln.St.MissLatencySum += lat
+	return lat
+}
+
+// Write implements memsys.System: write-through with write-validate,
+// like the HSCD schemes, except that the written word's timetag is the
+// write timestamp E+1 (past every outstanding lease) and — under
+// TardisExclusive — a store to a line this processor still owns in the
+// frozen home table is silent: no home message, no lease change, dirty
+// data written back on eviction.
+func (s *System) Write(p int, addr prog.Word, val float64, crit bool) int64 {
+	ln := s.LaneFor(p)
+	ln.St.Writes++
+	cc, tr := s.procState(p)
+	if crit {
+		// Critical-section store: globally visible now, local copy
+		// dropped, and — unlike VC, whose CVNs advance via epoch mod
+		// sets — the home must still jump wts past outstanding leases,
+		// or same-line copies elsewhere would outlive the store.
+		ln.WriteThrough(addr, val, p, s.Epoch)
+		ln.St.WriteMisses[stats.MissBypass]++
+		if line, w, ok := cc.Lookup(addr); ok && line.ValidWord(w) {
+			tr.NoteLost(addr, cache.LostInvalTrue, line.TT[w])
+			line.InvalidateWord(w)
+		}
+		lid := int64(addr) / int64(s.Cfg.LineWords)
+		wend := s.writeEnd(lid)
+		s.log(p, act{actWrite, lid, wend})
+		s.notePts(p, wend)
+		ln.St.WriteTrafficWords++
+		ln.Inject(1)
+		return 0
+	}
+	ln.Write(addr, val, p, s.Epoch)
+	line, w, ok := cc.Lookup(addr)
+
+	// Tardis 2.0 silent store: the frozen home owner table still names
+	// this processor, so no lease can be granted to anyone else this
+	// epoch and the store needs no home interaction at all. Mirrored
+	// exactly by the StreamTardis write cursor.
+	if ok && line.TT[w] != cache.TTInvalid && s.excl &&
+		line.State == cache.Exclusive && s.owner[line.Tag] == int16(p) {
+		ln.St.WriteHits++
+		line.Vals[w] = val
+		line.Used[w] = true
+		line.Dirty = true
+		cc.Touch(line)
+		return 0
+	}
+
+	lid := int64(addr) / int64(s.Cfg.LineWords)
+	wend := s.writeEnd(lid)
+	hit := ok && line.TT[w] != cache.TTInvalid
+	if hit {
+		ln.St.WriteHits++
+	} else {
+		// Classify before the tracker below records the new residency.
+		ln.St.WriteMisses[s.ClassifyMissLane(ln, tr, addr)]++
+	}
+	if ok {
+		if line.State == cache.Exclusive && !(s.excl && s.owner[line.Tag] == int16(p)) {
+			// Stale exclusivity hint (the home revoked us): demote.
+			line.State = cache.Shared
+		}
+		line.Vals[w] = val
+		line.TT[w] = wend
+		line.Used[w] = true
+		cc.Touch(line)
+		tr.NoteCached(addr)
+	} else {
+		v := cc.Victim(addr)
+		if v.State != cache.Invalid {
+			if v.Dirty {
+				s.chargeWriteback(ln, cc)
+			}
+			base := prog.Word(v.Tag * int64(cc.LineWords()))
+			for i := 0; i < cc.LineWords(); i++ {
+				if v.TT[i] != cache.TTInvalid {
+					tr.NoteLost(base+prog.Word(i), cache.LostReplaced, v.TT[i])
+				}
+			}
+			v.InvalidateLine()
+		}
+		tag, w := cc.Split(addr)
+		v.Tag = tag
+		v.State = cache.Shared
+		v.Vals[w] = val
+		v.TT[w] = wend
+		v.Used[w] = true
+		cc.Touch(v)
+		tr.NoteCached(addr)
+	}
+	s.log(p, act{actWrite, lid, wend})
+	s.notePts(p, wend)
+	if s.wbufs[p].Write(addr) {
+		ln.St.WriteTrafficWords++
+		ln.Inject(1)
+	} else {
+		ln.St.WritesCoalesced++
+	}
+	if s.Cfg.SeqConsistency {
+		lat := s.WordMissLatencyFor(p, addr)
+		if !hit {
+			ln.St.WriteMissLatencySum += lat
+		}
+		return lat
+	}
+	return 0
+}
+
+// EpochBoundary implements memsys.System. The simulator's FlushEpoch has
+// already merged the previous epoch's lanes and replayed the action logs
+// when this runs.
+func (s *System) EpochBoundary(epoch int64) int64 {
+	s.Epoch = epoch
+	s.SetLaneEpoch(epoch)
+	for _, wb := range s.wbufs {
+		if wb != nil {
+			wb.Flush()
+		}
+	}
+	return 0
+}
+
+// FlushEpoch implements memsys.Buffered: lane merge first (memory then
+// reads barrier-final values), then the deterministic home replay.
+func (s *System) FlushEpoch() {
+	s.FlushEpochLanes()
+	s.replay()
+}
+
+// replay applies the epoch's home mutations in (processor, sequence)
+// order and advances gts to the maximum replayed write timestamp — the
+// logical barrier synchronization. Per-processor clock excesses are
+// subsumed (every ptsLocal value was logged as a write), so no O(P)
+// clock scan is needed.
+func (s *System) replay() {
+	maxW := s.gts
+	for p := range s.acts {
+		l := s.acts[p]
+		if len(l) == 0 {
+			continue
+		}
+		for _, a := range l {
+			wts, rts, hist := s.home.get(a.line)
+			switch a.kind {
+			case actGrant, actRenewFresh, actRenewStale:
+				if s.excl && s.owner[a.line] >= 0 && s.owner[a.line] != int16(p) {
+					s.owner[a.line] = -1 // recall: a foreign lease revokes exclusivity
+				}
+				if a.end > rts {
+					rts = a.end
+				}
+				switch a.kind {
+				case actRenewFresh:
+					if s.predict && hist < s.maxHist {
+						hist++
+					} else if hist < 0 {
+						hist++ // recover from backoff
+					}
+				case actRenewStale:
+					if s.backoff {
+						if hist > 0 {
+							hist = 0
+						}
+						if hist > minHist {
+							hist--
+						}
+					} else if hist != 0 {
+						hist = 0
+					}
+				}
+			case actOwnGrant:
+				// Recheck the unshared condition against live replay
+				// state: a same-epoch foreign grant kills the claim.
+				claim := rts <= wts && (s.owner[a.line] < 0 || s.owner[a.line] == int16(p))
+				if a.end > rts {
+					rts = a.end
+				}
+				if claim {
+					s.owner[a.line] = int16(p)
+				} else if s.owner[a.line] >= 0 && s.owner[a.line] != int16(p) {
+					s.owner[a.line] = -1
+				}
+			case actWrite:
+				w2 := rts + 1
+				if a.end > w2 {
+					w2 = a.end
+				}
+				wts = w2
+				rts = w2
+				if s.excl && s.owner[a.line] >= 0 && s.owner[a.line] != int16(p) {
+					// A foreign write breaks exclusivity; ownership is
+					// only ever claimed by the exclusive read grant.
+					s.owner[a.line] = -1
+				}
+				if hist > 0 {
+					hist = 0 // a write ends a renewal-success streak
+				}
+				if w2 > maxW {
+					maxW = w2
+				}
+			}
+			s.home.set(a.line, wts, rts, hist)
+		}
+		s.acts[p] = l[:0]
+	}
+	s.gts = maxW
+}
+
+// StreamCapable implements memsys.Streamer.
+func (s *System) StreamCapable() bool { return true }
+
+// InitReadCursor implements memsys.Streamer: the hit predicate is the
+// uniform lease check TT[w] >= gts, with gts frozen mid-epoch — a
+// StreamCached cursor with Cut = gts. Time-Reads take the same path.
+func (s *System) InitReadCursor(c *memsys.ReadCursor, p int, kind memsys.ReadKind, window int, addr0 prog.Word) {
+	ln := s.LaneFor(p)
+	if kind == memsys.ReadBypass {
+		*c = memsys.ReadCursor{
+			Mode: memsys.StreamUncached,
+			Sys:  s, Core: s.Core, Ln: ln, Proc: p,
+			Kind: kind, Window: window,
+		}
+		return
+	}
+	cc, _ := s.procState(p)
+	*c = memsys.ReadCursor{
+		Mode: memsys.StreamCached,
+		Sys:  s, Core: s.Core, Ln: ln,
+		CC: cc, Proc: p,
+		Kind: kind, Window: window,
+		Cut:       s.gts,
+		PromoteTT: false,
+		Epoch:     s.Epoch,
+		HitCycles: s.Cfg.HitCycles,
+		HitCtx:    "tardis hit",
+		Fresh:     ln.FreshWords(),
+	}
+}
+
+// InitWriteCursor implements memsys.Streamer. Write timestamps depend on
+// per-line frozen home state, so there is no stream-constant WTT: under
+// TardisExclusive the cursor inlines the silent store against the frozen
+// owner table and delegates the rest to the scalar Write; otherwise
+// every store delegates.
+func (s *System) InitWriteCursor(c *memsys.WriteCursor, p int, addr0 prog.Word) {
+	cc, _ := s.procState(p)
+	if s.excl {
+		*c = memsys.WriteCursor{
+			Mode: memsys.StreamTardis,
+			Sys:  s, Core: s.Core, Ln: s.LaneFor(p),
+			CC: cc, Proc: p, Epoch: s.Epoch,
+			Owners: s.owner,
+		}
+		return
+	}
+	*c = memsys.WriteCursor{
+		Mode: memsys.StreamUncached,
+		Sys:  s, Core: s.Core, Ln: s.LaneFor(p),
+		Proc: p, Epoch: s.Epoch,
+	}
+}
+
+// GTS exposes the global logical clock (tests).
+func (s *System) GTS() int64 { return s.gts }
+
+// PTS exposes processor p's effective logical clock max(gts, local bump)
+// (tests; the proof-paper invariant pts <= rts at every access).
+func (s *System) PTS(p int) int64 {
+	if s.ptsLocal[p] > s.gts {
+		return s.ptsLocal[p]
+	}
+	return s.gts
+}
+
+// LineTimestamps exposes line l's home (wts, rts) image (tests).
+func (s *System) LineTimestamps(l int64) (wts, rts int64) {
+	wts, rts, _ = s.home.get(l)
+	return wts, rts
+}
+
+// OwnerOf exposes line l's exclusive owner, -1 if none (tests).
+func (s *System) OwnerOf(l int64) int {
+	if s.owner == nil {
+		return -1
+	}
+	return int(s.owner[l])
+}
+
+// Lines exposes the home table extent (tests).
+func (s *System) Lines() int64 { return s.home.lines() }
+
+// WideTimestamps reports whether the home table migrated to (or was
+// forced into) the wide representation (tests).
+func (s *System) WideTimestamps() bool { return s.home.wide }
+
+// CheckInvariants verifies the proof-paper home invariants at a barrier:
+// wts <= rts on every line, and no processor clock ahead of the merged
+// global clock (every local bump was a logged write the barrier's gts
+// advance subsumed). The simulator checks it after the final barrier;
+// the property tests check it at every barrier.
+func (s *System) CheckInvariants() error {
+	for l := int64(0); l < s.home.lines(); l++ {
+		wts, rts, _ := s.home.get(l)
+		if wts > rts {
+			return fmt.Errorf("tardis: line %d: wts %d > rts %d", l, wts, rts)
+		}
+		if wts > s.gts {
+			return fmt.Errorf("tardis: line %d: wts %d ahead of gts %d", l, wts, s.gts)
+		}
+	}
+	for p, pl := range s.ptsLocal {
+		if pl > s.gts {
+			return fmt.Errorf("tardis: P%d: pts %d ahead of gts %d at barrier", p, pl, s.gts)
+		}
+	}
+	return nil
+}

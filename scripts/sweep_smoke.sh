@@ -8,6 +8,9 @@
 #      from the shared content-addressed cache at a >= 90% rate.
 #   3. A fresh grid sweep completes exactly-once even when one worker
 #      is killed mid-sweep (jobs rebalance onto the survivor).
+#   4. A fleet wired only by -advertise/-join self-registration (no
+#      coordinator peer wiring) registers mutually and shares its
+#      result caches across workers.
 #
 # Usage: scripts/sweep_smoke.sh [bindir]   (defaults to a temp dir)
 set -euo pipefail
@@ -68,5 +71,44 @@ if [ "$ROWS" -ne "$JOBS" ]; then
   exit 1
 fi
 echo "   ok: $ROWS/$JOBS rows, exactly once"
+
+echo "== 4. self-joined fleet registers mutually and shares its caches =="
+PORT3=18273
+PORT4=18274
+W3="http://127.0.0.1:$PORT3"
+W4="http://127.0.0.1:$PORT4"
+"$BIN/tpiserved" -addr "127.0.0.1:$PORT3" -workers 2 \
+  -advertise "$W3" >"$BIN/w3.log" 2>&1 &
+PIDS+=($!)
+"$BIN/tpiserved" -addr "127.0.0.1:$PORT4" -workers 2 \
+  -advertise "$W4" -join "$W3" -reannounce 2s >"$BIN/w4.log" 2>&1 &
+PIDS+=($!)
+
+# Wait for the announcer round: W3 must learn W4 (the PUT) and W4 must
+# adopt W3 (the merge) with no coordinator involved.
+for i in $(seq 1 100); do
+  if curl -fsS "$W3/v1/peers" 2>/dev/null | grep -q "$W4" &&
+     curl -fsS "$W4/v1/peers" 2>/dev/null | grep -q "$W3"; then
+    break
+  fi
+  if [ "$i" -eq 100 ]; then
+    echo "self-registration never converged" >&2
+    curl -fsS "$W3/v1/peers" >&2 || true
+    curl -fsS "$W4/v1/peers" >&2 || true
+    exit 1
+  fi
+  sleep 0.1
+done
+echo "   mutual registration up"
+
+# Seed W3's cache alone, then resubmit the same grid to W4 alone with
+# coordinator peer wiring off: every hit must ride the self-registered
+# peer link back to W3's cache.
+SGRID=(-kernels ocean,trfd -schemes TPI,TARDIS2 -n 32 -steps 3)
+"$BIN/tpisweep" -workers "$W3" -wire-peers=false "${SGRID[@]}" -no-results >/dev/null
+"$BIN/tpisweep" -workers "$W4" -wire-peers=false "${SGRID[@]}" \
+  -no-results -min-cached-rate 0.9 >/dev/null 2>"$BIN/selfjoin.log"
+cat "$BIN/selfjoin.log"
+echo "   ok"
 
 echo "sweep smoke passed"
